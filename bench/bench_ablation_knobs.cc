@@ -1,0 +1,80 @@
+// Ablation study of the paper's §3.1.1 store customizations: each knob the
+// paper flips on its LSM backend (WAL, compression, compaction, sync
+// writes) measured one-at-a-time against the paper configuration, plus
+// buffer-size and block-size sweeps. Quantifies why the checkpoint
+// configuration looks the way it does.
+#include "figure_common.h"
+
+namespace {
+
+using namespace lsmio;
+using namespace lsmio::bench;
+
+double RunKnobs(const iorsim::Workload::EngineKnobs& knobs, uint64_t buffer_chunk,
+                int nodes = 16) {
+  iorsim::Workload workload = MakeWorkload(iorsim::Api::kLsmio, nodes, 64 * KiB);
+  workload.lsmio_knobs = knobs;
+  workload.buffer_chunk = buffer_chunk;
+  const pfs::SimOptions sim = MakeSim(4, 64 * KiB);
+  return RunWorkload(workload, sim).bandwidth;
+}
+
+void Row(const char* name, double bw, double baseline) {
+  std::printf("  %-40s %10.1f MiB/s   %5.2fx of paper config\n", name,
+              bw / static_cast<double>(MiB), bw / baseline);
+}
+
+}  // namespace
+
+int main() {
+  iorsim::Workload::EngineKnobs paper;  // defaults = paper configuration
+  const double baseline = RunKnobs(paper, 32 * MiB);
+
+  std::printf("Ablation: LSMIO store knobs (16 nodes, 64K transfers, stripe 4)\n\n");
+  Row("paper config (no WAL/compress/compact)", baseline, baseline);
+
+  {
+    auto knobs = paper;
+    knobs.disable_wal = false;
+    Row("+ write-ahead log", RunKnobs(knobs, 32 * MiB), baseline);
+  }
+  {
+    auto knobs = paper;
+    knobs.disable_compression = false;
+    Row("+ compression (lz-lite)", RunKnobs(knobs, 32 * MiB), baseline);
+  }
+  {
+    auto knobs = paper;
+    knobs.disable_compaction = false;
+    Row("+ background compaction", RunKnobs(knobs, 32 * MiB), baseline);
+  }
+  {
+    auto knobs = paper;
+    knobs.sync_writes = true;
+    Row("+ synchronous writes", RunKnobs(knobs, 32 * MiB), baseline);
+  }
+  {
+    auto knobs = paper;
+    knobs.disable_wal = false;
+    knobs.sync_writes = true;
+    Row("+ WAL + sync (full durability)", RunKnobs(knobs, 32 * MiB), baseline);
+  }
+
+  std::printf("\nWrite buffer size sweep (paper uses 32 MB):\n");
+  for (const uint64_t buffer : {4 * MiB, 8 * MiB, 16 * MiB, 32 * MiB, 64 * MiB}) {
+    char name[64];
+    std::snprintf(name, sizeof name, "write_buffer_size = %s",
+                  FormatBytes(buffer).c_str());
+    Row(name, RunKnobs(paper, buffer), baseline);
+  }
+
+  std::printf("\nSSTable block size sweep (default 4 KiB):\n");
+  for (const uint64_t block : {4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB}) {
+    auto knobs = paper;
+    knobs.block_size = block;
+    char name[64];
+    std::snprintf(name, sizeof name, "block_size = %s", FormatBytes(block).c_str());
+    Row(name, RunKnobs(knobs, 32 * MiB), baseline);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 10: read benchmarks. ADIOS2 reads best; LSMIO trails ADIOS2 by a
+// modest margin but beats the IOR baseline; collective reads hurt IOR;
+// HDF5 trails everything.
+#include "figure_common.h"
+
+int main() {
+  using namespace lsmio;
+  using namespace lsmio::bench;
+
+  constexpr uint64_t kBlock = 64 * KiB;
+  const pfs::SimOptions sim = MakeSim(4, kBlock);
+
+  std::vector<Series> series;
+  series.push_back(RunSeries("IOR", iorsim::Api::kPosix, kBlock, sim,
+                             /*collective=*/false, /*read=*/true));
+  series.push_back(RunSeries("IOR+coll", iorsim::Api::kPosix, kBlock, sim,
+                             /*collective=*/true, /*read=*/true));
+  series.push_back(RunSeries("HDF5", iorsim::Api::kH5l, kBlock, sim, false, true));
+  series.push_back(RunSeries("ADIOS2", iorsim::Api::kA2, kBlock, sim, false, true));
+  series.push_back(
+      RunSeries("Plugin", iorsim::Api::kA2Lsmio, kBlock, sim, false, true));
+  series.push_back(RunSeries("LSMIO", iorsim::Api::kLsmio, kBlock, sim, false, true));
+
+  PrintTable("Figure 10", "Read bandwidth (stripe 4, 64K)", series);
+
+  const Series& ior = series[0];
+  const Series& ior_coll = series[1];
+  const Series& hdf = series[2];
+  const Series& a2 = series[3];
+  const Series& plugin = series[4];
+  const Series& lsmio = series[5];
+
+  // Average ADIOS2-over-LSMIO gap across the sweep (paper: 23.3% average).
+  double gap_sum = 0;
+  for (const int nodes : NodeCounts()) {
+    gap_sum += 1.0 - lsmio.bw_by_nodes.at(nodes) / a2.bw_by_nodes.at(nodes);
+  }
+  const double average_gap = gap_sum / static_cast<double>(NodeCounts().size());
+
+  std::printf("\nHeadline comparisons (paper section 4.5):\n");
+  PrintClaim("LSMIO over IOR at 48 nodes", PeakRatio(lsmio, ior), "about 5.5x");
+  PrintClaim("IOR plain over IOR collective (max ratio; collective hurts reads)",
+             MaxRatio(ior, ior_coll), "up to 18.6x");
+  PrintClaim("IOR over HDF5 at 48 nodes", PeakRatio(ior, hdf), "up to 125.2x");
+  PrintClaim("LSMIO over HDF5 at 48 nodes", PeakRatio(lsmio, hdf), "up to 687.2x");
+  std::printf("  %-58s measured %5.1f%%   paper ~23.3%%\n",
+              "LSMIO below ADIOS2 on reads (average gap)", average_gap * 100);
+  PrintClaim("LSMIO direct over plugin on reads at 48 nodes",
+             PeakRatio(lsmio, plugin), ">1x (same pattern as writes)");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 1 (introduction): compute vs I/O bandwidth growth of the #1
+// TOP500 system from the PetaFLOP era (Roadrunner, 2008) to the ExaFLOP
+// era (Frontier, 2022), with doubling-time fits — regenerated from the
+// figures quoted in the paper's introduction.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+struct SystemPoint {
+  int year;
+  const char* system;
+  double pflops;     // headline compute, PetaFLOP/s
+  double io_gbps;    // parallel file system bandwidth, GB/s
+};
+
+// Data points the paper's introduction cites (Roadrunner 2008: 1 PFLOP/s,
+// 216 GB/s; Frontier 2022: ~1102 PFLOP/s GPU era peak, 10 TB/s SSD tier)
+// with intermediate #1 systems for the trend lines.
+const std::vector<SystemPoint> kSystems = {
+    {2008, "Roadrunner", 1.0, 216},
+    {2010, "Tianhe-1A", 2.57, 160},
+    {2012, "Titan", 17.6, 1400},
+    {2013, "Tianhe-2", 33.9, 1000},
+    {2016, "Sunway TaihuLight", 93.0, 288},
+    {2018, "Summit", 143.5, 2500},
+    {2020, "Fugaku", 442.0, 1500},
+    {2022, "Frontier (SSD tier)", 1102.0, 10000},
+};
+
+double DoublingYears(double start_value, double end_value, int years) {
+  return static_cast<double>(years) * std::log(2.0) /
+         std::log(end_value / start_value);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1: CPU and I/O performance growth, PetaFLOP to ExaFLOP era\n");
+  std::printf("%-6s %-22s %14s %14s\n", "year", "system", "PFLOP/s", "I/O GB/s");
+  for (const auto& point : kSystems) {
+    std::printf("%-6d %-22s %14.2f %14.0f\n", point.year, point.system,
+                point.pflops, point.io_gbps);
+  }
+
+  const auto& first = kSystems.front();
+  const auto& last = kSystems.back();
+  const int span = last.year - first.year;
+  const double compute_growth = last.pflops / first.pflops;
+  const double io_growth = last.io_gbps / first.io_gbps;
+
+  std::printf("\nGrowth %d-%d:\n", first.year, last.year);
+  std::printf("  compute: %.1fx  (paper: 1074.1x; doubling every %.1f months)\n",
+              compute_growth, DoublingYears(first.pflops, last.pflops, span) * 12);
+  std::printf("  I/O:     %.1fx  (paper: 46.3x SSD tier; doubling every %.1f years)\n",
+              io_growth, DoublingYears(first.io_gbps, last.io_gbps, span));
+  std::printf("  gap:     %.0fx more compute growth than I/O growth\n",
+              compute_growth / io_growth);
+  return 0;
+}

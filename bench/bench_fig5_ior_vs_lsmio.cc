@@ -1,0 +1,45 @@
+// Figure 5: IOR baseline vs LSMIO, Lustre stripe count 4, block sizes
+// 64 KiB and 1 MiB, 1..48 nodes. Reproduces the paper's shape: IOR scales
+// while nodes <= stripe count then collapses; LSMIO starts below IOR but
+// keeps scaling and wins decisively at 48 nodes.
+#include "figure_common.h"
+
+int main() {
+  using namespace lsmio;
+  using namespace lsmio::bench;
+
+  std::vector<Series> series;
+  for (const uint64_t block : {64 * KiB, 1 * MiB}) {
+    const std::string suffix = block == 64 * KiB ? "64K" : "1M";
+    const pfs::SimOptions sim = MakeSim(/*stripe_count=*/4, /*stripe_size=*/block);
+    series.push_back(RunSeries("IOR-" + suffix, iorsim::Api::kPosix, block, sim));
+    series.push_back(RunSeries("LSMIO-" + suffix, iorsim::Api::kLsmio, block, sim));
+  }
+  PrintTable("Figure 5", "IOR baseline vs LSMIO (stripe count 4, sizes 64K and 1M)",
+             series);
+
+  const Series& ior64 = series[0];
+  const Series& lsmio64 = series[1];
+  const Series& ior1m = series[2];
+  const Series& lsmio1m = series[3];
+
+  // IOR collapse past the stripe count: peak (<= 4 nodes) over the 48-node
+  // floor.
+  double ior_peak = 0;
+  for (const int nodes : {1, 2, 4}) {
+    ior_peak = std::max(ior_peak, ior1m.bw_by_nodes.at(nodes));
+  }
+  std::printf("\nHeadline comparisons (paper section 4.1):\n");
+  PrintClaim("IOR drop past stripe count (peak/48-node, 1M)",
+             ior_peak / ior1m.bw_by_nodes.at(48), "up to 6.2x");
+  PrintClaim("1M over 64K for IOR past stripe count (max ratio)",
+             MaxRatio(ior1m, ior64), "up to 4.9x");
+  PrintClaim("LSMIO over IOR at 48 nodes (64K)", PeakRatio(lsmio64, ior64),
+             "up to 23.1x");
+  PrintClaim("LSMIO over IOR at 48 nodes (1M)", PeakRatio(lsmio1m, ior1m),
+             "up to 23.1x");
+  PrintClaim("IOR over LSMIO at 1 node (1M)",
+             ior1m.bw_by_nodes.at(1) / lsmio1m.bw_by_nodes.at(1),
+             ">1x (IOR wins at low concurrency)");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 6: HDF5 and ADIOS2 vs LSMIO (and the IOR baseline), stripe count
+// 4, block sizes 64 KiB and 1 MiB.
+#include "figure_common.h"
+
+int main() {
+  using namespace lsmio;
+  using namespace lsmio::bench;
+
+  std::vector<Series> series;
+  for (const uint64_t block : {64 * KiB, 1 * MiB}) {
+    const std::string suffix = block == 64 * KiB ? "64K" : "1M";
+    const pfs::SimOptions sim = MakeSim(4, block);
+    series.push_back(RunSeries("IOR-" + suffix, iorsim::Api::kPosix, block, sim));
+    series.push_back(RunSeries("HDF5-" + suffix, iorsim::Api::kH5l, block, sim));
+    series.push_back(RunSeries("ADIOS2-" + suffix, iorsim::Api::kA2, block, sim));
+    series.push_back(RunSeries("LSMIO-" + suffix, iorsim::Api::kLsmio, block, sim));
+  }
+  PrintTable("Figure 6", "HDF5 and ADIOS2 vs LSMIO (stripe count 4, 64K and 1M)",
+             series);
+
+  const Series& ior64 = series[0];
+  const Series& hdf64 = series[1];
+  const Series& a264 = series[2];
+  const Series& lsm64 = series[3];
+  const Series& hdf1m = series[5];
+  const Series& a21m = series[6];
+
+  std::printf("\nHeadline comparisons (paper section 4.2):\n");
+  PrintClaim("IOR over HDF5 (max ratio, 64K)", MaxRatio(ior64, hdf64),
+             "2.6x to 48.1x");
+  PrintClaim("HDF5 1M over 64K past stripe count (max ratio)",
+             MaxRatio(hdf1m, hdf64), "up to 9.9x");
+  PrintClaim("ADIOS2 over IOR at 48 nodes (64K)", PeakRatio(a264, ior64),
+             "up to 10.7x");
+  PrintClaim("ADIOS2 over HDF5 at 48 nodes (64K)", PeakRatio(a264, hdf64),
+             "up to 35.3x");
+  PrintClaim("LSMIO over HDF5 at 48 nodes (64K)", PeakRatio(lsm64, hdf64),
+             "more than 76.7x");
+  PrintClaim("LSMIO over ADIOS2 at 48 nodes (64K)", PeakRatio(lsm64, a264),
+             "more than 2.4x");
+  (void)a21m;
+  return 0;
+}

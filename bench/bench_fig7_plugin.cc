@@ -1,0 +1,33 @@
+// Figure 7: ADIOS2 vs the LSMIO plugin for ADIOS2 vs LSMIO baseline,
+// stripe count 4, block sizes 64 KiB and 1 MiB. The plugin lands between
+// ADIOS2 and the LSMIO baseline (~1.5x steps at 48 nodes).
+#include "figure_common.h"
+
+int main() {
+  using namespace lsmio;
+  using namespace lsmio::bench;
+
+  std::vector<Series> series;
+  for (const uint64_t block : {64 * KiB, 1 * MiB}) {
+    const std::string suffix = block == 64 * KiB ? "64K" : "1M";
+    const pfs::SimOptions sim = MakeSim(4, block);
+    series.push_back(RunSeries("ADIOS2-" + suffix, iorsim::Api::kA2, block, sim));
+    series.push_back(
+        RunSeries("Plugin-" + suffix, iorsim::Api::kA2Lsmio, block, sim));
+    series.push_back(RunSeries("LSMIO-" + suffix, iorsim::Api::kLsmio, block, sim));
+  }
+  PrintTable("Figure 7",
+             "ADIOS2 vs LSMIO plugin vs LSMIO baseline (stripe 4, 64K and 1M)",
+             series);
+
+  std::printf("\nHeadline comparisons (paper section 4.3):\n");
+  PrintClaim("Plugin over ADIOS2 at 48 nodes (64K)", PeakRatio(series[1], series[0]),
+             "up to 1.5x");
+  PrintClaim("LSMIO over plugin at 48 nodes (64K)", PeakRatio(series[2], series[1]),
+             "about 1.5x");
+  PrintClaim("Plugin over ADIOS2 at 48 nodes (1M)", PeakRatio(series[4], series[3]),
+             "up to 1.5x");
+  PrintClaim("LSMIO over plugin at 48 nodes (1M)", PeakRatio(series[5], series[4]),
+             "about 1.5x");
+  return 0;
+}

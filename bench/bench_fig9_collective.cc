@@ -1,0 +1,48 @@
+// Figure 9: collective I/O. Two-phase collective writes rescue the IOR
+// baseline (up to 12.1x), help HDF5 only at low concurrency (and hurt at
+// high concurrency), while LSMIO still beats IOR+collective at peak.
+#include "figure_common.h"
+
+int main() {
+  using namespace lsmio;
+  using namespace lsmio::bench;
+
+  constexpr uint64_t kBlock = 64 * KiB;
+  const pfs::SimOptions sim = MakeSim(4, kBlock);
+
+  std::vector<Series> series;
+  series.push_back(RunSeries("IOR", iorsim::Api::kPosix, kBlock, sim));
+  series.push_back(
+      RunSeries("IOR+coll", iorsim::Api::kPosix, kBlock, sim, /*collective=*/true));
+  series.push_back(RunSeries("HDF5", iorsim::Api::kH5l, kBlock, sim));
+  series.push_back(
+      RunSeries("HDF5+coll", iorsim::Api::kH5l, kBlock, sim, /*collective=*/true));
+  series.push_back(RunSeries("LSMIO", iorsim::Api::kLsmio, kBlock, sim));
+
+  PrintTable("Figure 9",
+             "Collective I/O: IOR and HDF5 with collective vs LSMIO (stripe 4, 64K)",
+             series);
+
+  const Series& ior = series[0];
+  const Series& ior_coll = series[1];
+  const Series& hdf = series[2];
+  const Series& hdf_coll = series[3];
+  const Series& lsmio = series[4];
+
+  // HDF5 collective at low vs high concurrency.
+  const double hdf_coll_low =
+      hdf_coll.bw_by_nodes.at(2) / hdf.bw_by_nodes.at(2);
+  const double hdf_coll_high =
+      hdf.bw_by_nodes.at(48) / hdf_coll.bw_by_nodes.at(48);
+
+  std::printf("\nHeadline comparisons (paper section 4.4):\n");
+  PrintClaim("Collective over plain IOR (max ratio)", MaxRatio(ior_coll, ior),
+             "up to 12.1x");
+  PrintClaim("HDF5 collective gain at low concurrency (2 nodes)", hdf_coll_low,
+             "about 2x");
+  PrintClaim("HDF5 plain over collective at 48 nodes (collective hurts)",
+             hdf_coll_high, "up to 2.5x");
+  PrintClaim("LSMIO over IOR+collective at 48 nodes", PeakRatio(lsmio, ior_coll),
+             "up to 2.2x");
+  return 0;
+}

@@ -1,0 +1,173 @@
+// google-benchmark microbenchmarks of the LSM engine's building blocks:
+// the real-time costs behind the virtual CostModel constants used in the
+// figure benchmarks (EXPERIMENTS.md documents the mapping).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/crc32c.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "lsm/arena.h"
+#include "lsm/compression.h"
+#include "lsm/db.h"
+#include "lsm/filter_policy.h"
+#include "lsm/memtable.h"
+#include "lsm/skiplist.h"
+#include "vfs/mem_vfs.h"
+
+namespace {
+
+using namespace lsmio;
+using namespace lsmio::lsm;
+
+void BM_Crc32c(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string data(n, '\0');
+  Rng rng(1);
+  rng.Fill(data.data(), n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_LzLiteCompress(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  // Half-compressible data: realistic checkpoint payloads.
+  std::string data(n, '\0');
+  Rng rng(2);
+  for (size_t i = 0; i < n; i += 64) {
+    if (rng.Bernoulli(0.5)) rng.Fill(data.data() + i, std::min<size_t>(64, n - i));
+  }
+  std::string out;
+  for (auto _ : state) {
+    LzLiteCompress(data, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LzLiteCompress)->Arg(65536)->Arg(1 << 20);
+
+void BM_LzLiteDecompress(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string data(n, 'r');
+  std::string compressed;
+  LzLiteCompress(data, &compressed);
+  std::string out;
+  for (auto _ : state) {
+    (void)LzLiteDecompress(compressed, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LzLiteDecompress)->Arg(65536)->Arg(1 << 20);
+
+void BM_SkipListInsert(benchmark::State& state) {
+  struct Cmp {
+    int operator()(uint64_t a, uint64_t b) const {
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+  };
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto arena = std::make_unique<Arena>();
+    SkipList<uint64_t, Cmp> list(Cmp{}, arena.get());
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) list.Insert(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SkipListInsert)->Arg(10000);
+
+void BM_MemTableAdd(benchmark::State& state) {
+  const size_t value_size = static_cast<size_t>(state.range(0));
+  InternalKeyComparator icmp(BytewiseComparator());
+  const std::string value(value_size, 'v');
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemTable* mem = new MemTable(icmp);
+    mem->Ref();
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      mem->Add(static_cast<SequenceNumber>(i + 1), ValueType::kValue,
+               "key" + std::to_string(i), value);
+    }
+    state.PauseTiming();
+    mem->Unref();
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(state.iterations() * 1000 *
+                          static_cast<int64_t>(value_size));
+}
+BENCHMARK(BM_MemTableAdd)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BloomFilterCreate(benchmark::State& state) {
+  auto policy = std::unique_ptr<const FilterPolicy>(NewBloomFilterPolicy(10));
+  std::vector<std::string> key_storage;
+  std::vector<Slice> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    key_storage.push_back("bloom-key-" + std::to_string(i));
+  }
+  for (const auto& key : key_storage) keys.emplace_back(key);
+  std::string filter;
+  for (auto _ : state) {
+    filter.clear();
+    policy->CreateFilter(keys.data(), static_cast<int>(keys.size()), &filter);
+    benchmark::DoNotOptimize(filter.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BloomFilterCreate)->Arg(10000);
+
+void BM_DbPut(benchmark::State& state) {
+  const size_t value_size = static_cast<size_t>(state.range(0));
+  vfs::MemVfs fs;
+  Options options;
+  options.vfs = &fs;
+  options.disable_wal = true;
+  options.disable_compaction = true;
+  std::unique_ptr<DB> db;
+  (void)DB::Open(options, "/bm", &db);
+  const std::string value(value_size, 'v');
+  uint64_t key = 0;
+  for (auto _ : state) {
+    (void)db->Put({}, "key" + std::to_string(key++), value);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(value_size));
+}
+BENCHMARK(BM_DbPut)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_DbGet(benchmark::State& state) {
+  vfs::MemVfs fs;
+  Options options;
+  options.vfs = &fs;
+  options.disable_wal = true;
+  options.disable_compaction = true;
+  std::unique_ptr<DB> db;
+  (void)DB::Open(options, "/bm", &db);
+  constexpr int kKeys = 2000;
+  const std::string value(4096, 'v');
+  for (int i = 0; i < kKeys; ++i) {
+    (void)db->Put({}, "key" + std::to_string(i), value);
+  }
+  (void)db->FlushMemTable(true);  // force table reads, not memtable hits
+  Rng rng(7);
+  std::string out;
+  for (auto _ : state) {
+    (void)db->Get({}, "key" + std::to_string(rng.Uniform(kKeys)), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Shared harness for the paper-figure benchmarks: node-count sweeps on the
+// simulated Viking cluster, table-formatted output matching the series the
+// paper plots, and peak-ratio summaries for comparison with the paper's
+// headline factors (EXPERIMENTS.md records paper-vs-measured).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iorsim/iorsim.h"
+
+namespace lsmio::bench {
+
+/// The node counts the paper sweeps (1..48 on Viking).
+inline std::vector<int> NodeCounts() { return {1, 2, 4, 8, 16, 24, 32, 40, 48}; }
+
+/// Per-task payload: large enough that steady-state behaviour dominates,
+/// small enough that a full sweep runs in seconds.
+inline constexpr uint64_t kBytesPerTask = 24 * MiB;
+
+struct Series {
+  std::string name;
+  std::map<int, double> bw_by_nodes;  // bytes/s
+};
+
+inline iorsim::Workload MakeWorkload(iorsim::Api api, int nodes,
+                                     uint64_t block_size, bool collective = false,
+                                     bool read = false) {
+  iorsim::Workload workload;
+  workload.api = api;
+  workload.num_tasks = nodes;
+  workload.block_size = block_size;
+  workload.transfer_size = block_size;  // paper: transfer == block
+  workload.segments = static_cast<int>(kBytesPerTask / block_size);
+  workload.collective = collective;
+  workload.read = read;
+  return workload;
+}
+
+inline pfs::SimOptions MakeSim(int stripe_count, uint64_t stripe_size) {
+  pfs::SimOptions sim;  // Viking cluster defaults
+  sim.stripe.stripe_count = stripe_count;
+  sim.stripe.stripe_size = stripe_size;
+  return sim;
+}
+
+inline Series RunSeries(const std::string& name, iorsim::Api api,
+                        uint64_t block_size, const pfs::SimOptions& sim,
+                        bool collective = false, bool read = false) {
+  Series series;
+  series.name = name;
+  for (const int nodes : NodeCounts()) {
+    const iorsim::Workload workload =
+        MakeWorkload(api, nodes, block_size, collective, read);
+    series.bw_by_nodes[nodes] = RunWorkload(workload, sim).bandwidth;
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, " %s done\n", name.c_str());
+  return series;
+}
+
+inline void PrintTable(const std::string& figure, const std::string& caption,
+                       const std::vector<Series>& series) {
+  std::printf("\n%s: %s\n", figure.c_str(), caption.c_str());
+  std::printf("%-8s", "nodes");
+  for (const auto& s : series) std::printf("%22s", s.name.c_str());
+  std::printf("\n");
+  for (const int nodes : NodeCounts()) {
+    std::printf("%-8d", nodes);
+    for (const auto& s : series) {
+      std::printf("%16.1f MiB/s", s.bw_by_nodes.at(nodes) / static_cast<double>(MiB));
+    }
+    std::printf("\n");
+  }
+}
+
+/// Ratio of two series at the peak node count (the paper quotes factors
+/// "as the concurrency peaks at 48").
+inline double PeakRatio(const Series& numerator, const Series& denominator) {
+  const int peak = NodeCounts().back();
+  return numerator.bw_by_nodes.at(peak) / denominator.bw_by_nodes.at(peak);
+}
+
+/// Max ratio across all node counts ("by as much as N×").
+inline double MaxRatio(const Series& numerator, const Series& denominator) {
+  double best = 0;
+  for (const int nodes : NodeCounts()) {
+    best = std::max(best, numerator.bw_by_nodes.at(nodes) /
+                              denominator.bw_by_nodes.at(nodes));
+  }
+  return best;
+}
+
+inline void PrintClaim(const char* what, double measured, const char* paper) {
+  std::printf("  %-58s measured %6.1fx   paper %s\n", what, measured, paper);
+}
+
+}  // namespace lsmio::bench

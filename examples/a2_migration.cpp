@@ -1,0 +1,130 @@
+// a2_migration: the paper's no-code-change migration story (§3.1.7/§4.3).
+//
+// A small "application" is written once against the A2 (ADIOS2-style) API.
+// It is then run twice with different XML configurations — first on the
+// default BPLite engine, then on the LSMIO plugin — and the checkpoints
+// written by both engines are read back and compared. The application code
+// never mentions LSMIO.
+//
+// Run: ./a2_migration
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "a2/a2.h"
+#include "core/plugin.h"
+#include "vfs/posix_vfs.h"
+
+namespace {
+
+using lsmio::a2::Adios;
+using lsmio::a2::IO;
+using lsmio::a2::Mode;
+using lsmio::a2::PutMode;
+using lsmio::a2::Variable;
+
+constexpr uint64_t kCells = 4096;
+constexpr int kSteps = 3;
+
+void Check(const lsmio::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAILED %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// The "application": writes a time series of two fields. It receives an
+// Adios context and an output path — nothing engine-specific.
+void WriteCheckpoints(Adios& adios, const std::string& path) {
+  IO& io = adios.DeclareIO("simulation-output");
+  Variable* density =
+      io.DefineVariable("density", kCells * kSteps, 0, kCells, sizeof(double));
+  Variable* pressure =
+      io.DefineVariable("pressure", kCells * kSteps, 0, kCells, sizeof(double));
+
+  auto engine = io.Open(path, Mode::kWrite);
+  Check(engine.status(), "open for write");
+
+  std::vector<double> rho(kCells), p(kCells);
+  for (int step = 0; step < kSteps; ++step) {
+    for (uint64_t i = 0; i < kCells; ++i) {
+      rho[i] = step + 0.001 * static_cast<double>(i);
+      p[i] = 100.0 * step + 0.5 * static_cast<double>(i);
+    }
+    // Each step appends its slice of the time series.
+    density->SetSelection(static_cast<uint64_t>(step) * kCells, kCells);
+    pressure->SetSelection(static_cast<uint64_t>(step) * kCells, kCells);
+    Check(engine.value()->Put(*density, rho.data(), PutMode::kDeferred), "put rho");
+    Check(engine.value()->Put(*pressure, p.data(), PutMode::kDeferred), "put p");
+    Check(engine.value()->PerformPuts(), "PerformPuts");
+  }
+  Check(engine.value()->Close(), "close");
+  std::printf("  engine '%s': wrote %d steps x %llu cells to %s\n",
+              io.engine_type().c_str(), kSteps,
+              static_cast<unsigned long long>(kCells), path.c_str());
+}
+
+std::vector<double> ReadDensity(Adios& adios, const std::string& path) {
+  IO& io = adios.DeclareIO("simulation-input");
+  // Reading side needs the same engine selection (comes from the config).
+  Variable* density = io.DefineVariable("density", kCells * kSteps, 0,
+                                        kCells * kSteps, sizeof(double));
+  auto engine = io.Open(path, Mode::kRead);
+  Check(engine.status(), "open for read");
+  std::vector<double> all(kCells * kSteps);
+  Check(engine.value()->Get(*density, all.data()), "get density");
+  Check(engine.value()->Close(), "close reader");
+  return all;
+}
+
+std::string ConfigFor(const char* engine_type) {
+  return std::string(R"(<adios-config>
+    <io name="simulation-output">
+      <engine type=")") + engine_type + R"(">
+        <parameter key="BufferChunkSize" value="8M"/>
+      </engine>
+    </io>
+    <io name="simulation-input">
+      <engine type=")" + engine_type + R"("/>
+    </io>
+  </adios-config>)";
+}
+
+}  // namespace
+
+int main() {
+  namespace stdfs = std::filesystem;
+  const stdfs::path root = stdfs::temp_directory_path() / "lsmio-a2-migration";
+  stdfs::remove_all(root);
+  stdfs::create_directories(root);
+
+  lsmio::RegisterLsmioPlugin();
+
+  std::printf("run 1: default BPLite engine\n");
+  std::vector<double> bp_data;
+  {
+    Adios adios(lsmio::vfs::PosixVfs(), ConfigFor("BPLite"));
+    WriteCheckpoints(adios, (root / "out-bp").string());
+    bp_data = ReadDensity(adios, (root / "out-bp").string());
+  }
+
+  std::printf("run 2: LSMIO plugin — same code, different XML\n");
+  std::vector<double> lsmio_data;
+  {
+    Adios adios(lsmio::vfs::PosixVfs(), ConfigFor("LsmioPlugin"));
+    WriteCheckpoints(adios, (root / "out-lsmio").string());
+    lsmio_data = ReadDensity(adios, (root / "out-lsmio").string());
+  }
+
+  if (bp_data != lsmio_data) {
+    std::fprintf(stderr, "MISMATCH between engines\n");
+    return 1;
+  }
+  std::printf("both engines produced identical data (%zu doubles compared)\n",
+              bp_data.size());
+
+  stdfs::remove_all(root);
+  std::printf("a2 migration verified OK\n");
+  return 0;
+}

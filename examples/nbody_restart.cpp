@@ -1,0 +1,167 @@
+// nbody_restart: checkpointing a particle simulation through the FStream
+// API (paper §3.1.6) — the "drop-in user-space POSIX" path where existing
+// code that writes binary state files keeps its std::iostream idioms and
+// the bytes land in the LSM store.
+//
+// A deterministic N-body integrator runs 200 steps, snapshotting the
+// particle array every 50 steps into "snapshots/step-<n>.bin" streams. The
+// program then restarts from step 100 and verifies it reproduces the
+// uninterrupted trajectory exactly, and demonstrates point-in-time reads
+// (any retained snapshot is addressable).
+//
+// Run: ./nbody_restart
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/random.h"
+#include "core/lsmio.h"
+
+namespace {
+
+using lsmio::Status;
+
+constexpr int kParticles = 512;
+constexpr int kSteps = 200;
+constexpr int kSnapshotInterval = 50;
+constexpr double kDt = 1e-3;
+constexpr double kSoftening = 1e-2;
+
+struct Particle {
+  double x, y, z;
+  double vx, vy, vz;
+  double mass;
+};
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAILED %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::vector<Particle> InitialParticles() {
+  std::vector<Particle> particles(kParticles);
+  lsmio::Rng rng(0xa57e801d);
+  for (auto& particle : particles) {
+    particle.x = rng.NextDouble() * 2 - 1;
+    particle.y = rng.NextDouble() * 2 - 1;
+    particle.z = rng.NextDouble() * 2 - 1;
+    particle.vx = particle.vy = particle.vz = 0;
+    particle.mass = 0.5 + rng.NextDouble();
+  }
+  return particles;
+}
+
+void Step(std::vector<Particle>& particles) {
+  // Direct-sum gravity, leapfrog-ish integration; deterministic.
+  for (auto& particle : particles) {
+    double ax = 0, ay = 0, az = 0;
+    for (const auto& other : particles) {
+      const double dx = other.x - particle.x;
+      const double dy = other.y - particle.y;
+      const double dz = other.z - particle.z;
+      const double r2 = dx * dx + dy * dy + dz * dz + kSoftening;
+      const double inv_r3 = 1.0 / (r2 * std::sqrt(r2));
+      ax += other.mass * dx * inv_r3;
+      ay += other.mass * dy * inv_r3;
+      az += other.mass * dz * inv_r3;
+    }
+    particle.vx += kDt * ax;
+    particle.vy += kDt * ay;
+    particle.vz += kDt * az;
+  }
+  for (auto& particle : particles) {
+    particle.x += kDt * particle.vx;
+    particle.y += kDt * particle.vy;
+    particle.z += kDt * particle.vz;
+  }
+}
+
+std::string SnapshotName(int step) {
+  return "snapshots/step-" + std::to_string(step) + ".bin";
+}
+
+void WriteSnapshot(const std::vector<Particle>& particles, int step) {
+  lsmio::FStream out(SnapshotName(step), std::ios::out | std::ios::binary);
+  if (!out.good()) Check(Status::IoError("open failed"), "snapshot open");
+  const int32_t count = kParticles;
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  out.write(reinterpret_cast<const char*>(particles.data()),
+            static_cast<std::streamsize>(particles.size() * sizeof(Particle)));
+  out.flush();
+  if (!out.good()) Check(Status::IoError("write failed"), "snapshot write");
+  Check(lsmio::FStreamApi::WriteBarrier(), "snapshot barrier");
+}
+
+std::vector<Particle> ReadSnapshot(int step) {
+  lsmio::FStream in(SnapshotName(step), std::ios::in | std::ios::binary);
+  if (!in.good()) Check(Status::IoError("open failed"), "snapshot read-open");
+  int32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  std::vector<Particle> particles(static_cast<size_t>(count));
+  in.read(reinterpret_cast<char*>(particles.data()),
+          static_cast<std::streamsize>(particles.size() * sizeof(Particle)));
+  if (!in.good()) Check(Status::IoError("short read"), "snapshot read");
+  return particles;
+}
+
+double Energy(const std::vector<Particle>& particles) {
+  double kinetic = 0;
+  for (const auto& particle : particles) {
+    kinetic += 0.5 * particle.mass *
+               (particle.vx * particle.vx + particle.vy * particle.vy +
+                particle.vz * particle.vz);
+  }
+  return kinetic;
+}
+
+}  // namespace
+
+int main() {
+  namespace stdfs = std::filesystem;
+  const std::string store =
+      (stdfs::temp_directory_path() / "lsmio-nbody").string();
+  stdfs::remove_all(store);
+
+  lsmio::LsmioOptions options;         // paper checkpoint configuration
+  options.fstream_chunk_size = 256 * 1024;  // particles span several chunks
+  Check(lsmio::FStreamApi::Initialize(options, store), "FStreamApi::Initialize");
+
+  // Reference run with snapshots.
+  std::vector<Particle> particles = InitialParticles();
+  for (int step = 1; step <= kSteps; ++step) {
+    Step(particles);
+    if (step % kSnapshotInterval == 0) {
+      WriteSnapshot(particles, step);
+      std::printf("snapshot @ step %3d  kinetic energy %.6f\n", step,
+                  Energy(particles));
+    }
+  }
+  const double reference_energy = Energy(particles);
+
+  // Restart from step 100 and recompute the tail of the trajectory.
+  std::vector<Particle> restarted = ReadSnapshot(100);
+  for (int step = 101; step <= kSteps; ++step) Step(restarted);
+  const double restarted_energy = Energy(restarted);
+
+  std::printf("reference: %.12f\nrestarted: %.12f\n", reference_energy,
+              restarted_energy);
+  if (std::memcmp(particles.data(), restarted.data(),
+                  particles.size() * sizeof(Particle)) != 0) {
+    std::fprintf(stderr, "MISMATCH: restart diverged from reference\n");
+    return 1;
+  }
+
+  // Any retained snapshot remains addressable (write-once-read-rarely).
+  const std::vector<Particle> old = ReadSnapshot(50);
+  std::printf("snapshot@50 first particle x=%.6f (point-in-time read OK)\n",
+              old[0].x);
+
+  Check(lsmio::FStreamApi::Cleanup(), "FStreamApi::Cleanup");
+  stdfs::remove_all(store);
+  std::printf("nbody restart verified OK\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "a2/a2.h"
+
+#include <mutex>
+
+#include "a2/xml.h"
+#include "common/logging.h"
+
+namespace lsmio::a2 {
+
+// --- engine registry -----------------------------------------------------------
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, EngineFactory>& Registry() {
+  static std::map<std::string, EngineFactory> registry;
+  return registry;
+}
+
+}  // namespace
+
+void RegisterEngine(const std::string& type, EngineFactory factory) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry()[type] = std::move(factory);
+}
+
+bool IsEngineRegistered(const std::string& type) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  return Registry().count(type) > 0;
+}
+
+// Defined in bp_engine.cc.
+Result<std::unique_ptr<Engine>> MakeBpLiteEngine(IO& io, const std::string& path,
+                                                 Mode mode);
+
+// --- IO -------------------------------------------------------------------------
+
+Variable* IO::DefineVariable(const std::string& var_name, uint64_t global_count,
+                             uint64_t offset, uint64_t count,
+                             uint32_t element_size) {
+  auto variable = std::make_unique<Variable>(var_name, global_count, offset,
+                                             count, element_size);
+  Variable* raw = variable.get();
+  variables_[var_name] = std::move(variable);
+  return raw;
+}
+
+Variable* IO::InquireVariable(const std::string& var_name) {
+  auto it = variables_.find(var_name);
+  return it == variables_.end() ? nullptr : it->second.get();
+}
+
+uint64_t IO::ParameterBytes(const std::string& key, uint64_t fallback) const {
+  const std::string value = Parameter(key);
+  if (value.empty()) return fallback;
+  const auto parsed = ParseBytes(value);
+  if (!parsed.ok()) {
+    LSMIO_WARN << "bad byte-size parameter " << key << "='" << value << "'";
+    return fallback;
+  }
+  return parsed.value();
+}
+
+Result<std::unique_ptr<Engine>> IO::Open(const std::string& path, Mode mode) {
+  if (engine_type_ == "BPLite") {
+    return MakeBpLiteEngine(*this, path, mode);
+  }
+  EngineFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Registry().find(engine_type_);
+    if (it == Registry().end()) {
+      return Status::InvalidArgument("unknown engine type: " + engine_type_);
+    }
+    factory = it->second;
+  }
+  return factory(*this, path, mode);
+}
+
+// --- Adios ---------------------------------------------------------------------
+
+Adios::Adios(vfs::Vfs& fs, std::string config_xml, int rank, int world_size)
+    : fs_(fs), config_xml_(std::move(config_xml)), rank_(rank), world_size_(world_size) {}
+
+IO& Adios::DeclareIO(const std::string& name) {
+  auto it = ios_.find(name);
+  if (it != ios_.end()) return *it->second;
+
+  auto io = std::make_unique<IO>(name, fs_, rank_, world_size_);
+  ApplyConfig(*io);
+  IO& ref = *io;
+  ios_[name] = std::move(io);
+  return ref;
+}
+
+void Adios::ApplyConfig(IO& io) {
+  if (config_xml_.empty()) return;
+  auto parsed = xml::Parse(config_xml_);
+  if (!parsed.ok()) {
+    LSMIO_WARN << "bad A2 config xml: " << parsed.status().ToString();
+    return;
+  }
+  const xml::Element& root = *parsed.value();
+  if (root.name != "adios-config") {
+    LSMIO_WARN << "A2 config root must be <adios-config>, got <" << root.name << ">";
+    return;
+  }
+  for (const xml::Element* io_element : root.Children("io")) {
+    if (io_element->Attr("name") != io.name()) continue;
+    if (const xml::Element* engine = io_element->Child("engine")) {
+      const std::string type = engine->Attr("type");
+      if (!type.empty()) io.SetEngine(type);
+      for (const xml::Element* parameter : engine->Children("parameter")) {
+        io.SetParameter(parameter->Attr("key"), parameter->Attr("value"));
+      }
+    }
+  }
+}
+
+}  // namespace lsmio::a2

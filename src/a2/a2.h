@@ -1,0 +1,178 @@
+// A2 — an ADIOS2-like I/O framework (DESIGN.md §2): Adios/IO/Variable/Engine
+// object model, deferred Puts with PerformPuts, a BP-lite log-structured
+// engine with per-writer subfiles, XML configuration, and a plugin engine
+// registry (the mechanism LSMIO's ADIOS2 plugin uses in the paper §3.1.7).
+//
+//   a2::Adios adios(fs, config_xml, rank);
+//   a2::IO& io = adios.DeclareIO("checkpoint");
+//   auto var = io.DefineVariable("temperature", total, offset, count, 8);
+//   auto engine = io.Open("/ckpt.bp", a2::Mode::kWrite);
+//   engine->Put(*var, data, a2::PutMode::kDeferred);
+//   engine->PerformPuts();
+//   engine->Close();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::a2 {
+
+enum class Mode { kWrite, kRead };
+enum class PutMode { kDeferred, kSync };
+
+/// A named distributed 1-D array: each writer contributes
+/// [offset, offset+count) of a `global_count`-element array of
+/// `element_size`-byte elements. (ADIOS2's n-D shapes flatten to this for
+/// the workloads in the paper; n-D helpers live in the examples.)
+class Variable {
+ public:
+  Variable(std::string name, uint64_t global_count, uint64_t offset,
+           uint64_t count, uint32_t element_size)
+      : name_(std::move(name)),
+        global_count_(global_count),
+        offset_(offset),
+        count_(count),
+        element_size_(element_size) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] uint64_t global_count() const noexcept { return global_count_; }
+  [[nodiscard]] uint64_t offset() const noexcept { return offset_; }
+  [[nodiscard]] uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] uint32_t element_size() const noexcept { return element_size_; }
+
+  /// Changes this writer's selection (ADIOS2 SetSelection).
+  void SetSelection(uint64_t offset, uint64_t count) {
+    offset_ = offset;
+    count_ = count;
+  }
+
+ private:
+  std::string name_;
+  uint64_t global_count_;
+  uint64_t offset_;
+  uint64_t count_;
+  uint32_t element_size_;
+};
+
+/// Engine statistics (paper-style performance counters).
+struct EngineStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t bytes_put = 0;
+  uint64_t bytes_got = 0;
+  uint64_t perform_puts_calls = 0;
+};
+
+class IO;
+
+/// Abstract engine: the storage backend of one Open() stream.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Stages (deferred) or writes through (sync) the variable's selection.
+  /// `data` must hold count*element_size bytes and, for deferred puts,
+  /// remain valid until PerformPuts/Close.
+  virtual Status Put(const Variable& variable, const void* data, PutMode mode) = 0;
+
+  /// Drains all deferred puts to the engine's buffers/storage.
+  virtual Status PerformPuts() = 0;
+
+  /// Reads the variable's selection into `data` (count*element_size bytes).
+  virtual Status Get(const Variable& variable, void* data) = 0;
+
+  /// Finishes the stream; implies PerformPuts and a durability barrier.
+  virtual Status Close() = 0;
+
+  [[nodiscard]] virtual EngineStats stats() const = 0;
+};
+
+/// Factory signature for engine implementations (built-in and plugins).
+using EngineFactory = std::function<Result<std::unique_ptr<Engine>>(
+    IO& io, const std::string& path, Mode mode)>;
+
+/// Registers an engine type (e.g. LSMIO's plugin). Last registration wins.
+void RegisterEngine(const std::string& type, EngineFactory factory);
+/// True if an engine type is registered ("BPLite" is built in).
+bool IsEngineRegistered(const std::string& type);
+
+/// A named I/O configuration: variables + engine choice + parameters.
+class IO {
+ public:
+  IO(std::string name, vfs::Vfs& fs, int rank, int world_size)
+      : name_(std::move(name)), fs_(&fs), rank_(rank), world_size_(world_size) {}
+
+  /// Defines (or redefines) a variable.
+  Variable* DefineVariable(const std::string& var_name, uint64_t global_count,
+                           uint64_t offset, uint64_t count, uint32_t element_size);
+
+  /// Returns a defined variable or nullptr.
+  Variable* InquireVariable(const std::string& var_name);
+
+  /// Selects the engine type ("BPLite" default, or any registered plugin).
+  void SetEngine(std::string type) { engine_type_ = std::move(type); }
+  [[nodiscard]] const std::string& engine_type() const noexcept { return engine_type_; }
+
+  /// Engine parameters (e.g. BufferChunkSize = "32MB").
+  void SetParameter(const std::string& key, const std::string& value) {
+    parameters_[key] = value;
+  }
+  [[nodiscard]] std::string Parameter(const std::string& key) const {
+    auto it = parameters_.find(key);
+    return it == parameters_.end() ? std::string() : it->second;
+  }
+  /// Parameter parsed as a byte size, or `fallback` when absent/invalid.
+  [[nodiscard]] uint64_t ParameterBytes(const std::string& key, uint64_t fallback) const;
+
+  /// Opens an engine on `path`.
+  Result<std::unique_ptr<Engine>> Open(const std::string& path, Mode mode);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] vfs::Vfs& fs() noexcept { return *fs_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+
+ private:
+  std::string name_;
+  vfs::Vfs* fs_;
+  int rank_;
+  int world_size_;
+  std::string engine_type_ = "BPLite";
+  std::map<std::string, std::string> parameters_;
+  std::map<std::string, std::unique_ptr<Variable>> variables_;
+};
+
+/// Top-level context: owns IOs, applies XML configuration.
+class Adios {
+ public:
+  /// `config_xml` may be empty (no file-based configuration). `rank` and
+  /// `world_size` identify this process within the parallel job.
+  Adios(vfs::Vfs& fs, std::string config_xml = "", int rank = 0, int world_size = 1);
+
+  /// Returns the IO with this name, creating it (and applying any matching
+  /// <io name=...> config section) on first use.
+  IO& DeclareIO(const std::string& name);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  void ApplyConfig(IO& io);
+
+  vfs::Vfs& fs_;
+  std::string config_xml_;
+  int rank_;
+  int world_size_;
+  std::map<std::string, std::unique_ptr<IO>> ios_;
+};
+
+}  // namespace lsmio::a2

@@ -1,0 +1,306 @@
+// BPLite: the built-in log-structured engine of A2, modeled on ADIOS2's BP
+// format family: each writer rank owns a subfile it only ever appends to
+// (large sequential writes), puts are buffered in BufferChunkSize chunks,
+// and a per-writer index written at Close lets readers locate blocks.
+//
+// On-disk layout for Open("/run/ckpt.bp", ...):
+//   /run/ckpt.bp/data.<rank>   payload records, append-only
+//   /run/ckpt.bp/idx.<rank>    block index, written once at Close
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "a2/a2.h"
+#include "common/coding.h"
+
+namespace lsmio::a2 {
+
+namespace {
+
+constexpr uint32_t kIdxMagic = 0xb917a2ddu;
+
+std::string DataFileName(const std::string& path, int rank) {
+  return path + "/data." + std::to_string(rank);
+}
+std::string IdxFileName(const std::string& path, int rank) {
+  return path + "/idx." + std::to_string(rank);
+}
+
+/// One variable block as recorded in an index file.
+struct BlockRecord {
+  std::string name;
+  uint64_t global_count = 0;
+  uint64_t offset = 0;       // element offset within the global array
+  uint64_t count = 0;        // elements in this block
+  uint32_t element_size = 0;
+  uint64_t data_offset = 0;  // byte offset of the payload in the subfile
+};
+
+void EncodeBlockRecord(std::string* dst, const BlockRecord& record) {
+  PutLengthPrefixedSlice(dst, record.name);
+  PutFixed64(dst, record.global_count);
+  PutFixed64(dst, record.offset);
+  PutFixed64(dst, record.count);
+  PutFixed32(dst, record.element_size);
+  PutFixed64(dst, record.data_offset);
+}
+
+bool DecodeBlockRecord(Slice* input, BlockRecord* record) {
+  Slice name;
+  if (!GetLengthPrefixedSlice(input, &name)) return false;
+  if (input->size() < 8 * 4 + 4) return false;
+  record->name = name.ToString();
+  record->global_count = DecodeFixed64(input->data());
+  record->offset = DecodeFixed64(input->data() + 8);
+  record->count = DecodeFixed64(input->data() + 16);
+  record->element_size = DecodeFixed32(input->data() + 24);
+  record->data_offset = DecodeFixed64(input->data() + 28);
+  input->remove_prefix(36);
+  return true;
+}
+
+// --- writer ---------------------------------------------------------------------
+
+class BpLiteWriter final : public Engine {
+ public:
+  static Result<std::unique_ptr<Engine>> Make(IO& io, const std::string& path) {
+    auto engine = std::unique_ptr<BpLiteWriter>(new BpLiteWriter(io, path));
+    LSMIO_RETURN_IF_ERROR(io.fs().CreateDir(path));
+    LSMIO_RETURN_IF_ERROR(io.fs().NewWritableFile(
+        DataFileName(path, io.rank()), {}, &engine->data_file_));
+    engine->buffer_.reserve(static_cast<size_t>(engine->chunk_size_));
+    return {std::unique_ptr<Engine>(std::move(engine))};
+  }
+
+  Status Put(const Variable& variable, const void* data, PutMode mode) override {
+    if (closed_) return Status::InvalidArgument("Put on closed engine");
+    ++stats_.puts;
+    stats_.bytes_put += variable.count() * variable.element_size();
+
+    Staged staged;
+    staged.record.name = variable.name();
+    staged.record.global_count = variable.global_count();
+    staged.record.offset = variable.offset();
+    staged.record.count = variable.count();
+    staged.record.element_size = variable.element_size();
+    if (mode == PutMode::kSync) {
+      // Sync puts copy now; the caller may reuse its buffer immediately.
+      staged.copy.assign(static_cast<const char*>(data),
+                         variable.count() * variable.element_size());
+      staged.data = nullptr;
+    } else {
+      // Deferred puts hold the caller's pointer until PerformPuts (the
+      // ADIOS2 contract).
+      staged.data = data;
+    }
+    staged_.push_back(std::move(staged));
+    return Status::OK();
+  }
+
+  Status PerformPuts() override {
+    if (closed_) return Status::InvalidArgument("PerformPuts on closed engine");
+    ++stats_.perform_puts_calls;
+    for (const Staged& staged : staged_) {
+      const char* payload = staged.data != nullptr
+                                ? static_cast<const char*>(staged.data)
+                                : staged.copy.data();
+      const uint64_t bytes =
+          staged.record.count * static_cast<uint64_t>(staged.record.element_size);
+      BlockRecord record = staged.record;
+      record.data_offset = logical_size_ + buffer_.size();
+      index_.push_back(record);
+      LSMIO_RETURN_IF_ERROR(Buffer(payload, bytes));
+    }
+    staged_.clear();
+    return Status::OK();
+  }
+
+  Status Get(const Variable&, void*) override {
+    return Status::InvalidArgument("BPLite engine opened for writing");
+  }
+
+  Status Close() override {
+    if (closed_) return Status::OK();
+    LSMIO_RETURN_IF_ERROR(PerformPuts());
+    LSMIO_RETURN_IF_ERROR(FlushBuffer());
+    LSMIO_RETURN_IF_ERROR(data_file_->Sync());
+    LSMIO_RETURN_IF_ERROR(data_file_->Close());
+
+    // Write the per-writer index in one shot.
+    std::string idx;
+    for (const BlockRecord& record : index_) EncodeBlockRecord(&idx, record);
+    PutFixed32(&idx, static_cast<uint32_t>(index_.size()));
+    PutFixed32(&idx, kIdxMagic);
+    LSMIO_RETURN_IF_ERROR(
+        vfs::WriteStringToFile(io_->fs(), IdxFileName(path_, io_->rank()), idx));
+    closed_ = true;
+    return Status::OK();
+  }
+
+  EngineStats stats() const override { return stats_; }
+
+ private:
+  BpLiteWriter(IO& io, std::string path)
+      : io_(&io),
+        path_(std::move(path)),
+        chunk_size_(io.ParameterBytes("BufferChunkSize", 32 * MiB)) {}
+
+  struct Staged {
+    BlockRecord record;
+    const void* data = nullptr;
+    std::string copy;
+  };
+
+  Status Buffer(const char* payload, uint64_t bytes) {
+    uint64_t done = 0;
+    while (done < bytes) {
+      const uint64_t room = chunk_size_ - buffer_.size();
+      const uint64_t take = std::min(room, bytes - done);
+      buffer_.append(payload + done, static_cast<size_t>(take));
+      done += take;
+      if (buffer_.size() >= chunk_size_) LSMIO_RETURN_IF_ERROR(FlushBuffer());
+    }
+    return Status::OK();
+  }
+
+  Status FlushBuffer() {
+    if (buffer_.empty()) return Status::OK();
+    LSMIO_RETURN_IF_ERROR(data_file_->Append(buffer_));
+    logical_size_ += buffer_.size();
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  IO* io_;
+  std::string path_;
+  uint64_t chunk_size_;
+  std::unique_ptr<vfs::WritableFile> data_file_;
+  std::string buffer_;
+  uint64_t logical_size_ = 0;
+  std::vector<Staged> staged_;
+  std::vector<BlockRecord> index_;
+  EngineStats stats_;
+  bool closed_ = false;
+};
+
+// --- reader ---------------------------------------------------------------------
+
+class BpLiteReader final : public Engine {
+ public:
+  static Result<std::unique_ptr<Engine>> Make(IO& io, const std::string& path) {
+    auto engine = std::unique_ptr<BpLiteReader>(new BpLiteReader(io, path));
+    LSMIO_RETURN_IF_ERROR(engine->LoadIndexes());
+    return {std::unique_ptr<Engine>(std::move(engine))};
+  }
+
+  Status Put(const Variable&, const void*, PutMode) override {
+    return Status::InvalidArgument("BPLite engine opened for reading");
+  }
+  Status PerformPuts() override {
+    return Status::InvalidArgument("BPLite engine opened for reading");
+  }
+
+  Status Get(const Variable& variable, void* data) override {
+    ++stats_.gets;
+    const uint64_t want_begin = variable.offset();
+    const uint64_t want_end = variable.offset() + variable.count();
+    const uint32_t element_size = variable.element_size();
+    auto it = blocks_.find(variable.name());
+    if (it == blocks_.end()) {
+      return Status::NotFound("no such variable: " + variable.name());
+    }
+
+    uint64_t covered = 0;
+    for (const auto& [rank, record] : it->second) {
+      const uint64_t block_begin = record.offset;
+      const uint64_t block_end = record.offset + record.count;
+      const uint64_t isect_begin = std::max(want_begin, block_begin);
+      const uint64_t isect_end = std::min(want_end, block_end);
+      if (isect_begin >= isect_end) continue;
+
+      vfs::RandomAccessFile* subfile = nullptr;
+      LSMIO_RETURN_IF_ERROR(Subfile(rank, &subfile));
+      const uint64_t byte_offset =
+          record.data_offset + (isect_begin - block_begin) * element_size;
+      const uint64_t byte_count = (isect_end - isect_begin) * element_size;
+      Slice result;
+      std::string scratch;
+      LSMIO_RETURN_IF_ERROR(subfile->Read(byte_offset,
+                                          static_cast<size_t>(byte_count),
+                                          &result, &scratch));
+      if (result.size() != byte_count) {
+        return Status::Corruption("short read in BPLite subfile");
+      }
+      std::memcpy(static_cast<char*>(data) + (isect_begin - want_begin) * element_size,
+                  result.data(), result.size());
+      covered += isect_end - isect_begin;
+      stats_.bytes_got += byte_count;
+    }
+    if (covered < variable.count()) {
+      return Status::NotFound("selection not fully covered for " + variable.name());
+    }
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+  EngineStats stats() const override { return stats_; }
+
+ private:
+  BpLiteReader(IO& io, std::string path) : io_(&io), path_(std::move(path)) {}
+
+  Status LoadIndexes() {
+    std::vector<std::string> children;
+    LSMIO_RETURN_IF_ERROR(io_->fs().ListDir(path_, &children));
+    bool any = false;
+    for (const std::string& child : children) {
+      if (child.rfind("idx.", 0) != 0) continue;
+      const int rank = std::atoi(child.c_str() + 4);
+      std::string idx;
+      LSMIO_RETURN_IF_ERROR(vfs::ReadFileToString(io_->fs(), path_ + "/" + child, &idx));
+      if (idx.size() < 8 ||
+          DecodeFixed32(idx.data() + idx.size() - 4) != kIdxMagic) {
+        return Status::Corruption("bad BPLite index: " + child);
+      }
+      const uint32_t count = DecodeFixed32(idx.data() + idx.size() - 8);
+      Slice input(idx.data(), idx.size() - 8);
+      for (uint32_t i = 0; i < count; ++i) {
+        BlockRecord record;
+        if (!DecodeBlockRecord(&input, &record)) {
+          return Status::Corruption("truncated BPLite index: " + child);
+        }
+        blocks_[record.name].emplace_back(rank, std::move(record));
+      }
+      any = true;
+    }
+    if (!any) return Status::NotFound("no BPLite indexes under " + path_);
+    return Status::OK();
+  }
+
+  Status Subfile(int rank, vfs::RandomAccessFile** out) {
+    auto it = subfiles_.find(rank);
+    if (it == subfiles_.end()) {
+      std::unique_ptr<vfs::RandomAccessFile> file;
+      LSMIO_RETURN_IF_ERROR(
+          io_->fs().NewRandomAccessFile(DataFileName(path_, rank), {}, &file));
+      it = subfiles_.emplace(rank, std::move(file)).first;
+    }
+    *out = it->second.get();
+    return Status::OK();
+  }
+
+  IO* io_;
+  std::string path_;
+  std::map<std::string, std::vector<std::pair<int, BlockRecord>>> blocks_;
+  std::map<int, std::unique_ptr<vfs::RandomAccessFile>> subfiles_;
+  EngineStats stats_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Engine>> MakeBpLiteEngine(IO& io, const std::string& path,
+                                                 Mode mode) {
+  return mode == Mode::kWrite ? BpLiteWriter::Make(io, path)
+                              : BpLiteReader::Make(io, path);
+}
+
+}  // namespace lsmio::a2

@@ -1,0 +1,161 @@
+#include "a2/xml.h"
+
+#include <cctype>
+
+namespace lsmio::a2::xml {
+
+const Element* Element::Child(const std::string& tag) const {
+  for (const auto& child : children) {
+    if (child->name == tag) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::Children(const std::string& tag) const {
+  std::vector<const Element*> result;
+  for (const auto& child : children) {
+    if (child->name == tag) result.push_back(child.get());
+  }
+  return result;
+}
+
+std::string Element::Attr(const std::string& key) const {
+  auto it = attributes.find(key);
+  return it == attributes.end() ? std::string() : it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<std::unique_ptr<Element>> Run() {
+    SkipNonTags();
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    return std::move(root).value();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Skips whitespace, text content, comments and declarations up to '<'.
+  void SkipNonTags() {
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ + 3 < text_.size() && text_.compare(pos_, 4, "<!--") == 0) {
+        const size_t end = text_.find("-->", pos_);
+        pos_ = end == std::string::npos ? text_.size() : end + 3;
+        continue;
+      }
+      if (pos_ + 1 < text_.size() && text_.compare(pos_, 2, "<?") == 0) {
+        const size_t end = text_.find("?>", pos_);
+        pos_ = end == std::string::npos ? text_.size() : end + 2;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] != '<') {
+        // Text content: skipped (config files carry data in attributes).
+        const size_t next = text_.find('<', pos_);
+        pos_ = next == std::string::npos ? text_.size() : next;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Result<std::string> ParseName() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '_' || text_[pos_] == ':')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("xml: expected a name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<std::unique_ptr<Element>> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::InvalidArgument("xml: expected '<'");
+    }
+    ++pos_;
+    auto element = std::make_unique<Element>();
+    LSMIO_ASSIGN_OR_RETURN(element->name, ParseName());
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Status::InvalidArgument("xml: unterminated tag");
+      if (text_[pos_] == '/') {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>') {
+          return Status::InvalidArgument("xml: malformed self-closing tag");
+        }
+        pos_ += 2;
+        return element;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      std::string key;
+      LSMIO_ASSIGN_OR_RETURN(key, ParseName());
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Status::InvalidArgument("xml: expected '=' after attribute " + key);
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status::InvalidArgument("xml: expected quoted attribute value");
+      }
+      ++pos_;
+      const size_t value_end = text_.find('"', pos_);
+      if (value_end == std::string::npos) {
+        return Status::InvalidArgument("xml: unterminated attribute value");
+      }
+      element->attributes[key] = text_.substr(pos_, value_end - pos_);
+      pos_ = value_end + 1;
+    }
+
+    // Children until the closing tag.
+    for (;;) {
+      SkipNonTags();
+      if (pos_ + 1 >= text_.size()) {
+        return Status::InvalidArgument("xml: missing </" + element->name + ">");
+      }
+      if (text_[pos_] == '<' && text_[pos_ + 1] == '/') {
+        pos_ += 2;
+        std::string closing;
+        LSMIO_ASSIGN_OR_RETURN(closing, ParseName());
+        SkipWhitespace();
+        if (closing != element->name) {
+          return Status::InvalidArgument("xml: mismatched </" + closing + ">");
+        }
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Status::InvalidArgument("xml: malformed closing tag");
+        }
+        ++pos_;
+        return element;
+      }
+      auto child = ParseElement();
+      if (!child.ok()) return child.status();
+      element->children.push_back(std::move(child).value());
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Element>> Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace lsmio::a2::xml

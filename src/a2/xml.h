@@ -1,0 +1,32 @@
+// Minimal XML subset parser for A2 configuration files (the ADIOS2-style
+// "change the engine without touching code" mechanism). Supports nested
+// elements, double-quoted attributes, comments and self-closing tags —
+// enough for <adios-config><io><engine><parameter/>... documents.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lsmio::a2::xml {
+
+struct Element {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<Element>> children;
+
+  /// First child with the given tag name, or nullptr.
+  [[nodiscard]] const Element* Child(const std::string& tag) const;
+  /// All children with the given tag name.
+  [[nodiscard]] std::vector<const Element*> Children(const std::string& tag) const;
+  /// Attribute value or empty string.
+  [[nodiscard]] std::string Attr(const std::string& key) const;
+};
+
+/// Parses a document; returns its root element.
+Result<std::unique_ptr<Element>> Parse(const std::string& text);
+
+}  // namespace lsmio::a2::xml

@@ -1,0 +1,151 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace lsmio {
+
+void EncodeFixed16(char* dst, uint16_t v) noexcept { std::memcpy(dst, &v, sizeof v); }
+void EncodeFixed32(char* dst, uint32_t v) noexcept { std::memcpy(dst, &v, sizeof v); }
+void EncodeFixed64(char* dst, uint64_t v) noexcept { std::memcpy(dst, &v, sizeof v); }
+
+// x86-64 and all targets we care about are little-endian; static_assert the
+// assumption instead of swapping at runtime.
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "lsmio on-disk formats assume a little-endian host");
+
+uint16_t DecodeFixed16(const char* src) noexcept {
+  uint16_t v;
+  std::memcpy(&v, src, sizeof v);
+  return v;
+}
+uint32_t DecodeFixed32(const char* src) noexcept {
+  uint32_t v;
+  std::memcpy(&v, src, sizeof v);
+  return v;
+}
+uint64_t DecodeFixed64(const char* src) noexcept {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof v);
+  return v;
+}
+
+void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[sizeof v];
+  EncodeFixed16(buf, v);
+  dst->append(buf, sizeof buf);
+}
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[sizeof v];
+  EncodeFixed32(buf, v);
+  dst->append(buf, sizeof buf);
+}
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[sizeof v];
+  EncodeFixed64(buf, v);
+  dst->append(buf, sizeof buf);
+}
+
+char* EncodeVarint32(char* dst, uint32_t v) noexcept {
+  auto* ptr = reinterpret_cast<unsigned char*>(dst);
+  while (v >= 0x80) {
+    *ptr++ = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  *ptr++ = static_cast<unsigned char>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+char* EncodeVarint64(char* dst, uint64_t v) noexcept {
+  auto* ptr = reinterpret_cast<unsigned char*>(dst);
+  while (v >= 0x80) {
+    *ptr++ = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  *ptr++ = static_cast<unsigned char>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  char buf[kMaxVarint32Bytes];
+  char* end = EncodeVarint32(buf, v);
+  dst->append(buf, static_cast<size_t>(end - buf));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  char buf[kMaxVarint64Bytes];
+  char* end = EncodeVarint64(buf, v);
+  dst->append(buf, static_cast<size_t>(end - buf));
+}
+
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* v) noexcept {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
+    uint32_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* v) noexcept {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+bool GetVarint32(Slice* input, uint32_t* v) noexcept {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint32Ptr(p, limit, v);
+  if (q == nullptr) return false;
+  *input = Slice(q, static_cast<size_t>(limit - q));
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* v) noexcept {
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  const char* q = GetVarint64Ptr(p, limit, v);
+  if (q == nullptr) return false;
+  *input = Slice(q, static_cast<size_t>(limit - q));
+  return true;
+}
+
+int VarintLength(uint64_t v) noexcept {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) noexcept {
+  uint32_t len;
+  if (!GetVarint32(input, &len)) return false;
+  if (input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+}  // namespace lsmio

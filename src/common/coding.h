@@ -1,0 +1,61 @@
+// Little-endian fixed-width and varint encodings shared by the WAL, block,
+// SSTable and manifest formats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace lsmio {
+
+// --- fixed-width little-endian ------------------------------------------
+
+void PutFixed16(std::string* dst, uint16_t v);
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+void EncodeFixed16(char* dst, uint16_t v) noexcept;
+void EncodeFixed32(char* dst, uint32_t v) noexcept;
+void EncodeFixed64(char* dst, uint64_t v) noexcept;
+
+uint16_t DecodeFixed16(const char* src) noexcept;
+uint32_t DecodeFixed32(const char* src) noexcept;
+uint64_t DecodeFixed64(const char* src) noexcept;
+
+// --- varint ---------------------------------------------------------------
+
+/// Maximum encoded sizes.
+inline constexpr int kMaxVarint32Bytes = 5;
+inline constexpr int kMaxVarint64Bytes = 10;
+
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Encodes v at dst (which must have room for kMaxVarint*Bytes) and returns
+/// the pointer just past the written bytes.
+char* EncodeVarint32(char* dst, uint32_t v) noexcept;
+char* EncodeVarint64(char* dst, uint64_t v) noexcept;
+
+/// Parses a varint from [p, limit); returns pointer past it, or nullptr on
+/// malformed/truncated input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* v) noexcept;
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* v) noexcept;
+
+/// Consumes a varint from the front of *input. Returns false on malformed
+/// input (input is left unspecified then).
+bool GetVarint32(Slice* input, uint32_t* v) noexcept;
+bool GetVarint64(Slice* input, uint64_t* v) noexcept;
+
+/// Number of bytes VarintLength would occupy.
+int VarintLength(uint64_t v) noexcept;
+
+// --- length-prefixed slices -------------------------------------------------
+
+/// Appends varint32(len) + bytes.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Consumes varint32(len) + len bytes from *input into *result.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) noexcept;
+
+}  // namespace lsmio

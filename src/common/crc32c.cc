@@ -1,0 +1,67 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace lsmio::crc32c {
+namespace {
+
+// CRC32C polynomial, reflected.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+struct Tables {
+  // table[k][b]: CRC contribution of byte b at position k (slicing-by-8).
+  uint32_t t[8][256];
+};
+
+Tables BuildTables() {
+  Tables tb{};
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = b;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tb.t[0][b] = crc;
+  }
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = tb.t[0][b];
+    for (int k = 1; k < 8; ++k) {
+      crc = tb.t[0][crc & 0xff] ^ (crc >> 8);
+      tb.t[k][b] = crc;
+    }
+  }
+  return tb;
+}
+
+const Tables& GetTables() {
+  static const Tables tables = BuildTables();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) noexcept {
+  const Tables& tb = GetTables();
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+
+  // Process 8 bytes at a time (slicing-by-8).
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    __builtin_memcpy(&lo, p, 4);
+    __builtin_memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = tb.t[7][lo & 0xff] ^ tb.t[6][(lo >> 8) & 0xff] ^
+          tb.t[5][(lo >> 16) & 0xff] ^ tb.t[4][(lo >> 24) & 0xff] ^
+          tb.t[3][hi & 0xff] ^ tb.t[2][(hi >> 8) & 0xff] ^
+          tb.t[1][(hi >> 16) & 0xff] ^ tb.t[0][(hi >> 24) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace lsmio::crc32c

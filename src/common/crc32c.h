@@ -1,0 +1,32 @@
+// CRC32C (Castagnoli) used to checksum WAL records, table blocks and the
+// h5l/a2 on-disk structures. Software slicing-by-8 implementation; masked
+// variant provided for values embedded in checksummed payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lsmio::crc32c {
+
+/// Extends a running CRC with [data, data+n).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) noexcept;
+
+/// CRC of [data, data+n).
+inline uint32_t Value(const char* data, size_t n) noexcept {
+  return Extend(0, data, n);
+}
+
+inline constexpr uint32_t kMaskDelta = 0xa282ead8u;
+
+/// Returns a masked CRC, safe to store inside data that is itself CRC'd.
+inline uint32_t Mask(uint32_t crc) noexcept {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked) noexcept {
+  const uint32_t rot = masked - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace lsmio::crc32c

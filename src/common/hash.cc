@@ -1,0 +1,68 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace lsmio {
+
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) noexcept {
+  // Murmur-like mix (same structure LevelDB uses for its bloom hash).
+  constexpr uint32_t m = 0xc6a4a793u;
+  constexpr uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w;
+    std::memcpy(&w, data, 4);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+  switch (limit - data) {
+    case 3:
+      h += static_cast<uint32_t>(static_cast<unsigned char>(data[2])) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint32_t>(static_cast<unsigned char>(data[1])) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint32_t>(static_cast<unsigned char>(data[0]));
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+namespace {
+inline uint64_t Rotl64(uint64_t x, int r) noexcept { return (x << r) | (x >> (64 - r)); }
+inline uint64_t Mix64(uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+}  // namespace
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) noexcept {
+  constexpr uint64_t kMul = 0x9ddfea08eb382d69ULL;
+  uint64_t h = seed ^ (n * kMul);
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, data, 8);
+    h = Rotl64(h ^ Mix64(w), 27) * kMul + 0x52dce729;
+    data += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  for (size_t i = 0; i < n; ++i) {
+    tail |= static_cast<uint64_t>(static_cast<unsigned char>(data[i])) << (8 * i);
+  }
+  if (n > 0) h = Rotl64(h ^ Mix64(tail), 27) * kMul + 0x52dce729;
+  return Mix64(h);
+}
+
+}  // namespace lsmio

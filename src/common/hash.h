@@ -1,0 +1,25 @@
+// Fast non-cryptographic hashes: 32-bit (bloom filters, block cache sharding)
+// and 64-bit (cache keys, table ids).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace lsmio {
+
+/// 32-bit Murmur-inspired hash of [data, data+n) with a seed.
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) noexcept;
+
+/// 64-bit xx-style hash of [data, data+n) with a seed.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) noexcept;
+
+inline uint32_t Hash32(const Slice& s, uint32_t seed = 0xbc9f1d34u) noexcept {
+  return Hash32(s.data(), s.size(), seed);
+}
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) noexcept {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace lsmio

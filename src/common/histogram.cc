@@ -1,0 +1,109 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lsmio {
+
+namespace {
+// Bucket limits growing ~×1.25 per bucket (at least +1), last bucket open.
+std::vector<double> MakeLimits() {
+  std::vector<double> v;
+  v.reserve(Histogram::kNumBuckets);
+  double limit = 1.0;
+  for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+    v.push_back(limit);
+    double next = limit * 1.25;
+    if (next < limit + 1.0) next = limit + 1.0;
+    limit = next;
+  }
+  v.push_back(1e200);
+  return v;
+}
+
+const std::vector<double>& Limits() {
+  static const std::vector<double> v = MakeLimits();
+  return v;
+}
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+void Histogram::Clear() {
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  count_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+void Histogram::Add(double value) {
+  const auto& limits = Limits();
+  auto it = std::upper_bound(limits.begin(), limits.end(), value);
+  size_t b = static_cast<size_t>(it - limits.begin());
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  buckets_[b]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::Average() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StandardDeviation() const noexcept {
+  if (count_ == 0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_squares_ * n - sum_ * sum_) / (n * n);
+  return var <= 0 ? 0.0 : std::sqrt(var);
+}
+
+double Histogram::Percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  const auto& limits = Limits();
+  const double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    cumulative += static_cast<double>(buckets_[b]);
+    if (cumulative >= threshold) {
+      const double left = (b == 0) ? 0.0 : limits[b - 1];
+      const double right = limits[b];
+      const double bucket_count = static_cast<double>(buckets_[b]);
+      const double pos =
+          bucket_count == 0 ? 0.0 : (threshold - (cumulative - bucket_count)) / bucket_count;
+      double r = left + (right - left) * pos;
+      if (r < min_) r = min_;
+      if (r > max_) r = max_;
+      return r;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "count=%llu avg=%.2f stddev=%.2f min=%.2f med=%.2f p95=%.2f "
+                "p99=%.2f max=%.2f",
+                static_cast<unsigned long long>(count_), Average(),
+                StandardDeviation(), min(), Median(), Percentile(95),
+                Percentile(99), max());
+  return buf;
+}
+
+}  // namespace lsmio

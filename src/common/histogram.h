@@ -1,0 +1,47 @@
+// Histogram with exponential bucketing for latency/size distributions, used
+// by the LSMIO performance counters (paper §3.1.4) and the benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsmio {
+
+/// Exponentially-bucketed histogram of non-negative values.
+/// Thread-compatible (callers synchronize); merging supported.
+class Histogram {
+ public:
+  /// Number of exponential buckets (~×1.25 growth per bucket).
+  static constexpr int kNumBuckets = 154;
+
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  [[nodiscard]] uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double Average() const noexcept;
+  [[nodiscard]] double StandardDeviation() const noexcept;
+
+  /// Interpolated percentile, p in [0, 100].
+  [[nodiscard]] double Percentile(double p) const noexcept;
+  [[nodiscard]] double Median() const noexcept { return Percentile(50.0); }
+
+  /// One-line summary: count/avg/stddev/min/median/p95/p99/max.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+  double sum_squares_ = 0;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace lsmio

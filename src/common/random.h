@@ -1,0 +1,82 @@
+// Deterministic pseudo-random generators. Every stochastic component in the
+// library (workload generators, simulator jitter, test data) takes an
+// explicit seed so runs are reproducible bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lsmio {
+
+/// SplitMix64: tiny, fast, good avalanche; used directly and to seed Xoshiro.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+
+  uint64_t Next() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256** — the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  uint64_t Next() noexcept {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) noexcept { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) noexcept {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) noexcept { return NextDouble() < p; }
+
+  /// Fills [dst, dst+n) with pseudo-random bytes.
+  void Fill(char* dst, size_t n) noexcept {
+    size_t i = 0;
+    while (i + 8 <= n) {
+      uint64_t w = Next();
+      __builtin_memcpy(dst + i, &w, 8);
+      i += 8;
+    }
+    if (i < n) {
+      uint64_t w = Next();
+      __builtin_memcpy(dst + i, &w, n - i);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace lsmio

@@ -1,0 +1,60 @@
+// Result<T>: a value-or-Status, the companion of Status for functions that
+// produce a value on success.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace lsmio {
+
+/// Holds either a T (when status().ok()) or an error Status.
+/// Accessing value() on an error result is a programmer error (asserts).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from a non-OK status: failure. OK status is a programmer error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define LSMIO_INTERNAL_CONCAT2(a, b) a##b
+#define LSMIO_INTERNAL_CONCAT(a, b) LSMIO_INTERNAL_CONCAT2(a, b)
+#define LSMIO_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto LSMIO_INTERNAL_CONCAT(_lsmio_res_, __LINE__) = (expr);              \
+  if (!LSMIO_INTERNAL_CONCAT(_lsmio_res_, __LINE__).ok())                  \
+    return LSMIO_INTERNAL_CONCAT(_lsmio_res_, __LINE__).status();          \
+  lhs = std::move(LSMIO_INTERNAL_CONCAT(_lsmio_res_, __LINE__)).value()
+
+}  // namespace lsmio

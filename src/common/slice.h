@@ -1,0 +1,72 @@
+// Slice: a non-owning (pointer, length) view of bytes, the currency of the
+// storage layers. Thin wrapper over the std::string_view idea with helpers
+// used by the LSM key/value encoding paths.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace lsmio {
+
+/// Non-owning byte view. The referenced memory must outlive the Slice.
+class Slice {
+ public:
+  Slice() noexcept : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) noexcept : data_(data), size_(size) {}
+  Slice(const std::string& s) noexcept : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) noexcept : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const char* cstr) noexcept : data_(cstr), size_(std::strlen(cstr)) {} // NOLINT
+
+  [[nodiscard]] const char* data() const noexcept { return data_; }
+  [[nodiscard]] size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  char operator[](size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  void clear() noexcept { data_ = ""; size_ = 0; }
+
+  /// Drops the first n bytes from the view.
+  void remove_prefix(size_t n) noexcept {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  [[nodiscard]] std::string ToString() const { return {data_, size_}; }
+  [[nodiscard]] std::string_view view() const noexcept { return {data_, size_}; }
+
+  /// Three-way comparison: <0, 0, >0 like memcmp on the common prefix,
+  /// shorter slice first on ties.
+  [[nodiscard]] int compare(const Slice& other) const noexcept {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = +1;
+    }
+    return r;
+  }
+
+  [[nodiscard]] bool starts_with(const Slice& prefix) const noexcept {
+    return size_ >= prefix.size_ &&
+           std::memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) noexcept {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const Slice& a, const Slice& b) noexcept { return !(a == b); }
+
+}  // namespace lsmio

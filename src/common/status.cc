@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace lsmio {
+
+std::string_view StatusCodeName(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kBusy: return "Busy";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace lsmio

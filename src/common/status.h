@@ -1,0 +1,84 @@
+// Status: lightweight error propagation used across all LSMIO modules.
+//
+// Modeled on the conventions of storage-engine codebases: a Status is cheap
+// to copy when OK (single pointer-sized state), carries a code plus a
+// human-readable message otherwise. Functions that can fail return Status
+// (or Result<T> from result.h); exceptions are reserved for programmer
+// errors (assertion-style) only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lsmio {
+
+/// Error categories shared by every module in the library.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kNotSupported = 3,
+  kInvalidArgument = 4,
+  kIoError = 5,
+  kBusy = 6,
+  kAborted = 7,
+  kOutOfRange = 8,
+};
+
+/// Returns a static name for a StatusCode ("OK", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// A success-or-error value. OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  static Status OK() noexcept { return Status(); }
+  static Status NotFound(std::string_view msg) { return {StatusCode::kNotFound, msg}; }
+  static Status Corruption(std::string_view msg) { return {StatusCode::kCorruption, msg}; }
+  static Status NotSupported(std::string_view msg) { return {StatusCode::kNotSupported, msg}; }
+  static Status InvalidArgument(std::string_view msg) { return {StatusCode::kInvalidArgument, msg}; }
+  static Status IoError(std::string_view msg) { return {StatusCode::kIoError, msg}; }
+  static Status Busy(std::string_view msg) { return {StatusCode::kBusy, msg}; }
+  static Status Aborted(std::string_view msg) { return {StatusCode::kAborted, msg}; }
+  static Status OutOfRange(std::string_view msg) { return {StatusCode::kOutOfRange, msg}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool IsNotFound() const noexcept { return code_ == StatusCode::kNotFound; }
+  [[nodiscard]] bool IsCorruption() const noexcept { return code_ == StatusCode::kCorruption; }
+  [[nodiscard]] bool IsNotSupported() const noexcept { return code_ == StatusCode::kNotSupported; }
+  [[nodiscard]] bool IsInvalidArgument() const noexcept { return code_ == StatusCode::kInvalidArgument; }
+  [[nodiscard]] bool IsIoError() const noexcept { return code_ == StatusCode::kIoError; }
+  [[nodiscard]] bool IsBusy() const noexcept { return code_ == StatusCode::kBusy; }
+  [[nodiscard]] bool IsAborted() const noexcept { return code_ == StatusCode::kAborted; }
+  [[nodiscard]] bool IsOutOfRange() const noexcept { return code_ == StatusCode::kOutOfRange; }
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define LSMIO_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::lsmio::Status _lsmio_st = (expr);             \
+    if (!_lsmio_st.ok()) return _lsmio_st;          \
+  } while (0)
+
+}  // namespace lsmio

@@ -1,0 +1,47 @@
+// Fixed-size thread pool used for background LSM flush/compaction and by
+// test drivers. Tasks are plain std::function<void()>; Submit after Shutdown
+// is a programmer error.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsmio {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all running tasks have finished.
+  void Wait();
+
+  /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  [[nodiscard]] int num_threads() const noexcept { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace lsmio

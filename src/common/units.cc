@@ -1,0 +1,95 @@
+#include "common/units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsmio {
+
+Result<uint64_t> ParseBytes(std::string_view text) {
+  // Trim whitespace.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return Status::InvalidArgument("empty byte-size string");
+
+  std::string num(text);
+  char* end = nullptr;
+  const double value = std::strtod(num.c_str(), &end);
+  if (end == num.c_str()) {
+    return Status::InvalidArgument("byte-size has no number: '" + num + "'");
+  }
+  if (value < 0) {
+    return Status::InvalidArgument("byte-size is negative: '" + num + "'");
+  }
+
+  std::string_view suffix(end);
+  while (!suffix.empty() && std::isspace(static_cast<unsigned char>(suffix.front()))) {
+    suffix.remove_prefix(1);
+  }
+
+  uint64_t mult = 1;
+  if (!suffix.empty()) {
+    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(suffix[0])));
+    switch (c) {
+      case 'b': mult = 1; break;
+      case 'k': mult = KiB; break;
+      case 'm': mult = MiB; break;
+      case 'g': mult = GiB; break;
+      case 't': mult = TiB; break;
+      default:
+        return Status::InvalidArgument("unknown byte-size suffix: '" + std::string(suffix) + "'");
+    }
+    // Accept "K", "KB", "KiB" (case-insensitive); reject longer garbage.
+    if (suffix.size() > 3) {
+      return Status::InvalidArgument("malformed byte-size suffix: '" + std::string(suffix) + "'");
+    }
+  }
+
+  const double bytes = value * static_cast<double>(mult);
+  if (bytes > 9.2e18) return Status::InvalidArgument("byte-size overflows uint64");
+  return static_cast<uint64_t>(std::llround(bytes));
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= TiB) {
+    std::snprintf(buf, sizeof buf, "%.1f TiB", static_cast<double>(bytes) / static_cast<double>(TiB));
+  } else if (bytes >= GiB) {
+    std::snprintf(buf, sizeof buf, "%.1f GiB", static_cast<double>(bytes) / static_cast<double>(GiB));
+  } else if (bytes >= MiB) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", static_cast<double>(bytes) / static_cast<double>(MiB));
+  } else if (bytes >= KiB) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(bytes) / static_cast<double>(KiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatBandwidth(double bytes_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f MiB/s",
+                bytes_per_second / static_cast<double>(MiB));
+  return buf;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace lsmio

@@ -1,0 +1,31 @@
+// Byte-size parsing/formatting ("64K", "1M", "32MiB") and bandwidth
+// formatting, shared by benchmark harnesses and option parsers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace lsmio {
+
+inline constexpr uint64_t KiB = 1024ULL;
+inline constexpr uint64_t MiB = 1024ULL * KiB;
+inline constexpr uint64_t GiB = 1024ULL * MiB;
+inline constexpr uint64_t TiB = 1024ULL * GiB;
+
+/// Parses "4096", "64K", "64KiB", "1m", "2G", "1.5M" into bytes.
+/// Suffixes are binary (K=KiB etc). Fails on garbage or negative values.
+Result<uint64_t> ParseBytes(std::string_view text);
+
+/// "65536" -> "64.0 KiB", "1073741824" -> "1.0 GiB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Bandwidth in MiB/s with 2 decimals, e.g. "1234.56 MiB/s".
+std::string FormatBandwidth(double bytes_per_second);
+
+/// Seconds with adaptive unit, e.g. "12.3 ms", "4.56 s".
+std::string FormatDuration(double seconds);
+
+}  // namespace lsmio

@@ -1,0 +1,10 @@
+// Umbrella header for the LSMIO library: the K/V API (Manager), the
+// FStream API, and the A2 (ADIOS2-style) plugin — the three interfaces the
+// paper's Figure 3 architecture exposes.
+#pragma once
+
+#include "core/fstream.h"       // IWYU pragma: export
+#include "core/lsmio_options.h" // IWYU pragma: export
+#include "core/manager.h"       // IWYU pragma: export
+#include "core/plugin.h"        // IWYU pragma: export
+#include "core/store.h"         // IWYU pragma: export

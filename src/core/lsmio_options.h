@@ -1,0 +1,67 @@
+// LSMIO configuration (paper §3.1.1–3.1.2): the store customizations the
+// paper applies to its LSM backend, the batching mode used for backends
+// that cannot disable their WAL (the LevelDB case), and MPI options.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace lsmio::vfs {
+class Vfs;
+}
+namespace lsmio::minimpi {
+class Comm;
+}
+
+namespace lsmio {
+
+/// How writeBarrier (and barrier-implying operations) wait.
+enum class BarrierMode {
+  kSync,   // block until data is flushed to storage
+  kAsync,  // trigger the flush and return
+};
+
+struct LsmioOptions {
+  /// File system the store lives on; null = process PosixVfs.
+  vfs::Vfs* vfs = nullptr;
+
+  // --- paper §3.1.1 store customizations (defaults = checkpoint config) ---
+  bool disable_wal = true;
+  bool disable_compression = true;
+  bool disable_cache = true;
+  bool disable_compaction = true;
+  /// Write synchronously (every put reaches storage before returning).
+  bool sync_writes = false;
+  /// Memory-map table reads.
+  bool use_mmap = false;
+  /// In-memory aggregation buffer (the paper matches ADIOS2's 32 MB).
+  uint64_t write_buffer_size = 32 * MiB;
+  /// SSTable block size.
+  uint64_t block_size = 4 * KiB;
+
+  /// Open the store without mutating it (concurrent multi-rank readers of
+  /// one store, e.g. the ADIOS2-plugin read path, require this).
+  bool read_only = false;
+
+  // --- §3.1.2 Local Store behaviour ---
+  /// Aggregate writes in a WriteBatch and apply them at the write barrier
+  /// (the LevelDB-style mode; with a WAL-less backend this is unnecessary
+  /// but remains available for ablation).
+  bool use_write_batch = false;
+
+  /// Default barrier behaviour.
+  BarrierMode barrier_mode = BarrierMode::kSync;
+
+  // --- §3.1.3 MPI integration ---
+  /// Optional communicator. When set with `collective_io`, puts are routed
+  /// to an owner rank by key hash (the paper's future-work collective mode).
+  minimpi::Comm* comm = nullptr;
+  bool collective_io = false;
+
+  /// Chunk size used by the FStream API to shard file bodies into values.
+  uint64_t fstream_chunk_size = 1 * MiB;
+};
+
+}  // namespace lsmio

@@ -1,0 +1,188 @@
+#include "core/manager.h"
+
+#include <chrono>
+#include <map>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "minimpi/minimpi.h"
+
+namespace lsmio {
+
+namespace {
+
+// Serialized remote-put entry: varint dest | varstring key | varstring value.
+void PackRemotePut(std::string* dst, int dest, const Slice& key, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(dest));
+  PutLengthPrefixedSlice(dst, key);
+  PutLengthPrefixedSlice(dst, value);
+}
+
+}  // namespace
+
+// Buffered remote puts live here (translation unit private, keyed by
+// manager instance) to keep the header free of container details.
+struct RemoteBuffer {
+  std::string packed;
+  uint64_t count = 0;
+};
+
+namespace {
+std::mutex g_buffer_mu;
+std::map<const Manager*, RemoteBuffer>& Buffers() {
+  static std::map<const Manager*, RemoteBuffer> buffers;
+  return buffers;
+}
+RemoteBuffer& BufferFor(const Manager* manager) {
+  std::lock_guard<std::mutex> lock(g_buffer_mu);
+  return Buffers()[manager];
+}
+void DropBufferFor(const Manager* manager) {
+  std::lock_guard<std::mutex> lock(g_buffer_mu);
+  Buffers().erase(manager);
+}
+}  // namespace
+
+Status Manager::Open(const LsmioOptions& options, const std::string& path,
+                     std::unique_ptr<Manager>* manager) {
+  std::unique_ptr<Store> store;
+  LSMIO_RETURN_IF_ERROR(OpenLsmStore(options, path, &store));
+  manager->reset(new Manager(options, std::move(store)));
+  return Status::OK();
+}
+
+Manager::~Manager() { DropBufferFor(this); }
+
+int Manager::OwnerOf(const Slice& key) const {
+  if (options_.comm == nullptr) return 0;
+  return static_cast<int>(Hash64(key) %
+                          static_cast<uint64_t>(options_.comm->size()));
+}
+
+Status Manager::Get(const Slice& key, std::string* value) {
+  Status s = store_->Get(key, value);
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.gets;
+  if (s.ok()) counters_.bytes_got += value->size();
+  return s;
+}
+
+Status Manager::Put(const Slice& key, const Slice& value) {
+  const auto start = std::chrono::steady_clock::now();
+
+  Status s;
+  if (options_.collective_io && options_.comm != nullptr &&
+      OwnerOf(key) != options_.comm->rank()) {
+    // Route to the owner: buffered until the next CollectiveFence.
+    RemoteBuffer& buffer = BufferFor(this);
+    PackRemotePut(&buffer.packed, OwnerOf(key), key, value);
+    ++buffer.count;
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.remote_puts;
+    ++counters_.puts;
+    counters_.bytes_put += value.size();
+    return Status::OK();
+  }
+  s = store_->Put(key, value);
+
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.puts;
+  counters_.bytes_put += value.size();
+  counters_.put_latency_us.Add(static_cast<double>(elapsed));
+  return s;
+}
+
+Status Manager::PutUint64(const Slice& key, uint64_t value) {
+  std::string encoded;
+  PutFixed64(&encoded, value);
+  return Put(key, encoded);
+}
+
+Status Manager::PutDouble(const Slice& key, double value) {
+  uint64_t bits;
+  static_assert(sizeof bits == sizeof value);
+  __builtin_memcpy(&bits, &value, sizeof bits);
+  return PutUint64(key, bits);
+}
+
+Status Manager::GetUint64(const Slice& key, uint64_t* value) {
+  std::string encoded;
+  LSMIO_RETURN_IF_ERROR(Get(key, &encoded));
+  if (encoded.size() != 8) return Status::Corruption("value is not a uint64");
+  *value = DecodeFixed64(encoded.data());
+  return Status::OK();
+}
+
+Status Manager::GetDouble(const Slice& key, double* value) {
+  uint64_t bits;
+  LSMIO_RETURN_IF_ERROR(GetUint64(key, &bits));
+  __builtin_memcpy(value, &bits, sizeof bits);
+  return Status::OK();
+}
+
+Status Manager::Append(const Slice& key, const Slice& value) {
+  Status s = store_->Append(key, value);
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.appends;
+  counters_.bytes_put += value.size();
+  return s;
+}
+
+Status Manager::Del(const Slice& key) {
+  Status s = store_->Del(key);
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.dels;
+  return s;
+}
+
+Status Manager::WriteBarrier() { return WriteBarrier(options_.barrier_mode); }
+
+Status Manager::WriteBarrier(BarrierMode mode) {
+  Status s = store_->WriteBarrier(mode);
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.write_barriers;
+  return s;
+}
+
+Status Manager::StartBatch() { return store_->StartBatch(); }
+Status Manager::StopBatch() { return store_->StopBatch(); }
+
+Status Manager::CollectiveFence() {
+  if (!options_.collective_io || options_.comm == nullptr) return Status::OK();
+  minimpi::Comm& comm = *options_.comm;
+
+  RemoteBuffer& buffer = BufferFor(this);
+  const std::vector<std::string> all = comm.Allgather(buffer.packed);
+  buffer.packed.clear();
+  buffer.count = 0;
+
+  // Apply entries destined to this rank.
+  for (const std::string& packed : all) {
+    Slice input(packed);
+    while (!input.empty()) {
+      uint32_t dest;
+      Slice key;
+      Slice value;
+      if (!GetVarint32(&input, &dest) || !GetLengthPrefixedSlice(&input, &key) ||
+          !GetLengthPrefixedSlice(&input, &value)) {
+        return Status::Corruption("malformed collective put exchange");
+      }
+      if (static_cast<int>(dest) == comm.rank()) {
+        LSMIO_RETURN_IF_ERROR(store_->Put(key, value));
+      }
+    }
+  }
+  comm.Barrier();
+  return Status::OK();
+}
+
+ManagerCounters Manager::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+}  // namespace lsmio

@@ -1,0 +1,26 @@
+// LSMIO's ADIOS2-style plugin (paper §3.1.7): an A2 engine backed by the
+// LSMIO store, so applications written against the A2 API switch to LSMIO
+// with an XML configuration change only.
+//
+// Layout: Open(path) creates one LSMIO store per writer rank under
+// path + "/lsmio.<rank>". Variable blocks are stored as
+//   "d!<name>!<offset-hex>"  -> payload bytes
+// and each variable's block list accumulates in "i!<name>" via Append.
+// Readers open every rank store found under the path and assemble
+// selections from the per-rank block lists.
+#pragma once
+
+#include <string>
+
+#include "a2/a2.h"
+
+namespace lsmio {
+
+/// Engine type name to use in A2 config: <engine type="LsmioPlugin">.
+inline constexpr char kLsmioPluginName[] = "LsmioPlugin";
+
+/// Registers the plugin with the A2 engine registry (idempotent). Returns
+/// the engine type name for convenience.
+const char* RegisterLsmioPlugin();
+
+}  // namespace lsmio

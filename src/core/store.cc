@@ -1,0 +1,132 @@
+#include "core/store.h"
+
+#include <mutex>
+
+namespace lsmio {
+
+namespace {
+
+lsm::Options ToEngineOptions(const LsmioOptions& options) {
+  lsm::Options engine;
+  engine.vfs = options.vfs;
+  engine.disable_wal = options.disable_wal;
+  engine.compression = options.disable_compression
+                           ? lsm::CompressionType::kNone
+                           : lsm::CompressionType::kLzLite;
+  engine.disable_cache = options.disable_cache;
+  engine.disable_compaction = options.disable_compaction;
+  engine.sync_writes = options.sync_writes;
+  engine.use_mmap = options.use_mmap;
+  engine.write_buffer_size = options.write_buffer_size;
+  engine.block_size = options.block_size;
+  engine.read_only = options.read_only;
+  engine.background_threads = 1;  // §3.1.2: a single flushing thread
+  return engine;
+}
+
+class LsmStore final : public Store {
+ public:
+  LsmStore(const LsmioOptions& options, std::unique_ptr<lsm::DB> db)
+      : options_(options), db_(std::move(db)) {}
+
+  Status StartBatch() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!options_.use_write_batch) return Status::OK();
+    if (batching_) return Status::Busy("batch already started");
+    batching_ = true;
+    batch_.Clear();
+    return Status::OK();
+  }
+
+  Status StopBatch() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!options_.use_write_batch) return Status::OK();
+    if (!batching_) return Status::Busy("no batch in progress");
+    batching_ = false;
+    if (batch_.Count() == 0) return Status::OK();
+    lsm::WriteOptions write_options;
+    write_options.sync = options_.sync_writes;
+    Status s = db_->Write(write_options, &batch_);
+    batch_.Clear();
+    return s;
+  }
+
+  Status Get(const Slice& key, std::string* value) override {
+    // Reads see batched-but-unapplied writes only after StopBatch — the
+    // LevelDB-mode contract the paper describes (aggregation is opaque).
+    return db_->Get({}, key, value);
+  }
+
+  Status Put(const Slice& key, const Slice& value) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (batching_) {
+        batch_.Put(key, value);
+        return Status::OK();
+      }
+    }
+    lsm::WriteOptions write_options;
+    write_options.sync = options_.sync_writes;
+    return db_->Put(write_options, key, value);
+  }
+
+  Status Append(const Slice& key, const Slice& value) override {
+    // Read-modify-write; the engine keeps this cheap because the hot tail
+    // lives in the memtable.
+    std::string existing;
+    Status s = db_->Get({}, key, &existing);
+    if (!s.ok() && !s.IsNotFound()) return s;
+    existing.append(value.data(), value.size());
+    return Put(key, existing);
+  }
+
+  Status Del(const Slice& key) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (batching_) {
+        batch_.Delete(key);
+        return Status::OK();
+      }
+    }
+    lsm::WriteOptions write_options;
+    write_options.sync = options_.sync_writes;
+    return db_->Delete(write_options, key);
+  }
+
+  Status WriteBarrier(BarrierMode mode) override {
+    // Flush any open batch first, then the memtable.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (batching_ && batch_.Count() > 0) {
+        lsm::WriteOptions write_options;
+        write_options.sync = options_.sync_writes;
+        LSMIO_RETURN_IF_ERROR(db_->Write(write_options, &batch_));
+        batch_.Clear();
+      }
+    }
+    return db_->FlushMemTable(/*wait=*/mode == BarrierMode::kSync);
+  }
+
+  lsm::DbStats EngineStats() const override { return db_->GetStats(); }
+
+  lsm::Iterator* NewIterator() override { return db_->NewIterator({}); }
+
+ private:
+  LsmioOptions options_;
+  std::unique_ptr<lsm::DB> db_;
+  std::mutex mu_;
+  bool batching_ = false;
+  lsm::WriteBatch batch_;
+};
+
+}  // namespace
+
+Status OpenLsmStore(const LsmioOptions& options, const std::string& path,
+                    std::unique_ptr<Store>* store) {
+  std::unique_ptr<lsm::DB> db;
+  LSMIO_RETURN_IF_ERROR(lsm::DB::Open(ToEngineOptions(options), path, &db));
+  *store = std::make_unique<LsmStore>(options, std::move(db));
+  return Status::OK();
+}
+
+}  // namespace lsmio

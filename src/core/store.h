@@ -1,0 +1,50 @@
+// Local Store (paper §3.1.2): the layer encapsulating the LSM engine behind
+// the internal K/V interface, including batching (startBatch/stopBatch) and
+// the write barrier. Table 1 of the paper lists exactly this surface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "core/lsmio_options.h"
+#include "lsm/db.h"
+#include "lsm/write_batch.h"
+
+namespace lsmio {
+
+/// The internal K/V interface of the Local Store.
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  /// Begins aggregation if the configuration requires it (no-op otherwise).
+  virtual Status StartBatch() = 0;
+  /// Ends aggregation, applying buffered writes.
+  virtual Status StopBatch() = 0;
+
+  /// Point lookup; always synchronous (paper Table 1).
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+  /// Upsert; asynchronous unless the store is configured for sync writes.
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  /// Appends to the existing value (creates it when absent).
+  virtual Status Append(const Slice& key, const Slice& value) = 0;
+  /// Removes the key.
+  virtual Status Del(const Slice& key) = 0;
+
+  /// Flushes all buffered writes to storage; blocks per `mode`.
+  virtual Status WriteBarrier(BarrierMode mode) = 0;
+
+  /// Engine statistics passthrough.
+  [[nodiscard]] virtual lsm::DbStats EngineStats() const = 0;
+  /// Iterator over the full key space (caller deletes before the store).
+  virtual lsm::Iterator* NewIterator() = 0;
+};
+
+/// Opens the LSM-backed Local Store at `path`, applying the paper's
+/// customizations from `options`.
+Status OpenLsmStore(const LsmioOptions& options, const std::string& path,
+                    std::unique_ptr<Store>* store);
+
+}  // namespace lsmio

@@ -1,0 +1,555 @@
+#include "h5l/h5l.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace lsmio::h5l {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', '5', 'L', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint64_t kSuperblockSize = 48;
+// Object header kinds.
+constexpr uint8_t kGroupKind = 1;
+constexpr uint8_t kDatasetKind = 2;
+// Fixed sizes keep in-place header rewrites possible.
+constexpr uint64_t kGroupHeaderSize = 1 + 8 + 8;          // kind|entries_addr|capacity
+constexpr uint64_t kDatasetHeaderSize = 1 + 4 + 8 + 1 + 8 + 8 + 8 + 4 + 8;
+constexpr uint64_t kDefaultEntryTableBytes = 4096;
+constexpr uint32_t kDefaultChunkIndexCapacity = 4096;
+constexpr size_t kEntrySize = 2 + 255 + 8;  // len | padded name | child addr
+
+}  // namespace
+
+// --- File --------------------------------------------------------------------
+
+Result<std::shared_ptr<File>> File::Create(vfs::Vfs& fs, const std::string& path,
+                                           const FileConfig& config) {
+  auto file = std::shared_ptr<File>(new File());
+  file->fs_ = &fs;
+  file->path_ = path;
+  file->config_ = config;
+
+  // Truncate/create.
+  {
+    std::unique_ptr<vfs::WritableFile> truncator;
+    LSMIO_RETURN_IF_ERROR(fs.NewWritableFile(path, {}, &truncator));
+    LSMIO_RETURN_IF_ERROR(truncator->Close());
+  }
+  LSMIO_RETURN_IF_ERROR(fs.OpenFileHandle(path, /*create=*/true, {}, &file->handle_));
+
+  file->eof_ = kSuperblockSize;
+  // Root group header + entry table.
+  file->root_addr_ = file->Allocate(kGroupHeaderSize);
+  const uint64_t entries_addr = file->Allocate(kDefaultEntryTableBytes);
+
+  std::string header;
+  header.push_back(static_cast<char>(kGroupKind));
+  PutFixed64(&header, entries_addr);
+  PutFixed64(&header, kDefaultEntryTableBytes);
+  LSMIO_RETURN_IF_ERROR(file->WriteAt(file->root_addr_, header));
+
+  // Empty entry table: count = 0.
+  std::string count_block;
+  PutFixed32(&count_block, 0);
+  LSMIO_RETURN_IF_ERROR(file->WriteAt(entries_addr, count_block));
+  LSMIO_RETURN_IF_ERROR(file->WriteSuperblock());
+  return file;
+}
+
+Result<std::shared_ptr<File>> File::Open(vfs::Vfs& fs, const std::string& path,
+                                         const FileConfig& config) {
+  auto file = std::shared_ptr<File>(new File());
+  file->fs_ = &fs;
+  file->path_ = path;
+  file->config_ = config;
+  LSMIO_RETURN_IF_ERROR(fs.OpenFileHandle(path, /*create=*/false, {}, &file->handle_));
+  LSMIO_RETURN_IF_ERROR(file->ReadSuperblock());
+  return file;
+}
+
+File::~File() {
+  if (!closed_) Close();
+}
+
+uint64_t File::Allocate(uint64_t size) {
+  const uint64_t addr = eof_;
+  eof_ += size;
+  return addr;
+}
+
+Status File::WriteSuperblock() {
+  std::string sb(kMagic, sizeof kMagic);
+  PutFixed32(&sb, kFormatVersion);
+  PutFixed64(&sb, eof_);
+  PutFixed64(&sb, root_addr_);
+  PutFixed64(&sb, meta_generation_);
+  sb.resize(kSuperblockSize, '\0');
+  meta_since_superblock_ = 0;
+  return WriteAt(0, sb);
+}
+
+Status File::ReadSuperblock() {
+  std::string sb;
+  LSMIO_RETURN_IF_ERROR(ReadAt(0, kSuperblockSize, &sb));
+  if (sb.size() < kSuperblockSize || std::memcmp(sb.data(), kMagic, 4) != 0) {
+    return Status::Corruption("not an h5l file: " + path_);
+  }
+  const uint32_t version = DecodeFixed32(sb.data() + 4);
+  if (version != kFormatVersion) {
+    return Status::NotSupported("h5l version " + std::to_string(version));
+  }
+  eof_ = DecodeFixed64(sb.data() + 8);
+  root_addr_ = DecodeFixed64(sb.data() + 16);
+  meta_generation_ = DecodeFixed64(sb.data() + 24);
+  return Status::OK();
+}
+
+Status File::TouchMetadata() {
+  ++meta_generation_;
+  ++meta_since_superblock_;
+  if (config_.superblock_update_interval > 0 &&
+      meta_since_superblock_ >=
+          static_cast<uint64_t>(config_.superblock_update_interval)) {
+    return WriteSuperblock();
+  }
+  return Status::OK();
+}
+
+Status File::Flush() {
+  LSMIO_RETURN_IF_ERROR(WriteSuperblock());
+  return handle_->Sync();
+}
+
+Status File::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (handle_ == nullptr) return Status::OK();  // construction failed early
+  Status s = Flush();
+  Status c = handle_->Close();
+  return s.ok() ? c : s;
+}
+
+Status File::WriteAt(uint64_t addr, const Slice& data) {
+  return handle_->WriteAt(addr, data);
+}
+
+Status File::ReadAt(uint64_t addr, uint64_t size, std::string* out) {
+  Slice result;
+  std::string scratch;
+  LSMIO_RETURN_IF_ERROR(handle_->ReadAt(addr, static_cast<size_t>(size), &result, &scratch));
+  out->assign(result.data(), result.size());
+  return Status::OK();
+}
+
+std::shared_ptr<Group> File::root() {
+  auto group = std::shared_ptr<Group>(new Group());
+  group->file_ = this;
+  group->header_addr_ = root_addr_;
+  // Load header lazily on first use; cheap eager load here.
+  std::string header;
+  if (ReadAt(root_addr_, kGroupHeaderSize, &header).ok() &&
+      header.size() >= kGroupHeaderSize && header[0] == static_cast<char>(kGroupKind)) {
+    group->entries_addr_ = DecodeFixed64(header.data() + 1);
+    group->entries_capacity_ = DecodeFixed64(header.data() + 9);
+  }
+  return group;
+}
+
+// --- Group ---------------------------------------------------------------------
+
+Status Group::LoadEntries(std::vector<std::pair<std::string, uint64_t>>* entries) {
+  entries->clear();
+  std::string count_block;
+  LSMIO_RETURN_IF_ERROR(file_->ReadAt(entries_addr_, 4, &count_block));
+  if (count_block.size() < 4) return Status::Corruption("truncated group entry table");
+  const uint32_t count = DecodeFixed32(count_block.data());
+
+  std::string table;
+  LSMIO_RETURN_IF_ERROR(
+      file_->ReadAt(entries_addr_ + 4, count * kEntrySize, &table));
+  if (table.size() < count * kEntrySize) {
+    return Status::Corruption("truncated group entries");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    const char* p = table.data() + i * kEntrySize;
+    const uint16_t len = DecodeFixed16(p);
+    if (len > 255) return Status::Corruption("bad entry name length");
+    entries->emplace_back(std::string(p + 2, len), DecodeFixed64(p + 2 + 255));
+  }
+  return Status::OK();
+}
+
+Status Group::AddEntry(const std::string& name, uint64_t child_addr) {
+  if (name.empty() || name.size() > 255) {
+    return Status::InvalidArgument("h5l name must be 1..255 bytes");
+  }
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  LSMIO_RETURN_IF_ERROR(LoadEntries(&entries));
+  for (const auto& [existing, addr] : entries) {
+    if (existing == name) return Status::InvalidArgument("name exists: " + name);
+  }
+  const uint64_t needed = 4 + (entries.size() + 1) * kEntrySize;
+  if (needed > entries_capacity_) {
+    return Status::OutOfRange("group entry table full");
+  }
+
+  // HDF5-style symbol-table update: rewrite count + append the new entry.
+  std::string entry;
+  PutFixed16(&entry, static_cast<uint16_t>(name.size()));
+  entry += name;
+  entry.resize(2 + 255, '\0');
+  PutFixed64(&entry, child_addr);
+  LSMIO_RETURN_IF_ERROR(
+      file_->WriteAt(entries_addr_ + 4 + entries.size() * kEntrySize, entry));
+
+  std::string count_block;
+  PutFixed32(&count_block, static_cast<uint32_t>(entries.size() + 1));
+  LSMIO_RETURN_IF_ERROR(file_->WriteAt(entries_addr_, count_block));
+  return file_->TouchMetadata();
+}
+
+Result<uint64_t> Group::FindEntry(const std::string& name) {
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  LSMIO_RETURN_IF_ERROR(LoadEntries(&entries));
+  for (const auto& [existing, addr] : entries) {
+    if (existing == name) return addr;
+  }
+  return Status::NotFound("no such member: " + name);
+}
+
+namespace {
+// Attribute entries live in the owner group's entry table under a prefix
+// that cannot collide with user names (which must be printable-ish).
+const std::string kAttrPrefix("\x01""a\x01", 3);
+}  // namespace
+
+Result<std::vector<std::string>> Group::List() {
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  LSMIO_RETURN_IF_ERROR(LoadEntries(&entries));
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (auto& [name, addr] : entries) {
+    if (name.rfind(kAttrPrefix, 0) == 0) continue;
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+Status Group::UpdateEntry(const std::string& name, uint64_t child_addr) {
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  LSMIO_RETURN_IF_ERROR(LoadEntries(&entries));
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].first != name) continue;
+    std::string addr_bytes;
+    PutFixed64(&addr_bytes, child_addr);
+    LSMIO_RETURN_IF_ERROR(file_->WriteAt(
+        entries_addr_ + 4 + i * kEntrySize + 2 + 255, addr_bytes));
+    return file_->TouchMetadata();
+  }
+  return Status::NotFound("no such entry: " + name);
+}
+
+Status Group::SetAttribute(const std::string& name, const Slice& value) {
+  if (name.empty() || name.size() + kAttrPrefix.size() > 255) {
+    return Status::InvalidArgument("attribute name must be 1..252 bytes");
+  }
+  // Value block: fixed32 length + payload (log-structured: a new block per
+  // write, like HDF5's metadata heap churn).
+  const uint64_t addr = file_->Allocate(4 + value.size());
+  std::string block;
+  PutFixed32(&block, static_cast<uint32_t>(value.size()));
+  block.append(value.data(), value.size());
+  LSMIO_RETURN_IF_ERROR(file_->WriteAt(addr, block));
+
+  const std::string entry_name = kAttrPrefix + name;
+  Status s = UpdateEntry(entry_name, addr);
+  if (s.IsNotFound()) return AddEntry(entry_name, addr);
+  return s;
+}
+
+Result<std::string> Group::GetAttribute(const std::string& name) {
+  uint64_t addr = 0;
+  LSMIO_ASSIGN_OR_RETURN(addr, FindEntry(kAttrPrefix + name));
+  std::string length_bytes;
+  LSMIO_RETURN_IF_ERROR(file_->ReadAt(addr, 4, &length_bytes));
+  if (length_bytes.size() < 4) return Status::Corruption("truncated attribute");
+  const uint32_t length = DecodeFixed32(length_bytes.data());
+  std::string value;
+  LSMIO_RETURN_IF_ERROR(file_->ReadAt(addr + 4, length, &value));
+  if (value.size() != length) return Status::Corruption("truncated attribute value");
+  return value;
+}
+
+Result<std::vector<std::string>> Group::ListAttributes() {
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  LSMIO_RETURN_IF_ERROR(LoadEntries(&entries));
+  std::vector<std::string> names;
+  for (auto& [name, addr] : entries) {
+    if (name.rfind(kAttrPrefix, 0) == 0) {
+      names.push_back(name.substr(kAttrPrefix.size()));
+    }
+  }
+  return names;
+}
+
+Result<std::shared_ptr<Group>> Group::CreateGroup(const std::string& name) {
+  const uint64_t header_addr = file_->Allocate(kGroupHeaderSize);
+  const uint64_t entries_addr = file_->Allocate(kDefaultEntryTableBytes);
+
+  std::string header;
+  header.push_back(static_cast<char>(kGroupKind));
+  PutFixed64(&header, entries_addr);
+  PutFixed64(&header, kDefaultEntryTableBytes);
+  LSMIO_RETURN_IF_ERROR(file_->WriteAt(header_addr, header));
+
+  std::string count_block;
+  PutFixed32(&count_block, 0);
+  LSMIO_RETURN_IF_ERROR(file_->WriteAt(entries_addr, count_block));
+  LSMIO_RETURN_IF_ERROR(AddEntry(name, header_addr));
+
+  auto group = std::shared_ptr<Group>(new Group());
+  group->file_ = file_;
+  group->header_addr_ = header_addr;
+  group->entries_addr_ = entries_addr;
+  group->entries_capacity_ = kDefaultEntryTableBytes;
+  return group;
+}
+
+Result<std::shared_ptr<Group>> Group::OpenGroup(const std::string& name) {
+  uint64_t addr = 0;
+  LSMIO_ASSIGN_OR_RETURN(addr, FindEntry(name));
+  std::string header;
+  LSMIO_RETURN_IF_ERROR(file_->ReadAt(addr, kGroupHeaderSize, &header));
+  if (header.size() < kGroupHeaderSize || header[0] != static_cast<char>(kGroupKind)) {
+    return Status::InvalidArgument(name + " is not a group");
+  }
+  auto group = std::shared_ptr<Group>(new Group());
+  group->file_ = file_;
+  group->header_addr_ = addr;
+  group->entries_addr_ = DecodeFixed64(header.data() + 1);
+  group->entries_capacity_ = DecodeFixed64(header.data() + 9);
+  return group;
+}
+
+namespace {
+
+std::string EncodeDatasetHeader(const Dataset& ds, uint64_t data_addr,
+                                uint64_t index_addr, uint32_t index_capacity) {
+  std::string header;
+  header.push_back(static_cast<char>(kDatasetKind));
+  PutFixed32(&header, ds.element_size());
+  PutFixed64(&header, ds.num_elements());
+  header.push_back(static_cast<char>(ds.layout()));
+  PutFixed64(&header, data_addr);
+  PutFixed64(&header, ds.chunk_elements());
+  PutFixed64(&header, index_addr);
+  PutFixed32(&header, index_capacity);
+  PutFixed64(&header, 0);  // modification generation, rewritten on updates
+  return header;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Dataset>> Group::CreateDataset(const std::string& name,
+                                                      uint64_t num_elements,
+                                                      uint32_t element_size,
+                                                      Layout layout,
+                                                      uint64_t chunk_elements) {
+  if (element_size == 0) return Status::InvalidArgument("element_size must be > 0");
+  if (layout == Layout::kChunked && chunk_elements == 0) {
+    return Status::InvalidArgument("chunked dataset needs chunk_elements");
+  }
+
+  auto dataset = std::shared_ptr<Dataset>(new Dataset());
+  dataset->file_ = file_;
+  dataset->num_elements_ = num_elements;
+  dataset->element_size_ = element_size;
+  dataset->layout_ = layout;
+  dataset->chunk_elements_ = layout == Layout::kChunked ? chunk_elements : 0;
+
+  dataset->header_addr_ = file_->Allocate(kDatasetHeaderSize);
+
+  if (layout == Layout::kContiguous) {
+    // Early allocation: the whole data region exists at create time so
+    // parallel writers can target disjoint slabs.
+    dataset->data_addr_ = file_->Allocate(num_elements * element_size);
+  } else {
+    const uint64_t num_chunks =
+        (num_elements + chunk_elements - 1) / chunk_elements;
+    dataset->index_capacity_ =
+        std::max<uint32_t>(kDefaultChunkIndexCapacity,
+                           static_cast<uint32_t>(num_chunks));
+    dataset->index_addr_ =
+        file_->Allocate(4 + static_cast<uint64_t>(dataset->index_capacity_) * 8);
+    dataset->chunk_addrs_.assign(num_chunks, 0);
+    LSMIO_RETURN_IF_ERROR(dataset->StoreChunkIndex());
+  }
+
+  LSMIO_RETURN_IF_ERROR(file_->WriteAt(
+      dataset->header_addr_,
+      EncodeDatasetHeader(*dataset, dataset->data_addr_, dataset->index_addr_,
+                          dataset->index_capacity_)));
+  LSMIO_RETURN_IF_ERROR(AddEntry(name, dataset->header_addr_));
+  return dataset;
+}
+
+Result<std::shared_ptr<Dataset>> Group::OpenDataset(const std::string& name) {
+  uint64_t addr = 0;
+  LSMIO_ASSIGN_OR_RETURN(addr, FindEntry(name));
+  std::string header;
+  LSMIO_RETURN_IF_ERROR(file_->ReadAt(addr, kDatasetHeaderSize, &header));
+  if (header.size() < kDatasetHeaderSize ||
+      header[0] != static_cast<char>(kDatasetKind)) {
+    return Status::InvalidArgument(name + " is not a dataset");
+  }
+  auto dataset = std::shared_ptr<Dataset>(new Dataset());
+  dataset->file_ = file_;
+  dataset->header_addr_ = addr;
+  const char* p = header.data() + 1;
+  dataset->element_size_ = DecodeFixed32(p);
+  dataset->num_elements_ = DecodeFixed64(p + 4);
+  dataset->layout_ = static_cast<Layout>(p[12]);
+  dataset->data_addr_ = DecodeFixed64(p + 13);
+  dataset->chunk_elements_ = DecodeFixed64(p + 21);
+  dataset->index_addr_ = DecodeFixed64(p + 29);
+  dataset->index_capacity_ = DecodeFixed32(p + 37);
+  if (dataset->layout_ == Layout::kChunked) {
+    LSMIO_RETURN_IF_ERROR(dataset->LoadChunkIndex());
+  }
+  return dataset;
+}
+
+// --- Dataset ---------------------------------------------------------------------
+
+Status Dataset::LoadChunkIndex() {
+  const uint64_t num_chunks =
+      (num_elements_ + chunk_elements_ - 1) / chunk_elements_;
+  std::string block;
+  LSMIO_RETURN_IF_ERROR(file_->ReadAt(index_addr_, 4 + num_chunks * 8, &block));
+  if (block.size() < 4 + num_chunks * 8) {
+    return Status::Corruption("truncated chunk index");
+  }
+  chunk_addrs_.resize(num_chunks);
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    chunk_addrs_[c] = DecodeFixed64(block.data() + 4 + c * 8);
+  }
+  return Status::OK();
+}
+
+Status Dataset::StoreChunkIndex() {
+  std::string block;
+  PutFixed32(&block, static_cast<uint32_t>(chunk_addrs_.size()));
+  for (const uint64_t addr : chunk_addrs_) PutFixed64(&block, addr);
+  LSMIO_RETURN_IF_ERROR(file_->WriteAt(index_addr_, block));
+  return file_->TouchMetadata();
+}
+
+Status Dataset::UpdateHeader() {
+  LSMIO_RETURN_IF_ERROR(file_->WriteAt(
+      header_addr_,
+      EncodeDatasetHeader(*this, data_addr_, index_addr_, index_capacity_)));
+  return file_->TouchMetadata();
+}
+
+Status Dataset::Write(uint64_t offset, uint64_t count, const Slice& data) {
+  if (data.size() != count * element_size_) {
+    return Status::InvalidArgument("data size does not match count*element_size");
+  }
+  if (offset + count > num_elements_) {
+    return Status::OutOfRange("write past end of dataset");
+  }
+
+  Status s = layout_ == Layout::kContiguous
+                 ? WriteContiguous(offset * element_size_, data)
+                 : WriteChunked(offset, count, data);
+  if (!s.ok()) return s;
+
+  // HDF5-style metadata churn: refresh the object header periodically.
+  if (file_->config_.header_update_interval > 0 &&
+      ++writes_since_header_update_ >=
+          static_cast<uint64_t>(file_->config_.header_update_interval)) {
+    writes_since_header_update_ = 0;
+    LSMIO_RETURN_IF_ERROR(file_->WriteAt(
+        header_addr_,
+        EncodeDatasetHeader(*this, data_addr_, index_addr_, index_capacity_)));
+    LSMIO_RETURN_IF_ERROR(file_->TouchMetadata());
+  }
+  return Status::OK();
+}
+
+Status Dataset::WriteContiguous(uint64_t byte_offset, const Slice& data) {
+  return file_->WriteAt(data_addr_ + byte_offset, data);
+}
+
+Status Dataset::WriteChunked(uint64_t offset, uint64_t count, const Slice& data) {
+  const uint64_t chunk_bytes = chunk_elements_ * element_size_;
+  uint64_t element = offset;
+  const char* src = data.data();
+  bool index_dirty = false;
+
+  while (element < offset + count) {
+    const uint64_t chunk = element / chunk_elements_;
+    const uint64_t within = element % chunk_elements_;
+    const uint64_t take =
+        std::min(chunk_elements_ - within, offset + count - element);
+
+    if (chunk_addrs_[chunk] == 0) {
+      chunk_addrs_[chunk] = file_->Allocate(chunk_bytes);
+      index_dirty = true;
+    }
+    LSMIO_RETURN_IF_ERROR(
+        file_->WriteAt(chunk_addrs_[chunk] + within * element_size_,
+                       Slice(src, take * element_size_)));
+    src += take * element_size_;
+    element += take;
+  }
+  if (index_dirty) LSMIO_RETURN_IF_ERROR(StoreChunkIndex());
+  return Status::OK();
+}
+
+Status Dataset::Read(uint64_t offset, uint64_t count, std::string* out) {
+  if (offset + count > num_elements_) {
+    return Status::OutOfRange("read past end of dataset");
+  }
+  if (layout_ == Layout::kContiguous) {
+    LSMIO_RETURN_IF_ERROR(file_->ReadAt(data_addr_ + offset * element_size_,
+                                        count * element_size_, out));
+    if (out->size() != count * element_size_) {
+      return Status::Corruption("short dataset read");
+    }
+    return Status::OK();
+  }
+  return ReadChunked(offset, count, out);
+}
+
+Status Dataset::ReadChunked(uint64_t offset, uint64_t count, std::string* out) {
+  out->clear();
+  out->reserve(count * element_size_);
+  uint64_t element = offset;
+  while (element < offset + count) {
+    const uint64_t chunk = element / chunk_elements_;
+    const uint64_t within = element % chunk_elements_;
+    const uint64_t take =
+        std::min(chunk_elements_ - within, offset + count - element);
+    if (chunk_addrs_[chunk] == 0) {
+      out->append(take * element_size_, '\0');  // unallocated chunk: fill value
+    } else {
+      std::string piece;
+      LSMIO_RETURN_IF_ERROR(file_->ReadAt(
+          chunk_addrs_[chunk] + within * element_size_, take * element_size_, &piece));
+      if (piece.size() != take * element_size_) {
+        return Status::Corruption("short chunk read");
+      }
+      out->append(piece);
+    }
+    element += take;
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmio::h5l

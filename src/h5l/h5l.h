@@ -1,0 +1,190 @@
+// h5l — "HDF5-lite": a self-contained hierarchical scientific file format
+// standing in for HDF5 in the paper's comparisons (DESIGN.md §2).
+//
+// It is a genuine format (files round-trip; tests read back what they
+// wrote) with HDF5's performance-relevant write behaviour:
+//   * one shared file, updated in place through positional writes;
+//   * a superblock at offset 0 rewritten as metadata changes;
+//   * object headers and group entry tables interleaved with data, so a
+//     dataset write is never a pure append: small metadata updates at low
+//     offsets punctuate the data stream (defeating write-back coalescing
+//     and causing head movement on the simulated OSTs);
+//   * chunked datasets maintain a chunk index block that is rewritten as
+//     chunks are added.
+//
+// Model simplifications (documented, test-covered): names live in parent
+// group entry tables; datatypes are fixed-size elements; multi-writer use
+// follows the PHDF5 discipline — structure is created by rank 0, data
+// writes from all ranks target disjoint regions of pre-created datasets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::h5l {
+
+/// Storage layout of a dataset.
+enum class Layout : uint8_t { kContiguous = 1, kChunked = 2 };
+
+/// Tuning knobs mirroring the metadata-cache behaviour of the original.
+struct FileConfig {
+  /// Rewrite the dataset's object header every k-th data write (HDF5
+  /// updates modification metadata; 0 disables).
+  int header_update_interval = 1;
+  /// Rewrite the superblock every k-th metadata change (0 = only on flush).
+  int superblock_update_interval = 8;
+};
+
+class Dataset;
+class Group;
+class File;
+
+/// A dataset: an n-dimensional array of fixed-size elements.
+class Dataset {
+ public:
+  /// Writes `count` elements starting at flat element offset `offset`.
+  /// data.size() must equal count * element_size.
+  Status Write(uint64_t offset, uint64_t count, const Slice& data);
+
+  /// Reads `count` elements at flat element offset `offset` into *out.
+  Status Read(uint64_t offset, uint64_t count, std::string* out);
+
+  /// Rewrites the object header (modification metadata) without touching
+  /// data — the update every writer performs in (P)HDF5 collective mode.
+  Status UpdateHeader();
+
+  [[nodiscard]] uint64_t num_elements() const noexcept { return num_elements_; }
+  [[nodiscard]] uint32_t element_size() const noexcept { return element_size_; }
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+  [[nodiscard]] uint64_t chunk_elements() const noexcept { return chunk_elements_; }
+
+ private:
+  friend class File;
+  friend class Group;
+
+  Status WriteContiguous(uint64_t byte_offset, const Slice& data);
+  Status WriteChunked(uint64_t offset, uint64_t count, const Slice& data);
+  Status ReadChunked(uint64_t offset, uint64_t count, std::string* out);
+  Status LoadChunkIndex();
+  Status StoreChunkIndex();
+
+  File* file_ = nullptr;
+  uint64_t header_addr_ = 0;
+  uint64_t num_elements_ = 0;
+  uint32_t element_size_ = 0;
+  Layout layout_ = Layout::kContiguous;
+  uint64_t data_addr_ = 0;        // contiguous
+  uint64_t chunk_elements_ = 0;   // chunked
+  uint64_t index_addr_ = 0;
+  uint32_t index_capacity_ = 0;
+  // chunk number -> data address (0 = unallocated), mirrored on disk.
+  std::vector<uint64_t> chunk_addrs_;
+  uint64_t writes_since_header_update_ = 0;
+};
+
+/// A group: a named collection of child groups and datasets.
+class Group {
+ public:
+  /// Creates a child group. Fails if the name exists.
+  Result<std::shared_ptr<Group>> CreateGroup(const std::string& name);
+
+  /// Creates a dataset of `num_elements` fixed-size elements. For
+  /// kContiguous the data region is allocated now (PHDF5-style early
+  /// allocation, enabling disjoint parallel writes); for kChunked, chunks
+  /// of `chunk_elements` are allocated on first write.
+  Result<std::shared_ptr<Dataset>> CreateDataset(const std::string& name,
+                                                 uint64_t num_elements,
+                                                 uint32_t element_size,
+                                                 Layout layout,
+                                                 uint64_t chunk_elements = 0);
+
+  Result<std::shared_ptr<Group>> OpenGroup(const std::string& name);
+  Result<std::shared_ptr<Dataset>> OpenDataset(const std::string& name);
+
+  /// Child names in insertion order (attributes excluded).
+  Result<std::vector<std::string>> List();
+
+  // --- attributes ------------------------------------------------------------
+  // Small named metadata values attached to this group (HDF5-style,
+  // log-structured: rewriting an attribute appends a new value block).
+
+  /// Creates or overwrites an attribute.
+  Status SetAttribute(const std::string& name, const Slice& value);
+  /// Reads an attribute's value.
+  Result<std::string> GetAttribute(const std::string& name);
+  /// Attribute names in insertion order.
+  Result<std::vector<std::string>> ListAttributes();
+
+ private:
+  friend class File;
+
+  Status LoadEntries(std::vector<std::pair<std::string, uint64_t>>* entries);
+  Status AddEntry(const std::string& name, uint64_t child_addr);
+  /// Rewrites an existing entry's address in place; NotFound if absent.
+  Status UpdateEntry(const std::string& name, uint64_t child_addr);
+  Result<uint64_t> FindEntry(const std::string& name);
+
+  File* file_ = nullptr;
+  uint64_t header_addr_ = 0;
+  uint64_t entries_addr_ = 0;
+  uint64_t entries_capacity_ = 0;  // bytes reserved for the entry table
+};
+
+/// An h5l file.
+class File {
+ public:
+  /// Creates a new file (truncating any existing one).
+  static Result<std::shared_ptr<File>> Create(vfs::Vfs& fs, const std::string& path,
+                                              const FileConfig& config = {});
+  /// Opens an existing file.
+  static Result<std::shared_ptr<File>> Open(vfs::Vfs& fs, const std::string& path,
+                                            const FileConfig& config = {});
+
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// The root group.
+  [[nodiscard]] std::shared_ptr<Group> root();
+
+  /// Flushes all cached metadata (superblock) to storage.
+  Status Flush();
+  /// Flush + close the underlying handle.
+  Status Close();
+
+ private:
+  friend class Group;
+  friend class Dataset;
+
+  File() = default;
+
+  /// Allocates `size` bytes at EOF; returns the address.
+  uint64_t Allocate(uint64_t size);
+
+  /// Notes a metadata mutation; periodically rewrites the superblock.
+  Status TouchMetadata();
+  Status WriteSuperblock();
+  Status ReadSuperblock();
+
+  Status WriteAt(uint64_t addr, const Slice& data);
+  Status ReadAt(uint64_t addr, uint64_t size, std::string* out);
+
+  vfs::Vfs* fs_ = nullptr;
+  std::string path_;
+  std::unique_ptr<vfs::FileHandle> handle_;
+  FileConfig config_;
+  uint64_t eof_ = 0;
+  uint64_t root_addr_ = 0;
+  uint64_t meta_generation_ = 0;
+  uint64_t meta_since_superblock_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace lsmio::h5l

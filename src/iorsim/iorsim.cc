@@ -1,0 +1,596 @@
+#include "iorsim/iorsim.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "a2/a2.h"
+#include "common/random.h"
+#include "core/lsmio.h"
+#include "h5l/h5l.h"
+#include "minimpi/minimpi.h"
+#include "vfs/mem_vfs.h"
+#include "vfs/trace_vfs.h"
+
+namespace lsmio::iorsim {
+
+const char* ApiName(Api api) {
+  switch (api) {
+    case Api::kPosix: return "POSIX";
+    case Api::kH5l: return "HDF5";
+    case Api::kA2: return "ADIOS2";
+    case Api::kA2Lsmio: return "LSMIO-plugin";
+    case Api::kLsmio: return "LSMIO";
+  }
+  return "?";
+}
+
+double CostModel::WriteNsPerByte(Api api) const {
+  switch (api) {
+    case Api::kPosix: return posix_write;
+    case Api::kH5l: return h5l_write;
+    case Api::kA2: return a2_write;
+    case Api::kA2Lsmio: return plugin_write;
+    case Api::kLsmio: return lsmio_write;
+  }
+  return 0;
+}
+
+double CostModel::ReadNsPerByte(Api api) const {
+  switch (api) {
+    case Api::kPosix: return posix_read;
+    case Api::kH5l: return h5l_read;
+    case Api::kA2: return a2_read;
+    case Api::kA2Lsmio: return plugin_read;
+    case Api::kLsmio: return lsmio_read;
+  }
+  return 0;
+}
+
+namespace {
+
+constexpr uint64_t kSetupBarrier = 1;
+constexpr uint64_t kPhaseStartBarrier = 2;
+constexpr uint64_t kPhaseEndBarrier = 3;
+constexpr uint64_t kMidBarrier = 4;        // between untimed write and timed read
+constexpr uint64_t kReadOpenBarrier = 5;   // after read-side opens
+constexpr uint64_t kRoundBarrierBase = 1000;  // collective two-phase rounds
+
+const std::string kDir = "/bench";
+
+[[noreturn]] void Fail(const Status& status, const char* where) {
+  throw std::runtime_error(std::string("iorsim ") + where + ": " + status.ToString());
+}
+
+void Check(const Status& status, const char* where) {
+  if (!status.ok()) Fail(status, where);
+}
+
+template <typename T>
+T Take(Result<T> result, const char* where) {
+  if (!result.ok()) Fail(result.status(), where);
+  return std::move(result).value();
+}
+
+/// One rank's drive of the workload. The paper times "right after the first
+/// MPI barrier and before the first I/O operation until after the last I/O
+/// operation and a second MPI barrier" — so file/store/engine opens happen
+/// in the setup stage, and the timed region covers the transfer loop plus
+/// the closing flush (which is where LSM flushes and BP buffers drain).
+class Driver {
+ public:
+  Driver(const Workload& workload, const CostModel& costs, vfs::TraceContext& ctx,
+         vfs::TraceVfs& fs, minimpi::Comm& comm)
+      : w_(workload),
+        costs_(costs),
+        ctx_(ctx),
+        fs_(fs),
+        comm_(comm),
+        rank_(comm.rank()),
+        payload_(MakePayload()),
+        payload_big_(MiB, static_cast<char>('A' + rank_ % 26)) {}
+
+  void Run() {
+    CreateStructure();
+    VirtualBarrier(kSetupBarrier);
+    OpenForWrite();
+    VirtualBarrier(kPhaseStartBarrier);
+
+    if (!w_.read) ctx_.RecordPhaseBegin(rank_);
+    WriteLoop();
+    FinishWrite();
+    if (!w_.read) {
+      ctx_.RecordPhaseEnd(rank_);
+      VirtualBarrier(kPhaseEndBarrier);
+      return;
+    }
+
+    VirtualBarrier(kMidBarrier);
+    OpenForRead();
+    VirtualBarrier(kReadOpenBarrier);
+    ctx_.RecordPhaseBegin(rank_);
+    ReadLoop();
+    ctx_.RecordPhaseEnd(rank_);
+    VirtualBarrier(kPhaseEndBarrier);
+  }
+
+ private:
+  // --- helpers -----------------------------------------------------------------
+
+  std::string MakePayload() const {
+    std::string payload(w_.transfer_size, '\0');
+    Rng rng(w_.seed + static_cast<uint64_t>(rank_));
+    rng.Fill(payload.data(), payload.size());
+    return payload;
+  }
+
+  /// Virtual + real barrier pair: aligns both the simulated clock and the
+  /// driving threads.
+  void VirtualBarrier(uint64_t id) {
+    ctx_.RecordBarrier(rank_, id);
+    comm_.Barrier();
+  }
+
+  void ChargeCpu(uint64_t bytes, double ns_per_byte) {
+    ctx_.RecordCompute(rank_, static_cast<uint64_t>(
+                                  static_cast<double>(bytes) * ns_per_byte));
+  }
+
+  /// Byte offset of (segment, this rank) in the shared file / dataset.
+  [[nodiscard]] uint64_t SlabOffset(int segment) const {
+    return (static_cast<uint64_t>(segment) * static_cast<uint64_t>(w_.num_tasks) +
+            static_cast<uint64_t>(rank_)) * w_.block_size;
+  }
+
+  [[nodiscard]] int TransfersPerBlock() const {
+    return static_cast<int>(w_.block_size / w_.transfer_size);
+  }
+
+  std::string LsmioKey(int segment, int transfer) const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "ior!%06d!%08d!%08d", rank_, segment, transfer);
+    return buf;
+  }
+
+  [[nodiscard]] bool IsAggregator() const { return rank_ < Aggregators(); }
+  [[nodiscard]] int Aggregators() const {
+    return std::min(w_.num_tasks, aggregator_count_);
+  }
+  [[nodiscard]] uint64_t RoundBytes() const {
+    return static_cast<uint64_t>(w_.num_tasks) * w_.block_size;
+  }
+  [[nodiscard]] uint64_t PerAggregator() const {
+    return RoundBytes() / static_cast<uint64_t>(Aggregators());
+  }
+
+  void VerifyPayload(const Slice& got, const char* where) const {
+    if (got.size() != payload_.size() ||
+        std::memcmp(got.data(), payload_.data(), got.size()) != 0) {
+      Fail(Status::Corruption("read-back mismatch"), where);
+    }
+  }
+
+  // --- setup -------------------------------------------------------------------
+
+  void CreateStructure() {
+    if (w_.api == Api::kH5l && rank_ == 0) {
+      auto file = Take(h5l::File::Create(fs_, kDir + "/ior.h5l"), "h5l create");
+      Check(file->root()
+                ->CreateDataset("ior", w_.TotalBytes(), 1, h5l::Layout::kContiguous)
+                .status(),
+            "h5l dataset create");
+      Check(file->Close(), "h5l close (create)");
+    }
+    if (w_.api == Api::kA2Lsmio) RegisterLsmioPlugin();
+  }
+
+  void OpenForWrite() {
+    switch (w_.api) {
+      case Api::kPosix: {
+        if (w_.collective && !IsAggregator()) return;
+        const std::string path = w_.file_per_process
+                                     ? kDir + "/ior." + std::to_string(rank_)
+                                     : kDir + "/ior.dat";
+        Check(fs_.OpenFileHandle(path, /*create=*/true, {}, &posix_handle_),
+              "posix open");
+        break;
+      }
+      case Api::kH5l: {
+        // Every rank holds the file open: in collective mode non-aggregators
+        // still participate in metadata updates (PHDF5 semantics).
+        h5l::FileConfig config;
+        config.header_update_interval = 4;  // metadata-cache batching
+        h5l_file_ =
+            Take(h5l::File::Open(fs_, kDir + "/ior.h5l", config), "h5l open");
+        h5l_dataset_ = Take(h5l_file_->root()->OpenDataset("ior"), "h5l dataset");
+        break;
+      }
+      case Api::kA2:
+      case Api::kA2Lsmio: {
+        adios_ = std::make_unique<a2::Adios>(fs_, "", rank_, w_.num_tasks);
+        a2::IO& io = adios_->DeclareIO("ior");
+        io.SetParameter("BufferChunkSize", std::to_string(w_.buffer_chunk));
+        if (w_.api == Api::kA2Lsmio) io.SetEngine(kLsmioPluginName);
+        a2_var_ = io.DefineVariable("ior", w_.TotalBytes(), 0, w_.transfer_size, 1);
+        a2_engine_ = Take(io.Open(A2Path(), a2::Mode::kWrite), "a2 open");
+        break;
+      }
+      case Api::kLsmio: {
+        LsmioOptions options;
+        options.vfs = &fs_;
+        options.write_buffer_size = w_.buffer_chunk;
+        options.disable_wal = w_.lsmio_knobs.disable_wal;
+        options.disable_compression = w_.lsmio_knobs.disable_compression;
+        options.disable_compaction = w_.lsmio_knobs.disable_compaction;
+        options.sync_writes = w_.lsmio_knobs.sync_writes;
+        options.block_size = w_.lsmio_knobs.block_size;
+        Check(Manager::Open(options, kDir + "/lsmio." + std::to_string(rank_),
+                            &manager_),
+              "lsmio open");
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::string A2Path() const {
+    return kDir + (w_.api == Api::kA2 ? "/ior.bp" : "/ior.lsmio-bp");
+  }
+
+  // --- write loop ---------------------------------------------------------------
+
+  void WriteLoop() {
+    switch (w_.api) {
+      case Api::kPosix:
+        if (w_.collective) CollectiveWriteLoop(/*h5l=*/false);
+        else PosixWriteLoop();
+        break;
+      case Api::kH5l:
+        if (w_.collective) CollectiveWriteLoop(/*h5l=*/true);
+        else H5lWriteLoop();
+        break;
+      case Api::kA2:
+      case Api::kA2Lsmio:
+        A2WriteLoop();
+        break;
+      case Api::kLsmio:
+        LsmioWriteLoop();
+        break;
+    }
+  }
+
+  void PosixWriteLoop() {
+    const int transfers = TransfersPerBlock();
+    for (int segment = 0; segment < w_.segments; ++segment) {
+      const uint64_t base = w_.file_per_process
+                                ? static_cast<uint64_t>(segment) * w_.block_size
+                                : SlabOffset(segment);
+      for (int t = 0; t < transfers; ++t) {
+        ChargeCpu(w_.transfer_size, costs_.WriteNsPerByte(Api::kPosix));
+        Check(posix_handle_->WriteAt(
+                  base + static_cast<uint64_t>(t) * w_.transfer_size, payload_),
+              "posix write");
+      }
+    }
+  }
+
+  void H5lWriteLoop() {
+    const int transfers = TransfersPerBlock();
+    for (int segment = 0; segment < w_.segments; ++segment) {
+      const uint64_t base = SlabOffset(segment);
+      for (int t = 0; t < transfers; ++t) {
+        ChargeCpu(w_.transfer_size, costs_.WriteNsPerByte(Api::kH5l));
+        Check(h5l_dataset_->Write(
+                  base + static_cast<uint64_t>(t) * w_.transfer_size,
+                  w_.transfer_size, payload_),
+              "h5l write");
+      }
+    }
+  }
+
+  // Two-phase collective write for POSIX and H5L: `Aggregators()` ranks
+  // collect each round's data over the network and write it contiguously.
+  void CollectiveWriteLoop(bool h5l) {
+    const double shuffle_ns = shuffle_ns_per_byte_;
+    const double api_cpu =
+        costs_.WriteNsPerByte(h5l ? Api::kH5l : Api::kPosix);
+
+    // ROMIO-style collective buffering: each two-phase round covers up to
+    // cb_buffer_size bytes of aggregate file space, so several segments
+    // batch into one exchange + one contiguous write per aggregator.
+    constexpr uint64_t kCbBufferBytes = 16 * MiB;
+    const int segments_per_round = std::max<int>(
+        1, static_cast<int>(kCbBufferBytes / RoundBytes()));
+
+    int round = 0;
+    for (int segment = 0; segment < w_.segments;
+         segment += segments_per_round, ++round) {
+      const int batch =
+          std::min(segments_per_round, w_.segments - segment);
+      const uint64_t my_bytes = static_cast<uint64_t>(batch) * w_.block_size;
+      const uint64_t round_total = my_bytes * static_cast<uint64_t>(w_.num_tasks);
+      const uint64_t agg_share =
+          round_total / static_cast<uint64_t>(Aggregators());
+
+      // Phase 1: shuffle — every rank ships its batch to aggregators.
+      ChargeCpu(my_bytes, shuffle_ns + api_cpu);
+      if (IsAggregator()) ChargeCpu(agg_share, shuffle_ns);
+      VirtualBarrier(kRoundBarrierBase + 2 * static_cast<uint64_t>(round));
+
+      // Phase 2: aggregators write contiguous regions.
+      if (IsAggregator()) {
+        const uint64_t offset =
+            static_cast<uint64_t>(segment) * RoundBytes() +
+            static_cast<uint64_t>(rank_) * agg_share;
+        uint64_t written = 0;
+        while (written < agg_share) {
+          const uint64_t piece = std::min<uint64_t>(MiB, agg_share - written);
+          if (h5l) {
+            Check(h5l_dataset_->Write(offset + written, piece,
+                                      Slice(payload_big_.data(), piece)),
+                  "h5l collective write");
+          } else {
+            Check(posix_handle_->WriteAt(offset + written,
+                                         Slice(payload_big_.data(), piece)),
+                  "posix collective write");
+          }
+          written += piece;
+        }
+      }
+      // Collective (P)HDF5 keeps every rank's metadata cache coherent: all
+      // ranks flush their view of the object header each round, and with
+      // more writers than the stripe count those updates lock-ping-pong —
+      // why collective mode stops paying off for HDF5 at high concurrency
+      // (paper §4.4).
+      if (h5l) {
+        Check(h5l_dataset_->UpdateHeader(), "h5l collective metadata");
+      }
+      VirtualBarrier(kRoundBarrierBase + 2 * static_cast<uint64_t>(round) + 1);
+    }
+  }
+
+  void A2WriteLoop() {
+    const int transfers = TransfersPerBlock();
+    const double cpu = costs_.WriteNsPerByte(w_.api);
+    for (int segment = 0; segment < w_.segments; ++segment) {
+      const uint64_t base = SlabOffset(segment);
+      for (int t = 0; t < transfers; ++t) {
+        ChargeCpu(w_.transfer_size, cpu);
+        a2_var_->SetSelection(base + static_cast<uint64_t>(t) * w_.transfer_size,
+                              w_.transfer_size);
+        Check(a2_engine_->Put(*a2_var_, payload_.data(), a2::PutMode::kSync),
+              "a2 put");
+      }
+      Check(a2_engine_->PerformPuts(), "a2 PerformPuts");
+    }
+  }
+
+  void LsmioWriteLoop() {
+    const int transfers = TransfersPerBlock();
+    const double cpu = costs_.WriteNsPerByte(Api::kLsmio);
+    for (int segment = 0; segment < w_.segments; ++segment) {
+      for (int t = 0; t < transfers; ++t) {
+        ChargeCpu(w_.transfer_size, cpu);
+        Check(manager_->Put(LsmioKey(segment, t), payload_), "lsmio put");
+      }
+    }
+  }
+
+  /// The closing flush belongs to the timed region (paper: ADIOS2 measures
+  /// PerformPuts + close; LSMIO's last Put triggers the implicit barrier).
+  void FinishWrite() {
+    switch (w_.api) {
+      case Api::kPosix:
+        if (posix_handle_ != nullptr) {
+          Check(posix_handle_->Sync(), "posix sync");
+          Check(posix_handle_->Close(), "posix close");
+          posix_handle_.reset();
+        }
+        break;
+      case Api::kH5l:
+        if (h5l_file_ != nullptr) {
+          Check(h5l_file_->Close(), "h5l close");
+          h5l_dataset_.reset();
+          h5l_file_.reset();
+        }
+        break;
+      case Api::kA2:
+      case Api::kA2Lsmio:
+        Check(a2_engine_->Close(), "a2 close");
+        a2_engine_.reset();
+        break;
+      case Api::kLsmio:
+        Check(manager_->WriteBarrier(BarrierMode::kSync), "lsmio barrier");
+        break;
+    }
+  }
+
+  // --- read pass ---------------------------------------------------------------
+
+  void OpenForRead() {
+    switch (w_.api) {
+      case Api::kPosix: {
+        if (w_.collective && !IsAggregator()) return;
+        const std::string path = w_.file_per_process
+                                     ? kDir + "/ior." + std::to_string(rank_)
+                                     : kDir + "/ior.dat";
+        Check(fs_.OpenFileHandle(path, false, {}, &posix_handle_),
+              "posix open (read)");
+        break;
+      }
+      case Api::kH5l: {
+        h5l_file_ = Take(h5l::File::Open(fs_, kDir + "/ior.h5l"), "h5l open (read)");
+        h5l_dataset_ =
+            Take(h5l_file_->root()->OpenDataset("ior"), "h5l dataset (read)");
+        break;
+      }
+      case Api::kA2:
+      case Api::kA2Lsmio: {
+        a2::IO& io = adios_->DeclareIO("ior-read");
+        io.SetParameter("BufferChunkSize", std::to_string(w_.buffer_chunk));
+        if (w_.api == Api::kA2Lsmio) io.SetEngine(kLsmioPluginName);
+        a2_var_ = io.DefineVariable("ior", w_.TotalBytes(), 0, w_.transfer_size, 1);
+        a2_engine_ = Take(io.Open(A2Path(), a2::Mode::kRead), "a2 open (read)");
+        break;
+      }
+      case Api::kLsmio:
+        break;  // the write-side manager stays open (read-after-barrier)
+    }
+  }
+
+  void ReadLoop() {
+    switch (w_.api) {
+      case Api::kPosix:
+        if (w_.collective) CollectivePosixReadLoop();
+        else PosixReadLoop();
+        break;
+      case Api::kH5l: H5lReadLoop(); break;
+      case Api::kA2:
+      case Api::kA2Lsmio: A2ReadLoop(); break;
+      case Api::kLsmio: LsmioReadLoop(); break;
+    }
+  }
+
+  void PosixReadLoop() {
+    const int transfers = TransfersPerBlock();
+    std::string scratch;
+    for (int segment = 0; segment < w_.segments; ++segment) {
+      const uint64_t base = w_.file_per_process
+                                ? static_cast<uint64_t>(segment) * w_.block_size
+                                : SlabOffset(segment);
+      for (int t = 0; t < transfers; ++t) {
+        Slice result;
+        Check(posix_handle_->ReadAt(
+                  base + static_cast<uint64_t>(t) * w_.transfer_size,
+                  w_.transfer_size, &result, &scratch),
+              "posix read");
+        ChargeCpu(w_.transfer_size, costs_.ReadNsPerByte(Api::kPosix));
+        VerifyPayload(result, "posix read verify");
+      }
+    }
+  }
+
+  void CollectivePosixReadLoop() {
+    // Two-phase read: aggregators read contiguous regions, then scatter.
+    const double shuffle_ns = shuffle_ns_per_byte_;
+    std::string scratch;
+    for (int segment = 0; segment < w_.segments; ++segment) {
+      if (IsAggregator()) {
+        const uint64_t offset = static_cast<uint64_t>(segment) * RoundBytes() +
+                                static_cast<uint64_t>(rank_) * PerAggregator();
+        uint64_t done = 0;
+        while (done < PerAggregator()) {
+          const uint64_t piece =
+              std::min<uint64_t>(w_.transfer_size, PerAggregator() - done);
+          Slice result;
+          Check(posix_handle_->ReadAt(offset + done, piece, &result, &scratch),
+                "posix collective read");
+          done += piece;
+        }
+        ChargeCpu(PerAggregator(), shuffle_ns);  // scatter send
+      }
+      ChargeCpu(w_.block_size, shuffle_ns);  // everyone receives its block
+      VirtualBarrier(kRoundBarrierBase + 500 + static_cast<uint64_t>(segment));
+    }
+  }
+
+  void H5lReadLoop() {
+    const int transfers = TransfersPerBlock();
+    std::string out;
+    for (int segment = 0; segment < w_.segments; ++segment) {
+      const uint64_t base = SlabOffset(segment);
+      for (int t = 0; t < transfers; ++t) {
+        Check(h5l_dataset_->Read(base + static_cast<uint64_t>(t) * w_.transfer_size,
+                                 w_.transfer_size, &out),
+              "h5l read");
+        ChargeCpu(w_.transfer_size, costs_.ReadNsPerByte(Api::kH5l));
+        VerifyPayload(out, "h5l read verify");
+      }
+    }
+  }
+
+  void A2ReadLoop() {
+    const int transfers = TransfersPerBlock();
+    const double cpu = costs_.ReadNsPerByte(w_.api);
+    std::string out(w_.transfer_size, '\0');
+    for (int segment = 0; segment < w_.segments; ++segment) {
+      const uint64_t base = SlabOffset(segment);
+      for (int t = 0; t < transfers; ++t) {
+        a2_var_->SetSelection(base + static_cast<uint64_t>(t) * w_.transfer_size,
+                              w_.transfer_size);
+        Check(a2_engine_->Get(*a2_var_, out.data()), "a2 get");
+        ChargeCpu(w_.transfer_size, cpu);
+        VerifyPayload(out, "a2 read verify");
+      }
+    }
+  }
+
+  void LsmioReadLoop() {
+    const int transfers = TransfersPerBlock();
+    const double cpu = costs_.ReadNsPerByte(Api::kLsmio);
+    std::string out;
+    for (int segment = 0; segment < w_.segments; ++segment) {
+      for (int t = 0; t < transfers; ++t) {
+        // Synchronous point lookups — the read pattern the paper identifies
+        // as LSMIO's weakness (§4.5).
+        Check(manager_->Get(LsmioKey(segment, t), &out), "lsmio get");
+        ChargeCpu(w_.transfer_size, cpu);
+        VerifyPayload(out, "lsmio read verify");
+      }
+    }
+  }
+
+ public:
+  // Collective parameters injected by RunWorkload (derived from the sim
+  // cluster so the network model stays consistent).
+  int aggregator_count_ = 4;
+  double shuffle_ns_per_byte_ = 1.4;
+
+ private:
+  const Workload& w_;
+  const CostModel& costs_;
+  vfs::TraceContext& ctx_;
+  vfs::TraceVfs& fs_;
+  minimpi::Comm& comm_;
+  int rank_;
+  std::string payload_;
+  std::string payload_big_;  // aggregator-side scratch (collective rounds)
+
+  // Per-API open state.
+  std::unique_ptr<vfs::FileHandle> posix_handle_;
+  std::shared_ptr<h5l::File> h5l_file_;
+  std::shared_ptr<h5l::Dataset> h5l_dataset_;
+  std::unique_ptr<a2::Adios> adios_;
+  a2::Variable* a2_var_ = nullptr;
+  std::unique_ptr<a2::Engine> a2_engine_;
+  std::unique_ptr<Manager> manager_;
+};
+
+}  // namespace
+
+RunResult RunWorkload(const Workload& workload, const pfs::SimOptions& sim_options,
+                      const CostModel& costs) {
+  assert(workload.transfer_size > 0 && workload.block_size % workload.transfer_size == 0);
+
+  vfs::MemVfs data_plane;
+  vfs::TraceContext ctx(workload.num_tasks);
+
+  minimpi::RunWorld(workload.num_tasks, [&](minimpi::Comm& comm) {
+    vfs::TraceVfs fs(data_plane, ctx, comm.rank());
+    Driver driver(workload, costs, ctx, fs, comm);
+    driver.aggregator_count_ = sim_options.stripe.stripe_count;
+    driver.shuffle_ns_per_byte_ = 1e9 / sim_options.cluster.client_nic_bw;
+    driver.Run();
+  });
+
+  pfs::LustreSim sim(sim_options);
+  RunResult result;
+  result.sim = sim.Run(ctx);
+  result.stored_bytes = data_plane.TotalBytes();
+  result.bandwidth = workload.read ? result.sim.ReadBandwidth()
+                                   : result.sim.WriteBandwidth();
+  return result;
+}
+
+}  // namespace lsmio::iorsim

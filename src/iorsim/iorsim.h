@@ -1,0 +1,97 @@
+// iorsim — the IOR-like benchmark driver (DESIGN.md §2 substitution for the
+// IOR binary the paper uses).
+//
+// A workload is "N tasks × segments × blockSize, written in transferSize
+// calls" against one of five APIs:
+//   kPosix        IOR baseline: shared file (or -F file-per-process)
+//   kH5l          IOR -a HDF5 equivalent: one shared h5l dataset, slab writes
+//   kA2           ADIOS2/BP5 equivalent: BPLite engine, deferred puts
+//   kA2Lsmio      ADIOS2 with the LSMIO plugin engine (paper §4.3)
+//   kLsmio        LSMIO baseline through the K/V API (paper §4.1/4.2)
+//
+// The driver runs the *real* library code on N in-process ranks (minimpi),
+// records every I/O operation through TraceVfs over a shared MemVfs, and
+// replays the traces on the simulated Lustre cluster to obtain bandwidth.
+// Read runs first perform the write untimed, then time the read-back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pfs/sim.h"
+
+namespace lsmio::iorsim {
+
+enum class Api { kPosix, kH5l, kA2, kA2Lsmio, kLsmio };
+
+/// Name for reports ("POSIX", "HDF5", "ADIOS2", ...).
+const char* ApiName(Api api);
+
+struct Workload {
+  Api api = Api::kPosix;
+  int num_tasks = 1;
+  /// Contiguous bytes a task owns within one segment.
+  uint64_t block_size = 1 * MiB;
+  /// Bytes per write/read call (the paper sets transfer == block).
+  uint64_t transfer_size = 1 * MiB;
+  /// Number of segments (file = segments × tasks × block bytes).
+  int segments = 16;
+  /// IOR -F: one file per task instead of a shared file (POSIX only).
+  bool file_per_process = false;
+  /// Two-phase collective I/O with stripe_count aggregators (POSIX/H5L).
+  bool collective = false;
+  /// Time the read-back phase instead of the write phase.
+  bool read = false;
+  /// Buffer configuration shared by ADIOS2-likes and LSMIO (paper: 32 MB).
+  uint64_t buffer_chunk = 32 * MiB;
+  /// Deterministic payload seed.
+  uint64_t seed = 0x10f5;
+
+  /// LSMIO engine knobs (paper §3.1.1 customizations); defaults are the
+  /// paper's checkpoint configuration. The ablation benchmarks sweep these.
+  struct EngineKnobs {
+    bool disable_wal = true;
+    bool disable_compression = true;
+    bool disable_compaction = true;
+    bool sync_writes = false;
+    uint64_t block_size = 4 * KiB;
+  };
+  EngineKnobs lsmio_knobs;
+
+  [[nodiscard]] uint64_t BytesPerTask() const {
+    return static_cast<uint64_t>(segments) * block_size;
+  }
+  [[nodiscard]] uint64_t TotalBytes() const {
+    return static_cast<uint64_t>(num_tasks) * BytesPerTask();
+  }
+};
+
+/// Per-API virtual CPU cost model (nanoseconds per payload byte on the
+/// write and read paths). Defaults are the calibrated values used by the
+/// paper-figure benchmarks; see EXPERIMENTS.md.
+struct CostModel {
+  double posix_write = 0.10, posix_read = 0.10;
+  double h5l_write = 2.00, h5l_read = 2.00;        // datatype conversion etc.
+  double a2_write = 29.0, a2_read = 1.00;          // marshalling + buffer copies
+  double plugin_write = 13.0, plugin_read = 2.00;  // A2 layers + serialization
+  double lsmio_write = 1.30, lsmio_read = 1.40;    // memtable insert + build
+
+  [[nodiscard]] double WriteNsPerByte(Api api) const;
+  [[nodiscard]] double ReadNsPerByte(Api api) const;
+};
+
+struct RunResult {
+  pfs::SimResult sim;
+  /// Bandwidth of the timed phase in bytes/s (write or read per workload).
+  double bandwidth = 0;
+  /// Total file bytes materialized in the in-memory data plane (includes
+  /// format overhead/amplification; diagnostics).
+  uint64_t stored_bytes = 0;
+};
+
+/// Runs the workload and simulates it on `sim_options`' cluster.
+/// Deterministic: same inputs give bit-identical results.
+RunResult RunWorkload(const Workload& workload, const pfs::SimOptions& sim_options,
+                      const CostModel& costs = {});
+
+}  // namespace lsmio::iorsim

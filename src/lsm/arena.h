@@ -1,0 +1,53 @@
+// Bump allocator backing a MemTable: allocations live until the arena dies
+// (the memtable is flushed and dropped as a unit, so no per-node frees).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace lsmio::lsm {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns bytes-aligned storage for `bytes` (> 0).
+  char* Allocate(size_t bytes);
+
+  /// Returns pointer-aligned storage for `bytes` (> 0).
+  char* AllocateAligned(size_t bytes);
+
+  /// Approximate total memory footprint of the arena.
+  [[nodiscard]] size_t MemoryUsage() const noexcept {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kBlockSize = 4096;
+
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_{0};
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,37 @@
+// Read side of a data/index block produced by BlockBuilder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "lsm/comparator.h"
+#include "lsm/iterator.h"
+
+namespace lsmio::lsm {
+
+class Block {
+ public:
+  /// Takes ownership of heap-allocated contents.
+  explicit Block(std::string contents);
+  ~Block() = default;
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  [[nodiscard]] size_t size() const noexcept { return contents_.size(); }
+
+  /// New iterator (caller deletes). `cmp` must outlive the iterator.
+  Iterator* NewIterator(const Comparator* cmp);
+
+ private:
+  class Iter;
+
+  [[nodiscard]] uint32_t NumRestarts() const noexcept;
+
+  std::string contents_;
+  uint32_t restart_offset_ = 0;  // offset of restart array
+  bool malformed_ = false;
+};
+
+}  // namespace lsmio::lsm

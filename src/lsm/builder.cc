@@ -1,0 +1,48 @@
+#include "lsm/builder.h"
+
+#include "lsm/dbformat.h"
+#include "lsm/filter_policy.h"
+#include "lsm/iterator.h"
+#include "lsm/table_builder.h"
+
+namespace lsmio::lsm {
+
+Status BuildTable(const std::string& dbname, vfs::Vfs& fs, const Options& options,
+                  const InternalKeyComparator* icmp,
+                  const FilterPolicy* filter_policy, Iterator* iter,
+                  FileMetaData* meta) {
+  meta->file_size = 0;
+  iter->SeekToFirst();
+
+  const std::string fname = TableFileName(dbname, meta->number);
+  if (!iter->Valid()) return iter->status();
+
+  std::unique_ptr<vfs::WritableFile> file;
+  LSMIO_RETURN_IF_ERROR(fs.NewWritableFile(fname, {}, &file));
+
+  TableBuilder builder(options, icmp, filter_policy, file.get());
+  meta->smallest = iter->key().ToString();
+  Slice key;
+  for (; iter->Valid(); iter->Next()) {
+    key = iter->key();
+    builder.Add(key, iter->value());
+  }
+  if (!key.empty()) meta->largest = key.ToString();
+
+  Status s = builder.Finish();
+  if (s.ok()) {
+    meta->file_size = builder.FileSize();
+    s = options.sync_writes ? file->Sync() : Status::OK();
+  }
+  if (s.ok()) s = file->Close();
+  if (s.ok()) s = iter->status();
+
+  if (!s.ok() || meta->file_size == 0) {
+    file->Close();
+    fs.RemoveFile(fname);
+    if (s.ok()) s = Status::IoError("built table is empty");
+  }
+  return s;
+}
+
+}  // namespace lsmio::lsm

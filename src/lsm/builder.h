@@ -1,0 +1,25 @@
+// BuildTable: drains an iterator (normally a memtable's) into a new SSTable
+// — the memtable-flush primitive shared by flush and recovery.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "lsm/options.h"
+#include "lsm/version.h"
+
+namespace lsmio::lsm {
+
+class Iterator;
+class InternalKeyComparator;
+class FilterPolicy;
+
+/// Writes the (sorted internal-key) contents of *iter to a new table file
+/// named after meta->number. On success fills *meta; on failure or empty
+/// input, removes the file and leaves meta->file_size == 0.
+Status BuildTable(const std::string& dbname, vfs::Vfs& fs, const Options& options,
+                  const InternalKeyComparator* icmp,
+                  const FilterPolicy* filter_policy, Iterator* iter,
+                  FileMetaData* meta);
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,212 @@
+#include "lsm/cache.h"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace lsmio::lsm {
+namespace {
+
+// An entry is pinned (refs > 1 or no longer in the table) or evictable.
+struct LRUEntry {
+  std::string key;
+  void* value = nullptr;
+  size_t charge = 0;
+  std::function<void(const Slice&, void*)> deleter;
+  uint32_t refs = 0;     // includes the cache's own reference while in table
+  bool in_cache = false;
+  LRUEntry* next = nullptr;
+  LRUEntry* prev = nullptr;
+};
+
+class LRUShard {
+ public:
+  LRUShard() {
+    lru_.next = &lru_;
+    lru_.prev = &lru_;
+  }
+
+  ~LRUShard() {
+    // All handles must have been released by clients.
+    for (auto& [key, e] : table_) {
+      assert(e->in_cache && e->refs == 1);
+      e->in_cache = false;
+      Remove(e);
+      Unref(e);
+    }
+  }
+
+  void SetCapacity(size_t capacity) { capacity_ = capacity; }
+
+  Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
+                        std::function<void(const Slice&, void*)> deleter) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto* e = new LRUEntry;
+    e->key.assign(key.data(), key.size());
+    e->value = value;
+    e->charge = charge;
+    e->deleter = std::move(deleter);
+    e->refs = 2;  // one for the cache, one for the returned handle
+    e->in_cache = true;
+
+    auto it = table_.find(e->key);
+    if (it != table_.end()) {
+      RemoveFromTable(it->second);
+    }
+    table_[e->key] = e;
+    Append(&lru_, e);
+    usage_ += charge;
+    EvictIfNeeded();
+    return reinterpret_cast<Cache::Handle*>(e);
+  }
+
+  Cache::Handle* Lookup(const Slice& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(std::string(key.data(), key.size()));
+    if (it == table_.end()) return nullptr;
+    LRUEntry* e = it->second;
+    ++e->refs;
+    // Move to MRU position.
+    Remove(e);
+    Append(&lru_, e);
+    return reinterpret_cast<Cache::Handle*>(e);
+  }
+
+  void Release(Cache::Handle* handle) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Unref(reinterpret_cast<LRUEntry*>(handle));
+  }
+
+  void Erase(const Slice& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(std::string(key.data(), key.size()));
+    if (it != table_.end()) RemoveFromTable(it->second);
+  }
+
+  size_t Usage() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return usage_;
+  }
+
+ private:
+  // Unlinks e from the LRU list.
+  static void Remove(LRUEntry* e) {
+    e->next->prev = e->prev;
+    e->prev->next = e->next;
+  }
+
+  // Links e as the newest entry before `list`.
+  static void Append(LRUEntry* list, LRUEntry* e) {
+    e->next = list;
+    e->prev = list->prev;
+    e->prev->next = e;
+    e->next->prev = e;
+  }
+
+  void Unref(LRUEntry* e) {
+    assert(e->refs > 0);
+    if (--e->refs == 0) {
+      // Only entries already removed from the table (and thus unlinked from
+      // the LRU list) can reach zero refs.
+      assert(!e->in_cache);
+      if (e->deleter) e->deleter(Slice(e->key), e->value);
+      delete e;
+    }
+  }
+
+  // Drops the cache's reference and unlinks from the LRU list; the entry is
+  // freed once the last client handle is released. The LRU list therefore
+  // only ever contains in-table entries.
+  void RemoveFromTable(LRUEntry* e) {
+    assert(e->in_cache);
+    table_.erase(e->key);
+    e->in_cache = false;
+    Remove(e);
+    usage_ -= e->charge;
+    Unref(e);
+  }
+
+  void EvictIfNeeded() {
+    while (usage_ > capacity_ && lru_.next != &lru_) {
+      // Evict from the LRU end, skipping entries pinned by clients.
+      LRUEntry* victim = nullptr;
+      for (LRUEntry* e = lru_.next; e != &lru_; e = e->next) {
+        if (e->refs == 1) {  // only the cache holds it
+          victim = e;
+          break;
+        }
+      }
+      if (victim == nullptr) break;  // everything pinned
+      RemoveFromTable(victim);
+    }
+  }
+
+  std::mutex mu_;
+  size_t capacity_ = 0;
+  size_t usage_ = 0;
+  std::unordered_map<std::string, LRUEntry*> table_;
+  LRUEntry lru_;  // dummy head; lru_.next is oldest, lru_.prev is newest
+};
+
+class ShardedLRUCache final : public Cache {
+ public:
+  explicit ShardedLRUCache(size_t capacity) {
+    const size_t per_shard = (capacity + kNumShards - 1) / kNumShards;
+    for (auto& shard : shards_) shard.SetCapacity(per_shard);
+  }
+
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 std::function<void(const Slice&, void*)> deleter) override {
+    return shards_[ShardOf(key)].Insert(key, value, charge, std::move(deleter));
+  }
+
+  Handle* Lookup(const Slice& key) override {
+    return shards_[ShardOf(key)].Lookup(key);
+  }
+
+  void Release(Handle* handle) override {
+    auto* e = reinterpret_cast<LRUEntry*>(handle);
+    shards_[ShardOf(Slice(e->key))].Release(handle);
+  }
+
+  void* Value(Handle* handle) override {
+    return reinterpret_cast<LRUEntry*>(handle)->value;
+  }
+
+  void Erase(const Slice& key) override { shards_[ShardOf(key)].Erase(key); }
+
+  uint64_t NewId() override {
+    std::lock_guard<std::mutex> lock(id_mu_);
+    return ++last_id_;
+  }
+
+  size_t TotalCharge() const override {
+    size_t total = 0;
+    for (auto& shard : shards_) {
+      total += const_cast<LRUShard&>(shard).Usage();
+    }
+    return total;
+  }
+
+ private:
+  static constexpr int kNumShards = 16;
+
+  static size_t ShardOf(const Slice& key) {
+    return Hash32(key, 0) % kNumShards;
+  }
+
+  LRUShard shards_[kNumShards];
+  std::mutex id_mu_;
+  uint64_t last_id_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Cache> NewLRUCache(size_t capacity) {
+  return std::make_unique<ShardedLRUCache>(capacity);
+}
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,48 @@
+// Sharded LRU cache for table data blocks. The paper disables caching for
+// the checkpoint configuration (Options::disable_cache); the cache exists
+// for the read path and the ablation study.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/slice.h"
+
+namespace lsmio::lsm {
+
+class Cache {
+ public:
+  virtual ~Cache() = default;
+
+  /// Opaque handle to a pinned entry.
+  struct Handle {};
+
+  /// Inserts key->value with a size `charge`; `deleter` runs when the entry
+  /// is evicted and unpinned. Returns a pinned handle (caller must Release).
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         std::function<void(const Slice&, void*)> deleter) = 0;
+
+  /// Looks up key; pins and returns the entry, or nullptr.
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  /// Unpins a handle from Insert/Lookup.
+  virtual void Release(Handle* handle) = 0;
+
+  /// Value stored in a pinned handle.
+  virtual void* Value(Handle* handle) = 0;
+
+  /// Drops key if present (entry is deleted once unpinned).
+  virtual void Erase(const Slice& key) = 0;
+
+  /// A new unique 64-bit id (prefixing cache keys per client).
+  virtual uint64_t NewId() = 0;
+
+  /// Total charge currently held.
+  virtual size_t TotalCharge() const = 0;
+};
+
+/// LRU cache with 16 shards; `capacity` is the total charge budget.
+std::unique_ptr<Cache> NewLRUCache(size_t capacity);
+
+}  // namespace lsmio::lsm

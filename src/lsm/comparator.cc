@@ -1,0 +1,45 @@
+#include "lsm/comparator.h"
+
+namespace lsmio::lsm {
+namespace {
+
+class BytewiseComparatorImpl final : public Comparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const override { return a.compare(b); }
+
+  const char* Name() const override { return "lsmio.BytewiseComparator"; }
+
+  void FindShortestSeparator(std::string* start, const Slice& limit) const override {
+    // Find length of common prefix.
+    const size_t min_len = std::min(start->size(), limit.size());
+    size_t diff = 0;
+    while (diff < min_len && (*start)[diff] == limit[diff]) ++diff;
+    if (diff >= min_len) return;  // one is a prefix of the other
+    const auto byte = static_cast<unsigned char>((*start)[diff]);
+    if (byte < 0xff && byte + 1 < static_cast<unsigned char>(limit[diff])) {
+      (*start)[diff] = static_cast<char>(byte + 1);
+      start->resize(diff + 1);
+    }
+  }
+
+  void FindShortSuccessor(std::string* key) const override {
+    for (size_t i = 0; i < key->size(); ++i) {
+      const auto byte = static_cast<unsigned char>((*key)[i]);
+      if (byte != 0xff) {
+        (*key)[i] = static_cast<char>(byte + 1);
+        key->resize(i + 1);
+        return;
+      }
+    }
+    // key is all 0xff: leave as is (it remains >= itself).
+  }
+};
+
+}  // namespace
+
+const Comparator* BytewiseComparator() {
+  static BytewiseComparatorImpl instance;
+  return &instance;
+}
+
+}  // namespace lsmio::lsm

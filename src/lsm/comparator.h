@@ -1,0 +1,34 @@
+// Key ordering abstraction. The engine and every on-disk structure order
+// keys through a Comparator so callers can plug domain orders; the default
+// is bytewise (memcmp).
+#pragma once
+
+#include <string>
+
+#include "common/slice.h"
+
+namespace lsmio::lsm {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  /// <0, 0, >0 as a is before/equal/after b.
+  [[nodiscard]] virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  /// Stable name persisted in table footers; mismatched comparators across
+  /// re-opens are detected via this.
+  [[nodiscard]] virtual const char* Name() const = 0;
+
+  /// If *start < limit, may shorten *start to a string in [*start, limit).
+  /// Used to shrink index entries.
+  virtual void FindShortestSeparator(std::string* start, const Slice& limit) const = 0;
+
+  /// May change *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+/// The default memcmp-order comparator (process-wide singleton).
+const Comparator* BytewiseComparator();
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,24 @@
+// Built-in block compression ("lz-lite"): a byte-oriented LZ77 variant in
+// the Snappy family — greedy hash-chain matching, literal runs + copies.
+// Self-contained so the repository has no external codec dependency; the
+// paper disables compression for checkpoints (Options::compression), but
+// the codec exists so the ablation benchmarks can quantify that choice.
+#pragma once
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lsmio::lsm {
+
+/// Compresses input, appending to *output (which is cleared first).
+/// Always succeeds; output may be larger than input for incompressible data
+/// (callers compare sizes and may keep the raw block instead).
+void LzLiteCompress(const Slice& input, std::string* output);
+
+/// Decompresses data produced by LzLiteCompress into *output (cleared
+/// first). Fails with Corruption on malformed input.
+Status LzLiteDecompress(const Slice& input, std::string* output);
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,91 @@
+// Public API of the lsmio::lsm storage engine — the from-scratch LSM-tree
+// that plays the role RocksDB plays in the paper.
+//
+// Usage:
+//   lsm::Options options;
+//   options.disable_wal = true;           // paper's checkpoint configuration
+//   options.disable_compaction = true;
+//   std::unique_ptr<lsm::DB> db;
+//   auto s = lsm::DB::Open(options, "/path/to/db", &db);
+//   db->Put({}, "key", "value");
+//   db->FlushMemTable(true);              // explicit write barrier
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "lsm/write_batch.h"
+
+namespace lsmio::lsm {
+
+/// Opaque consistent read point (see DB::GetSnapshot).
+class Snapshot {
+ public:
+  virtual ~Snapshot() = default;
+};
+
+/// Point-in-time statistics of the engine (performance counters).
+struct DbStats {
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t gets = 0;
+  uint64_t get_hits = 0;
+  uint64_t memtable_flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bytes_written = 0;   // user payload accepted
+  uint64_t bytes_flushed = 0;   // table bytes produced by flushes
+  uint64_t bytes_compacted = 0; // table bytes produced by compactions
+  uint64_t wal_bytes = 0;
+};
+
+class DB {
+ public:
+  /// Opens (creating per options) the database at `name`.
+  static Status Open(const Options& options, const std::string& name,
+                     std::unique_ptr<DB>* dbptr);
+
+  /// Destroys the database at `name` (removes all its files).
+  static Status Destroy(const Options& options, const std::string& name);
+
+  DB() = default;
+  virtual ~DB() = default;
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  /// Applies the batch atomically.
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  /// Iterator over the DB (caller deletes before the DB closes).
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  /// Consistent read point; release with ReleaseSnapshot.
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  /// Write barrier (paper §3.1.2 writeBarrier): flushes the active memtable
+  /// to an SSTable. When `wait`, blocks until the flush (and any pending
+  /// one) has completed and the data is on storage.
+  virtual Status FlushMemTable(bool wait) = 0;
+
+  /// Manually compacts the whole key range (no-op with compaction disabled).
+  virtual Status CompactRange() = 0;
+
+  /// Engine counters.
+  virtual DbStats GetStats() const = 0;
+
+  /// Approximate bytes held by active+immutable memtables.
+  virtual uint64_t ApproximateMemoryUsage() const = 0;
+};
+
+}  // namespace lsmio::lsm

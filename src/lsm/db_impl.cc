@@ -1,0 +1,760 @@
+#include "lsm/db_impl.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "lsm/builder.h"
+#include "lsm/cache.h"
+#include "lsm/comparator.h"
+#include "lsm/db_iter.h"
+#include "lsm/filter_policy.h"
+#include "lsm/log_reader.h"
+#include "lsm/merger.h"
+#include "lsm/table_builder.h"
+#include "vfs/posix_vfs.h"
+
+namespace lsmio::lsm {
+
+struct DBImpl::SnapshotImpl final : Snapshot {
+  explicit SnapshotImpl(SequenceNumber s) : sequence(s) {}
+  SequenceNumber sequence;
+};
+
+DBImpl::DBImpl(const Options& options, const std::string& dbname)
+    : options_(options),
+      dbname_(dbname),
+      internal_comparator_(options.comparator != nullptr ? options.comparator
+                                                         : BytewiseComparator()),
+      filter_policy_(options.bloom_bits_per_key > 0
+                         ? NewBloomFilterPolicy(options.bloom_bits_per_key)
+                         : nullptr) {
+  if (!options_.disable_cache) {
+    block_cache_ = NewLRUCache(options_.block_cache_capacity);
+  }
+  table_cache_ = std::make_unique<TableCache>(
+      dbname_, options_, &internal_comparator_, filter_policy_.get(),
+      block_cache_.get(), /*entries=*/1000);
+  versions_ = std::make_unique<VersionSet>(dbname_, options_,
+                                           &internal_comparator_,
+                                           table_cache_.get());
+  bg_pool_ = std::make_unique<ThreadPool>(std::max(1, options_.background_threads));
+}
+
+DBImpl::~DBImpl() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_.store(true);
+    while (background_work_scheduled_) bg_cv_.wait(lock);
+  }
+  bg_pool_->Shutdown();
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+  if (logfile_ != nullptr) logfile_->Close();
+}
+
+vfs::Vfs& DBImpl::fs() const {
+  return options_.vfs != nullptr ? *options_.vfs : vfs::PosixVfs();
+}
+
+uint64_t DBImpl::MaxBytesForLevel(int level) const {
+  uint64_t result = options_.max_bytes_for_level_base;
+  for (int l = 1; l < level; ++l) result *= 10;
+  return result;
+}
+
+Status DBImpl::NewDb() {
+  LSMIO_RETURN_IF_ERROR(fs().CreateDir(dbname_));
+  return versions_->WriteSnapshot();
+}
+
+Status DBImpl::Initialize() {
+  std::unique_lock<std::mutex> lock(mu_);
+
+  const bool exists = fs().FileExists(CurrentFileName(dbname_));
+  if (!exists) {
+    if (options_.read_only) {
+      return Status::NotFound(dbname_ + " does not exist (read_only open)");
+    }
+    if (!options_.create_if_missing) {
+      return Status::InvalidArgument(dbname_ + " does not exist (create_if_missing=false)");
+    }
+    LSMIO_RETURN_IF_ERROR(NewDb());
+  } else if (options_.error_if_exists) {
+    return Status::InvalidArgument(dbname_ + " exists (error_if_exists=true)");
+  }
+
+  if (exists) {
+    bool save_manifest = false;
+    LSMIO_RETURN_IF_ERROR(versions_->Recover(&save_manifest));
+
+    // Replay any WAL files at or after the recorded log number, in order.
+    std::vector<std::string> children;
+    LSMIO_RETURN_IF_ERROR(fs().ListDir(dbname_, &children));
+    std::vector<uint64_t> logs;
+    for (const auto& child : children) {
+      uint64_t number;
+      FileType type;
+      if (ParseFileName(child, &number, &type) && type == FileType::kLogFile &&
+          number >= versions_->LogNumber()) {
+        logs.push_back(number);
+      }
+    }
+    std::sort(logs.begin(), logs.end());
+    SequenceNumber max_sequence = versions_->LastSequence();
+    for (const uint64_t log_number : logs) {
+      LSMIO_RETURN_IF_ERROR(RecoverLogFile(log_number, &max_sequence));
+      if (log_number >= versions_->ManifestFileNumber()) {
+        // Extremely old builds could collide; keep file numbers monotonic.
+      }
+    }
+    versions_->SetLastSequence(max_sequence);
+    if (save_manifest && !options_.read_only) {
+      LSMIO_RETURN_IF_ERROR(versions_->WriteSnapshot());
+    }
+  }
+
+  // Fresh active memtable + WAL (read-only recovery may already have
+  // installed a memtable holding replayed WAL records).
+  if (mem_ == nullptr) {
+    mem_ = new MemTable(internal_comparator_);
+    mem_->Ref();
+  }
+  if (!options_.disable_wal && !options_.read_only) {
+    logfile_number_ = versions_->NewFileNumber();
+    LSMIO_RETURN_IF_ERROR(fs().NewWritableFile(
+        LogFileName(dbname_, logfile_number_), {}, &logfile_));
+    log_ = std::make_unique<log::Writer>(logfile_.get());
+    versions_->SetLogNumber(logfile_number_);
+    LSMIO_RETURN_IF_ERROR(versions_->WriteSnapshot());
+  }
+
+  if (!options_.read_only) RemoveObsoleteFiles();
+  return Status::OK();
+}
+
+Status DBImpl::RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence) {
+  const std::string fname = LogFileName(dbname_, log_number);
+  std::unique_ptr<vfs::SequentialFile> file;
+  Status s = fs().NewSequentialFile(fname, {}, &file);
+  if (s.IsNotFound()) return Status::OK();
+  LSMIO_RETURN_IF_ERROR(s);
+
+  struct Reporter final : log::Reader::Reporter {
+    void Corruption(size_t bytes, const Status& reason) override {
+      LSMIO_WARN << "dropping " << bytes << " bytes of WAL: " << reason.ToString();
+    }
+  } reporter;
+
+  log::Reader reader(file.get(), &reporter, /*checksum=*/true);
+  Slice record;
+  std::string scratch;
+  // Read-only opens accumulate every log's records into one memtable that
+  // becomes the active (never-flushed) one.
+  MemTable* mem = options_.read_only ? mem_ : nullptr;
+  mem_ = nullptr;
+
+  while (reader.ReadRecord(&record, &scratch)) {
+    WriteBatch batch;
+    LSMIO_RETURN_IF_ERROR(WriteBatch::SetContents(&batch, record));
+    if (mem == nullptr) {
+      mem = new MemTable(internal_comparator_);
+      mem->Ref();
+    }
+    LSMIO_RETURN_IF_ERROR(batch.InsertInto(mem));
+    const SequenceNumber last =
+        batch.Sequence() + static_cast<SequenceNumber>(batch.Count()) - 1;
+    if (last > *max_sequence) *max_sequence = last;
+
+    if (!options_.read_only &&
+        mem->ApproximateMemoryUsage() > options_.write_buffer_size) {
+      FileMetaData meta;
+      meta.number = versions_->NewFileNumber();
+      std::unique_ptr<Iterator> iter(mem->NewIterator());
+      s = BuildTable(dbname_, fs(), options_, &internal_comparator_,
+                     filter_policy_.get(), iter.get(), &meta);
+      mem->Unref();
+      mem = nullptr;
+      LSMIO_RETURN_IF_ERROR(s);
+      auto v = versions_->MakeVersion({{0, meta}}, {});
+      LSMIO_RETURN_IF_ERROR(versions_->LogAndApply(std::move(v)));
+    }
+  }
+
+  if (options_.read_only) {
+    // Keep recovered WAL contents readable without writing a table: the
+    // recovered memtable becomes the active one.
+    mem_ = mem;
+    return Status::OK();
+  }
+  if (mem != nullptr) {
+    if (mem->num_entries() > 0) {
+      FileMetaData meta;
+      meta.number = versions_->NewFileNumber();
+      std::unique_ptr<Iterator> iter(mem->NewIterator());
+      s = BuildTable(dbname_, fs(), options_, &internal_comparator_,
+                     filter_policy_.get(), iter.get(), &meta);
+      if (s.ok()) {
+        auto v = versions_->MakeVersion({{0, meta}}, {});
+        s = versions_->LogAndApply(std::move(v));
+      }
+    }
+    mem->Unref();
+    LSMIO_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+// --- writes -------------------------------------------------------------------
+
+Status DBImpl::Put(const WriteOptions& options, const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  if (options_.read_only) {
+    return Status::InvalidArgument("database opened read-only");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  LSMIO_RETURN_IF_ERROR(MakeRoomForWrite(lock));
+
+  const SequenceNumber sequence = versions_->LastSequence() + 1;
+  updates->SetSequence(sequence);
+  versions_->SetLastSequence(sequence +
+                             static_cast<SequenceNumber>(updates->Count()) - 1);
+
+  if (!options_.disable_wal) {
+    LSMIO_RETURN_IF_ERROR(log_->AddRecord(updates->Contents()));
+    stats_.wal_bytes += updates->Contents().size();
+    if (options.sync || options_.sync_writes) {
+      LSMIO_RETURN_IF_ERROR(logfile_->Sync());
+    }
+  }
+
+  LSMIO_RETURN_IF_ERROR(updates->InsertInto(mem_));
+  stats_.bytes_written += updates->Contents().size();
+  struct Counter final : WriteBatch::Handler {
+    uint64_t puts = 0, dels = 0;
+    void Put(const Slice&, const Slice&) override { ++puts; }
+    void Delete(const Slice&) override { ++dels; }
+  } counter;
+  (void)updates->Iterate(&counter);
+  stats_.puts += counter.puts;
+  stats_.deletes += counter.dels;
+  return Status::OK();
+}
+
+Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (!bg_error_.ok()) return bg_error_;
+    if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+      return Status::OK();
+    }
+    if (imm_ != nullptr) {
+      // Previous flush still running; the paper's single flush thread means
+      // writers stall here under sustained overload.
+      bg_cv_.wait(lock);
+      continue;
+    }
+    if (!options_.disable_compaction &&
+        versions_->current()->NumFiles(0) >= options_.l0_stop_writes_trigger) {
+      bg_cv_.wait(lock);
+      continue;
+    }
+    LSMIO_RETURN_IF_ERROR(SwitchMemTable(lock));
+  }
+}
+
+Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
+  assert(imm_ == nullptr);
+
+  // Roll the WAL together with the memtable.
+  if (!options_.disable_wal) {
+    const uint64_t new_log_number = versions_->NewFileNumber();
+    std::unique_ptr<vfs::WritableFile> new_logfile;
+    Status s = fs().NewWritableFile(LogFileName(dbname_, new_log_number), {},
+                                    &new_logfile);
+    if (!s.ok()) {
+      versions_->ReuseFileNumber(new_log_number);
+      return s;
+    }
+    logfile_->Close();
+    logfile_ = std::move(new_logfile);
+    logfile_number_ = new_log_number;
+    log_ = std::make_unique<log::Writer>(logfile_.get());
+  }
+
+  imm_ = mem_;
+  mem_ = new MemTable(internal_comparator_);
+  mem_->Ref();
+  MaybeScheduleBackgroundWork(lock);
+  return Status::OK();
+}
+
+Status DBImpl::FlushMemTable(bool wait) {
+  if (options_.read_only) return Status::OK();  // nothing can be dirty
+  std::unique_lock<std::mutex> lock(mu_);
+  if (mem_->num_entries() > 0) {
+    // Wait for a pending flush slot, then switch.
+    while (imm_ != nullptr && bg_error_.ok()) bg_cv_.wait(lock);
+    LSMIO_RETURN_IF_ERROR(bg_error_);
+    LSMIO_RETURN_IF_ERROR(SwitchMemTable(lock));
+  }
+  if (wait) {
+    while ((imm_ != nullptr || background_work_scheduled_) && bg_error_.ok()) {
+      bg_cv_.wait(lock);
+    }
+    LSMIO_RETURN_IF_ERROR(bg_error_);
+  }
+  return Status::OK();
+}
+
+Status DBImpl::CompactRange() {
+  if (options_.disable_compaction) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  manual_compaction_requested_ = true;
+  MaybeScheduleBackgroundWork(lock);
+  while ((manual_compaction_requested_ || background_work_scheduled_) &&
+         bg_error_.ok()) {
+    bg_cv_.wait(lock);
+  }
+  return bg_error_;
+}
+
+// --- background work ----------------------------------------------------------
+
+void DBImpl::MaybeScheduleBackgroundWork(std::unique_lock<std::mutex>&) {
+  if (background_work_scheduled_ || shutting_down_.load()) return;
+  if (imm_ == nullptr && !NeedsCompaction() && !manual_compaction_requested_) return;
+  background_work_scheduled_ = true;
+  bg_pool_->Submit([this] { BackgroundCall(); });
+}
+
+bool DBImpl::NeedsCompaction() const {
+  if (options_.disable_compaction || options_.read_only) return false;
+  const auto current = versions_->current();
+  if (current->NumFiles(0) >= options_.l0_compaction_trigger) return true;
+  for (int level = 1; level < kNumLevels - 1; ++level) {
+    if (current->TotalBytes(level) > MaxBytesForLevel(level)) return true;
+  }
+  return false;
+}
+
+void DBImpl::BackgroundCall() {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(background_work_scheduled_);
+
+  if (!shutting_down_.load() && bg_error_.ok()) {
+    Status s;
+    if (imm_ != nullptr) {
+      lock.unlock();
+      s = CompactMemTable();
+      lock.lock();
+    } else if (NeedsCompaction() || manual_compaction_requested_) {
+      lock.unlock();
+      s = BackgroundCompaction();
+      lock.lock();
+      manual_compaction_requested_ = false;
+    }
+    if (!s.ok()) bg_error_ = s;
+  }
+
+  background_work_scheduled_ = false;
+  // More work may have become ready (e.g. flush finished, compaction due).
+  MaybeScheduleBackgroundWork(lock);
+  bg_cv_.notify_all();
+}
+
+Status DBImpl::CompactMemTable() {
+  // Called without mu_; imm_ is stable (only this thread clears it).
+  assert(imm_ != nullptr);
+
+  FileMetaData meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    meta.number = versions_->NewFileNumber();
+    pending_outputs_.insert(meta.number);
+  }
+
+  std::unique_ptr<Iterator> iter(imm_->NewIterator());
+  Status s = BuildTable(dbname_, fs(), options_, &internal_comparator_,
+                        filter_policy_.get(), iter.get(), &meta);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_outputs_.erase(meta.number);
+  if (s.ok() && meta.file_size > 0) {
+    auto v = versions_->MakeVersion({{0, meta}}, {});
+    s = versions_->LogAndApply(std::move(v));
+    stats_.memtable_flushes += 1;
+    stats_.bytes_flushed += meta.file_size;
+  }
+  if (s.ok()) {
+    imm_->Unref();
+    imm_ = nullptr;
+    RemoveObsoleteFiles();
+  }
+  return s;
+}
+
+Status DBImpl::BackgroundCompaction() {
+  // Decide inputs under the lock, merge outside it.
+  int level = -1;
+  std::vector<FileMetaData> level_inputs;
+  std::vector<FileMetaData> next_inputs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto current = versions_->current();
+    if (current->NumFiles(0) >= options_.l0_compaction_trigger ||
+        (manual_compaction_requested_ && current->NumFiles(0) > 0)) {
+      level = 0;
+      level_inputs = current->files[0];
+    } else {
+      for (int l = 1; l < kNumLevels - 1; ++l) {
+        if (current->TotalBytes(l) > MaxBytesForLevel(l) ||
+            (manual_compaction_requested_ && current->NumFiles(l) > 0)) {
+          level = l;
+          level_inputs.push_back(current->files[l][0]);
+          break;
+        }
+      }
+    }
+    if (level < 0) return Status::OK();
+
+    // Overlapping files in the next level.
+    const Comparator* ucmp = internal_comparator_.user_comparator();
+    std::string smallest;
+    std::string largest;
+    for (const auto& f : level_inputs) {
+      if (smallest.empty() ||
+          internal_comparator_.Compare(Slice(f.smallest), Slice(smallest)) < 0) {
+        smallest = f.smallest;
+      }
+      if (largest.empty() ||
+          internal_comparator_.Compare(Slice(f.largest), Slice(largest)) > 0) {
+        largest = f.largest;
+      }
+    }
+    for (const auto& f : current->files[level + 1]) {
+      const Slice f_small_user = ExtractUserKey(Slice(f.smallest));
+      const Slice f_large_user = ExtractUserKey(Slice(f.largest));
+      if (ucmp->Compare(f_large_user, ExtractUserKey(Slice(smallest))) >= 0 &&
+          ucmp->Compare(f_small_user, ExtractUserKey(Slice(largest))) <= 0) {
+        next_inputs.push_back(f);
+      }
+    }
+  }
+  return CompactFiles(level, level_inputs, next_inputs);
+}
+
+Status DBImpl::CompactFiles(int level,
+                            const std::vector<FileMetaData>& level_inputs,
+                            const std::vector<FileMetaData>& next_inputs) {
+  const SequenceNumber smallest_snapshot = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return SmallestSnapshot();
+  }();
+
+  // Merge all inputs.
+  std::vector<Iterator*> children;
+  ReadOptions read_options;
+  read_options.fill_cache = false;
+  for (const auto& f : level_inputs) {
+    children.push_back(table_cache_->NewIterator(read_options, f.number, f.file_size));
+  }
+  for (const auto& f : next_inputs) {
+    children.push_back(table_cache_->NewIterator(read_options, f.number, f.file_size));
+  }
+  std::unique_ptr<Iterator> merged(NewMergingIterator(
+      &internal_comparator_, children.data(), static_cast<int>(children.size())));
+
+  const bool bottommost = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto current = versions_->current();
+    for (int l = level + 2; l < kNumLevels; ++l) {
+      if (current->NumFiles(l) > 0) return false;
+    }
+    return true;
+  }();
+
+  std::vector<FileMetaData> outputs;
+  std::unique_ptr<vfs::WritableFile> out_file;
+  std::unique_ptr<TableBuilder> builder;
+  FileMetaData current_output;
+  Status s;
+
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    Status fs_status = builder->Finish();
+    if (fs_status.ok()) {
+      current_output.file_size = builder->FileSize();
+      if (options_.sync_writes) fs_status = out_file->Sync();
+    }
+    if (fs_status.ok()) fs_status = out_file->Close();
+    builder.reset();
+    out_file.reset();
+    if (fs_status.ok() && current_output.file_size > 0) {
+      outputs.push_back(current_output);
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.bytes_compacted += current_output.file_size;
+    }
+    return fs_status;
+  };
+
+  const Comparator* ucmp = internal_comparator_.user_comparator();
+  std::string last_user_key;
+  bool has_last_user_key = false;
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+  for (merged->SeekToFirst(); merged->Valid() && s.ok(); merged->Next()) {
+    const Slice key = merged->key();
+    ParsedInternalKey ikey;
+    bool drop = false;
+    if (!ParseInternalKey(key, &ikey)) {
+      // Corrupt key: keep it so the corruption stays visible.
+      has_last_user_key = false;
+      last_sequence_for_key = kMaxSequenceNumber;
+    } else {
+      if (!has_last_user_key ||
+          ucmp->Compare(ikey.user_key, Slice(last_user_key)) != 0) {
+        last_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+        has_last_user_key = true;
+        last_sequence_for_key = kMaxSequenceNumber;
+      }
+      if (last_sequence_for_key <= smallest_snapshot) {
+        drop = true;  // shadowed by a newer entry old enough for everyone
+      } else if (ikey.type == ValueType::kDeletion &&
+                 ikey.sequence <= smallest_snapshot && bottommost) {
+        drop = true;  // tombstone with nothing underneath
+      }
+      last_sequence_for_key = ikey.sequence;
+    }
+    if (drop) continue;
+
+    if (builder == nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        current_output = FileMetaData{};
+        current_output.number = versions_->NewFileNumber();
+        pending_outputs_.insert(current_output.number);
+      }
+      s = fs().NewWritableFile(TableFileName(dbname_, current_output.number), {},
+                               &out_file);
+      if (!s.ok()) break;
+      builder = std::make_unique<TableBuilder>(options_, &internal_comparator_,
+                                               filter_policy_.get(), out_file.get());
+      current_output.smallest = key.ToString();
+    }
+    current_output.largest = key.ToString();
+    builder->Add(key, merged->value());
+
+    if (builder->FileSize() >= options_.target_file_size) {
+      s = finish_output();
+    }
+  }
+  if (s.ok()) s = merged->status();
+  if (s.ok()) s = finish_output();
+  if (builder != nullptr) {
+    builder->Abandon();
+    builder.reset();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (const auto& f : outputs) pending_outputs_.erase(f.number);
+  if (!s.ok()) return s;
+
+  // Install: delete inputs, add outputs at level+1.
+  std::vector<std::pair<int, FileMetaData>> additions;
+  std::vector<std::pair<int, uint64_t>> deletions;
+  for (const auto& f : level_inputs) deletions.emplace_back(level, f.number);
+  for (const auto& f : next_inputs) deletions.emplace_back(level + 1, f.number);
+  for (const auto& f : outputs) additions.emplace_back(level + 1, f);
+  auto v = versions_->MakeVersion(additions, deletions);
+  s = versions_->LogAndApply(std::move(v));
+  if (s.ok()) {
+    stats_.compactions += 1;
+    RemoveObsoleteFiles();
+  }
+  return s;
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  // mu_ held.
+  if (!bg_error_.ok()) return;
+
+  std::vector<uint64_t> live;
+  versions_->AddLiveFiles(&live);
+  for (const uint64_t number : pending_outputs_) live.push_back(number);
+  std::sort(live.begin(), live.end());
+
+  std::vector<std::string> children;
+  if (!fs().ListDir(dbname_, &children).ok()) return;
+  for (const auto& child : children) {
+    uint64_t number;
+    FileType type;
+    if (!ParseFileName(child, &number, &type)) continue;
+    bool keep = true;
+    switch (type) {
+      case FileType::kLogFile:
+        keep = number >= versions_->LogNumber() || number == logfile_number_;
+        break;
+      case FileType::kTableFile:
+        keep = std::binary_search(live.begin(), live.end(), number);
+        break;
+      case FileType::kManifestFile:
+        keep = number >= versions_->ManifestFileNumber();
+        break;
+      default:
+        break;
+    }
+    if (!keep) {
+      if (type == FileType::kTableFile) table_cache_->Evict(number);
+      fs().RemoveFile(dbname_ + "/" + child);
+    }
+  }
+}
+
+// --- reads ---------------------------------------------------------------------
+
+SequenceNumber DBImpl::SmallestSnapshot() const {
+  SequenceNumber smallest = versions_->LastSequence();
+  for (const auto* snap : snapshots_) {
+    smallest = std::min(smallest, snap->sequence);
+  }
+  return smallest;
+}
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  MemTable* mem;
+  MemTable* imm;
+  std::shared_ptr<Version> current;
+  SequenceNumber sequence;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sequence = options.snapshot_sequence != 0 ? options.snapshot_sequence
+                                              : versions_->LastSequence();
+    mem = mem_;
+    mem->Ref();
+    imm = imm_;
+    if (imm != nullptr) imm->Ref();
+    current = versions_->current();
+    ++stats_.gets;
+  }
+
+  const LookupKey lkey(key, sequence);
+  Status s;
+  bool found = false;
+  if (mem->Get(lkey, value, &s)) {
+    found = true;
+  } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+    found = true;
+  } else {
+    s = current->Get(options, table_cache_.get(), lkey, value);
+    found = s.ok();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (found && s.ok()) ++stats_.get_hits;
+    mem->Unref();
+    if (imm != nullptr) imm->Unref();
+  }
+  return s;
+}
+
+Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
+                                      SequenceNumber* latest_snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *latest_snapshot = versions_->LastSequence();
+
+  std::vector<Iterator*> iters;
+  iters.push_back(mem_->NewIterator());
+  mem_->Ref();
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  if (imm != nullptr) {
+    iters.push_back(imm->NewIterator());
+    imm->Ref();
+  }
+  auto current = versions_->current();
+  current->AddIterators(options, table_cache_.get(), &iters);
+
+  Iterator* merged = NewMergingIterator(&internal_comparator_, iters.data(),
+                                        static_cast<int>(iters.size()));
+  merged->RegisterCleanup([mem, imm, current]() mutable {
+    mem->Unref();
+    if (imm != nullptr) imm->Unref();
+    current.reset();
+  });
+  return merged;
+}
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  SequenceNumber latest_snapshot;
+  Iterator* internal_iter = NewInternalIterator(options, &latest_snapshot);
+  const SequenceNumber sequence =
+      options.snapshot_sequence != 0 ? options.snapshot_sequence : latest_snapshot;
+  return NewDBIterator(internal_comparator_.user_comparator(), internal_iter,
+                       sequence);
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto* snap = new SnapshotImpl(versions_->LastSequence());
+  snapshots_.push_back(snap);
+  return snap;
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto* impl = static_cast<const SnapshotImpl*>(snapshot);
+  snapshots_.remove(impl);
+  delete impl;
+}
+
+DbStats DBImpl::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t DBImpl::ApproximateMemoryUsage() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
+  if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+  return total;
+}
+
+// --- static entry points --------------------------------------------------------
+
+Status DB::Open(const Options& options, const std::string& name,
+                std::unique_ptr<DB>* dbptr) {
+  dbptr->reset();
+  auto impl = std::make_unique<DBImpl>(options, name);
+  LSMIO_RETURN_IF_ERROR(impl->Initialize());
+  *dbptr = std::move(impl);
+  return Status::OK();
+}
+
+Status DB::Destroy(const Options& options, const std::string& name) {
+  vfs::Vfs& fs = options.vfs != nullptr ? *options.vfs : vfs::PosixVfs();
+  std::vector<std::string> children;
+  Status s = fs.ListDir(name, &children);
+  if (!s.ok()) return Status::OK();  // nothing to destroy
+  for (const auto& child : children) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(child, &number, &type) || child == "CURRENT.tmp") {
+      fs.RemoveFile(name + "/" + child);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,100 @@
+// DBImpl: the concrete engine behind lsm::DB. Single write mutex, one
+// background thread (paper §3.1.2 configures a single flushing thread),
+// leveled compaction that can be disabled entirely (paper mode: flushes
+// accumulate as L0 files).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "lsm/db.h"
+#include "lsm/dbformat.h"
+#include "lsm/log_writer.h"
+#include "lsm/memtable.h"
+#include "lsm/table_cache.h"
+#include "lsm/version.h"
+
+namespace lsmio::lsm {
+
+class FilterPolicy;
+
+class DBImpl final : public DB {
+ public:
+  DBImpl(const Options& options, const std::string& dbname);
+  ~DBImpl() override;
+
+  Status Put(const WriteOptions& options, const Slice& key, const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key, std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status FlushMemTable(bool wait) override;
+  Status CompactRange() override;
+  DbStats GetStats() const override;
+  uint64_t ApproximateMemoryUsage() const override;
+
+ private:
+  friend class DB;
+  struct SnapshotImpl;
+
+  vfs::Vfs& fs() const;
+
+  Status Initialize();                       // open/create + recover
+  Status NewDb();                            // write fresh CURRENT/manifest
+  Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence);
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
+  Status SwitchMemTable(std::unique_lock<std::mutex>& lock);
+
+  void MaybeScheduleBackgroundWork(std::unique_lock<std::mutex>& lock);
+  void BackgroundCall();
+  Status CompactMemTable();
+  bool NeedsCompaction() const;
+  Status BackgroundCompaction();
+  Status CompactFiles(int level, const std::vector<FileMetaData>& level_inputs,
+                      const std::vector<FileMetaData>& next_inputs);
+  void RemoveObsoleteFiles();
+
+  Iterator* NewInternalIterator(const ReadOptions& options,
+                                SequenceNumber* latest_snapshot);
+  SequenceNumber SmallestSnapshot() const;  // mu_ held
+
+  uint64_t MaxBytesForLevel(int level) const;
+
+  // --- immutable after construction ---
+  Options options_;
+  std::string dbname_;
+  InternalKeyComparator internal_comparator_;
+  std::unique_ptr<const FilterPolicy> filter_policy_;
+  std::unique_ptr<Cache> block_cache_;
+  std::unique_ptr<TableCache> table_cache_;
+
+  // --- guarded by mu_ ---
+  mutable std::mutex mu_;
+  std::condition_variable bg_cv_;
+  std::unique_ptr<VersionSet> versions_;
+  MemTable* mem_ = nullptr;
+  MemTable* imm_ = nullptr;
+  std::unique_ptr<vfs::WritableFile> logfile_;
+  uint64_t logfile_number_ = 0;
+  std::unique_ptr<log::Writer> log_;
+  bool background_work_scheduled_ = false;
+  bool manual_compaction_requested_ = false;
+  Status bg_error_;
+  std::atomic<bool> shutting_down_{false};
+  std::set<uint64_t> pending_outputs_;
+  std::list<const SnapshotImpl*> snapshots_;
+  DbStats stats_;
+
+  // Background executor; created last, destroyed first.
+  std::unique_ptr<ThreadPool> bg_pool_;
+};
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,16 @@
+// DBIter: turns the merged internal-key stream (memtables + tables) into a
+// user-facing iterator — collapsing versions per user key, honouring the
+// read snapshot, and hiding deletion tombstones.
+#pragma once
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+
+namespace lsmio::lsm {
+
+/// Takes ownership of `internal_iter`. Entries with sequence > `sequence`
+/// are invisible.
+Iterator* NewDBIterator(const Comparator* user_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence);
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,73 @@
+#include "lsm/filter_policy.h"
+
+#include "common/hash.h"
+
+namespace lsmio::lsm {
+namespace {
+
+uint32_t BloomHash(const Slice& key) { return Hash32(key, 0xbc9f1d34u); }
+
+class BloomFilterPolicy final : public FilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key) : bits_per_key_(bits_per_key) {
+    // k = bits_per_key * ln(2), clamped.
+    k_ = static_cast<int>(static_cast<double>(bits_per_key) * 0.69);
+    if (k_ < 1) k_ = 1;
+    if (k_ > 30) k_ = 30;
+  }
+
+  const char* Name() const override { return "lsmio.BuiltinBloomFilter"; }
+
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override {
+    size_t bits = static_cast<size_t>(n) * static_cast<size_t>(bits_per_key_);
+    if (bits < 64) bits = 64;
+    const size_t bytes = (bits + 7) / 8;
+    bits = bytes * 8;
+
+    const size_t init_size = dst->size();
+    dst->resize(init_size + bytes, 0);
+    dst->push_back(static_cast<char>(k_));  // remember k in the filter
+    char* array = dst->data() + init_size;
+    for (int i = 0; i < n; ++i) {
+      // Double hashing: h, then advance by delta per probe.
+      uint32_t h = BloomHash(keys[i]);
+      const uint32_t delta = (h >> 17) | (h << 15);
+      for (int j = 0; j < k_; ++j) {
+        const size_t bitpos = h % bits;
+        array[bitpos / 8] = static_cast<char>(array[bitpos / 8] | (1 << (bitpos % 8)));
+        h += delta;
+      }
+    }
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    const size_t len = filter.size();
+    if (len < 2) return false;
+    const char* array = filter.data();
+    const size_t bits = (len - 1) * 8;
+
+    const int k = static_cast<unsigned char>(array[len - 1]);
+    if (k > 30) return true;  // reserved for future encodings: match-all
+
+    uint32_t h = BloomHash(key);
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (int j = 0; j < k; ++j) {
+      const size_t bitpos = h % bits;
+      if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+      h += delta;
+    }
+    return true;
+  }
+
+ private:
+  int bits_per_key_;
+  int k_;
+};
+
+}  // namespace
+
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key) {
+  return new BloomFilterPolicy(bits_per_key);
+}
+
+}  // namespace lsmio::lsm

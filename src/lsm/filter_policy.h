@@ -1,0 +1,32 @@
+// Filter policy abstraction + built-in bloom filter, used by SSTables to
+// skip disk probes for absent keys (point lookups are the read pattern the
+// paper's K/V interface produces).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace lsmio::lsm {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  /// Stable name stored in the table; mismatches disable filtering on read.
+  [[nodiscard]] virtual const char* Name() const = 0;
+
+  /// Appends to *dst a filter summarizing keys[0..n-1].
+  virtual void CreateFilter(const Slice* keys, int n, std::string* dst) const = 0;
+
+  /// True if the key may be in the filter's set (false positives allowed,
+  /// false negatives not).
+  [[nodiscard]] virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+/// Bloom filter with ~bits_per_key bits per key (~1% FP rate at 10).
+/// Caller owns the returned pointer.
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,45 @@
+#include "lsm/iterator.h"
+
+namespace lsmio::lsm {
+
+Iterator::~Iterator() {
+  Cleanup* c = cleanup_head_;
+  while (c != nullptr) {
+    c->fn();
+    Cleanup* next = c->next;
+    delete c;
+    c = next;
+  }
+}
+
+void Iterator::RegisterCleanup(std::function<void()> fn) {
+  auto* c = new Cleanup{std::move(fn), cleanup_head_};
+  cleanup_head_ = c;
+}
+
+namespace {
+
+class EmptyIterator final : public Iterator {
+ public:
+  explicit EmptyIterator(Status s) : status_(std::move(s)) {}
+
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void SeekToLast() override {}
+  void Seek(const Slice&) override {}
+  void Next() override {}
+  void Prev() override {}
+  Slice key() const override { return {}; }
+  Slice value() const override { return {}; }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewEmptyIterator() { return new EmptyIterator(Status::OK()); }
+Iterator* NewErrorIterator(const Status& status) { return new EmptyIterator(status); }
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,48 @@
+// Iterator abstraction used across memtables, blocks, tables and the merged
+// DB view. Cleanup callbacks let owners attach resource lifetimes (e.g. a
+// cache handle pinned while a block iterator lives).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace lsmio::lsm {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator();
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  [[nodiscard]] virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+  /// Valid only while Valid(); slices remain usable until the next move.
+  [[nodiscard]] virtual Slice key() const = 0;
+  [[nodiscard]] virtual Slice value() const = 0;
+  [[nodiscard]] virtual Status status() const = 0;
+
+  /// Registers a function run at destruction (resource pinning).
+  void RegisterCleanup(std::function<void()> fn);
+
+ private:
+  struct Cleanup {
+    std::function<void()> fn;
+    Cleanup* next = nullptr;
+  };
+  Cleanup* cleanup_head_ = nullptr;
+};
+
+/// An iterator over nothing, carrying an optional error status.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,21 @@
+// WAL / manifest log physical format: fixed-size blocks, each record split
+// into fragments with a 7-byte header: crc32c(4) | length(2) | type(1).
+#pragma once
+
+#include <cstdint>
+
+namespace lsmio::lsm::log {
+
+enum class RecordType : uint8_t {
+  kZero = 0,  // preallocated-space filler
+  kFull = 1,
+  kFirst = 2,
+  kMiddle = 3,
+  kLast = 4,
+};
+
+inline constexpr int kMaxRecordType = static_cast<int>(RecordType::kLast);
+inline constexpr size_t kBlockSize = 32768;
+inline constexpr size_t kHeaderSize = 4 + 2 + 1;
+
+}  // namespace lsmio::lsm::log

@@ -1,0 +1,149 @@
+#include "lsm/log_reader.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace lsmio::lsm::log {
+
+Reader::Reader(vfs::SequentialFile* file, Reporter* reporter, bool checksum)
+    : file_(file), reporter_(reporter), checksum_(checksum) {
+  backing_store_.resize(kBlockSize);
+}
+
+void Reader::ReportCorruption(uint64_t bytes, const char* reason) {
+  ReportDrop(bytes, Status::Corruption(reason));
+}
+
+void Reader::ReportDrop(uint64_t bytes, const Status& reason) {
+  if (reporter_ != nullptr) {
+    reporter_->Corruption(static_cast<size_t>(bytes), reason);
+  }
+}
+
+bool Reader::ReadRecord(Slice* record, std::string* scratch) {
+  scratch->clear();
+  record->clear();
+  bool in_fragmented_record = false;
+
+  Slice fragment;
+  for (;;) {
+    const int record_type = ReadPhysicalRecord(&fragment);
+    switch (record_type) {
+      case static_cast<int>(RecordType::kFull):
+        if (in_fragmented_record) {
+          ReportCorruption(scratch->size(), "partial record without end");
+        }
+        scratch->clear();
+        *record = fragment;
+        return true;
+
+      case static_cast<int>(RecordType::kFirst):
+        if (in_fragmented_record) {
+          ReportCorruption(scratch->size(), "partial record without end");
+        }
+        scratch->assign(fragment.data(), fragment.size());
+        in_fragmented_record = true;
+        break;
+
+      case static_cast<int>(RecordType::kMiddle):
+        if (!in_fragmented_record) {
+          ReportCorruption(fragment.size(), "missing start of fragmented record");
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+        }
+        break;
+
+      case static_cast<int>(RecordType::kLast):
+        if (!in_fragmented_record) {
+          ReportCorruption(fragment.size(), "missing start of fragmented record");
+        } else {
+          scratch->append(fragment.data(), fragment.size());
+          *record = Slice(*scratch);
+          return true;
+        }
+        break;
+
+      case kEof:
+        if (in_fragmented_record) {
+          // Writer died mid-record; drop the partial tail silently.
+          scratch->clear();
+        }
+        return false;
+
+      case kBadRecord:
+        if (in_fragmented_record) {
+          ReportCorruption(scratch->size(), "error in middle of record");
+          in_fragmented_record = false;
+          scratch->clear();
+        }
+        break;
+
+      default:
+        ReportCorruption(fragment.size() + (in_fragmented_record ? scratch->size() : 0),
+                         "unknown record type");
+        in_fragmented_record = false;
+        scratch->clear();
+        break;
+    }
+  }
+}
+
+int Reader::ReadPhysicalRecord(Slice* result) {
+  for (;;) {
+    if (buffer_.size() < kHeaderSize) {
+      if (!eof_) {
+        // Skip block trailer and read the next block.
+        buffer_.clear();
+        Status status = file_->Read(kBlockSize, &buffer_, &backing_store_);
+        if (!status.ok()) {
+          ReportDrop(kBlockSize, status);
+          eof_ = true;
+          return kEof;
+        }
+        if (buffer_.size() < kBlockSize) eof_ = true;
+        if (buffer_.empty()) return kEof;
+        continue;
+      }
+      // Truncated header at EOF: writer died mid-header; not corruption.
+      buffer_.clear();
+      return kEof;
+    }
+
+    const char* header = buffer_.data();
+    const uint16_t length = DecodeFixed16(header + 4);
+    const auto type = static_cast<unsigned>(static_cast<unsigned char>(header[6]));
+    if (kHeaderSize + length > buffer_.size()) {
+      const size_t drop_size = buffer_.size();
+      buffer_.clear();
+      if (!eof_) {
+        ReportCorruption(drop_size, "bad record length");
+        return kBadRecord;
+      }
+      // Truncated record at EOF: writer died mid-write.
+      return kEof;
+    }
+
+    if (type == static_cast<unsigned>(RecordType::kZero) && length == 0) {
+      // Padding produced by preallocation; skip the rest of the block.
+      buffer_.clear();
+      return kBadRecord;
+    }
+
+    if (checksum_) {
+      const uint32_t expected = crc32c::Unmask(DecodeFixed32(header));
+      const uint32_t actual = crc32c::Value(header + 6, 1 + length);
+      if (actual != expected) {
+        const size_t drop_size = buffer_.size();
+        buffer_.clear();
+        ReportCorruption(drop_size, "checksum mismatch");
+        return kBadRecord;
+      }
+    }
+
+    *result = Slice(header + kHeaderSize, length);
+    buffer_.remove_prefix(kHeaderSize + length);
+    return static_cast<int>(type);
+  }
+}
+
+}  // namespace lsmio::lsm::log

@@ -1,0 +1,52 @@
+// Reads back records written by log::Writer, skipping corrupt fragments and
+// reporting them to an optional Reporter (recovery is best-effort for the
+// tail, strict before it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/log_format.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::lsm::log {
+
+class Reader {
+ public:
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    /// `bytes` were dropped due to `reason`.
+    virtual void Corruption(size_t bytes, const Status& reason) = 0;
+  };
+
+  /// `file` must outlive the Reader. If checksum, verify CRCs.
+  Reader(vfs::SequentialFile* file, Reporter* reporter, bool checksum);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Reads the next complete record into *record (backed by *scratch).
+  /// Returns false at EOF.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Extended record types for internal state reporting.
+  static constexpr int kEof = kMaxRecordType + 1;
+  static constexpr int kBadRecord = kMaxRecordType + 2;
+
+  int ReadPhysicalRecord(Slice* result);
+  void ReportCorruption(uint64_t bytes, const char* reason);
+  void ReportDrop(uint64_t bytes, const Status& reason);
+
+  vfs::SequentialFile* const file_;
+  Reporter* const reporter_;
+  const bool checksum_;
+  std::string backing_store_;
+  Slice buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace lsmio::lsm::log

@@ -1,0 +1,67 @@
+#include "lsm/log_writer.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace lsmio::lsm::log {
+
+Writer::Writer(vfs::WritableFile* dest, uint64_t initial_offset)
+    : dest_(dest), block_offset_(initial_offset % kBlockSize) {}
+
+Status Writer::AddRecord(const Slice& record) {
+  const char* ptr = record.data();
+  size_t left = record.size();
+
+  Status s;
+  bool begin = true;
+  do {
+    const size_t leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Fill trailer with zeros and move to a fresh block.
+      if (leftover > 0) {
+        static const char zeros[kHeaderSize] = {0};
+        s = dest_->Append(Slice(zeros, leftover));
+        if (!s.ok()) return s;
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t fragment_length = left < avail ? left : avail;
+
+    const bool end = (left == fragment_length);
+    RecordType type;
+    if (begin && end) type = RecordType::kFull;
+    else if (begin) type = RecordType::kFirst;
+    else if (end) type = RecordType::kLast;
+    else type = RecordType::kMiddle;
+
+    s = EmitPhysicalRecord(type, ptr, fragment_length);
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (s.ok() && left > 0);
+  return s;
+}
+
+Status Writer::EmitPhysicalRecord(RecordType type, const char* data, size_t length) {
+  assert(length <= 0xffff);
+  assert(block_offset_ + kHeaderSize + length <= kBlockSize);
+
+  char header[kHeaderSize];
+  // CRC covers the type byte and the payload.
+  const char type_byte = static_cast<char>(type);
+  uint32_t crc = crc32c::Extend(crc32c::Value(&type_byte, 1), data, length);
+  EncodeFixed32(header, crc32c::Mask(crc));
+  EncodeFixed16(header + 4, static_cast<uint16_t>(length));
+  header[6] = type_byte;
+
+  Status s = dest_->Append(Slice(header, kHeaderSize));
+  if (s.ok()) s = dest_->Append(Slice(data, length));
+  block_offset_ += kHeaderSize + length;
+  return s;
+}
+
+}  // namespace lsmio::lsm::log

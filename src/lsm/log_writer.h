@@ -1,0 +1,31 @@
+// Appends records to a WAL/manifest log in the block format of log_format.h.
+#pragma once
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/log_format.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::lsm::log {
+
+class Writer {
+ public:
+  /// `dest` must outlive the Writer; initial_offset is the current size of
+  /// the destination (non-zero when re-opening a log).
+  explicit Writer(vfs::WritableFile* dest, uint64_t initial_offset = 0);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& record);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* data, size_t length);
+
+  vfs::WritableFile* dest_;
+  size_t block_offset_;
+};
+
+}  // namespace lsmio::lsm::log

@@ -1,0 +1,66 @@
+// MemTable: the in-RAM C0 tree (paper §2.2) — a skip list of encoded
+// internal-key/value records in arena memory. Reference-counted because an
+// immutable memtable stays readable while a background thread flushes it.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "lsm/arena.h"
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "lsm/skiplist.h"
+
+namespace lsmio::lsm {
+
+class MemTable {
+ public:
+  explicit MemTable(const InternalKeyComparator& cmp);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  /// Approximate bytes used (drives the flush trigger / write_buffer_size).
+  [[nodiscard]] size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  /// Adds an entry keyed (user_key, seq, type) with the given value.
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           const Slice& value);
+
+  /// If a version of key is present: returns true and sets *value (kValue)
+  /// or *s = NotFound (kDeletion). Returns false when the key is absent.
+  bool Get(const LookupKey& key, std::string* value, Status* s);
+
+  /// Iterator over internal keys (caller deletes; keeps a ref implicitly —
+  /// caller must keep the memtable alive while iterating).
+  Iterator* NewIterator();
+
+  /// Number of entries added.
+  [[nodiscard]] uint64_t num_entries() const { return entries_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+  ~MemTable() = default;  // via Unref only
+
+  KeyComparator comparator_;
+  std::atomic<int> refs_{0};
+  std::atomic<uint64_t> entries_{0};
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,127 @@
+#include "lsm/merger.h"
+
+#include <memory>
+#include <vector>
+
+namespace lsmio::lsm {
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator, Iterator** children, int n)
+      : comparator_(comparator) {
+    children_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) children_.emplace_back(children[i]);
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) child->SeekToLast();
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    // If we were moving backwards, reposition all non-current children just
+    // after the current key.
+    if (direction_ != kForward) {
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid() && comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    if (direction_ != kReverse) {
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            child->Prev();  // now strictly before key()
+          } else {
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      const Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid() &&
+          (smallest == nullptr ||
+           comparator_->Compare(child->key(), smallest->key()) < 0)) {
+        smallest = child.get();
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      auto& child = *it;
+      if (child->Valid() &&
+          (largest == nullptr ||
+           comparator_->Compare(child->key(), largest->key()) > 0)) {
+        largest = child.get();
+      }
+    }
+    current_ = largest;
+  }
+
+  const Comparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+  Direction direction_ = kForward;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n) {
+  if (n == 0) return NewEmptyIterator();
+  if (n == 1) return children[0];
+  return new MergingIterator(comparator, children, n);
+}
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,15 @@
+// K-way merging iterator over memtable + L0 tables + level tables — the
+// "merge sort"-style read path the paper describes for LSM reads.
+#pragma once
+
+#include "lsm/comparator.h"
+#include "lsm/iterator.h"
+
+namespace lsmio::lsm {
+
+/// Merges n children into one sorted stream (duplicates preserved in child
+/// order; callers use internal-key ordering so newer versions come first).
+/// Takes ownership of the children. n == 0 yields an empty iterator.
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children, int n);
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,124 @@
+// Engine options. The paper (§3.1.1) customizes RocksDB by disabling the
+// write-ahead log, compression, caching and compaction, and exposing
+// sync/async writes, mmap, buffer size and block size — all of which are
+// first-class knobs here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.h"
+
+namespace lsmio::vfs {
+class Vfs;
+}
+
+namespace lsmio::lsm {
+
+class Comparator;
+class FilterPolicy;
+class Cache;
+
+enum class CompressionType : uint8_t {
+  kNone = 0,
+  kLzLite = 1,  // built-in byte-oriented LZ (Snappy-class, self-contained)
+};
+
+/// DB-wide options, fixed at Open().
+struct Options {
+  /// File system the DB lives on. If null, the process PosixVfs is used.
+  vfs::Vfs* vfs = nullptr;
+
+  /// Comparator for user keys; defaults to bytewise. Must outlive the DB and
+  /// be identical across re-opens.
+  const Comparator* comparator = nullptr;
+
+  /// Create the database if missing.
+  bool create_if_missing = true;
+  /// Fail if the database already exists.
+  bool error_if_exists = false;
+  /// Open without mutating the database: no fresh WAL, no manifest
+  /// rewrite, no obsolete-file cleanup. Required when several processes
+  /// (or ranks) open the same store concurrently for reading; all write
+  /// operations fail with InvalidArgument.
+  bool read_only = false;
+  /// Aggressive checksum verification on every read path.
+  bool paranoid_checks = false;
+
+  // --- paper §3.1.1 knobs ---------------------------------------------------
+
+  /// Disable the write-ahead log (paper: checkpoint data does not need it;
+  /// the caller issues an explicit write barrier instead).
+  bool disable_wal = false;
+
+  /// Block compression for SSTables.
+  CompressionType compression = CompressionType::kNone;
+
+  /// Disable the block cache entirely.
+  bool disable_cache = false;
+
+  /// Disable background compaction: memtable flushes accumulate as L0 files
+  /// and reads merge across them (the paper's checkpoint configuration).
+  bool disable_compaction = false;
+
+  /// Synchronous writes: every write reaches stable storage before the call
+  /// returns. Asynchronous (false) lets the OS/file system buffer.
+  bool sync_writes = false;
+
+  /// Memory-map SSTables for reads.
+  bool use_mmap = false;
+
+  /// MemTable size that triggers a flush to an SSTable ("buffer size";
+  /// the paper configures 32 MB to match ADIOS2's BufferChunkSize).
+  uint64_t write_buffer_size = 32 * MiB;
+
+  /// Target uncompressed size of an SSTable data block.
+  uint64_t block_size = 4 * KiB;
+
+  // --- engine tuning --------------------------------------------------------
+
+  /// Keys between restart points within a block.
+  int block_restart_interval = 16;
+
+  /// Max L0 files before a flush stalls writers (only when compaction is
+  /// enabled; with compaction disabled there is no limit, as in the paper).
+  int l0_stop_writes_trigger = 36;
+
+  /// L0 file count that triggers a compaction into L1.
+  int l0_compaction_trigger = 4;
+
+  /// Max bytes in level L = max_bytes_for_level_base * 10^(L-1).
+  uint64_t max_bytes_for_level_base = 64 * MiB;
+
+  /// Target file size for compaction outputs.
+  uint64_t target_file_size = 8 * MiB;
+
+  /// Bloom filter bits per key for SSTables (0 disables filters).
+  int bloom_bits_per_key = 10;
+
+  /// Capacity of the block cache (ignored when disable_cache).
+  uint64_t block_cache_capacity = 8 * MiB;
+
+  /// Number of background threads for flush/compaction. The paper
+  /// configures a single flushing thread (§3.1.2).
+  int background_threads = 1;
+};
+
+/// Options for read operations.
+struct ReadOptions {
+  /// Verify block checksums on this read.
+  bool verify_checksums = false;
+  /// Cache blocks touched by this read.
+  bool fill_cache = true;
+  /// Read at this snapshot sequence number; 0 means "latest".
+  uint64_t snapshot_sequence = 0;
+};
+
+/// Options for write operations.
+struct WriteOptions {
+  /// Override Options::sync_writes for this write; when true the write (and
+  /// its WAL record, if the WAL is enabled) is synced to stable storage.
+  bool sync = false;
+};
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,199 @@
+// Lock-free-read skip list: the C0 tree of the LSM (paper §2.2). Writes are
+// externally serialized (the DB holds a write mutex); readers run without
+// locks and see a consistent list because node links are published with
+// release stores and height with a release store after full initialization.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "common/random.h"
+#include "lsm/arena.h"
+
+namespace lsmio::lsm {
+
+/// Key is an opaque trivially-copyable handle (the memtable uses const char*
+/// into arena memory). Cmp is a stateless-ish functor: int operator()(a, b).
+template <typename Key, class Cmp>
+class SkipList {
+ public:
+  SkipList(Cmp cmp, Arena* arena)
+      : compare_(cmp),
+        arena_(arena),
+        head_(NewNode(Key{}, kMaxHeight)),
+        max_height_(1),
+        rnd_(0xdeadbeefULL) {
+    for (int i = 0; i < kMaxHeight; ++i) head_->SetNext(i, nullptr);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts key. Requires: nothing equal to key is in the list, and the
+  /// caller serializes all Insert calls.
+  void Insert(const Key& key);
+
+  /// True iff an entry equal to key is in the list. Safe concurrently with
+  /// one writer.
+  [[nodiscard]] bool Contains(const Key& key) const;
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    [[nodiscard]] bool Valid() const { return node_ != nullptr; }
+    [[nodiscard]] const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Prev() {
+      assert(Valid());
+      node_ = list_->FindLessThan(node_->key);
+      if (node_ == list_->head_) node_ = nullptr;
+    }
+    void Seek(const Key& target) { node_ = list_->FindGreaterOrEqual(target, nullptr); }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+    void SeekToLast() {
+      node_ = list_->FindLast();
+      if (node_ == list_->head_) node_ = nullptr;
+    }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr int kBranching = 4;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+
+    Key const key;
+
+    Node* Next(int level) const {
+      assert(level >= 0);
+      return next_[level].load(std::memory_order_acquire);
+    }
+    void SetNext(int level, Node* next) {
+      assert(level >= 0);
+      next_[level].store(next, std::memory_order_release);
+    }
+    Node* NoBarrierNext(int level) const {
+      return next_[level].load(std::memory_order_relaxed);
+    }
+    void NoBarrierSetNext(int level, Node* next) {
+      next_[level].store(next, std::memory_order_relaxed);
+    }
+
+   private:
+    // Variable-length trailing array; node allocated with height slots.
+    std::atomic<Node*> next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height) {
+    char* mem = arena_->AllocateAligned(
+        sizeof(Node) + sizeof(std::atomic<Node*>) * static_cast<size_t>(height - 1));
+    return new (mem) Node(key);
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && rnd_.Uniform(kBranching) == 0) ++height;
+    return height;
+  }
+
+  [[nodiscard]] int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
+  }
+
+  bool KeyIsAfterNode(const Key& key, Node* n) const {
+    return n != nullptr && compare_(n->key, key) < 0;
+  }
+
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = GetMaxHeight() - 1;
+    for (;;) {
+      Node* next = x->Next(level);
+      if (KeyIsAfterNode(key, next)) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  Node* FindLessThan(const Key& key) const {
+    Node* x = head_;
+    int level = GetMaxHeight() - 1;
+    for (;;) {
+      Node* next = x->Next(level);
+      if (next == nullptr || compare_(next->key, key) >= 0) {
+        if (level == 0) return x;
+        --level;
+      } else {
+        x = next;
+      }
+    }
+  }
+
+  Node* FindLast() const {
+    Node* x = head_;
+    int level = GetMaxHeight() - 1;
+    for (;;) {
+      Node* next = x->Next(level);
+      if (next == nullptr) {
+        if (level == 0) return x;
+        --level;
+      } else {
+        x = next;
+      }
+    }
+  }
+
+  Cmp const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  std::atomic<int> max_height_;
+  Rng rnd_;
+};
+
+template <typename Key, class Cmp>
+void SkipList<Key, Cmp>::Insert(const Key& key) {
+  Node* prev[kMaxHeight];
+  Node* x = FindGreaterOrEqual(key, prev);
+
+  assert(x == nullptr || compare_(x->key, key) != 0);
+
+  const int height = RandomHeight();
+  if (height > GetMaxHeight()) {
+    for (int i = GetMaxHeight(); i < height; ++i) prev[i] = head_;
+    // Relaxed is fine: a racing reader seeing the old height just skips the
+    // new upper levels; seeing the new height with null head links is also
+    // handled since null means "past the end" at that level.
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+
+  x = NewNode(key, height);
+  for (int i = 0; i < height; ++i) {
+    x->NoBarrierSetNext(i, prev[i]->NoBarrierNext(i));
+    prev[i]->SetNext(i, x);  // release: publishes the fully-built node
+  }
+}
+
+template <typename Key, class Cmp>
+bool SkipList<Key, Cmp>::Contains(const Key& key) const {
+  Node* x = FindGreaterOrEqual(key, nullptr);
+  return x != nullptr && compare_(x->key, key) == 0;
+}
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,213 @@
+#include "lsm/table.h"
+
+#include "common/coding.h"
+#include "lsm/block.h"
+#include "lsm/cache.h"
+#include "lsm/comparator.h"
+#include "lsm/dbformat.h"
+#include "lsm/filter_block.h"
+#include "lsm/format.h"
+#include "lsm/two_level_iterator.h"
+
+namespace lsmio::lsm {
+
+struct Table::Rep {
+  Options options;
+  const Comparator* comparator = nullptr;
+  const FilterPolicy* filter_policy = nullptr;
+  Cache* block_cache = nullptr;
+  uint64_t cache_id = 0;
+  vfs::RandomAccessFile* file = nullptr;
+  Status status;
+
+  std::unique_ptr<Block> index_block;
+  std::unique_ptr<FilterBlockReader> filter;
+  std::string filter_data;  // owns bytes the FilterBlockReader points into
+  BlockHandle metaindex_handle;
+};
+
+Table::Table(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
+Table::~Table() = default;
+
+Status Table::Open(const Options& options, const Comparator* comparator,
+                   const FilterPolicy* filter_policy, Cache* block_cache,
+                   uint64_t cache_id, vfs::RandomAccessFile* file,
+                   uint64_t file_size, std::unique_ptr<Table>* table) {
+  table->reset();
+  if (file_size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  std::string footer_scratch;
+  Slice footer_input;
+  LSMIO_RETURN_IF_ERROR(file->Read(file_size - Footer::kEncodedLength,
+                                   Footer::kEncodedLength, &footer_input,
+                                   &footer_scratch));
+  if (footer_input.size() != Footer::kEncodedLength) {
+    return Status::Corruption("truncated sstable footer");
+  }
+
+  Footer footer;
+  LSMIO_RETURN_IF_ERROR(footer.DecodeFrom(&footer_input));
+
+  // Read the index block (always checksum-verified: it's small and vital).
+  ReadOptions opt;
+  opt.verify_checksums = options.paranoid_checks;
+  std::string index_contents;
+  LSMIO_RETURN_IF_ERROR(ReadBlockContents(file, opt, /*always_verify=*/true,
+                                          footer.index_handle(), &index_contents));
+
+  auto rep = std::make_unique<Rep>();
+  rep->options = options;
+  rep->comparator = comparator;
+  rep->filter_policy = filter_policy;
+  rep->block_cache = block_cache;
+  rep->cache_id = cache_id;
+  rep->file = file;
+  rep->index_block = std::make_unique<Block>(std::move(index_contents));
+  rep->metaindex_handle = footer.metaindex_handle();
+
+  auto* t = new Table(std::move(rep));
+  t->ReadMeta(footer);
+  table->reset(t);
+  return Status::OK();
+}
+
+void Table::ReadMeta(const Footer& footer) {
+  if (rep_->filter_policy == nullptr) return;
+
+  ReadOptions opt;
+  opt.verify_checksums = rep_->options.paranoid_checks;
+  std::string meta_contents;
+  if (!ReadBlockContents(rep_->file, opt, false, footer.metaindex_handle(),
+                         &meta_contents)
+           .ok()) {
+    return;  // no filter available; reads still work
+  }
+  Block meta(std::move(meta_contents));
+  std::unique_ptr<Iterator> iter(meta.NewIterator(BytewiseComparator()));
+  const std::string key = std::string("filter.") + rep_->filter_policy->Name();
+  iter->Seek(key);
+  if (iter->Valid() && iter->key() == Slice(key)) {
+    ReadFilter(iter->value());
+  }
+}
+
+void Table::ReadFilter(const Slice& filter_handle_value) {
+  Slice v = filter_handle_value;
+  BlockHandle filter_handle;
+  if (!filter_handle.DecodeFrom(&v).ok()) return;
+
+  ReadOptions opt;
+  opt.verify_checksums = rep_->options.paranoid_checks;
+  if (!ReadBlockContents(rep_->file, opt, false, filter_handle,
+                         &rep_->filter_data)
+           .ok()) {
+    return;
+  }
+  rep_->filter = std::make_unique<FilterBlockReader>(rep_->filter_policy,
+                                                     Slice(rep_->filter_data));
+}
+
+Iterator* Table::NewBlockIterator(const ReadOptions& options,
+                                  const Slice& index_value) const {
+  Rep* r = rep_.get();
+  Slice input = index_value;
+  BlockHandle handle;
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) return NewErrorIterator(s);
+
+  // Block-cache key: cache_id (8) | block offset (8).
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+  const bool use_cache = r->block_cache != nullptr && !r->options.disable_cache;
+
+  if (use_cache) {
+    char cache_key[16];
+    EncodeFixed64(cache_key, r->cache_id);
+    EncodeFixed64(cache_key + 8, handle.offset());
+    const Slice key(cache_key, sizeof cache_key);
+    cache_handle = r->block_cache->Lookup(key);
+    if (cache_handle != nullptr) {
+      block = static_cast<Block*>(r->block_cache->Value(cache_handle));
+    } else {
+      std::string contents;
+      s = ReadBlockContents(r->file, options, r->options.paranoid_checks,
+                            handle, &contents);
+      if (!s.ok()) return NewErrorIterator(s);
+      block = new Block(std::move(contents));
+      if (options.fill_cache) {
+        cache_handle = r->block_cache->Insert(
+            key, block, block->size(),
+            [](const Slice&, void* value) { delete static_cast<Block*>(value); });
+      }
+    }
+  } else {
+    std::string contents;
+    s = ReadBlockContents(r->file, options, r->options.paranoid_checks, handle,
+                          &contents);
+    if (!s.ok()) return NewErrorIterator(s);
+    block = new Block(std::move(contents));
+  }
+
+  Iterator* iter = block->NewIterator(r->comparator);
+  if (cache_handle != nullptr) {
+    Cache* cache = r->block_cache;
+    iter->RegisterCleanup([cache, cache_handle] { cache->Release(cache_handle); });
+  } else if (!use_cache || !options.fill_cache) {
+    iter->RegisterCleanup([block] { delete block; });
+  }
+  return iter;
+}
+
+Iterator* Table::NewIterator(const ReadOptions& options) const {
+  const Table* self = this;
+  return NewTwoLevelIterator(
+      rep_->index_block->NewIterator(rep_->comparator),
+      [self](const ReadOptions& opts, const Slice& index_value) {
+        return self->NewBlockIterator(opts, index_value);
+      },
+      options);
+}
+
+Status Table::InternalGet(
+    const ReadOptions& options, const Slice& internal_key,
+    const std::function<void(const Slice&, const Slice&)>& handle_result) const {
+  std::unique_ptr<Iterator> index_iter(
+      rep_->index_block->NewIterator(rep_->comparator));
+  index_iter->Seek(internal_key);
+  if (!index_iter->Valid()) return index_iter->status();
+
+  // Bloom check against the block this key would live in.
+  const Slice handle_value = index_iter->value();
+  if (rep_->filter != nullptr && internal_key.size() >= 8) {
+    Slice hv = handle_value;
+    BlockHandle handle;
+    if (handle.DecodeFrom(&hv).ok() &&
+        !rep_->filter->KeyMayMatch(handle.offset(), ExtractUserKey(internal_key))) {
+      return Status::OK();  // definitively absent
+    }
+  }
+
+  std::unique_ptr<Iterator> block_iter(NewBlockIterator(options, handle_value));
+  block_iter->Seek(internal_key);
+  if (block_iter->Valid()) {
+    handle_result(block_iter->key(), block_iter->value());
+  }
+  return block_iter->status();
+}
+
+uint64_t Table::ApproximateOffsetOf(const Slice& internal_key) const {
+  std::unique_ptr<Iterator> index_iter(
+      rep_->index_block->NewIterator(rep_->comparator));
+  index_iter->Seek(internal_key);
+  if (index_iter->Valid()) {
+    Slice input = index_iter->value();
+    BlockHandle handle;
+    if (handle.DecodeFrom(&input).ok()) return handle.offset();
+  }
+  // Past the last key: approximate with the metaindex offset (≈ file end).
+  return rep_->metaindex_handle.offset();
+}
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,62 @@
+// Immutable SSTable reader: footer → index/metaindex/filter blocks, block
+// cache integration, point lookups via bloom filter, iteration via the
+// two-level iterator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::lsm {
+
+class Cache;
+class Comparator;
+class FilterPolicy;
+
+class Table {
+ public:
+  /// Opens a table over `file` (which must outlive the Table). `file_size`
+  /// is the table's full size; `cache_id` namespaces block-cache keys and
+  /// `block_cache` may be null. `filter_policy` may be null.
+  static Status Open(const Options& options, const Comparator* comparator,
+                     const FilterPolicy* filter_policy, Cache* block_cache,
+                     uint64_t cache_id, vfs::RandomAccessFile* file,
+                     uint64_t file_size, std::unique_ptr<Table>* table);
+
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  /// Iterator over the table's (internal key, value) entries.
+  Iterator* NewIterator(const ReadOptions& options) const;
+
+  /// Seeks `internal_key`; if an entry is found, calls
+  /// handle_result(arg_key, arg_value). Checks the bloom filter first.
+  Status InternalGet(const ReadOptions& options, const Slice& internal_key,
+                     const std::function<void(const Slice&, const Slice&)>& handle_result) const;
+
+  /// Approximate file offset where `internal_key` would live.
+  uint64_t ApproximateOffsetOf(const Slice& internal_key) const;
+
+ private:
+  struct Rep;
+  explicit Table(std::unique_ptr<Rep> rep);
+
+  static Iterator* BlockReader(void* arg, const ReadOptions& options,
+                               const Slice& index_value);
+  Iterator* NewBlockIterator(const ReadOptions& options, const Slice& index_value) const;
+
+  void ReadMeta(const class Footer& footer);
+  void ReadFilter(const Slice& filter_handle_value);
+
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,57 @@
+// Cache of open Table readers keyed by file number, so repeated point
+// lookups don't re-open and re-parse table footers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "lsm/cache.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::lsm {
+
+class Comparator;
+class FilterPolicy;
+class Table;
+
+class TableCache {
+ public:
+  /// `entries` bounds the number of simultaneously open tables.
+  TableCache(std::string dbname, const Options& options,
+             const Comparator* icmp, const FilterPolicy* filter_policy,
+             Cache* block_cache, int entries);
+  ~TableCache();
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  /// Iterator over table `file_number` (size `file_size`). If `tableptr` is
+  /// non-null it receives the underlying Table (valid while the iterator
+  /// lives).
+  Iterator* NewIterator(const ReadOptions& options, uint64_t file_number,
+                        uint64_t file_size, Table** tableptr = nullptr);
+
+  /// Point lookup in table `file_number`.
+  Status Get(const ReadOptions& options, uint64_t file_number,
+             uint64_t file_size, const Slice& internal_key,
+             const std::function<void(const Slice&, const Slice&)>& handle_result);
+
+  /// Drops the cached handle for a deleted file.
+  void Evict(uint64_t file_number);
+
+ private:
+  Status FindTable(uint64_t file_number, uint64_t file_size, Cache::Handle** handle);
+
+  std::string dbname_;
+  Options options_;
+  const Comparator* icmp_;
+  const FilterPolicy* filter_policy_;
+  Cache* block_cache_;
+  std::unique_ptr<Cache> cache_;
+};
+
+}  // namespace lsmio::lsm

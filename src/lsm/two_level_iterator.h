@@ -1,0 +1,19 @@
+// Iterator over an index whose values locate data blocks: positions the
+// index first, then iterates within the located block.
+#pragma once
+
+#include <functional>
+
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+
+namespace lsmio::lsm {
+
+/// `block_function(index_value)` returns an iterator over the data block the
+/// index entry points at. Takes ownership of `index_iter`.
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    std::function<Iterator*(const ReadOptions&, const Slice&)> block_function,
+    const ReadOptions& options);
+
+}  // namespace lsmio::lsm

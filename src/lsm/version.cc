@@ -1,0 +1,317 @@
+#include "lsm/version.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+#include "lsm/comparator.h"
+#include "lsm/log_reader.h"
+#include "lsm/log_writer.h"
+#include "lsm/table_cache.h"
+#include "vfs/posix_vfs.h"
+
+namespace lsmio::lsm {
+
+// --- Version ---------------------------------------------------------------
+
+uint64_t Version::TotalBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& f : files[level]) total += f.file_size;
+  return total;
+}
+
+int Version::TotalFiles() const {
+  int n = 0;
+  for (const auto& level_files : files) n += static_cast<int>(level_files.size());
+  return n;
+}
+
+Status Version::Get(const ReadOptions& options, TableCache* table_cache,
+                    const LookupKey& key, std::string* value) const {
+  const Comparator* ucmp = icmp_->user_comparator();
+  const Slice user_key = key.user_key();
+  const Slice internal_key = key.internal_key();
+
+  struct GetState {
+    enum { kNotFound, kFound, kDeleted, kCorrupt } state = kNotFound;
+    Slice user_key;
+    const InternalKeyComparator* icmp;
+    std::string* value;
+  } state;
+  state.user_key = user_key;
+  state.icmp = icmp_;
+  state.value = value;
+
+  auto saver = [&state](const Slice& ikey, const Slice& v) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(ikey, &parsed)) {
+      state.state = GetState::kCorrupt;
+      return;
+    }
+    if (state.icmp->user_comparator()->Compare(parsed.user_key, state.user_key) != 0) {
+      return;  // a different key: not found in this table
+    }
+    if (parsed.type == ValueType::kValue) {
+      state.value->assign(v.data(), v.size());
+      state.state = GetState::kFound;
+    } else {
+      state.state = GetState::kDeleted;
+    }
+  };
+
+  // L0: newest first, check every overlapping file.
+  for (const auto& f : files[0]) {
+    if (ucmp->Compare(user_key, ExtractUserKey(Slice(f.smallest))) >= 0 &&
+        ucmp->Compare(user_key, ExtractUserKey(Slice(f.largest))) <= 0) {
+      LSMIO_RETURN_IF_ERROR(
+          table_cache->Get(options, f.number, f.file_size, internal_key, saver));
+      switch (state.state) {
+        case GetState::kFound: return Status::OK();
+        case GetState::kDeleted: return Status::NotFound("deleted");
+        case GetState::kCorrupt: return Status::Corruption("corrupted key");
+        case GetState::kNotFound: break;
+      }
+    }
+  }
+
+  // L1+: files are sorted and disjoint; binary search by largest key.
+  for (int level = 1; level < kNumLevels; ++level) {
+    const auto& level_files = files[level];
+    if (level_files.empty()) continue;
+    const auto it = std::lower_bound(
+        level_files.begin(), level_files.end(), internal_key,
+        [this](const FileMetaData& f, const Slice& target) {
+          return icmp_->Compare(Slice(f.largest), target) < 0;
+        });
+    if (it == level_files.end()) continue;
+    if (ucmp->Compare(user_key, ExtractUserKey(Slice(it->smallest))) < 0) continue;
+
+    LSMIO_RETURN_IF_ERROR(
+        table_cache->Get(options, it->number, it->file_size, internal_key, saver));
+    switch (state.state) {
+      case GetState::kFound: return Status::OK();
+      case GetState::kDeleted: return Status::NotFound("deleted");
+      case GetState::kCorrupt: return Status::Corruption("corrupted key");
+      case GetState::kNotFound: break;
+    }
+  }
+  return Status::NotFound("key not present");
+}
+
+void Version::AddIterators(const ReadOptions& options, TableCache* table_cache,
+                           std::vector<Iterator*>* iters) const {
+  for (const auto& level_files : files) {
+    for (const auto& f : level_files) {
+      iters->push_back(table_cache->NewIterator(options, f.number, f.file_size));
+    }
+  }
+}
+
+// --- VersionSet --------------------------------------------------------------
+
+VersionSet::VersionSet(std::string dbname, const Options& options,
+                       const InternalKeyComparator* icmp, TableCache* table_cache)
+    : dbname_(std::move(dbname)),
+      options_(options),
+      icmp_(icmp),
+      table_cache_(table_cache),
+      current_(std::make_shared<Version>(icmp)) {}
+
+VersionSet::~VersionSet() = default;
+
+vfs::Vfs& VersionSet::fs() const {
+  return options_.vfs != nullptr ? *options_.vfs : vfs::PosixVfs();
+}
+
+std::string VersionSet::EncodeSnapshot() const {
+  std::string out;
+  PutLengthPrefixedSlice(&out, icmp_->user_comparator()->Name());
+  PutVarint64(&out, log_number_);
+  PutVarint64(&out, next_file_number_);
+  PutVarint64(&out, last_sequence_);
+  PutVarint32(&out, kNumLevels);
+  for (int level = 0; level < kNumLevels; ++level) {
+    const auto& files = current_->files[level];
+    PutVarint32(&out, static_cast<uint32_t>(files.size()));
+    for (const auto& f : files) {
+      PutVarint64(&out, f.number);
+      PutVarint64(&out, f.file_size);
+      PutLengthPrefixedSlice(&out, Slice(f.smallest));
+      PutLengthPrefixedSlice(&out, Slice(f.largest));
+    }
+  }
+  return out;
+}
+
+Status VersionSet::DecodeSnapshot(const Slice& record) {
+  Slice input = record;
+  Slice comparator_name;
+  if (!GetLengthPrefixedSlice(&input, &comparator_name)) {
+    return Status::Corruption("manifest: bad comparator name");
+  }
+  if (comparator_name != Slice(icmp_->user_comparator()->Name())) {
+    return Status::InvalidArgument(
+        "comparator mismatch: db uses " + comparator_name.ToString() +
+        ", options supply " + icmp_->user_comparator()->Name());
+  }
+  uint64_t log_number, next_file, last_seq;
+  uint32_t num_levels;
+  if (!GetVarint64(&input, &log_number) || !GetVarint64(&input, &next_file) ||
+      !GetVarint64(&input, &last_seq) || !GetVarint32(&input, &num_levels)) {
+    return Status::Corruption("manifest: bad header fields");
+  }
+  if (num_levels > kNumLevels) {
+    return Status::Corruption("manifest: too many levels");
+  }
+
+  auto v = std::make_shared<Version>(icmp_);
+  for (uint32_t level = 0; level < num_levels; ++level) {
+    uint32_t count;
+    if (!GetVarint32(&input, &count)) return Status::Corruption("manifest: bad count");
+    for (uint32_t i = 0; i < count; ++i) {
+      FileMetaData f;
+      Slice smallest, largest;
+      if (!GetVarint64(&input, &f.number) || !GetVarint64(&input, &f.file_size) ||
+          !GetLengthPrefixedSlice(&input, &smallest) ||
+          !GetLengthPrefixedSlice(&input, &largest)) {
+        return Status::Corruption("manifest: bad file record");
+      }
+      f.smallest = smallest.ToString();
+      f.largest = largest.ToString();
+      v->files[level].push_back(std::move(f));
+    }
+  }
+
+  log_number_ = log_number;
+  next_file_number_ = next_file;
+  last_sequence_ = last_seq;
+  current_ = std::move(v);
+  return Status::OK();
+}
+
+Status VersionSet::SetCurrentFile(uint64_t manifest_number) {
+  // Write CURRENT via a temp file + rename for atomicity.
+  const std::string contents =
+      "MANIFEST-" + std::to_string(manifest_number).insert(
+          0, 6 - std::min<size_t>(6, std::to_string(manifest_number).size()), '0') +
+      "\n";
+  const std::string tmp = dbname_ + "/CURRENT.tmp";
+  LSMIO_RETURN_IF_ERROR(vfs::WriteStringToFile(fs(), tmp, contents));
+  return fs().RenameFile(tmp, CurrentFileName(dbname_));
+}
+
+Status VersionSet::WriteSnapshot() {
+  // Start a fresh manifest file.
+  manifest_file_number_ = NewFileNumber();
+  const std::string fname = ManifestFileName(dbname_, manifest_file_number_);
+  std::unique_ptr<vfs::WritableFile> file;
+  LSMIO_RETURN_IF_ERROR(fs().NewWritableFile(fname, {}, &file));
+  auto writer = std::make_unique<log::Writer>(file.get());
+  const std::string record = EncodeSnapshot();
+  Status s = writer->AddRecord(record);
+  if (s.ok()) s = file->Sync();
+  if (!s.ok()) {
+    file->Close();
+    fs().RemoveFile(fname);
+    return s;
+  }
+  manifest_file_ = std::move(file);
+  manifest_log_ = std::move(writer);
+  return SetCurrentFile(manifest_file_number_);
+}
+
+Status VersionSet::Recover(bool* save_manifest) {
+  *save_manifest = false;
+  std::string current;
+  Status s = vfs::ReadFileToString(fs(), CurrentFileName(dbname_), &current);
+  if (!s.ok()) return s;
+  if (current.empty() || current.back() != '\n') {
+    return Status::Corruption("CURRENT file is malformed");
+  }
+  current.pop_back();
+
+  const std::string manifest_path = dbname_ + "/" + current;
+  std::unique_ptr<vfs::SequentialFile> file;
+  LSMIO_RETURN_IF_ERROR(fs().NewSequentialFile(manifest_path, {}, &file));
+
+  struct Reporter final : log::Reader::Reporter {
+    Status status;
+    void Corruption(size_t, const Status& reason) override {
+      if (status.ok()) status = reason;
+    }
+  } reporter;
+
+  log::Reader reader(file.get(), &reporter, /*checksum=*/true);
+  Slice record;
+  std::string scratch;
+  bool found = false;
+  // Apply every snapshot record; the last one wins.
+  while (reader.ReadRecord(&record, &scratch)) {
+    LSMIO_RETURN_IF_ERROR(DecodeSnapshot(record));
+    found = true;
+  }
+  if (!reporter.status.ok()) return reporter.status;
+  if (!found) return Status::Corruption("manifest has no snapshot record");
+
+  uint64_t manifest_number = 0;
+  FileType type;
+  if (ParseFileName(current, &manifest_number, &type) &&
+      type == FileType::kManifestFile && manifest_number >= next_file_number_) {
+    next_file_number_ = manifest_number + 1;
+  }
+
+  // Append future records to a fresh manifest (simpler than re-opening the
+  // old one for append).
+  *save_manifest = true;
+  return Status::OK();
+}
+
+Status VersionSet::LogAndApply(std::shared_ptr<Version> v) {
+  current_ = std::move(v);
+  if (manifest_log_ == nullptr) {
+    return WriteSnapshot();
+  }
+  const std::string record = EncodeSnapshot();
+  Status s = manifest_log_->AddRecord(record);
+  if (s.ok() && options_.sync_writes) s = manifest_file_->Sync();
+  return s;
+}
+
+std::shared_ptr<Version> VersionSet::MakeVersion(
+    const std::vector<std::pair<int, FileMetaData>>& additions,
+    const std::vector<std::pair<int, uint64_t>>& deletions) const {
+  auto v = std::make_shared<Version>(icmp_);
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& f : current_->files[level]) {
+      const bool deleted = std::any_of(
+          deletions.begin(), deletions.end(), [&](const auto& d) {
+            return d.first == level && d.second == f.number;
+          });
+      if (!deleted) v->files[level].push_back(f);
+    }
+  }
+  for (const auto& [level, f] : additions) {
+    assert(level >= 0 && level < kNumLevels);
+    v->files[level].push_back(f);
+  }
+  // Keep L0 newest-first, L1+ sorted by smallest key.
+  std::sort(v->files[0].begin(), v->files[0].end(),
+            [](const FileMetaData& a, const FileMetaData& b) {
+              return a.number > b.number;
+            });
+  for (int level = 1; level < kNumLevels; ++level) {
+    std::sort(v->files[level].begin(), v->files[level].end(),
+              [this](const FileMetaData& a, const FileMetaData& b) {
+                return icmp_->Compare(Slice(a.smallest), Slice(b.smallest)) < 0;
+              });
+  }
+  return v;
+}
+
+void VersionSet::AddLiveFiles(std::vector<uint64_t>* live) const {
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& f : current_->files[level]) live->push_back(f.number);
+  }
+}
+
+}  // namespace lsmio::lsm

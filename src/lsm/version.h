@@ -1,0 +1,136 @@
+// Version management: which SSTables exist at which level, persisted to a
+// manifest. A Version is an immutable snapshot of the file layout; the
+// VersionSet installs new Versions as flushes/compactions complete and
+// journals each new state as a full-snapshot manifest record (simple and
+// robust at checkpoint-workload file counts).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::lsm {
+
+namespace log {
+class Writer;
+}
+
+class TableCache;
+
+inline constexpr int kNumLevels = 7;
+
+struct FileMetaData {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  std::string smallest;  // internal key
+  std::string largest;   // internal key
+};
+
+/// Immutable snapshot of the table layout, shared_ptr-owned by readers.
+class Version {
+ public:
+  explicit Version(const InternalKeyComparator* icmp) : icmp_(icmp) {}
+
+  /// Files per level. L0 is ordered newest-first (descending file number);
+  /// L1+ are sorted by smallest key and non-overlapping.
+  std::vector<FileMetaData> files[kNumLevels];
+
+  /// Looks `user key` up through the levels, newest first.
+  Status Get(const ReadOptions& options, TableCache* table_cache,
+             const LookupKey& key, std::string* value) const;
+
+  /// Appends an iterator per table file to *iters.
+  void AddIterators(const ReadOptions& options, TableCache* table_cache,
+                    std::vector<Iterator*>* iters) const;
+
+  [[nodiscard]] int NumFiles(int level) const {
+    return static_cast<int>(files[level].size());
+  }
+  [[nodiscard]] uint64_t TotalBytes(int level) const;
+
+  /// Number of table files across all levels.
+  [[nodiscard]] int TotalFiles() const;
+
+ private:
+  const InternalKeyComparator* icmp_;
+};
+
+/// Owner of the current Version and the manifest.
+class VersionSet {
+ public:
+  VersionSet(std::string dbname, const Options& options,
+             const InternalKeyComparator* icmp, TableCache* table_cache);
+  ~VersionSet();
+
+  VersionSet(const VersionSet&) = delete;
+  VersionSet& operator=(const VersionSet&) = delete;
+
+  /// Recovers state from CURRENT/manifest. *save_manifest is set when the
+  /// manifest should be rewritten (e.g. it did not exist).
+  Status Recover(bool* save_manifest);
+
+  /// Installs `v` as current and journals it. Called with the DB mutex held;
+  /// performs I/O.
+  Status LogAndApply(std::shared_ptr<Version> v);
+
+  /// Builds a new Version = current + additions - deletions.
+  std::shared_ptr<Version> MakeVersion(
+      const std::vector<std::pair<int, FileMetaData>>& additions,
+      const std::vector<std::pair<int, uint64_t>>& deletions) const;
+
+  [[nodiscard]] std::shared_ptr<Version> current() const { return current_; }
+
+  [[nodiscard]] uint64_t NewFileNumber() { return next_file_number_++; }
+  /// Re-use a file number handed out by NewFileNumber but never used.
+  void ReuseFileNumber(uint64_t number) {
+    if (next_file_number_ == number + 1) next_file_number_ = number;
+  }
+
+  [[nodiscard]] SequenceNumber LastSequence() const { return last_sequence_; }
+  void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
+
+  [[nodiscard]] uint64_t LogNumber() const { return log_number_; }
+  void SetLogNumber(uint64_t number) { log_number_ = number; }
+
+  [[nodiscard]] uint64_t ManifestFileNumber() const { return manifest_file_number_; }
+
+  /// All file numbers referenced by the current version (GC keeps these).
+  void AddLiveFiles(std::vector<uint64_t>* live) const;
+
+  /// Writes the current state as a manifest snapshot + CURRENT. Used on DB
+  /// creation and after recovery.
+  Status WriteSnapshot();
+
+ private:
+  std::string EncodeSnapshot() const;
+  Status DecodeSnapshot(const Slice& record);
+  Status SetCurrentFile(uint64_t manifest_number);
+
+  vfs::Vfs& fs() const;
+
+  std::string dbname_;
+  Options options_;
+  const InternalKeyComparator* icmp_;
+  TableCache* table_cache_;
+
+  std::shared_ptr<Version> current_;
+
+  uint64_t next_file_number_ = 2;
+  uint64_t manifest_file_number_ = 0;
+  SequenceNumber last_sequence_ = 0;
+  uint64_t log_number_ = 0;
+
+  std::unique_ptr<vfs::WritableFile> manifest_file_;
+  std::unique_ptr<log::Writer> manifest_log_;
+};
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,120 @@
+#include "lsm/write_batch.h"
+
+#include "common/coding.h"
+#include "lsm/memtable.h"
+
+namespace lsmio::lsm {
+
+namespace {
+// Header: 8-byte sequence + 4-byte count.
+constexpr size_t kHeader = 12;
+}  // namespace
+
+WriteBatch::WriteBatch() { Clear(); }
+
+void WriteBatch::Clear() {
+  rep_.clear();
+  rep_.resize(kHeader, '\0');
+}
+
+int WriteBatch::Count() const { return static_cast<int>(DecodeFixed32(rep_.data() + 8)); }
+
+void WriteBatch::SetCount(int n) {
+  EncodeFixed32(rep_.data() + 8, static_cast<uint32_t>(n));
+}
+
+SequenceNumber WriteBatch::Sequence() const { return DecodeFixed64(rep_.data()); }
+
+void WriteBatch::SetSequence(SequenceNumber seq) { EncodeFixed64(rep_.data(), seq); }
+
+void WriteBatch::Put(const Slice& key, const Slice& value) {
+  SetCount(Count() + 1);
+  rep_.push_back(static_cast<char>(ValueType::kValue));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, value);
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  SetCount(Count() + 1);
+  rep_.push_back(static_cast<char>(ValueType::kDeletion));
+  PutLengthPrefixedSlice(&rep_, key);
+}
+
+void WriteBatch::Append(const WriteBatch& source) {
+  SetCount(Count() + source.Count());
+  rep_.append(source.rep_.data() + kHeader, source.rep_.size() - kHeader);
+}
+
+Status WriteBatch::Iterate(Handler* handler) const {
+  Slice input(rep_);
+  if (input.size() < kHeader) {
+    return Status::Corruption("malformed WriteBatch (too small)");
+  }
+  input.remove_prefix(kHeader);
+  int found = 0;
+  while (!input.empty()) {
+    ++found;
+    const auto tag = static_cast<ValueType>(input[0]);
+    input.remove_prefix(1);
+    Slice key;
+    Slice value;
+    switch (tag) {
+      case ValueType::kValue:
+        if (!GetLengthPrefixedSlice(&input, &key) ||
+            !GetLengthPrefixedSlice(&input, &value)) {
+          return Status::Corruption("bad WriteBatch Put record");
+        }
+        handler->Put(key, value);
+        break;
+      case ValueType::kDeletion:
+        if (!GetLengthPrefixedSlice(&input, &key)) {
+          return Status::Corruption("bad WriteBatch Delete record");
+        }
+        handler->Delete(key);
+        break;
+      default:
+        return Status::Corruption("unknown WriteBatch record tag");
+    }
+  }
+  if (found != Count()) {
+    return Status::Corruption("WriteBatch count mismatch");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+class MemTableInserter final : public WriteBatch::Handler {
+ public:
+  MemTableInserter(SequenceNumber seq, MemTable* mem) : sequence_(seq), mem_(mem) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    mem_->Add(sequence_, ValueType::kValue, key, value);
+    ++sequence_;
+  }
+  void Delete(const Slice& key) override {
+    mem_->Add(sequence_, ValueType::kDeletion, key, Slice());
+    ++sequence_;
+  }
+
+ private:
+  SequenceNumber sequence_;
+  MemTable* mem_;
+};
+
+}  // namespace
+
+Status WriteBatch::InsertInto(MemTable* mem) const {
+  MemTableInserter inserter(Sequence(), mem);
+  return Iterate(&inserter);
+}
+
+Status WriteBatch::SetContents(WriteBatch* batch, const Slice& contents) {
+  if (contents.size() < kHeader) {
+    return Status::Corruption("WriteBatch contents too small");
+  }
+  batch->rep_.assign(contents.data(), contents.size());
+  return Status::OK();
+}
+
+}  // namespace lsmio::lsm

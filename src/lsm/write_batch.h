@@ -1,0 +1,64 @@
+// WriteBatch: an ordered group of updates applied atomically. Also the unit
+// of WAL logging — the batch's serialized form IS the log record. The paper
+// (§3.1.2) uses batching as the buffering/aggregation mechanism for the
+// LevelDB-style backend that cannot disable its WAL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/dbformat.h"
+
+namespace lsmio::lsm {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  WriteBatch();
+
+  /// Stores key->value.
+  void Put(const Slice& key, const Slice& value);
+  /// Removes key (writes a tombstone).
+  void Delete(const Slice& key);
+  /// Copies all ops of `source` onto the end of this batch.
+  void Append(const WriteBatch& source);
+  /// Clears all ops.
+  void Clear();
+
+  /// Number of ops.
+  [[nodiscard]] int Count() const;
+  /// Serialized size in bytes (== WAL record payload size).
+  [[nodiscard]] size_t ApproximateSize() const { return rep_.size(); }
+
+  /// Applies every op to the memtable with sequence numbers starting at the
+  /// batch's sequence.
+  Status InsertInto(MemTable* mem) const;
+
+  /// Visitor over the ops (used by recovery and tests).
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  // --- internal plumbing (DB + WAL) ----------------------------------------
+
+  [[nodiscard]] SequenceNumber Sequence() const;
+  void SetSequence(SequenceNumber seq);
+  [[nodiscard]] Slice Contents() const { return Slice(rep_); }
+  static Status SetContents(WriteBatch* batch, const Slice& contents);
+
+ private:
+  void SetCount(int n);
+
+  // rep_: fixed64 sequence | fixed32 count | records...
+  // record: kValue varstring key varstring value | kDeletion varstring key
+  std::string rep_;
+};
+
+}  // namespace lsmio::lsm

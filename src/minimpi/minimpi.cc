@@ -1,0 +1,321 @@
+#include "minimpi/minimpi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+namespace lsmio::minimpi {
+
+namespace {
+// Internal (negative) tag bases for collectives, offset by a per-call
+// operation counter so back-to-back collectives never cross wires.
+constexpr int64_t kBcastTag = -1'000'000'000LL;
+constexpr int64_t kGatherTag = -2'000'000'000LL;
+constexpr int64_t kSplitTag = -3'000'000'000LL;
+constexpr int64_t kReduceTag = -4'000'000'000LL;
+}  // namespace
+
+/// Shared state of all ranks: mailboxes keyed by (context, src, dst, tag)
+/// and per-context barrier generations.
+class World {
+ public:
+  explicit World(int num_ranks) : num_ranks_(num_ranks) {}
+
+  int num_ranks() const noexcept { return num_ranks_; }
+
+  void Send(uint32_t context, int src, int dst, int64_t tag, std::string data) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      mailboxes_[Key{context, src, dst, tag}].push_back(std::move(data));
+    }
+    cv_.notify_all();
+  }
+
+  std::string Recv(uint32_t context, int src, int dst, int64_t tag) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const Key key{context, src, dst, tag};
+    cv_.wait(lock, [&] {
+      auto it = mailboxes_.find(key);
+      return it != mailboxes_.end() && !it->second.empty();
+    });
+    auto it = mailboxes_.find(key);
+    std::string data = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) mailboxes_.erase(it);
+    return data;
+  }
+
+  void Barrier(uint32_t context, int group_size) {
+    std::unique_lock<std::mutex> lock(mu_);
+    BarrierState& b = barriers_[context];
+    const uint64_t generation = b.generation;
+    if (++b.waiting == group_size) {
+      b.waiting = 0;
+      ++b.generation;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return b.generation != generation; });
+    }
+  }
+
+  uint32_t NewContext() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_context_++;
+  }
+
+ private:
+  using Key = std::tuple<uint32_t, int, int, int64_t>;
+
+  struct BarrierState {
+    int waiting = 0;
+    uint64_t generation = 0;
+  };
+
+  int num_ranks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<std::string>> mailboxes_;
+  std::map<uint32_t, BarrierState> barriers_;
+  uint32_t next_context_ = 1;
+};
+
+void Comm::SendInternal(int dest, int64_t tag, const std::string& data) {
+  world_->Send(context_, rank_, dest, tag, data);
+}
+
+std::string Comm::RecvInternal(int source, int64_t tag) {
+  return world_->Recv(context_, source, rank_, tag);
+}
+
+void Comm::Barrier() { world_->Barrier(context_, size()); }
+
+void Comm::Send(int dest, int tag, const std::string& data) {
+  assert(tag >= 0 && "negative tags are reserved for collectives");
+  assert(dest >= 0 && dest < size());
+  SendInternal(dest, tag, data);
+}
+
+std::string Comm::Recv(int source, int tag) {
+  assert(tag >= 0);
+  assert(source >= 0 && source < size());
+  return RecvInternal(source, tag);
+}
+
+void Comm::Bcast(std::string* data, int root) {
+  const int64_t tag = kBcastTag - collective_seq_++;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) SendInternal(r, tag, *data);
+    }
+  } else {
+    *data = RecvInternal(root, tag);
+  }
+}
+
+std::vector<std::string> Comm::Gather(const std::string& data, int root) {
+  const int64_t tag = kGatherTag - collective_seq_++;
+  if (rank_ == root) {
+    std::vector<std::string> result(static_cast<size_t>(size()));
+    result[static_cast<size_t>(root)] = data;
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) result[static_cast<size_t>(r)] = RecvInternal(r, tag);
+    }
+    return result;
+  }
+  SendInternal(root, tag, data);
+  return {};
+}
+
+std::vector<std::string> Comm::Allgather(const std::string& data) {
+  std::vector<std::string> result = Gather(data, 0);
+  if (rank_ == 0) {
+    // Serialize and broadcast.
+    std::string packed;
+    for (const auto& s : result) {
+      const uint32_t len = static_cast<uint32_t>(s.size());
+      packed.append(reinterpret_cast<const char*>(&len), sizeof len);
+      packed += s;
+    }
+    Bcast(&packed, 0);
+    return result;
+  }
+  std::string packed;
+  Bcast(&packed, 0);
+  result.clear();
+  size_t pos = 0;
+  while (pos + sizeof(uint32_t) <= packed.size()) {
+    uint32_t len;
+    std::copy_n(packed.data() + pos, sizeof len, reinterpret_cast<char*>(&len));
+    pos += sizeof len;
+    result.push_back(packed.substr(pos, len));
+    pos += len;
+  }
+  return result;
+}
+
+namespace {
+template <typename T>
+T Combine(T a, T b, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMin: return std::min(a, b);
+    case ReduceOp::kMax: return std::max(a, b);
+  }
+  return a;
+}
+
+template <typename T>
+std::string Pack(T v) {
+  return std::string(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T Unpack(const std::string& s) {
+  T v{};
+  assert(s.size() == sizeof v);
+  std::copy_n(s.data(), sizeof v, reinterpret_cast<char*>(&v));
+  return v;
+}
+}  // namespace
+
+double Comm::Reduce(double value, ReduceOp op, int root) {
+  const int64_t tag = kReduceTag - collective_seq_++;
+  if (rank_ == root) {
+    double acc = value;
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) acc = Combine(acc, Unpack<double>(RecvInternal(r, tag)), op);
+    }
+    return acc;
+  }
+  SendInternal(root, tag, Pack(value));
+  return 0.0;
+}
+
+uint64_t Comm::Reduce(uint64_t value, ReduceOp op, int root) {
+  const int64_t tag = kReduceTag - collective_seq_++;
+  if (rank_ == root) {
+    uint64_t acc = value;
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) acc = Combine(acc, Unpack<uint64_t>(RecvInternal(r, tag)), op);
+    }
+    return acc;
+  }
+  SendInternal(root, tag, Pack(value));
+  return 0;
+}
+
+double Comm::Allreduce(double value, ReduceOp op) {
+  double result = Reduce(value, op, 0);
+  std::string packed = rank_ == 0 ? Pack(result) : std::string();
+  Bcast(&packed, 0);
+  return Unpack<double>(packed);
+}
+
+uint64_t Comm::Allreduce(uint64_t value, ReduceOp op) {
+  uint64_t result = Reduce(value, op, 0);
+  std::string packed = rank_ == 0 ? Pack(result) : std::string();
+  Bcast(&packed, 0);
+  return Unpack<uint64_t>(packed);
+}
+
+std::unique_ptr<Comm> Comm::Split(int color, int key) {
+  // Gather (color, key, rank) at rank 0, compute groups, broadcast the plan.
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  std::string mine = Pack(color) + Pack(key) + Pack(rank_);
+  const std::vector<std::string> all = Allgather(mine);
+
+  std::vector<Entry> entries;
+  entries.reserve(all.size());
+  for (const auto& s : all) {
+    Entry e{};
+    e.color = Unpack<int>(s.substr(0, sizeof(int)));
+    e.key = Unpack<int>(s.substr(sizeof(int), sizeof(int)));
+    e.rank = Unpack<int>(s.substr(2 * sizeof(int), sizeof(int)));
+    entries.push_back(e);
+  }
+
+  // My group: all entries with my color, ordered by (key, rank).
+  std::vector<Entry> mine_group;
+  for (const auto& e : entries) {
+    if (e.color == color) mine_group.push_back(e);
+  }
+  std::sort(mine_group.begin(), mine_group.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+  });
+
+  // Context id must be identical within a group and unique across groups +
+  // calls. Rank 0 allocates one context per distinct color and broadcasts
+  // the color->context map.
+  std::string packed_map;
+  if (rank_ == 0) {
+    std::vector<int> colors;
+    for (const auto& e : entries) colors.push_back(e.color);
+    std::sort(colors.begin(), colors.end());
+    colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+    for (const int c : colors) {
+      packed_map += Pack(c) + Pack(world_->NewContext());
+    }
+  }
+  Bcast(&packed_map, 0);
+
+  uint32_t my_context = 0;
+  for (size_t pos = 0; pos + sizeof(int) + sizeof(uint32_t) <= packed_map.size();
+       pos += sizeof(int) + sizeof(uint32_t)) {
+    const int c = Unpack<int>(packed_map.substr(pos, sizeof(int)));
+    if (c == color) {
+      my_context =
+          Unpack<uint32_t>(packed_map.substr(pos + sizeof(int), sizeof(uint32_t)));
+      break;
+    }
+  }
+  assert(my_context != 0);
+
+  // Build group (new comm rank -> world rank) and find my new rank.
+  std::vector<int> group;
+  int new_rank = -1;
+  for (size_t i = 0; i < mine_group.size(); ++i) {
+    group.push_back(WorldRank(mine_group[i].rank));
+    if (mine_group[i].rank == rank_) new_rank = static_cast<int>(i);
+  }
+  assert(new_rank >= 0);
+
+  // Sub-communicator p2p uses comm-local ranks directly.
+  return std::unique_ptr<Comm>(new Comm(world_, my_context, new_rank, std::move(group)));
+}
+
+void RunWorld(int num_ranks, const std::function<void(Comm&)>& fn) {
+  assert(num_ranks >= 1);
+  World world(num_ranks);
+
+  std::vector<int> identity(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) identity[static_cast<size_t>(r)] = r;
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(num_ranks));
+  threads.reserve(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r, identity] {
+      Comm comm(&world, /*context=*/0, r, identity);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace lsmio::minimpi

@@ -1,0 +1,97 @@
+// minimpi: an in-process MPI subset — ranks are threads in one process.
+//
+// The paper uses MPI for barriers around timed regions and (as future work)
+// collective I/O; examples and the LSMIO manager need Barrier, Bcast,
+// Gather, Allgather, Reduce/Allreduce, Send/Recv and Split. Collectives are
+// built on the point-to-point layer with internal tags, so one well-tested
+// mailbox path carries everything.
+//
+// Usage:
+//   minimpi::RunWorld(8, [](minimpi::Comm& comm) {
+//     comm.Barrier();
+//     auto all = comm.Allgather(std::to_string(comm.rank()));
+//   });
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsmio::minimpi {
+
+class World;
+
+/// Reduction operators for Reduce/Allreduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// A communicator bound to one rank of one group. Not thread-safe: each
+/// rank's thread owns its Comm.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(group_.size()); }
+
+  /// Blocks until every rank of this communicator has entered.
+  void Barrier();
+
+  /// Blocking point-to-point. Tags must be >= 0 (negative tags are reserved
+  /// for collectives). Messages with the same (src, dst, tag) are delivered
+  /// in order.
+  void Send(int dest, int tag, const std::string& data);
+  std::string Recv(int source, int tag);
+
+  /// Root's data is distributed to everyone (data is in/out).
+  void Bcast(std::string* data, int root);
+
+  /// Root receives [rank0 data, rank1 data, ...]; others get an empty vector.
+  std::vector<std::string> Gather(const std::string& data, int root);
+
+  /// Everyone receives all ranks' data, ordered by rank.
+  std::vector<std::string> Allgather(const std::string& data);
+
+  /// Root receives op over all ranks' values; others get 0.
+  double Reduce(double value, ReduceOp op, int root);
+  uint64_t Reduce(uint64_t value, ReduceOp op, int root);
+
+  /// Everyone receives op over all ranks' values.
+  double Allreduce(double value, ReduceOp op);
+  uint64_t Allreduce(uint64_t value, ReduceOp op);
+
+  /// Partitions ranks by `color`; within a color, ranks are ordered by
+  /// (key, parent rank). Returns this rank's communicator for its color.
+  std::unique_ptr<Comm> Split(int color, int key);
+
+ private:
+  friend class World;
+  friend void RunWorld(int num_ranks, const std::function<void(Comm&)>& fn);
+  Comm(World* world, uint32_t context, int rank, std::vector<int> group)
+      : world_(world), context_(context), rank_(rank), group_(std::move(group)) {}
+
+  /// Translates a communicator rank to a world rank.
+  [[nodiscard]] int WorldRank(int comm_rank) const {
+    return group_[static_cast<size_t>(comm_rank)];
+  }
+
+  void SendInternal(int dest, int64_t tag, const std::string& data);
+  std::string RecvInternal(int source, int64_t tag);
+
+  World* world_;
+  uint32_t context_;
+  int rank_;
+  std::vector<int> group_;  // comm rank -> world rank
+  // Per-communicator collective sequence number, used to build unique
+  // internal tags. Stays in sync across ranks because MPI semantics require
+  // every rank of a communicator to make the same collective calls in the
+  // same order.
+  int64_t collective_seq_ = 0;
+};
+
+/// Runs fn on `num_ranks` threads, each with its own world communicator.
+/// Rethrows the first exception any rank threw (after joining all ranks).
+void RunWorld(int num_ranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace lsmio::minimpi

@@ -1,0 +1,75 @@
+// Cluster model parameters for the simulated parallel file system.
+//
+// The defaults encode the University of York "Viking" system the paper
+// evaluates on (Table 4): 45 OSTs behind 2 OSSs, 10×8 TB 7,200-RPM NL-SAS
+// pools per OST, 40-core nodes. Timing constants are effective values
+// (RAID pool streaming rate, elevator-amortized seek) calibrated so the
+// simulated IOR baseline reproduces the paper's curve shapes; see
+// EXPERIMENTS.md for the calibration notes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace lsmio::pfs {
+
+struct ClusterSpec {
+  // --- storage servers ---
+  int num_osts = 45;
+  int num_oss = 2;
+  /// Streaming bandwidth of one OST pool (bytes/s).
+  double ost_seq_bw = 500e6;
+  /// Effective head-reposition cost charged when an OST's next request is
+  /// not contiguous with the last one it served (elevator-amortized).
+  double seek_time = 2.5e-3;
+  /// Floor on per-request disk service time (controller overhead).
+  double ost_min_service = 50e-6;
+
+  // --- network ---
+  /// Effective client node NIC bandwidth for file I/O (bytes/s). Nominally
+  /// 10 GbE; the effective value is lower because the interconnect is
+  /// shared with MPI traffic and the Lustre client stack tops out earlier.
+  double client_nic_bw = 0.7e9;
+  /// Per-OSS ingress bandwidth (bytes/s).
+  double oss_link_bw = 1.6e9;
+  /// One-way RPC latency (s).
+  double rpc_latency = 150e-6;
+
+  // --- metadata server ---
+  /// Service time per namespace operation at the (single) MDS.
+  double mds_service_time = 200e-6;
+
+  // --- LDLM extent-lock model ---
+  /// Cost charged per write RPC when ownership of a shared OST object
+  /// ping-pongs between writers (lock revocation round trips + forced cache
+  /// flush). Applies only once a file has more concurrent writers than its
+  /// stripe count — below that, the lock manager can partition object
+  /// ownership so each client streams (see DESIGN.md).
+  double lock_switch_time = 0.4e-3;
+  /// Effective service bandwidth of a contended (lock-ping-ponged) object:
+  /// revocations force small synchronous cache flushes, so the object
+  /// serves far below streaming rate regardless of RPC size.
+  double ost_contended_bw = 55e6;
+  /// Repositioning cost when the disk head jumps between different readers'
+  /// positions within one object (readahead amortizes part of a full seek).
+  double read_switch_time = 0.9e-3;
+
+  // --- client behaviour (Lustre write-back cache / RPC engine) ---
+  /// Dirty data is shipped in object RPCs of at most this size.
+  uint64_t max_rpc_bytes = 4 * MiB;
+  /// Max write RPCs a client keeps in flight before stalling.
+  int max_inflight_rpcs = 8;
+};
+
+/// The Viking cluster of the paper (Table 4).
+inline ClusterSpec Viking() { return ClusterSpec{}; }
+
+/// Default Lustre striping of a file (per-run configurable; the paper
+/// sweeps stripe_size ∈ {64 KiB, 1 MiB} and stripe_count ∈ {4, 16}).
+struct StripeSettings {
+  uint64_t stripe_size = 1 * MiB;
+  int stripe_count = 4;
+};
+
+}  // namespace lsmio::pfs

@@ -1,0 +1,45 @@
+#include "pfs/layout.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsmio::pfs {
+
+std::vector<ObjectExtent> StripeLayout::Map(uint64_t offset, uint64_t length) const {
+  std::vector<ObjectExtent> result;
+  if (length == 0) return result;
+
+  const uint64_t ss = settings_.stripe_size;
+  const auto sc = static_cast<uint64_t>(settings_.stripe_count);
+  assert(ss > 0 && sc > 0);
+
+  // Per-OST index of the extent being grown in `result`. A contiguous file
+  // extent visits each OST's stripes in increasing object order, and those
+  // object offsets are themselves contiguous, so at most one extent per OST
+  // results (plus possibly ragged first/last stripes, which still merge).
+  std::vector<int> open_extent(static_cast<size_t>(num_osts_), -1);
+
+  uint64_t pos = offset;
+  const uint64_t end = offset + length;
+  while (pos < end) {
+    const uint64_t row = pos / ss;
+    const uint64_t in_stripe = pos % ss;
+    const uint64_t chunk = std::min(ss - in_stripe, end - pos);
+    const int ost = OstOfStripe(row);
+    const uint64_t object_offset = (row / sc) * ss + in_stripe;
+
+    const int idx = open_extent[static_cast<size_t>(ost)];
+    if (idx >= 0 &&
+        result[static_cast<size_t>(idx)].object_offset +
+                result[static_cast<size_t>(idx)].length == object_offset) {
+      result[static_cast<size_t>(idx)].length += chunk;
+    } else {
+      open_extent[static_cast<size_t>(ost)] = static_cast<int>(result.size());
+      result.push_back(ObjectExtent{ost, object_offset, chunk});
+    }
+    pos += chunk;
+  }
+  return result;
+}
+
+}  // namespace lsmio::pfs

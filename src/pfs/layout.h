@@ -1,0 +1,47 @@
+// File-to-OST striping: maps a contiguous file extent to per-OST object
+// extents, Lustre-style (round-robin stripes; each OST object stores its
+// stripes contiguously, so a contiguous file extent maps to at most one
+// contiguous object extent per OST).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pfs/cluster.h"
+
+namespace lsmio::pfs {
+
+/// One piece of a file extent on one OST.
+struct ObjectExtent {
+  int ost = 0;             // global OST index
+  uint64_t object_offset = 0;  // offset within this file's object on that OST
+  uint64_t length = 0;
+};
+
+class StripeLayout {
+ public:
+  /// `starting_ost` is the OST of stripe 0 (Lustre assigns this at create;
+  /// the simulator round-robins it across files).
+  StripeLayout(StripeSettings settings, int starting_ost, int num_osts)
+      : settings_(settings), starting_ost_(starting_ost), num_osts_(num_osts) {}
+
+  /// Splits [offset, offset+length) into per-OST object extents, merging
+  /// adjacent stripes of the same OST into one extent.
+  [[nodiscard]] std::vector<ObjectExtent> Map(uint64_t offset, uint64_t length) const;
+
+  [[nodiscard]] int OstOfStripe(uint64_t stripe_row) const {
+    return (starting_ost_ + static_cast<int>(stripe_row % static_cast<uint64_t>(
+                                settings_.stripe_count))) %
+           num_osts_;
+  }
+
+  [[nodiscard]] const StripeSettings& settings() const noexcept { return settings_; }
+  [[nodiscard]] int starting_ost() const noexcept { return starting_ost_; }
+
+ private:
+  StripeSettings settings_;
+  int starting_ost_;
+  int num_osts_;
+};
+
+}  // namespace lsmio::pfs

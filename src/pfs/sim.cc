@@ -1,0 +1,537 @@
+#include "pfs/sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace lsmio::pfs {
+
+namespace {
+
+using vfs::IoOp;
+using vfs::IoOpKind;
+
+// --- coalesced per-rank actions ----------------------------------------------
+
+enum class ActionKind : uint8_t {
+  kWrite,   // coalesced contiguous extent
+  kRead,    // coalesced contiguous extent
+  kSync,    // wait for this rank's in-flight writes
+  kMeta,    // blocking MDS round-trip
+  kCompute, // advance local clock
+  kBarrier,
+  kPhaseBegin,
+  kPhaseEnd,
+};
+
+struct Action {
+  ActionKind kind;
+  uint32_t file = vfs::kNoFile;
+  uint64_t offset = 0;
+  uint64_t length = 0;   // bytes; or nanoseconds for kCompute; id for kBarrier
+};
+
+// Collapses the raw trace into actions, merging contiguous same-file writes
+// (the Lustre client write-back cache) and contiguous same-file reads
+// (client read-ahead). Runs are capped at max_rpc_bytes so the in-flight
+// window meters RPC-sized units.
+std::vector<Action> CoalesceTrace(const vfs::IoTrace& trace, uint64_t max_rpc_bytes) {
+  std::vector<Action> actions;
+  actions.reserve(trace.ops.size());
+
+  Action pending{};  // pending.length == 0 means none
+  bool pending_is_write = false;
+
+  auto flush_pending = [&] {
+    if (pending.length > 0) {
+      actions.push_back(pending);
+      pending.length = 0;
+    }
+  };
+
+  for (const IoOp& op : trace.ops) {
+    switch (op.kind) {
+      case IoOpKind::kWrite:
+      case IoOpKind::kRead: {
+        const bool is_write = op.kind == IoOpKind::kWrite;
+        uint64_t offset = op.offset;
+        uint64_t remaining = op.size;
+        while (remaining > 0) {
+          if (pending.length > 0 && pending_is_write == is_write &&
+              pending.file == op.file &&
+              pending.offset + pending.length == offset &&
+              pending.length < max_rpc_bytes) {
+            const uint64_t take =
+                std::min(remaining, max_rpc_bytes - pending.length);
+            pending.length += take;
+            offset += take;
+            remaining -= take;
+          } else {
+            flush_pending();
+            pending.kind = is_write ? ActionKind::kWrite : ActionKind::kRead;
+            pending.file = op.file;
+            pending.offset = offset;
+            const uint64_t take = std::min(remaining, max_rpc_bytes);
+            pending.length = take;
+            pending_is_write = is_write;
+            offset += take;
+            remaining -= take;
+          }
+        }
+        break;
+      }
+      case IoOpKind::kCompute:
+        // Compute does not disturb the write-back cache.
+        actions.push_back(Action{ActionKind::kCompute, vfs::kNoFile, 0, op.size});
+        break;
+      case IoOpKind::kSync:
+        flush_pending();
+        actions.push_back(Action{ActionKind::kSync, op.file, 0, 0});
+        break;
+      case IoOpKind::kCreate:
+      case IoOpKind::kOpen:
+      case IoOpKind::kClose:
+      case IoOpKind::kRemove:
+      case IoOpKind::kRename:
+      case IoOpKind::kStat:
+        flush_pending();
+        actions.push_back(Action{ActionKind::kMeta, op.file, 0, 0});
+        break;
+      case IoOpKind::kBarrier:
+        flush_pending();
+        actions.push_back(Action{ActionKind::kBarrier, vfs::kNoFile, 0, op.size});
+        break;
+      case IoOpKind::kPhaseBegin:
+        flush_pending();
+        actions.push_back(Action{ActionKind::kPhaseBegin, vfs::kNoFile, 0, 0});
+        break;
+      case IoOpKind::kPhaseEnd:
+        flush_pending();
+        actions.push_back(Action{ActionKind::kPhaseEnd, vfs::kNoFile, 0, 0});
+        break;
+    }
+  }
+  flush_pending();
+  return actions;
+}
+
+// --- event engine -------------------------------------------------------------
+
+enum class EventKind : uint8_t { kClientAdvance, kOssArrive, kOstArrive, kRpcDone };
+
+struct Rpc {
+  int rank = 0;
+  uint32_t file = vfs::kNoFile;
+  int ost = 0;
+  uint64_t object_offset = 0;
+  uint64_t bytes = 0;
+  bool is_read = false;
+};
+
+struct Event {
+  double time = 0;
+  uint64_t seq = 0;  // deterministic tie-break
+  EventKind kind = EventKind::kClientAdvance;
+  int rank = 0;
+  Rpc rpc;
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct ClientState {
+  std::vector<Action> actions;
+  size_t next_action = 0;
+  double now = 0;
+  double nic_available = 0;
+  int inflight_writes = 0;
+  int outstanding_reads = 0;
+  double read_complete_time = 0;  // max completion among outstanding reads
+
+  enum class Block { kNone, kWindow, kSync, kReads, kBarrier, kDone };
+  Block blocked = Block::kNone;
+
+  double phase_begin = -1;
+  double phase_end = -1;
+  bool in_phase = false;
+  uint64_t phase_written = 0;
+  uint64_t phase_read = 0;
+};
+
+struct BarrierState {
+  int arrived = 0;
+  double max_time = 0;
+  std::vector<int> waiting_ranks;
+};
+
+// Per-(OST, file) object state for the extent-lock / sequentiality model.
+struct ObjectState {
+  int last_writer = -1;
+  uint64_t last_end = 0;           // end offset of the last RPC (any writer)
+  std::map<int, uint64_t> stream_end;  // per-rank stream positions
+};
+
+struct OstState {
+  double available = 0;
+  uint32_t last_file = vfs::kNoFile;
+  bool has_last = false;
+  std::map<uint32_t, ObjectState> objects;
+};
+
+}  // namespace
+
+SimResult LustreSim::Run(const vfs::TraceContext& traces) {
+  const ClusterSpec& cluster = options_.cluster;
+  const int num_ranks = traces.num_ranks();
+
+  // Per-file stripe layouts: the starting OST derives from a hash of the
+  // file's path (Lustre's allocator spreads files across OSTs; hashing the
+  // path keeps the placement independent of the order in which racing rank
+  // threads first touched each file, so runs are deterministic).
+  const size_t num_files = traces.num_files();
+  std::vector<StripeLayout> layouts;
+  layouts.reserve(num_files);
+  for (size_t f = 0; f < num_files; ++f) {
+    const std::string& path = traces.PathOf(static_cast<uint32_t>(f));
+    const int start = static_cast<int>(
+        Hash64(path.data(), path.size(), /*seed=*/17) %
+        static_cast<uint64_t>(cluster.num_osts));
+    layouts.emplace_back(options_.stripe, start, cluster.num_osts);
+  }
+
+  std::vector<ClientState> clients(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    clients[static_cast<size_t>(r)].actions =
+        CoalesceTrace(traces.TraceForRank(r), cluster.max_rpc_bytes);
+  }
+
+  // Distinct writer count per file drives the extent-lock contention model.
+  std::vector<int> writers_per_file(num_files, 0);
+  {
+    std::vector<std::vector<bool>> wrote(
+        num_files, std::vector<bool>(static_cast<size_t>(num_ranks), false));
+    for (int r = 0; r < num_ranks; ++r) {
+      for (const IoOp& op : traces.TraceForRank(r).ops) {
+        if (op.kind == IoOpKind::kWrite && op.file < num_files &&
+            !wrote[op.file][static_cast<size_t>(r)]) {
+          wrote[op.file][static_cast<size_t>(r)] = true;
+          ++writers_per_file[op.file];
+        }
+      }
+    }
+  }
+
+  std::vector<OstState> osts(static_cast<size_t>(cluster.num_osts));
+  std::vector<double> oss_available(static_cast<size_t>(cluster.num_oss), 0.0);
+  double mds_available = 0;
+
+  SimResult result;
+  result.ost.resize(static_cast<size_t>(cluster.num_osts));
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  uint64_t next_seq = 0;
+  auto schedule = [&](double time, EventKind kind, int rank, const Rpc& rpc = {}) {
+    events.push(Event{time, next_seq++, kind, rank, rpc});
+  };
+
+  std::map<uint64_t, BarrierState> barriers;
+
+  for (int r = 0; r < num_ranks; ++r) schedule(0.0, EventKind::kClientAdvance, r);
+
+  // Issues the object RPCs of one coalesced extent; returns count issued.
+  auto issue_extent = [&](int rank, const Action& action, bool is_read) {
+    ClientState& client = clients[static_cast<size_t>(rank)];
+    const StripeLayout& layout = layouts[action.file];
+
+    // CPU cost of producing/consuming the payload.
+    const double cpu = static_cast<double>(action.length) *
+                       (is_read ? options_.cpu_per_read_byte
+                                : options_.cpu_per_write_byte);
+    client.now += cpu;
+
+    int issued = 0;
+    // Actions are already capped at max_rpc_bytes by CoalesceTrace; one
+    // action yields at most stripe_count object RPCs.
+    for (const ObjectExtent& ext : layout.Map(action.offset, action.length)) {
+      // Client NIC is serialized. Reads only pay the (tiny) request send
+      // here; their payload streams back at completion.
+      const double nic_time =
+          is_read ? 0.0
+                  : static_cast<double>(ext.length) / cluster.client_nic_bw;
+      const double nic_start = std::max(client.now, client.nic_available);
+      client.nic_available = nic_start + nic_time;
+      client.now = client.nic_available;
+
+      Rpc rpc;
+      rpc.rank = rank;
+      rpc.file = action.file;
+      rpc.ost = ext.ost;
+      rpc.object_offset = ext.object_offset;
+      rpc.bytes = ext.length;
+      rpc.is_read = is_read;
+      schedule(client.now + cluster.rpc_latency, EventKind::kOssArrive, rank, rpc);
+      ++issued;
+    }
+    if (client.in_phase) {
+      if (is_read) client.phase_read += action.length;
+      else client.phase_written += action.length;
+    }
+    return issued;
+  };
+
+  // Advances `rank` through its actions until it blocks or finishes.
+  // Defined as a plain loop driven from the event handler below.
+  auto advance_client = [&](int rank) {
+    ClientState& client = clients[static_cast<size_t>(rank)];
+    client.blocked = ClientState::Block::kNone;
+
+    while (client.next_action < client.actions.size()) {
+      const Action& action = client.actions[client.next_action];
+      switch (action.kind) {
+        case ActionKind::kCompute:
+          client.now += static_cast<double>(action.length) * 1e-9;
+          ++client.next_action;
+          break;
+
+        case ActionKind::kWrite: {
+          if (client.inflight_writes >= cluster.max_inflight_rpcs) {
+            client.blocked = ClientState::Block::kWindow;
+            return;
+          }
+          client.inflight_writes += issue_extent(rank, action, /*is_read=*/false);
+          ++client.next_action;
+          break;
+        }
+
+        case ActionKind::kRead: {
+          client.outstanding_reads += issue_extent(rank, action, /*is_read=*/true);
+          ++client.next_action;
+          if (client.outstanding_reads > 0) {
+            client.blocked = ClientState::Block::kReads;
+            return;
+          }
+          break;
+        }
+
+        case ActionKind::kSync:
+          if (client.inflight_writes > 0) {
+            client.blocked = ClientState::Block::kSync;
+            return;  // re-entered when the last write completes
+          }
+          ++client.next_action;
+          break;
+
+        case ActionKind::kMeta: {
+          const double arrive = client.now + cluster.rpc_latency;
+          const double start = std::max(arrive, mds_available);
+          mds_available = start + cluster.mds_service_time;
+          client.now = mds_available + cluster.rpc_latency;
+          ++result.mds_ops;
+          ++client.next_action;
+          break;
+        }
+
+        case ActionKind::kBarrier: {
+          // MPI barriers do not flush I/O: async writes stay in flight
+          // across them; only Sync/PhaseEnd wait for completions.
+          BarrierState& barrier = barriers[action.length];
+          barrier.max_time = std::max(barrier.max_time, client.now);
+          ++barrier.arrived;
+          ++client.next_action;
+          if (barrier.arrived == num_ranks) {
+            const double release = barrier.max_time;
+            for (const int waiting_rank : barrier.waiting_ranks) {
+              ClientState& waiter = clients[static_cast<size_t>(waiting_rank)];
+              waiter.now = release;
+              waiter.blocked = ClientState::Block::kNone;
+              schedule(release, EventKind::kClientAdvance, waiting_rank);
+            }
+            barriers.erase(action.length);
+            client.now = std::max(client.now, release);
+            break;  // this rank continues inline
+          }
+          barrier.waiting_ranks.push_back(rank);
+          client.blocked = ClientState::Block::kBarrier;
+          return;
+        }
+
+        case ActionKind::kPhaseBegin:
+          client.phase_begin = client.now;
+          client.in_phase = true;
+          ++client.next_action;
+          break;
+
+        case ActionKind::kPhaseEnd:
+          if (client.inflight_writes > 0) {
+            client.blocked = ClientState::Block::kSync;  // drain writes first
+            return;
+          }
+          client.phase_end = client.now;
+          client.in_phase = false;
+          ++client.next_action;
+          break;
+      }
+    }
+    client.blocked = ClientState::Block::kDone;
+  };
+
+  // --- main event loop ---
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    ClientState& client = clients[static_cast<size_t>(event.rank)];
+
+    switch (event.kind) {
+      case EventKind::kClientAdvance:
+        // Advance events are only ever scheduled for unblocked clients (the
+        // unblocking site clears `blocked` first); anything else is stale.
+        if (client.blocked != ClientState::Block::kNone) break;
+        client.now = std::max(client.now, event.time);
+        advance_client(event.rank);
+        break;
+
+      case EventKind::kOssArrive: {
+        const int oss = event.rpc.ost % cluster.num_oss;
+        const double start = std::max(event.time, oss_available[static_cast<size_t>(oss)]);
+        const double link_time =
+            static_cast<double>(event.rpc.bytes) / cluster.oss_link_bw;
+        oss_available[static_cast<size_t>(oss)] = start + link_time;
+        schedule(start + link_time, EventKind::kOstArrive, event.rank, event.rpc);
+        break;
+      }
+
+      case EventKind::kOstArrive: {
+        OstState& ost = osts[static_cast<size_t>(event.rpc.ost)];
+        OstStats& stats = result.ost[static_cast<size_t>(event.rpc.ost)];
+        const double start = std::max(event.time, ost.available);
+        ObjectState& object = ost.objects[event.rpc.file];
+        const int writers = writers_per_file[event.rpc.file];
+        const bool cross_file = !ost.has_last || ost.last_file != event.rpc.file;
+
+        bool sequential;
+        double lock_cost = 0;
+        bool contended = false;
+        if (!event.rpc.is_read && writers > options_.stripe.stripe_count) {
+          // Contended object: exclusive extent-lock ownership ping-pongs and
+          // revocation-forced cache flushes cap the service bandwidth.
+          contended = true;
+          const bool switched =
+              object.last_writer >= 0 && object.last_writer != event.rpc.rank;
+          if (switched) lock_cost = cluster.lock_switch_time;
+          sequential = !switched && !cross_file &&
+                       object.last_end == event.rpc.object_offset;
+        } else if (event.rpc.is_read) {
+          // Reads: a rank streaming its own object forward is sequential;
+          // jumping between different readers' positions costs a (partially
+          // readahead-amortized) reposition instead of a full seek.
+          uint64_t& stream_end = object.stream_end[event.rpc.rank];
+          const uint64_t off = event.rpc.object_offset;
+          sequential =
+              !cross_file && (off == stream_end || off == object.last_end);
+          stream_end = off + event.rpc.bytes;
+        } else {
+          // Few writers: the lock manager partitions ownership and the
+          // elevator merges the interleaved per-rank streams. A rank's
+          // forward progress counts as sequential when other ranks' data
+          // fills its gaps (writers > 1); a lone stream must be exactly
+          // contiguous.
+          uint64_t& stream_end = object.stream_end[event.rpc.rank];
+          const uint64_t off = event.rpc.object_offset;
+          if (cross_file) {
+            sequential = false;
+          } else if (off == stream_end || off == object.last_end) {
+            sequential = true;
+          } else {
+            sequential = writers > 1 && off > stream_end;
+          }
+          stream_end = off + event.rpc.bytes;
+        }
+
+        double service = static_cast<double>(event.rpc.bytes) /
+                         (contended ? cluster.ost_contended_bw
+                                    : cluster.ost_seq_bw);
+        service = std::max(service, cluster.ost_min_service);
+        service += lock_cost;
+        if (!sequential) {
+          // Reads reposition more cheaply: readahead hides part of the seek.
+          service += event.rpc.is_read ? cluster.read_switch_time
+                                       : cluster.seek_time;
+          ++stats.seeks;
+          ++result.total_seeks;
+        }
+        ost.available = start + service;
+        ost.has_last = true;
+        ost.last_file = event.rpc.file;
+        object.last_writer = event.rpc.is_read ? object.last_writer : event.rpc.rank;
+        object.last_end = event.rpc.object_offset + event.rpc.bytes;
+
+        ++stats.requests;
+        stats.busy_seconds += service;
+        if (event.rpc.is_read) stats.bytes_read += event.rpc.bytes;
+        else stats.bytes_written += event.rpc.bytes;
+        ++result.total_rpcs;
+
+        // Read responses additionally stream back over the client NIC.
+        double done = ost.available + cluster.rpc_latency;
+        if (event.rpc.is_read) {
+          done += static_cast<double>(event.rpc.bytes) / cluster.client_nic_bw;
+        }
+        schedule(done, EventKind::kRpcDone, event.rank, event.rpc);
+        break;
+      }
+
+      case EventKind::kRpcDone: {
+        if (event.rpc.is_read) {
+          --client.outstanding_reads;
+          client.read_complete_time = std::max(client.read_complete_time, event.time);
+          if (client.outstanding_reads == 0 &&
+              client.blocked == ClientState::Block::kReads) {
+            client.now = std::max(client.now, client.read_complete_time);
+            client.blocked = ClientState::Block::kNone;
+            schedule(client.now, EventKind::kClientAdvance, event.rank);
+          }
+        } else {
+          --client.inflight_writes;
+          if (client.blocked == ClientState::Block::kWindow &&
+              client.inflight_writes < cluster.max_inflight_rpcs) {
+            client.now = std::max(client.now, event.time);
+            client.blocked = ClientState::Block::kNone;
+            schedule(client.now, EventKind::kClientAdvance, event.rank);
+          } else if (client.blocked == ClientState::Block::kSync &&
+                     client.inflight_writes == 0) {
+            client.now = std::max(client.now, event.time);
+            client.blocked = ClientState::Block::kNone;
+            schedule(client.now, EventKind::kClientAdvance, event.rank);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // --- aggregate results ---
+  double phase_begin = 0;
+  double phase_end = 0;
+  for (const ClientState& client : clients) {
+    if (client.blocked != ClientState::Block::kDone) {
+      LSMIO_WARN << "simulation ended with a blocked rank (deadlocked trace?)";
+    }
+    result.makespan_seconds = std::max(result.makespan_seconds, client.now);
+    if (client.phase_begin >= 0) {
+      phase_begin = std::max(phase_begin, client.phase_begin);
+      phase_end = std::max(phase_end, client.phase_end);
+      result.phase_bytes_written += client.phase_written;
+      result.phase_bytes_read += client.phase_read;
+    }
+  }
+  result.phase_seconds = std::max(0.0, phase_end - phase_begin);
+  return result;
+}
+
+}  // namespace lsmio::pfs

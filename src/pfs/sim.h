@@ -1,0 +1,82 @@
+// LustreSim: deterministic discrete-event replay of per-rank I/O traces on
+// the simulated cluster.
+//
+// Model (see DESIGN.md §2 for the substitution rationale):
+//  * Client write-back cache: contiguous same-file writes coalesce, then
+//    ship as object RPCs of <= max_rpc_bytes, pipelined up to
+//    max_inflight_rpcs; non-contiguous or cross-file writes ship alone —
+//    this is what separates LSM-style streaming appends from strided
+//    shared-file updates.
+//  * Each RPC: client NIC (serialized per client) -> rpc latency -> OSS
+//    ingress link (shared per OSS) -> OST disk (FIFO; pays seek_time when
+//    not contiguous with the last extent that OST served).
+//  * Reads are synchronous at the trace level (the issuing rank blocks),
+//    writes are asynchronous until a Sync/Close/PhaseEnd barrier.
+//  * Namespace ops are blocking RPCs against a single serialized MDS.
+//  * Barriers synchronize ranks; the timed region is PhaseBegin..PhaseEnd
+//    (PhaseEnd waits for the rank's outstanding writes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfs/cluster.h"
+#include "pfs/layout.h"
+#include "vfs/trace.h"
+
+namespace lsmio::pfs {
+
+struct SimOptions {
+  ClusterSpec cluster = Viking();
+  StripeSettings stripe;
+  /// Per-byte virtual CPU cost (seconds) charged on each traced write/read
+  /// before it is issued — models serialization/copy costs of the library
+  /// under test (engines with more layers set a larger value through the
+  /// harness cost model).
+  double cpu_per_write_byte = 0.0;
+  double cpu_per_read_byte = 0.0;
+};
+
+/// Per-OST accounting, exposed for tests and diagnostics.
+struct OstStats {
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t requests = 0;
+  uint64_t seeks = 0;
+  double busy_seconds = 0;
+};
+
+struct SimResult {
+  /// Virtual time from the latest PhaseBegin to the latest PhaseEnd.
+  double phase_seconds = 0;
+  /// Virtual time at which every rank finished its whole trace.
+  double makespan_seconds = 0;
+  uint64_t phase_bytes_written = 0;
+  uint64_t phase_bytes_read = 0;
+  uint64_t total_rpcs = 0;
+  uint64_t total_seeks = 0;
+  uint64_t mds_ops = 0;
+  std::vector<OstStats> ost;
+
+  /// Aggregate write bandwidth over the timed region (bytes/s).
+  [[nodiscard]] double WriteBandwidth() const {
+    return phase_seconds > 0 ? static_cast<double>(phase_bytes_written) / phase_seconds : 0;
+  }
+  [[nodiscard]] double ReadBandwidth() const {
+    return phase_seconds > 0 ? static_cast<double>(phase_bytes_read) / phase_seconds : 0;
+  }
+};
+
+class LustreSim {
+ public:
+  explicit LustreSim(SimOptions options) : options_(options) {}
+
+  /// Replays all ranks' traces; deterministic for identical inputs.
+  SimResult Run(const vfs::TraceContext& traces);
+
+ private:
+  SimOptions options_;
+};
+
+}  // namespace lsmio::pfs

@@ -1,0 +1,286 @@
+#include "vfs/mem_vfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lsmio::vfs {
+namespace {
+
+using MemFilePtr = std::shared_ptr<void>;
+
+}  // namespace
+
+// --- file object implementations -------------------------------------------
+
+namespace {
+
+struct MemFileRef {
+  std::mutex* mu;
+  std::string* data;
+};
+
+}  // namespace
+
+class MemWritableFile final : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<std::mutex> mu, std::shared_ptr<std::string> data)
+      : mu_(std::move(mu)), data_(std::move(data)) {}
+
+  Status Append(const Slice& slice) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    data_->append(slice.data(), slice.size());
+    size_ += slice.size();
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::shared_ptr<std::mutex> mu_;
+  std::shared_ptr<std::string> data_;
+  uint64_t size_ = 0;
+};
+
+namespace {
+
+// MemVfs stores MemFile { mutex, string } — expose lightweight adapters.
+
+class MemRandom final : public RandomAccessFile {
+ public:
+  MemRandom(std::shared_ptr<std::mutex> mu, std::shared_ptr<std::string> data)
+      : mu_(std::move(mu)), data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              std::string* scratch) const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (offset >= data_->size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    const size_t avail = data_->size() - static_cast<size_t>(offset);
+    const size_t want = std::min(n, avail);
+    scratch->assign(data_->data() + offset, want);
+    *result = Slice(*scratch);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return data_->size();
+  }
+
+ private:
+  std::shared_ptr<std::mutex> mu_;
+  std::shared_ptr<std::string> data_;
+};
+
+class MemSequential final : public SequentialFile {
+ public:
+  MemSequential(std::shared_ptr<std::mutex> mu, std::shared_ptr<std::string> data)
+      : mu_(std::move(mu)), data_(std::move(data)) {}
+
+  Status Read(size_t n, Slice* result, std::string* scratch) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (pos_ >= data_->size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    const size_t want = std::min(n, data_->size() - pos_);
+    scratch->assign(data_->data() + pos_, want);
+    pos_ += want;
+    *result = Slice(*scratch);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::mutex> mu_;
+  std::shared_ptr<std::string> data_;
+  size_t pos_ = 0;
+};
+
+class MemHandle final : public FileHandle {
+ public:
+  MemHandle(std::shared_ptr<std::mutex> mu, std::shared_ptr<std::string> data)
+      : mu_(std::move(mu)), data_(std::move(data)) {}
+
+  Status WriteAt(uint64_t offset, const Slice& slice) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    const size_t end = static_cast<size_t>(offset) + slice.size();
+    if (end > data_->size()) data_->resize(end, '\0');
+    std::memcpy(data_->data() + offset, slice.data(), slice.size());
+    return Status::OK();
+  }
+
+  Status ReadAt(uint64_t offset, size_t n, Slice* result,
+                std::string* scratch) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (offset >= data_->size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    const size_t want = std::min(n, data_->size() - static_cast<size_t>(offset));
+    scratch->assign(data_->data() + offset, want);
+    *result = Slice(*scratch);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    data_->resize(static_cast<size_t>(size), '\0');
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return data_->size();
+  }
+
+ private:
+  std::shared_ptr<std::mutex> mu_;
+  std::shared_ptr<std::string> data_;
+};
+
+}  // namespace
+
+// MemVfs::MemFile carries its own mutex+data; to share with adapters we use
+// aliasing shared_ptrs into the MemFile block.
+
+std::shared_ptr<MemVfs::MemFile> MemVfs::Find(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+Status MemVfs::NewWritableFile(const std::string& path, const OpenOptions&,
+                               std::unique_ptr<WritableFile>* file) {
+  std::shared_ptr<MemFile> f;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = files_[path];
+    slot = std::make_shared<MemFile>();  // truncate semantics
+    f = slot;
+  }
+  auto mu = std::shared_ptr<std::mutex>(f, &f->mu);
+  auto data = std::shared_ptr<std::string>(f, &f->data);
+  *file = std::make_unique<MemWritableFile>(std::move(mu), std::move(data));
+  return Status::OK();
+}
+
+Status MemVfs::NewRandomAccessFile(const std::string& path, const OpenOptions&,
+                                   std::unique_ptr<RandomAccessFile>* file) {
+  auto f = Find(path);
+  if (!f) return Status::NotFound("mem file: " + path);
+  auto mu = std::shared_ptr<std::mutex>(f, &f->mu);
+  auto data = std::shared_ptr<std::string>(f, &f->data);
+  *file = std::make_unique<MemRandom>(std::move(mu), std::move(data));
+  return Status::OK();
+}
+
+Status MemVfs::NewSequentialFile(const std::string& path, const OpenOptions&,
+                                 std::unique_ptr<SequentialFile>* file) {
+  auto f = Find(path);
+  if (!f) return Status::NotFound("mem file: " + path);
+  auto mu = std::shared_ptr<std::mutex>(f, &f->mu);
+  auto data = std::shared_ptr<std::string>(f, &f->data);
+  *file = std::make_unique<MemSequential>(std::move(mu), std::move(data));
+  return Status::OK();
+}
+
+Status MemVfs::OpenFileHandle(const std::string& path, bool create,
+                              const OpenOptions&,
+                              std::unique_ptr<FileHandle>* file) {
+  std::shared_ptr<MemFile> f;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      if (!create) return Status::NotFound("mem file: " + path);
+      f = std::make_shared<MemFile>();
+      files_[path] = f;
+    } else {
+      f = it->second;
+    }
+  }
+  auto mu = std::shared_ptr<std::mutex>(f, &f->mu);
+  auto data = std::shared_ptr<std::string>(f, &f->data);
+  *file = std::make_unique<MemHandle>(std::move(mu), std::move(data));
+  return Status::OK();
+}
+
+bool MemVfs::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status MemVfs::GetFileSize(const std::string& path, uint64_t* size) {
+  auto f = Find(path);
+  if (!f) return Status::NotFound("mem file: " + path);
+  std::lock_guard<std::mutex> lock(f->mu);
+  *size = f->data.size();
+  return Status::OK();
+}
+
+Status MemVfs::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) return Status::NotFound("mem file: " + path);
+  return Status::OK();
+}
+
+Status MemVfs::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("mem file: " + from);
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemVfs::CreateDir(const std::string&) { return Status::OK(); }
+
+Status MemVfs::ListDir(const std::string& path, std::vector<std::string>* out) {
+  out->clear();
+  std::string prefix = path;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, file] : files_) {
+    if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+      const std::string rest = name.substr(prefix.size());
+      const size_t slash = rest.find('/');
+      const std::string child = slash == std::string::npos ? rest : rest.substr(0, slash);
+      if (out->empty() || out->back() != child) {
+        if (std::find(out->begin(), out->end(), child) == out->end()) {
+          out->push_back(child);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t MemVfs::TotalBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, file] : files_) {
+    std::lock_guard<std::mutex> flock(file->mu);
+    total += file->data.size();
+  }
+  return total;
+}
+
+size_t MemVfs::FileCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
+}
+
+}  // namespace lsmio::vfs

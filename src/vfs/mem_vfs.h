@@ -1,0 +1,52 @@
+// In-memory Vfs: a thread-safe map from path to byte buffer. Directories
+// are implicit (any path prefix). Used by fast unit tests and as the data
+// plane under TraceVfs in the benchmark simulations.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "vfs/vfs.h"
+
+namespace lsmio::vfs {
+
+class MemVfs final : public Vfs {
+ public:
+  MemVfs() = default;
+
+  Status NewWritableFile(const std::string& path, const OpenOptions& opts,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomAccessFile(const std::string& path, const OpenOptions& opts,
+                             std::unique_ptr<RandomAccessFile>* file) override;
+  Status NewSequentialFile(const std::string& path, const OpenOptions& opts,
+                           std::unique_ptr<SequentialFile>* file) override;
+  Status OpenFileHandle(const std::string& path, bool create,
+                        const OpenOptions& opts,
+                        std::unique_ptr<FileHandle>* file) override;
+
+  bool FileExists(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+  Status ListDir(const std::string& path, std::vector<std::string>* out) override;
+
+  /// Total bytes across all files (test/diagnostic aid).
+  uint64_t TotalBytes();
+  /// Number of files (test/diagnostic aid).
+  size_t FileCount();
+
+ private:
+  struct MemFile {
+    std::mutex mu;
+    std::string data;
+  };
+
+  std::shared_ptr<MemFile> Find(const std::string& path);
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_;
+};
+
+}  // namespace lsmio::vfs

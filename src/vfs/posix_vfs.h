@@ -1,0 +1,12 @@
+// Vfs backed by the local POSIX filesystem. Used by unit tests, the
+// examples, and anyone adopting LSMIO on a real machine.
+#pragma once
+
+#include "vfs/vfs.h"
+
+namespace lsmio::vfs {
+
+/// Returns the process-wide PosixVfs singleton.
+Vfs& PosixVfs();
+
+}  // namespace lsmio::vfs

@@ -1,0 +1,86 @@
+#include "vfs/trace.h"
+
+#include <cassert>
+
+namespace lsmio::vfs {
+
+TraceContext::TraceContext(int num_ranks)
+    : num_ranks_(num_ranks),
+      trace_locks_(std::make_unique<internal::TraceLock[]>(
+          static_cast<size_t>(num_ranks))) {
+  assert(num_ranks >= 1);
+  traces_.resize(static_cast<size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) traces_[static_cast<size_t>(r)].rank = r;
+}
+
+uint32_t TraceContext::InternFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto [it, inserted] = path_to_id_.try_emplace(
+      path, static_cast<uint32_t>(id_to_path_.size()));
+  if (inserted) id_to_path_.push_back(path);
+  return it->second;
+}
+
+const std::string& TraceContext::PathOf(uint32_t file_id) const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  assert(file_id < id_to_path_.size());
+  return id_to_path_[file_id];
+}
+
+size_t TraceContext::num_files() const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return id_to_path_.size();
+}
+
+void TraceContext::Record(int rank, const IoOp& op) {
+  assert(rank >= 0 && rank < num_ranks_);
+  std::lock_guard<std::mutex> lock(trace_locks_[static_cast<size_t>(rank)].mu);
+  traces_[static_cast<size_t>(rank)].ops.push_back(op);
+}
+
+void TraceContext::RecordBarrier(int rank, uint64_t barrier_id) {
+  Record(rank, IoOp{IoOpKind::kBarrier, kNoFile, 0, barrier_id});
+}
+
+void TraceContext::RecordCompute(int rank, uint64_t nanos) {
+  if (nanos == 0) return;
+  Record(rank, IoOp{IoOpKind::kCompute, kNoFile, 0, nanos});
+}
+
+void TraceContext::RecordPhaseBegin(int rank) {
+  Record(rank, IoOp{IoOpKind::kPhaseBegin, kNoFile, 0, 0});
+}
+
+void TraceContext::RecordPhaseEnd(int rank) {
+  Record(rank, IoOp{IoOpKind::kPhaseEnd, kNoFile, 0, 0});
+}
+
+const IoTrace& TraceContext::TraceForRank(int rank) const {
+  assert(rank >= 0 && rank < num_ranks_);
+  return traces_[static_cast<size_t>(rank)];
+}
+
+namespace {
+uint64_t BytesInPhase(const std::vector<IoTrace>& traces, IoOpKind kind) {
+  uint64_t total = 0;
+  for (const auto& trace : traces) {
+    bool in_phase = false;
+    for (const auto& op : trace.ops) {
+      if (op.kind == IoOpKind::kPhaseBegin) in_phase = true;
+      else if (op.kind == IoOpKind::kPhaseEnd) in_phase = false;
+      else if (in_phase && op.kind == kind) total += op.size;
+    }
+  }
+  return total;
+}
+}  // namespace
+
+uint64_t TraceContext::BytesWrittenInPhase() const {
+  return BytesInPhase(traces_, IoOpKind::kWrite);
+}
+
+uint64_t TraceContext::BytesReadInPhase() const {
+  return BytesInPhase(traces_, IoOpKind::kRead);
+}
+
+}  // namespace lsmio::vfs

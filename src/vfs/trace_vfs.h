@@ -1,0 +1,59 @@
+// TraceVfs: a per-rank decorator that forwards every operation to a shared
+// base Vfs (normally MemVfs, so the data is real and verifiable) while
+// appending the operation to that rank's IoTrace for later replay on the
+// simulated parallel file system.
+//
+// One TraceVfs instance is created per rank; all instances share one
+// TraceContext and one base Vfs.
+#pragma once
+
+#include <memory>
+
+#include "vfs/trace.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::vfs {
+
+class TraceVfs final : public Vfs {
+ public:
+  /// `base` and `ctx` must outlive this object and all files it creates.
+  TraceVfs(Vfs& base, TraceContext& ctx, int rank)
+      : base_(base), ctx_(ctx), rank_(rank) {}
+
+  Status NewWritableFile(const std::string& path, const OpenOptions& opts,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomAccessFile(const std::string& path, const OpenOptions& opts,
+                             std::unique_ptr<RandomAccessFile>* file) override;
+  Status NewSequentialFile(const std::string& path, const OpenOptions& opts,
+                           std::unique_ptr<SequentialFile>* file) override;
+  Status OpenFileHandle(const std::string& path, bool create,
+                        const OpenOptions& opts,
+                        std::unique_ptr<FileHandle>* file) override;
+
+  bool FileExists(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+  Status ListDir(const std::string& path, std::vector<std::string>* out) override;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] TraceContext& context() noexcept { return ctx_; }
+
+  /// Marker pass-throughs used by harness code holding only the Vfs.
+  void RecordBarrier(uint64_t barrier_id) { ctx_.RecordBarrier(rank_, barrier_id); }
+  void RecordCompute(uint64_t nanos) { ctx_.RecordCompute(rank_, nanos); }
+  void RecordPhaseBegin() { ctx_.RecordPhaseBegin(rank_); }
+  void RecordPhaseEnd() { ctx_.RecordPhaseEnd(rank_); }
+
+ private:
+  void Record(IoOpKind kind, uint32_t file, uint64_t offset, uint64_t size) {
+    ctx_.Record(rank_, IoOp{kind, file, offset, size});
+  }
+
+  Vfs& base_;
+  TraceContext& ctx_;
+  int rank_;
+};
+
+}  // namespace lsmio::vfs

@@ -1,0 +1,309 @@
+#include "a2/a2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "vfs/mem_vfs.h"
+#include "vfs/trace.h"
+#include "vfs/trace_vfs.h"
+
+namespace lsmio::a2 {
+namespace {
+
+class A2Test : public ::testing::Test {
+ protected:
+  vfs::MemVfs fs_;
+};
+
+TEST_F(A2Test, DefineAndInquireVariable) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("test");
+  Variable* var = io.DefineVariable("v", 100, 10, 20, 8);
+  ASSERT_NE(var, nullptr);
+  EXPECT_EQ(io.InquireVariable("v"), var);
+  EXPECT_EQ(io.InquireVariable("nope"), nullptr);
+  EXPECT_EQ(var->global_count(), 100u);
+  EXPECT_EQ(var->offset(), 10u);
+  EXPECT_EQ(var->count(), 20u);
+  var->SetSelection(0, 50);
+  EXPECT_EQ(var->count(), 50u);
+}
+
+TEST_F(A2Test, DeclareIOIsIdempotent) {
+  Adios adios(fs_);
+  IO& a = adios.DeclareIO("x");
+  IO& b = adios.DeclareIO("x");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(A2Test, WriteThenReadSingleRank) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  Variable* var = io.DefineVariable("field", 1000, 0, 1000, 8);
+
+  std::string data(8000, '\0');
+  Rng rng(4);
+  rng.Fill(data.data(), data.size());
+
+  auto writer = io.Open("/out.bp", Mode::kWrite);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(writer.value()->Put(*var, data.data(), PutMode::kDeferred).ok());
+  ASSERT_TRUE(writer.value()->PerformPuts().ok());
+  ASSERT_TRUE(writer.value()->Close().ok());
+
+  auto reader = io.Open("/out.bp", Mode::kRead);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  std::string out(8000, '\0');
+  ASSERT_TRUE(reader.value()->Get(*var, out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(A2Test, SyncPutAllowsBufferReuse) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  Variable* var = io.DefineVariable("v", 16, 0, 8, 4);
+
+  auto writer = io.Open("/sync.bp", Mode::kWrite).value();
+  std::string buffer(32, 'A');
+  ASSERT_TRUE(writer->Put(*var, buffer.data(), PutMode::kSync).ok());
+  // Reuse the same buffer for a different selection.
+  std::fill(buffer.begin(), buffer.end(), 'B');
+  var->SetSelection(8, 8);
+  ASSERT_TRUE(writer->Put(*var, buffer.data(), PutMode::kSync).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  var->SetSelection(0, 16);
+  auto reader = io.Open("/sync.bp", Mode::kRead).value();
+  std::string out(64, '\0');
+  ASSERT_TRUE(reader->Get(*var, out.data()).ok());
+  EXPECT_EQ(out.substr(0, 32), std::string(32, 'A'));
+  EXPECT_EQ(out.substr(32), std::string(32, 'B'));
+}
+
+TEST_F(A2Test, MultiWriterSubfilesAssembleOnRead) {
+  constexpr int kRanks = 4;
+  constexpr uint64_t kPerRank = 250;
+  // Each "rank" writes its slab through its own Adios instance.
+  for (int r = 0; r < kRanks; ++r) {
+    Adios adios(fs_, "", r, kRanks);
+    IO& io = adios.DeclareIO("ckpt");
+    Variable* var = io.DefineVariable("field", kRanks * kPerRank,
+                                      static_cast<uint64_t>(r) * kPerRank,
+                                      kPerRank, 4);
+    auto writer = io.Open("/multi.bp", Mode::kWrite).value();
+    const std::string payload(kPerRank * 4, static_cast<char>('a' + r));
+    ASSERT_TRUE(writer->Put(*var, payload.data(), PutMode::kDeferred).ok());
+    ASSERT_TRUE(writer->PerformPuts().ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  // A reader assembles the full array across subfiles.
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("read");
+  Variable* var = io.DefineVariable("field", kRanks * kPerRank, 0,
+                                    kRanks * kPerRank, 4);
+  auto reader = io.Open("/multi.bp", Mode::kRead).value();
+  std::string out(kRanks * kPerRank * 4, '\0');
+  ASSERT_TRUE(reader->Get(*var, out.data()).ok());
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(out[static_cast<size_t>(r) * kPerRank * 4], 'a' + r) << r;
+  }
+
+  // Partial cross-subfile read.
+  var->SetSelection(kPerRank - 10, 20);
+  std::string partial(20 * 4, '\0');
+  ASSERT_TRUE(reader->Get(*var, partial.data()).ok());
+  EXPECT_EQ(partial.substr(0, 40), std::string(40, 'a'));
+  EXPECT_EQ(partial.substr(40), std::string(40, 'b'));
+}
+
+TEST_F(A2Test, GetUnknownVariableFails) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  Variable* var = io.DefineVariable("v", 8, 0, 8, 1);
+  auto writer = io.Open("/g.bp", Mode::kWrite).value();
+  ASSERT_TRUE(writer->Put(*var, "12345678", PutMode::kSync).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto reader = io.Open("/g.bp", Mode::kRead).value();
+  Variable ghost("ghost", 8, 0, 8, 1);
+  std::string out(8, '\0');
+  EXPECT_TRUE(reader->Get(ghost, out.data()).IsNotFound());
+}
+
+TEST_F(A2Test, UncoveredSelectionFails) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  Variable* var = io.DefineVariable("v", 100, 0, 50, 1);
+  auto writer = io.Open("/u.bp", Mode::kWrite).value();
+  ASSERT_TRUE(writer->Put(*var, std::string(50, 'x').data(), PutMode::kSync).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto reader = io.Open("/u.bp", Mode::kRead).value();
+  var->SetSelection(0, 100);  // second half was never written
+  std::string out(100, '\0');
+  EXPECT_TRUE(reader->Get(*var, out.data()).IsNotFound());
+}
+
+TEST_F(A2Test, ReadOnMissingPathFails) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  EXPECT_FALSE(io.Open("/does-not-exist.bp", Mode::kRead).ok());
+}
+
+TEST_F(A2Test, WrongModeOperationsFail) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  Variable* var = io.DefineVariable("v", 8, 0, 8, 1);
+
+  auto writer = io.Open("/m.bp", Mode::kWrite).value();
+  std::string out(8, '\0');
+  EXPECT_TRUE(writer->Get(*var, out.data()).IsInvalidArgument());
+  ASSERT_TRUE(writer->Put(*var, "abcdefgh", PutMode::kSync).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto reader = io.Open("/m.bp", Mode::kRead).value();
+  EXPECT_TRUE(reader->Put(*var, "abcdefgh", PutMode::kSync).IsInvalidArgument());
+  EXPECT_TRUE(reader->PerformPuts().IsInvalidArgument());
+}
+
+TEST_F(A2Test, CorruptIndexDetectedOnOpen) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  Variable* var = io.DefineVariable("v", 8, 0, 8, 1);
+  auto writer = io.Open("/c.bp", Mode::kWrite).value();
+  ASSERT_TRUE(writer->Put(*var, "abcdefgh", PutMode::kSync).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Corrupt the index magic.
+  uint64_t size = 0;
+  ASSERT_TRUE(fs_.GetFileSize("/c.bp/idx.0", &size).ok());
+  std::unique_ptr<vfs::FileHandle> handle;
+  ASSERT_TRUE(fs_.OpenFileHandle("/c.bp/idx.0", false, {}, &handle).ok());
+  ASSERT_TRUE(handle->WriteAt(size - 1, "X").ok());
+
+  EXPECT_TRUE(io.Open("/c.bp", Mode::kRead).status().IsCorruption());
+}
+
+TEST_F(A2Test, TruncatedIndexDetected) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  Variable* var = io.DefineVariable("v", 8, 0, 8, 1);
+  auto writer = io.Open("/t.bp", Mode::kWrite).value();
+  ASSERT_TRUE(writer->Put(*var, "abcdefgh", PutMode::kSync).ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Keep the trailer (count+magic) but destroy a record byte before it.
+  uint64_t size = 0;
+  ASSERT_TRUE(fs_.GetFileSize("/t.bp/idx.0", &size).ok());
+  std::unique_ptr<vfs::FileHandle> handle;
+  ASSERT_TRUE(fs_.OpenFileHandle("/t.bp/idx.0", false, {}, &handle).ok());
+  // Overwrite the name-length varint with a huge value.
+  ASSERT_TRUE(handle->WriteAt(0, "\xff").ok());
+  EXPECT_FALSE(io.Open("/t.bp", Mode::kRead).ok());
+}
+
+TEST_F(A2Test, CloseIsIdempotentAndFlushesDeferredPuts) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  Variable* var = io.DefineVariable("v", 4, 0, 4, 1);
+  auto writer = io.Open("/i.bp", Mode::kWrite).value();
+  // Deferred put never explicitly performed: Close must drain it.
+  const std::string data = "wxyz";
+  ASSERT_TRUE(writer->Put(*var, data.data(), PutMode::kDeferred).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  ASSERT_TRUE(writer->Close().ok());  // second close is a no-op
+
+  auto reader = io.Open("/i.bp", Mode::kRead).value();
+  std::string out(4, '\0');
+  ASSERT_TRUE(reader->Get(*var, out.data()).ok());
+  EXPECT_EQ(out, "wxyz");
+}
+
+TEST_F(A2Test, XmlConfigSelectsEngineAndParameters) {
+  const std::string config = R"(
+    <adios-config>
+      <io name="checkpoint">
+        <engine type="BPLite">
+          <parameter key="BufferChunkSize" value="64K"/>
+        </engine>
+      </io>
+    </adios-config>)";
+  Adios adios(fs_, config);
+  IO& io = adios.DeclareIO("checkpoint");
+  EXPECT_EQ(io.engine_type(), "BPLite");
+  EXPECT_EQ(io.ParameterBytes("BufferChunkSize", 0), 64 * KiB);
+
+  // IOs not named in the config keep defaults.
+  IO& other = adios.DeclareIO("other");
+  EXPECT_EQ(other.ParameterBytes("BufferChunkSize", 7), 7u);
+}
+
+TEST_F(A2Test, UnknownEngineTypeFails) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  io.SetEngine("NoSuchEngine");
+  EXPECT_TRUE(io.Open("/x.bp", Mode::kWrite).status().IsInvalidArgument());
+}
+
+TEST_F(A2Test, PluginRegistryRoundTrip) {
+  EXPECT_FALSE(IsEngineRegistered("TestPlugin"));
+  RegisterEngine("TestPlugin", [](IO&, const std::string&, Mode)
+                     -> Result<std::unique_ptr<Engine>> {
+    return Status::NotSupported("test plugin stub");
+  });
+  EXPECT_TRUE(IsEngineRegistered("TestPlugin"));
+
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  io.SetEngine("TestPlugin");
+  EXPECT_TRUE(io.Open("/p", Mode::kWrite).status().IsNotSupported());
+}
+
+TEST_F(A2Test, StatsAreTracked) {
+  Adios adios(fs_);
+  IO& io = adios.DeclareIO("ckpt");
+  Variable* var = io.DefineVariable("v", 100, 0, 100, 4);
+  auto writer = io.Open("/s.bp", Mode::kWrite).value();
+  const std::string data(400, 'd');
+  ASSERT_TRUE(writer->Put(*var, data.data(), PutMode::kDeferred).ok());
+  ASSERT_TRUE(writer->PerformPuts().ok());
+  EXPECT_EQ(writer->stats().puts, 1u);
+  EXPECT_EQ(writer->stats().bytes_put, 400u);
+  EXPECT_EQ(writer->stats().perform_puts_calls, 1u);
+  ASSERT_TRUE(writer->Close().ok());
+}
+
+TEST_F(A2Test, SubfileWritesAreAppendOnly) {
+  // The property the benchmarks rely on: a BPLite writer's data subfile
+  // receives only sequential appends (trace offsets strictly increase).
+  vfs::TraceContext ctx(1);
+  vfs::TraceVfs traced(fs_, ctx, 0);
+  Adios adios(traced);
+  IO& io = adios.DeclareIO("ckpt");
+  io.SetParameter("BufferChunkSize", "64K");
+  Variable* var = io.DefineVariable("v", 1 << 16, 0, 1 << 16, 4);
+
+  auto writer = io.Open("/seq.bp", Mode::kWrite).value();
+  std::string data(1 << 18, 'q');
+  for (int step = 0; step < 4; ++step) {
+    ASSERT_TRUE(writer->Put(*var, data.data(), PutMode::kDeferred).ok());
+    ASSERT_TRUE(writer->PerformPuts().ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+
+  uint64_t last_end = 0;
+  int data_writes = 0;
+  for (const auto& op : ctx.TraceForRank(0).ops) {
+    if (op.kind != vfs::IoOpKind::kWrite) continue;
+    const auto& path = ctx.PathOf(op.file);
+    if (path.find("/data.") == std::string::npos) continue;
+    EXPECT_EQ(op.offset, last_end) << "non-append write to subfile";
+    last_end = op.offset + op.size;
+    ++data_writes;
+  }
+  EXPECT_GT(data_writes, 4);  // several 64K chunk flushes
+}
+
+}  // namespace
+}  // namespace lsmio::a2

@@ -1,0 +1,79 @@
+#include "a2/xml.h"
+
+#include <gtest/gtest.h>
+
+namespace lsmio::a2::xml {
+namespace {
+
+TEST(XmlTest, SimpleElement) {
+  auto root = Parse("<root/>");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(root.value()->name, "root");
+  EXPECT_TRUE(root.value()->children.empty());
+}
+
+TEST(XmlTest, Attributes) {
+  auto root = Parse(R"(<engine type="BPLite" mode="async"/>)");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->Attr("type"), "BPLite");
+  EXPECT_EQ(root.value()->Attr("mode"), "async");
+  EXPECT_EQ(root.value()->Attr("missing"), "");
+}
+
+TEST(XmlTest, NestedElements) {
+  auto root = Parse(R"(
+    <adios-config>
+      <io name="checkpoint">
+        <engine type="LsmioPlugin">
+          <parameter key="BufferChunkSize" value="32MB"/>
+          <parameter key="Sync" value="false"/>
+        </engine>
+      </io>
+      <io name="other"><engine type="BPLite"/></io>
+    </adios-config>)");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  const Element& config = *root.value();
+  EXPECT_EQ(config.name, "adios-config");
+  ASSERT_EQ(config.Children("io").size(), 2u);
+
+  const Element* io = config.Children("io")[0];
+  EXPECT_EQ(io->Attr("name"), "checkpoint");
+  const Element* engine = io->Child("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->Attr("type"), "LsmioPlugin");
+  ASSERT_EQ(engine->Children("parameter").size(), 2u);
+  EXPECT_EQ(engine->Children("parameter")[0]->Attr("key"), "BufferChunkSize");
+  EXPECT_EQ(engine->Children("parameter")[0]->Attr("value"), "32MB");
+}
+
+TEST(XmlTest, CommentsAndDeclarationsSkipped) {
+  auto root = Parse(R"(<?xml version="1.0"?>
+    <!-- a comment -->
+    <root><!-- inner --><child/></root>)");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(root.value()->children.size(), 1u);
+  EXPECT_EQ(root.value()->children[0]->name, "child");
+}
+
+TEST(XmlTest, TextContentIgnored) {
+  auto root = Parse("<root>some text <child/> more text</root>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value()->children.size(), 1u);
+}
+
+TEST(XmlTest, MismatchedClosingTagFails) {
+  EXPECT_FALSE(Parse("<a><b></a></b>").ok());
+}
+
+TEST(XmlTest, UnterminatedFails) {
+  EXPECT_FALSE(Parse("<a><b/>").ok());
+  EXPECT_FALSE(Parse("<a attr=\"x").ok());
+  EXPECT_FALSE(Parse("<").ok());
+}
+
+TEST(XmlTest, MissingQuoteFails) {
+  EXPECT_FALSE(Parse("<a k=v/>").ok());
+}
+
+}  // namespace
+}  // namespace lsmio::a2::xml

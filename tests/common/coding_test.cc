@@ -1,0 +1,162 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace lsmio {
+namespace {
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  std::string s;
+  PutFixed16(&s, 0);
+  PutFixed16(&s, 1);
+  PutFixed16(&s, 0xbeef);
+  PutFixed16(&s, 0xffff);
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_EQ(DecodeFixed16(s.data() + 0), 0);
+  EXPECT_EQ(DecodeFixed16(s.data() + 2), 1);
+  EXPECT_EQ(DecodeFixed16(s.data() + 4), 0xbeef);
+  EXPECT_EQ(DecodeFixed16(s.data() + 6), 0xffff);
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v = 0; v < 100000; v += 7777) PutFixed32(&s, v);
+  const char* p = s.data();
+  for (uint32_t v = 0; v < 100000; v += 7777) {
+    EXPECT_EQ(DecodeFixed32(p), v);
+    p += 4;
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  // Powers of two and their neighbours hit every byte pattern boundary.
+  for (int power = 0; power <= 63; ++power) {
+    const uint64_t v = 1ULL << power;
+    PutFixed64(&s, v - 1);
+    PutFixed64(&s, v);
+    PutFixed64(&s, v + 1);
+  }
+  const char* p = s.data();
+  for (int power = 0; power <= 63; ++power) {
+    const uint64_t v = 1ULL << power;
+    EXPECT_EQ(DecodeFixed64(p), v - 1);
+    EXPECT_EQ(DecodeFixed64(p + 8), v);
+    EXPECT_EQ(DecodeFixed64(p + 16), v + 1);
+    p += 24;
+  }
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::string s;
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 32; ++i) {
+    values.push_back(1u << i);
+    values.push_back((1u << i) - 1);
+    values.push_back((1u << i) + 1);
+  }
+  values.push_back(0);
+  values.push_back(std::numeric_limits<uint32_t>::max());
+  for (const uint32_t v : values) PutVarint32(&s, v);
+
+  Slice input(s);
+  for (const uint32_t expected : values) {
+    uint32_t actual = 0;
+    ASSERT_TRUE(GetVarint32(&input, &actual));
+    EXPECT_EQ(actual, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Varint64RoundTrip) {
+  std::string s;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  std::numeric_limits<uint64_t>::max()};
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) values.push_back(rng.Next());
+  for (const uint64_t v : values) PutVarint64(&s, v);
+
+  Slice input(s);
+  for (const uint64_t expected : values) {
+    uint64_t actual = 0;
+    ASSERT_TRUE(GetVarint64(&input, &actual));
+    EXPECT_EQ(actual, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncodedSize) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, (1ULL << 20),
+                     (1ULL << 35), ~0ULL}) {
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v)) << "v=" << v;
+  }
+}
+
+TEST(CodingTest, Varint32Truncated) {
+  std::string s;
+  PutVarint32(&s, 1u << 30);  // 5-byte encoding
+  for (size_t keep = 0; keep + 1 < s.size(); ++keep) {
+    Slice input(s.data(), keep);
+    uint32_t v;
+    EXPECT_FALSE(GetVarint32(&input, &v)) << "keep=" << keep;
+  }
+}
+
+TEST(CodingTest, Varint32Overflow) {
+  // Six bytes with continuation bits forever -> malformed.
+  const char bad[] = "\x81\x82\x83\x84\x85\x86";
+  Slice input(bad, 6);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&input, &v));
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "");
+  PutLengthPrefixedSlice(&s, "abc");
+  PutLengthPrefixedSlice(&s, std::string(10000, 'z'));
+
+  Slice input(s);
+  Slice v;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(v.size(), 0u);
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(v.ToString(), "abc");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(v.size(), 10000u);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, LengthPrefixedSliceTruncated) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "hello world");
+  Slice input(s.data(), s.size() - 3);
+  Slice v;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &v));
+}
+
+TEST(SliceTest, CompareOrdersLikeMemcmp) {
+  EXPECT_LT(Slice("a").compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("ab").compare(Slice("ab")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // prefix sorts first
+  EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+}
+
+TEST(SliceTest, StartsWithAndRemovePrefix) {
+  Slice s("checkpoint/rank42/var");
+  EXPECT_TRUE(s.starts_with("checkpoint/"));
+  EXPECT_FALSE(s.starts_with("xcheckpoint"));
+  s.remove_prefix(11);
+  EXPECT_EQ(s.ToString(), "rank42/var");
+}
+
+}  // namespace
+}  // namespace lsmio

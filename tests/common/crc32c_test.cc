@@ -1,0 +1,64 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace lsmio::crc32c {
+namespace {
+
+TEST(Crc32cTest, StandardVectors) {
+  // Known CRC32C test vectors (RFC 3720 / iSCSI).
+  char buf[32];
+
+  std::memset(buf, 0, sizeof buf);
+  EXPECT_EQ(Value(buf, sizeof buf), 0x8a9136aa);
+
+  std::memset(buf, 0xff, sizeof buf);
+  EXPECT_EQ(Value(buf, sizeof buf), 0x62a8ab43);
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<char>(i);
+  EXPECT_EQ(Value(buf, sizeof buf), 0x46dd794e);
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<char>(31 - i);
+  EXPECT_EQ(Value(buf, sizeof buf), 0x113fdb5c);
+}
+
+TEST(Crc32cTest, ValuesDiffer) {
+  EXPECT_NE(Value("a", 1), Value("foo", 3));
+  EXPECT_NE(Value("a", 1), Value("b", 1));
+}
+
+TEST(Crc32cTest, ExtendEqualsConcatenation) {
+  const std::string hello = "hello ";
+  const std::string world = "world";
+  const std::string both = hello + world;
+  EXPECT_EQ(Value(both.data(), both.size()),
+            Extend(Value(hello.data(), hello.size()), world.data(), world.size()));
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  const uint32_t crc = Value("foo", 3);
+  EXPECT_NE(crc, Mask(crc));
+  EXPECT_NE(crc, Mask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Unmask(Mask(Mask(crc)))));
+}
+
+TEST(Crc32cTest, UnalignedInputsConsistent) {
+  // CRC of a window must not depend on the buffer alignment.
+  std::string data(1024, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i * 7);
+  const uint32_t reference = Value(data.data() + 1, 333);
+  std::string copy = data.substr(1, 333);
+  EXPECT_EQ(Value(copy.data(), copy.size()), reference);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(Value("", 0), 0u);
+  EXPECT_EQ(Extend(0x12345678u, "", 0), 0x12345678u);
+}
+
+}  // namespace
+}  // namespace lsmio::crc32c

@@ -1,0 +1,67 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace lsmio {
+namespace {
+
+TEST(Hash32Test, DeterministicAndSeedSensitive) {
+  const Slice key("checkpoint-rank-17");
+  EXPECT_EQ(Hash32(key), Hash32(key));
+  EXPECT_NE(Hash32(key, 1), Hash32(key, 2));
+}
+
+TEST(Hash32Test, AllTailLengthsCovered) {
+  // 1..16 byte inputs exercise every switch arm of the tail handling.
+  std::set<uint32_t> seen;
+  std::string data = "abcdefghijklmnop";
+  for (size_t len = 0; len <= data.size(); ++len) {
+    seen.insert(Hash32(data.data(), len, 0));
+  }
+  // All values distinct (no accidental collisions on this tiny set).
+  EXPECT_EQ(seen.size(), data.size() + 1);
+}
+
+TEST(Hash64Test, DeterministicAndSeedSensitive) {
+  const Slice key("ost-object-0042");
+  EXPECT_EQ(Hash64(key), Hash64(key));
+  EXPECT_NE(Hash64(key, 1), Hash64(key, 2));
+}
+
+TEST(Hash64Test, SingleBitChangesAvalanche) {
+  std::string a(64, '\0');
+  std::string b = a;
+  b[13] = '\x01';
+  const uint64_t ha = Hash64(a.data(), a.size(), 0);
+  const uint64_t hb = Hash64(b.data(), b.size(), 0);
+  // At least a quarter of the bits should flip for a decent mixer.
+  const int flipped = __builtin_popcountll(ha ^ hb);
+  EXPECT_GE(flipped, 16);
+}
+
+TEST(Hash64Test, LengthSensitive) {
+  const char* data = "xxxxxxxxyyyyyyyy";
+  EXPECT_NE(Hash64(data, 8, 0), Hash64(data, 16, 0));
+}
+
+TEST(Hash64Test, DistributionOverBuckets) {
+  // 10k sequential keys over 64 buckets: no bucket should be pathologically
+  // over-loaded (rough uniformity check).
+  constexpr int kKeys = 10000;
+  constexpr int kBuckets = 64;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    counts[Hash64(key.data(), key.size(), 0) % kBuckets]++;
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], kKeys / kBuckets / 4) << "bucket " << b;
+    EXPECT_LT(counts[b], kKeys / kBuckets * 4) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace lsmio

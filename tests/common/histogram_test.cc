@@ -1,0 +1,122 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace lsmio {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Average(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Average(), 42.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  EXPECT_NEAR(h.Median(), 42.0, 42.0 * 0.3);  // bucketed: within bucket bounds
+}
+
+TEST(HistogramTest, MinMaxSumTracked) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.Average(), 50.5);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.Add(static_cast<double>(rng.Uniform(100000)));
+  double prev = 0;
+  for (double p = 0; p <= 100; p += 5) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  EXPECT_LE(h.Percentile(100), h.max());
+}
+
+TEST(HistogramTest, MedianNearTrueMedianForUniform) {
+  Histogram h;
+  Rng rng(17);
+  for (int i = 0; i < 100000; ++i) h.Add(static_cast<double>(rng.Uniform(1000)));
+  // Exponential buckets give ~25% resolution.
+  EXPECT_NEAR(h.Median(), 500.0, 150.0);
+}
+
+TEST(HistogramTest, MergeEqualsCombinedStream) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = static_cast<double>(rng.Uniform(10000));
+    ((i % 2 == 0) ? a : b).Add(v);
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Percentile(90), combined.Percentile(90));
+}
+
+TEST(HistogramTest, MergeWithEmptyIsNoOp) {
+  Histogram a;
+  a.Add(5);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.min(), 5.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1e9);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+  h.Add(3);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+}
+
+TEST(HistogramTest, StandardDeviationOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(7.0);
+  EXPECT_NEAR(h.StandardDeviation(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, ToStringContainsCount) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
+}
+
+TEST(HistogramTest, HugeValuesLandInOverflowBucket) {
+  Histogram h;
+  h.Add(1e150);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e150);
+  EXPECT_LE(h.Percentile(99), 1e150);
+}
+
+}  // namespace
+}  // namespace lsmio

@@ -1,0 +1,71 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace lsmio {
+namespace {
+
+TEST(ParseBytesTest, PlainNumbers) {
+  EXPECT_EQ(ParseBytes("0").value(), 0u);
+  EXPECT_EQ(ParseBytes("4096").value(), 4096u);
+}
+
+TEST(ParseBytesTest, BinarySuffixes) {
+  EXPECT_EQ(ParseBytes("64K").value(), 64 * KiB);
+  EXPECT_EQ(ParseBytes("64k").value(), 64 * KiB);
+  EXPECT_EQ(ParseBytes("64KB").value(), 64 * KiB);
+  EXPECT_EQ(ParseBytes("64KiB").value(), 64 * KiB);
+  EXPECT_EQ(ParseBytes("1M").value(), MiB);
+  EXPECT_EQ(ParseBytes("2G").value(), 2 * GiB);
+  EXPECT_EQ(ParseBytes("1T").value(), TiB);
+  EXPECT_EQ(ParseBytes("10B").value(), 10u);
+}
+
+TEST(ParseBytesTest, FractionalValues) {
+  EXPECT_EQ(ParseBytes("1.5K").value(), 1536u);
+  EXPECT_EQ(ParseBytes("0.5M").value(), 512 * KiB);
+}
+
+TEST(ParseBytesTest, Whitespace) {
+  EXPECT_EQ(ParseBytes("  64K  ").value(), 64 * KiB);
+  EXPECT_EQ(ParseBytes("64 K").value(), 64 * KiB);
+}
+
+TEST(ParseBytesTest, Invalid) {
+  EXPECT_FALSE(ParseBytes("").ok());
+  EXPECT_FALSE(ParseBytes("abc").ok());
+  EXPECT_FALSE(ParseBytes("64Q").ok());
+  EXPECT_FALSE(ParseBytes("-5K").ok());
+  EXPECT_FALSE(ParseBytes("64KiBB").ok());
+}
+
+TEST(FormatBytesTest, PicksTheRightUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(64 * KiB), "64.0 KiB");
+  EXPECT_EQ(FormatBytes(32 * MiB), "32.0 MiB");
+  EXPECT_EQ(FormatBytes(3 * GiB), "3.0 GiB");
+  EXPECT_EQ(FormatBytes(2 * TiB), "2.0 TiB");
+}
+
+TEST(FormatBandwidthTest, MiBPerSecond) {
+  EXPECT_EQ(FormatBandwidth(static_cast<double>(MiB)), "1.00 MiB/s");
+  EXPECT_EQ(FormatBandwidth(1536.0 * 1024), "1.50 MiB/s");
+}
+
+TEST(FormatDurationTest, AdaptiveUnits) {
+  EXPECT_EQ(FormatDuration(5e-9), "5.0 ns");
+  EXPECT_EQ(FormatDuration(5e-6), "5.0 us");
+  EXPECT_EQ(FormatDuration(5e-3), "5.0 ms");
+  EXPECT_EQ(FormatDuration(5.0), "5.00 s");
+}
+
+TEST(ParseBytesTest, RoundTripWithFormat) {
+  for (uint64_t v : {KiB, 64 * KiB, MiB, 32 * MiB, GiB}) {
+    const auto parsed = ParseBytes(FormatBytes(v));
+    ASSERT_TRUE(parsed.ok()) << FormatBytes(v);
+    EXPECT_EQ(parsed.value(), v);
+  }
+}
+
+}  // namespace
+}  // namespace lsmio

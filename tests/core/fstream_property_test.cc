@@ -1,0 +1,135 @@
+// Property test: a random sequence of stream operations applied to both an
+// LSMIO FStream and a reference model must produce identical observable
+// behaviour, across FStream chunk sizes (so chunk-boundary logic is
+// exercised at every alignment).
+//
+// The reference models std::fstream semantics: one joint file position
+// shared by reads and writes (std::stringstream, by contrast, keeps
+// independent get/put positions).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/random.h"
+#include "core/fstream.h"
+#include "vfs/mem_vfs.h"
+
+namespace lsmio {
+namespace {
+
+// Joint-position file model.
+struct RefFile {
+  std::string data;
+  uint64_t pos = 0;
+
+  void Write(const std::string& blob) {
+    if (data.size() < pos + blob.size()) data.resize(pos + blob.size(), '\0');
+    std::memcpy(data.data() + pos, blob.data(), blob.size());
+    pos += blob.size();
+  }
+  std::string Read(uint64_t n) {
+    const uint64_t avail = pos < data.size() ? data.size() - pos : 0;
+    const uint64_t take = std::min(n, avail);
+    std::string out = data.substr(static_cast<size_t>(pos), static_cast<size_t>(take));
+    pos += take;
+    return out;
+  }
+};
+
+class FStreamPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    LsmioOptions options;
+    options.vfs = &fs_;
+    options.fstream_chunk_size = GetParam();
+    ASSERT_TRUE(FStreamApi::Initialize(options, "/prop-store").ok());
+  }
+  void TearDown() override { ASSERT_TRUE(FStreamApi::Cleanup().ok()); }
+
+  vfs::MemVfs fs_;
+};
+
+TEST_P(FStreamPropertyTest, RandomOpsMatchJointPositionReference) {
+  Rng rng(0xf00d + GetParam());
+
+  FStream stream("prop.bin", std::ios::in | std::ios::out | std::ios::trunc);
+  ASSERT_TRUE(stream.good());
+  RefFile reference;
+
+  constexpr int kOps = 400;
+  for (int op = 0; op < kOps; ++op) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 45) {
+      // Write a random blob at the current position.
+      std::string blob(1 + rng.Uniform(3000), '\0');
+      rng.Fill(blob.data(), blob.size());
+      stream.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+      ASSERT_TRUE(stream.good()) << "op " << op;
+      reference.Write(blob);
+    } else if (dice < 70 && !reference.data.empty()) {
+      // Seek to a random spot (joint position).
+      const uint64_t target = rng.Uniform(reference.data.size() + 1);
+      stream.seekp(static_cast<std::streamoff>(target));
+      ASSERT_EQ(static_cast<uint64_t>(std::streamoff(stream.tellp())), target)
+          << "op " << op;
+      reference.pos = target;
+    } else if (dice < 90 && !reference.data.empty()) {
+      // Read up to 4 KiB from the current position.
+      const uint64_t want = 1 + rng.Uniform(4096);
+      std::string got(want, '\0');
+      stream.read(got.data(), static_cast<std::streamsize>(want));
+      got.resize(static_cast<size_t>(stream.gcount()));
+      stream.clear();  // short reads set eof
+      const std::string expected = reference.Read(want);
+      ASSERT_EQ(got, expected) << "op " << op;
+      // Joint position: make the stream's put view match what we consumed.
+      stream.seekg(static_cast<std::streamoff>(reference.pos));
+    } else {
+      stream.flush();
+      ASSERT_TRUE(stream.good()) << "op " << op;
+    }
+  }
+
+  // Final full-content comparison.
+  stream.flush();
+  EXPECT_EQ(stream.size(), reference.data.size());
+  stream.clear();
+  stream.seekg(0);
+  std::string contents(reference.data.size(), '\0');
+  stream.read(contents.data(), static_cast<std::streamsize>(contents.size()));
+  EXPECT_EQ(static_cast<size_t>(stream.gcount()), reference.data.size());
+  EXPECT_EQ(contents, reference.data);
+}
+
+TEST_P(FStreamPropertyTest, PersistenceAcrossReopenMatchesReference) {
+  Rng rng(0xbeef + GetParam());
+  std::string expected;
+  {
+    FStream out("persist.bin", std::ios::out | std::ios::binary);
+    for (int i = 0; i < 50; ++i) {
+      std::string blob(1 + rng.Uniform(2000), '\0');
+      rng.Fill(blob.data(), blob.size());
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+      expected += blob;
+    }
+  }
+  ASSERT_TRUE(FStreamApi::WriteBarrier().ok());
+
+  FStream in("persist.bin", std::ios::in | std::ios::binary);
+  ASSERT_TRUE(in.good());
+  EXPECT_EQ(in.size(), expected.size());
+  std::string contents(expected.size(), '\0');
+  in.read(contents.data(), static_cast<std::streamsize>(contents.size()));
+  EXPECT_EQ(static_cast<size_t>(in.gcount()), expected.size());
+  EXPECT_EQ(contents, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, FStreamPropertyTest,
+                         ::testing::Values(64, 257, 4096, 65536),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "Chunk" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lsmio

@@ -1,0 +1,354 @@
+#include "h5l/h5l.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "vfs/mem_vfs.h"
+#include "vfs/trace.h"
+#include "vfs/trace_vfs.h"
+
+namespace lsmio::h5l {
+namespace {
+
+class H5lTest : public ::testing::Test {
+ protected:
+  vfs::MemVfs fs_;
+};
+
+TEST_F(H5lTest, CreateAndReopenEmptyFile) {
+  {
+    auto file = File::Create(fs_, "/f.h5l");
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    ASSERT_TRUE(file.value()->Close().ok());
+  }
+  auto file = File::Open(fs_, "/f.h5l");
+  ASSERT_TRUE(file.ok());
+  auto names = file.value()->root()->List();
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names.value().empty());
+}
+
+TEST_F(H5lTest, OpenRejectsNonH5lFile) {
+  ASSERT_TRUE(vfs::WriteStringToFile(fs_, "/junk", std::string(100, 'j')).ok());
+  EXPECT_TRUE(File::Open(fs_, "/junk").status().IsCorruption());
+}
+
+TEST_F(H5lTest, OpenMissingFileFails) {
+  EXPECT_FALSE(File::Open(fs_, "/missing").ok());
+}
+
+TEST_F(H5lTest, ContiguousDatasetRoundTrip) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto ds = file->root()->CreateDataset("temps", 1000, 8, Layout::kContiguous);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+
+  std::string data(1000 * 8, '\0');
+  Rng rng(1);
+  rng.Fill(data.data(), data.size());
+  ASSERT_TRUE(ds.value()->Write(0, 1000, data).ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  auto reopened = File::Open(fs_, "/f.h5l").value();
+  auto ds2 = reopened->root()->OpenDataset("temps");
+  ASSERT_TRUE(ds2.ok());
+  EXPECT_EQ(ds2.value()->num_elements(), 1000u);
+  EXPECT_EQ(ds2.value()->element_size(), 8u);
+  std::string read_back;
+  ASSERT_TRUE(ds2.value()->Read(0, 1000, &read_back).ok());
+  EXPECT_EQ(read_back, data);
+}
+
+TEST_F(H5lTest, PartialWritesAndReads) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto ds = file->root()->CreateDataset("d", 100, 4, Layout::kContiguous).value();
+
+  ASSERT_TRUE(ds->Write(10, 5, std::string(20, 'A')).ok());
+  ASSERT_TRUE(ds->Write(50, 2, std::string(8, 'B')).ok());
+
+  std::string out;
+  ASSERT_TRUE(ds->Read(10, 5, &out).ok());
+  EXPECT_EQ(out, std::string(20, 'A'));
+  ASSERT_TRUE(ds->Read(50, 2, &out).ok());
+  EXPECT_EQ(out, std::string(8, 'B'));
+}
+
+TEST_F(H5lTest, WriteValidation) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto ds = file->root()->CreateDataset("d", 10, 4, Layout::kContiguous).value();
+
+  EXPECT_TRUE(ds->Write(0, 2, std::string(7, 'x')).IsInvalidArgument());
+  EXPECT_TRUE(ds->Write(9, 2, std::string(8, 'x')).IsOutOfRange());
+  std::string out;
+  EXPECT_TRUE(ds->Read(9, 2, &out).IsOutOfRange());
+}
+
+TEST_F(H5lTest, ChunkedDatasetRoundTrip) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto ds = file->root()
+                ->CreateDataset("c", 1000, 8, Layout::kChunked, /*chunk=*/64)
+                .value();
+
+  std::string data(1000 * 8, '\0');
+  Rng rng(2);
+  rng.Fill(data.data(), data.size());
+  ASSERT_TRUE(ds->Write(0, 1000, data).ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  auto reopened = File::Open(fs_, "/f.h5l").value();
+  auto ds2 = reopened->root()->OpenDataset("c").value();
+  EXPECT_EQ(ds2->layout(), Layout::kChunked);
+  EXPECT_EQ(ds2->chunk_elements(), 64u);
+  std::string read_back;
+  ASSERT_TRUE(ds2->Read(0, 1000, &read_back).ok());
+  EXPECT_EQ(read_back, data);
+}
+
+TEST_F(H5lTest, ChunkedSparseWritesReadZeroFill) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto ds = file->root()
+                ->CreateDataset("sparse", 1000, 1, Layout::kChunked, 100)
+                .value();
+  // Only chunk 5 is written.
+  ASSERT_TRUE(ds->Write(500, 100, std::string(100, 'S')).ok());
+
+  std::string out;
+  ASSERT_TRUE(ds->Read(0, 1000, &out).ok());
+  EXPECT_EQ(out.substr(0, 500), std::string(500, '\0'));
+  EXPECT_EQ(out.substr(500, 100), std::string(100, 'S'));
+  EXPECT_EQ(out.substr(600), std::string(400, '\0'));
+}
+
+TEST_F(H5lTest, ChunkedUnalignedSpanningWrite) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto ds = file->root()
+                ->CreateDataset("u", 300, 2, Layout::kChunked, 64)
+                .value();
+  // Write elements 50..200 (crosses three chunk boundaries).
+  std::string data(150 * 2, 'U');
+  ASSERT_TRUE(ds->Write(50, 150, data).ok());
+  std::string out;
+  ASSERT_TRUE(ds->Read(50, 150, &out).ok());
+  EXPECT_EQ(out, data);
+  // Neighbouring elements remain zero.
+  ASSERT_TRUE(ds->Read(40, 10, &out).ok());
+  EXPECT_EQ(out, std::string(20, '\0'));
+}
+
+TEST_F(H5lTest, NestedGroups) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto run = file->root()->CreateGroup("run01").value();
+  auto fields = run->CreateGroup("fields").value();
+  ASSERT_TRUE(
+      fields->CreateDataset("rho", 10, 8, Layout::kContiguous).ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  auto reopened = File::Open(fs_, "/f.h5l").value();
+  auto run2 = reopened->root()->OpenGroup("run01");
+  ASSERT_TRUE(run2.ok());
+  auto fields2 = run2.value()->OpenGroup("fields");
+  ASSERT_TRUE(fields2.ok());
+  auto names = fields2.value()->List().value();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "rho");
+}
+
+TEST_F(H5lTest, DuplicateNamesRejected) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  ASSERT_TRUE(file->root()->CreateGroup("x").ok());
+  EXPECT_TRUE(file->root()->CreateGroup("x").status().IsInvalidArgument());
+  EXPECT_TRUE(file->root()
+                  ->CreateDataset("x", 1, 1, Layout::kContiguous)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(H5lTest, OpenWrongKindFails) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  ASSERT_TRUE(file->root()->CreateGroup("g").ok());
+  ASSERT_TRUE(file->root()->CreateDataset("d", 1, 1, Layout::kContiguous).ok());
+  EXPECT_FALSE(file->root()->OpenDataset("g").ok());
+  EXPECT_FALSE(file->root()->OpenGroup("d").ok());
+  EXPECT_TRUE(file->root()->OpenGroup("nope").status().IsNotFound());
+}
+
+TEST_F(H5lTest, ManyDatasetsListInInsertionOrder) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(file->root()
+                    ->CreateDataset("var" + std::to_string(i), 4, 4,
+                                    Layout::kContiguous)
+                    .ok());
+  }
+  const auto names = file->root()->List().value();
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_EQ(names[0], "var0");
+  EXPECT_EQ(names[11], "var11");
+}
+
+TEST_F(H5lTest, ParallelStyleDisjointSlabWrites) {
+  // The PHDF5/IOR pattern: rank 0 creates the dataset, all "ranks" write
+  // disjoint slabs through their own File objects on the shared file.
+  constexpr int kRanks = 4;
+  constexpr uint64_t kPerRank = 256;
+  {
+    auto file = File::Create(fs_, "/shared.h5l").value();
+    ASSERT_TRUE(file->root()
+                    ->CreateDataset("slab", kRanks * kPerRank, 8,
+                                    Layout::kContiguous)
+                    .ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  for (int r = 0; r < kRanks; ++r) {
+    auto file = File::Open(fs_, "/shared.h5l").value();
+    auto ds = file->root()->OpenDataset("slab").value();
+    const std::string payload(kPerRank * 8, static_cast<char>('A' + r));
+    ASSERT_TRUE(ds->Write(static_cast<uint64_t>(r) * kPerRank, kPerRank, payload).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  auto file = File::Open(fs_, "/shared.h5l").value();
+  auto ds = file->root()->OpenDataset("slab").value();
+  std::string all;
+  ASSERT_TRUE(ds->Read(0, kRanks * kPerRank, &all).ok());
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(all[static_cast<size_t>(r) * kPerRank * 8], 'A' + r) << r;
+  }
+}
+
+TEST_F(H5lTest, WritesProduceInterleavedMetadataTraffic) {
+  // The property the benchmarks rely on: each data write is punctuated by
+  // small metadata updates at low file offsets.
+  vfs::TraceContext ctx(1);
+  vfs::TraceVfs traced(fs_, ctx, 0);
+
+  auto file = File::Create(traced, "/t.h5l").value();
+  auto ds = file->root()->CreateDataset("d", 1024, 1024, Layout::kContiguous).value();
+  const std::string block(64 * 1024, 'w');
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(ds->Write(static_cast<uint64_t>(i) * 64, 64, block).ok());
+  }
+  ASSERT_TRUE(file->Close().ok());
+
+  // Count data-region writes vs low-offset metadata writes in the trace.
+  int data_writes = 0;
+  int metadata_writes = 0;
+  for (const auto& op : ctx.TraceForRank(0).ops) {
+    if (op.kind != vfs::IoOpKind::kWrite) continue;
+    if (op.size >= 32 * 1024) ++data_writes;
+    else ++metadata_writes;
+  }
+  EXPECT_EQ(data_writes, 16);
+  // At least one header rewrite per data write with default config.
+  EXPECT_GE(metadata_writes, 16);
+}
+
+TEST_F(H5lTest, HeaderUpdateIntervalReducesMetadataTraffic) {
+  auto count_meta = [&](int interval) {
+    vfs::TraceContext ctx(1);
+    vfs::TraceVfs traced(fs_, ctx, 0);
+    FileConfig config;
+    config.header_update_interval = interval;
+    auto file = File::Create(traced, "/i" + std::to_string(interval), config).value();
+    auto ds =
+        file->root()->CreateDataset("d", 64, 1024, Layout::kContiguous).value();
+    const std::string block(1024, 'w');
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_TRUE(ds->Write(static_cast<uint64_t>(i), 1, block).ok());
+    }
+    EXPECT_TRUE(file->Close().ok());
+    int metadata_writes = 0;
+    for (const auto& op : ctx.TraceForRank(0).ops) {
+      if (op.kind == vfs::IoOpKind::kWrite && op.size < 1024) ++metadata_writes;
+    }
+    return metadata_writes;
+  };
+  EXPECT_GT(count_meta(1), 2 * count_meta(16));
+}
+
+TEST_F(H5lTest, AttributesRoundTripAndOverwrite) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto root = file->root();
+  ASSERT_TRUE(root->SetAttribute("units", "kelvin").ok());
+  ASSERT_TRUE(root->SetAttribute("version", "1").ok());
+
+  EXPECT_EQ(root->GetAttribute("units").value(), "kelvin");
+  ASSERT_TRUE(root->SetAttribute("units", "celsius").ok());  // overwrite
+  EXPECT_EQ(root->GetAttribute("units").value(), "celsius");
+
+  auto names = root->ListAttributes().value();
+  EXPECT_EQ(names, (std::vector<std::string>{"units", "version"}));
+
+  // Attributes persist across reopen.
+  ASSERT_TRUE(file->Close().ok());
+  auto reopened = File::Open(fs_, "/f.h5l").value();
+  EXPECT_EQ(reopened->root()->GetAttribute("units").value(), "celsius");
+}
+
+TEST_F(H5lTest, AttributesDoNotAppearInList) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto root = file->root();
+  ASSERT_TRUE(root->CreateGroup("child").ok());
+  ASSERT_TRUE(root->SetAttribute("meta", "data").ok());
+  const auto children = root->List().value();
+  EXPECT_EQ(children, (std::vector<std::string>{"child"}));
+  EXPECT_TRUE(root->GetAttribute("missing").status().IsNotFound());
+}
+
+TEST_F(H5lTest, BinaryAttributeValues) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  const std::string binary("\x00\x01\xff payload \x00", 12);
+  ASSERT_TRUE(file->root()->SetAttribute("blob", binary).ok());
+  EXPECT_EQ(file->root()->GetAttribute("blob").value(), binary);
+}
+
+TEST_F(H5lTest, AttributesOnNestedGroups) {
+  auto file = File::Create(fs_, "/f.h5l").value();
+  auto group = file->root()->CreateGroup("run").value();
+  ASSERT_TRUE(group->SetAttribute("seed", "12345").ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  auto reopened = File::Open(fs_, "/f.h5l").value();
+  auto run = reopened->root()->OpenGroup("run").value();
+  EXPECT_EQ(run->GetAttribute("seed").value(), "12345");
+}
+
+TEST_F(H5lTest, UpdateHeaderIsMetadataOnly) {
+  vfs::TraceContext ctx(1);
+  vfs::TraceVfs traced(fs_, ctx, 0);
+  auto file = File::Create(traced, "/uh.h5l").value();
+  auto ds = file->root()->CreateDataset("d", 64, 8, Layout::kContiguous).value();
+  ASSERT_TRUE(ds->Write(0, 64, std::string(512, 'x')).ok());
+  const size_t ops_before = ctx.TraceForRank(0).ops.size();
+  ASSERT_TRUE(ds->UpdateHeader().ok());
+  // The header rewrite is a small write, no data movement.
+  bool found_small_write = false;
+  for (size_t i = ops_before; i < ctx.TraceForRank(0).ops.size(); ++i) {
+    const auto& op = ctx.TraceForRank(0).ops[i];
+    if (op.kind == vfs::IoOpKind::kWrite) {
+      EXPECT_LT(op.size, 128u);
+      found_small_write = true;
+    }
+  }
+  EXPECT_TRUE(found_small_write);
+  // Data is untouched.
+  std::string out;
+  ASSERT_TRUE(ds->Read(0, 64, &out).ok());
+  EXPECT_EQ(out, std::string(512, 'x'));
+}
+
+TEST_F(H5lTest, LargeDatasetSurvives) {
+  auto file = File::Create(fs_, "/big.h5l").value();
+  auto ds = file->root()
+                ->CreateDataset("big", 4 * MiB, 1, Layout::kContiguous)
+                .value();
+  std::string data(4 * MiB, '\0');
+  Rng rng(3);
+  rng.Fill(data.data(), data.size());
+  ASSERT_TRUE(ds->Write(0, 4 * MiB, data).ok());
+  std::string out;
+  ASSERT_TRUE(ds->Read(0, 4 * MiB, &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+}  // namespace
+}  // namespace lsmio::h5l

@@ -1,0 +1,193 @@
+// Integration tests of the full benchmark pipeline: real library code ->
+// trace -> simulated Lustre -> bandwidth, checking the relationships the
+// paper's figures are built from.
+#include "iorsim/iorsim.h"
+
+#include <gtest/gtest.h>
+
+namespace lsmio::iorsim {
+namespace {
+
+pfs::SimOptions DefaultSim(int stripe_count = 4, uint64_t stripe_size = 64 * KiB) {
+  pfs::SimOptions options;
+  options.stripe.stripe_count = stripe_count;
+  options.stripe.stripe_size = stripe_size;
+  return options;
+}
+
+Workload SmallWorkload(Api api, int tasks) {
+  Workload workload;
+  workload.api = api;
+  workload.num_tasks = tasks;
+  workload.block_size = 256 * KiB;
+  workload.transfer_size = 64 * KiB;
+  workload.segments = 4;
+  return workload;
+}
+
+// Checkpoint-sized workload (8 MiB/task): fixed per-file costs amortize, so
+// engine orderings reflect steady-state behaviour like the paper's runs.
+Workload MediumWorkload(Api api, int tasks) {
+  Workload workload;
+  workload.api = api;
+  workload.num_tasks = tasks;
+  workload.block_size = 256 * KiB;
+  workload.transfer_size = 64 * KiB;
+  workload.segments = 32;
+  return workload;
+}
+
+TEST(IorSimTest, EveryApiCompletesAndAccountsBytes) {
+  for (const Api api : {Api::kPosix, Api::kH5l, Api::kA2, Api::kA2Lsmio, Api::kLsmio}) {
+    const Workload workload = SmallWorkload(api, 4);
+    const RunResult result = RunWorkload(workload, DefaultSim());
+    EXPECT_GT(result.bandwidth, 0) << ApiName(api);
+    EXPECT_GE(result.sim.phase_bytes_written, workload.TotalBytes()) << ApiName(api);
+    EXPECT_GT(result.stored_bytes, 0u) << ApiName(api);
+  }
+}
+
+TEST(IorSimTest, ResultsAreDeterministic) {
+  const Workload workload = SmallWorkload(Api::kLsmio, 4);
+  const RunResult a = RunWorkload(workload, DefaultSim());
+  const RunResult b = RunWorkload(workload, DefaultSim());
+  EXPECT_EQ(a.sim.phase_seconds, b.sim.phase_seconds);
+  EXPECT_EQ(a.sim.total_rpcs, b.sim.total_rpcs);
+}
+
+TEST(IorSimTest, ReadPassVerifiesAndTimes) {
+  for (const Api api : {Api::kPosix, Api::kH5l, Api::kA2, Api::kA2Lsmio, Api::kLsmio}) {
+    Workload workload = SmallWorkload(api, 2);
+    workload.read = true;
+    const RunResult result = RunWorkload(workload, DefaultSim());
+    EXPECT_GT(result.bandwidth, 0) << ApiName(api);
+    EXPECT_GE(result.sim.phase_bytes_read, workload.TotalBytes()) << ApiName(api);
+    // The timed phase is the read: write bytes in phase must be ~0 (LSMIO
+    // reads may touch metadata, so allow slack but not the full payload).
+    EXPECT_LT(result.sim.phase_bytes_written, workload.TotalBytes() / 4)
+        << ApiName(api);
+  }
+}
+
+TEST(IorSimTest, FilePerProcessBeatsSharedPastStripeCount) {
+  Workload shared = SmallWorkload(Api::kPosix, 16);
+  Workload fpp = shared;
+  fpp.file_per_process = true;
+  pfs::SimOptions sim = DefaultSim();
+
+  const double shared_bw = RunWorkload(shared, sim).bandwidth;
+  const double fpp_bw = RunWorkload(fpp, sim).bandwidth;
+  EXPECT_GT(fpp_bw, 1.5 * shared_bw);
+}
+
+TEST(IorSimTest, PaperHeadline_LsmioBeatsIorPastStripeCount) {
+  // Figure 5's crossover: at 16 tasks over a 4-wide stripe, LSMIO must beat
+  // the shared-file POSIX baseline decisively.
+  const pfs::SimOptions sim = DefaultSim();
+  const double posix_bw = RunWorkload(SmallWorkload(Api::kPosix, 16), sim).bandwidth;
+  const double lsmio_bw = RunWorkload(SmallWorkload(Api::kLsmio, 16), sim).bandwidth;
+  EXPECT_GT(lsmio_bw, 2.0 * posix_bw);
+}
+
+TEST(IorSimTest, PaperHeadline_IorBeatsLsmioAtOneNode) {
+  // ...but at 1 task the baseline's raw streaming wins (Figure 5, low end).
+  const pfs::SimOptions sim = DefaultSim();
+  Workload posix = SmallWorkload(Api::kPosix, 1);
+  Workload lsmio = SmallWorkload(Api::kLsmio, 1);
+  // More data so constant costs wash out.
+  posix.segments = lsmio.segments = 16;
+  const double posix_bw = RunWorkload(posix, sim).bandwidth;
+  const double lsmio_bw = RunWorkload(lsmio, sim).bandwidth;
+  EXPECT_GT(posix_bw, lsmio_bw);
+}
+
+TEST(IorSimTest, PaperHeadline_H5lIsSlowerThanPosix) {
+  const pfs::SimOptions sim = DefaultSim();
+  const double posix_bw = RunWorkload(SmallWorkload(Api::kPosix, 8), sim).bandwidth;
+  const double h5l_bw = RunWorkload(SmallWorkload(Api::kH5l, 8), sim).bandwidth;
+  EXPECT_GT(posix_bw, h5l_bw);
+}
+
+TEST(IorSimTest, PaperHeadline_LsmioBeatsA2BeatsH5l) {
+  // Figure 6 ordering at high concurrency.
+  const pfs::SimOptions sim = DefaultSim();
+  const double h5l_bw = RunWorkload(MediumWorkload(Api::kH5l, 16), sim).bandwidth;
+  const double a2_bw = RunWorkload(MediumWorkload(Api::kA2, 16), sim).bandwidth;
+  const double lsmio_bw = RunWorkload(MediumWorkload(Api::kLsmio, 16), sim).bandwidth;
+  EXPECT_GT(a2_bw, h5l_bw);
+  EXPECT_GT(lsmio_bw, a2_bw);
+}
+
+TEST(IorSimTest, PaperHeadline_PluginSitsBetweenA2AndLsmio) {
+  // Figure 7: ADIOS2 < LSMIO-plugin < LSMIO.
+  const pfs::SimOptions sim = DefaultSim();
+  const double a2_bw = RunWorkload(MediumWorkload(Api::kA2, 16), sim).bandwidth;
+  const double plugin_bw =
+      RunWorkload(MediumWorkload(Api::kA2Lsmio, 16), sim).bandwidth;
+  const double lsmio_bw = RunWorkload(MediumWorkload(Api::kLsmio, 16), sim).bandwidth;
+  EXPECT_GT(plugin_bw, a2_bw);
+  EXPECT_GT(lsmio_bw, plugin_bw);
+}
+
+TEST(IorSimTest, CollectiveImprovesSharedFileWrites) {
+  // Figure 9: two-phase collective I/O rescues the strided shared file.
+  const pfs::SimOptions sim = DefaultSim();
+  Workload plain = SmallWorkload(Api::kPosix, 16);
+  Workload collective = plain;
+  collective.collective = true;
+  const double plain_bw = RunWorkload(plain, sim).bandwidth;
+  const double collective_bw = RunWorkload(collective, sim).bandwidth;
+  EXPECT_GT(collective_bw, 1.5 * plain_bw);
+}
+
+TEST(IorSimTest, LsmioStillBeatsCollectiveIorAtScale) {
+  const pfs::SimOptions sim = DefaultSim();
+  Workload collective = MediumWorkload(Api::kPosix, 16);
+  collective.collective = true;
+  const double collective_bw = RunWorkload(collective, sim).bandwidth;
+  const double lsmio_bw = RunWorkload(MediumWorkload(Api::kLsmio, 16), sim).bandwidth;
+  EXPECT_GT(lsmio_bw, collective_bw);
+}
+
+TEST(IorSimTest, LargerTransfersHelpSharedFilePastStripeCount) {
+  // Figure 5's secondary observation: 1M blocks beat 64K blocks once the
+  // stripe count is exceeded.
+  const pfs::SimOptions sim = DefaultSim();
+  Workload small = SmallWorkload(Api::kPosix, 16);
+  Workload large = small;
+  large.block_size = 1 * MiB;
+  large.transfer_size = 1 * MiB;
+  large.segments = 1;  // keep total bytes equal
+  const double small_bw = RunWorkload(small, sim).bandwidth;
+  const double large_bw = RunWorkload(large, sim).bandwidth;
+  EXPECT_GT(large_bw, 1.5 * small_bw);
+}
+
+TEST(IorSimTest, LsmioWritesAreAmplifiedButSequential) {
+  // Diagnostics: LSMIO stores more bytes than the payload (format overhead)
+  // but ships far fewer, larger RPCs than the strided baseline.
+  const pfs::SimOptions sim = DefaultSim();
+  const Workload posix = SmallWorkload(Api::kPosix, 8);
+  const Workload lsmio = SmallWorkload(Api::kLsmio, 8);
+  const RunResult posix_result = RunWorkload(posix, sim);
+  const RunResult lsmio_result = RunWorkload(lsmio, sim);
+
+  EXPECT_GE(lsmio_result.stored_bytes, lsmio.TotalBytes());
+  EXPECT_LT(lsmio_result.sim.total_seeks, posix_result.sim.total_seeks);
+}
+
+TEST(IorSimTest, A2ReadOutpacesLsmioRead) {
+  // Figure 10: ADIOS2's large sequential subfile reads beat LSMIO's
+  // synchronous point lookups.
+  const pfs::SimOptions sim = DefaultSim();
+  Workload a2 = SmallWorkload(Api::kA2, 8);
+  a2.read = true;
+  Workload lsmio = SmallWorkload(Api::kLsmio, 8);
+  lsmio.read = true;
+  const double a2_bw = RunWorkload(a2, sim).bandwidth;
+  const double lsmio_bw = RunWorkload(lsmio, sim).bandwidth;
+  EXPECT_GT(a2_bw, lsmio_bw);
+}
+
+}  // namespace
+}  // namespace lsmio::iorsim

@@ -1,0 +1,65 @@
+#include "lsm/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+
+namespace lsmio::lsm {
+namespace {
+
+TEST(ArenaTest, SmallAllocationsDoNotOverlap) {
+  Arena arena;
+  std::vector<std::pair<char*, size_t>> allocs;
+  Rng rng(301);
+  for (int i = 0; i < 1000; ++i) {
+    const size_t n = 1 + rng.Uniform(64);
+    char* p = arena.Allocate(n);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, static_cast<int>(i % 256), n);
+    allocs.emplace_back(p, n);
+  }
+  // Verify every allocation still carries its fill pattern (no overlap).
+  for (size_t i = 0; i < allocs.size(); ++i) {
+    const auto [p, n] = allocs[i];
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(static_cast<unsigned char>(p[j]), i % 256);
+    }
+  }
+}
+
+TEST(ArenaTest, LargeAllocationsGetDedicatedBlocks) {
+  Arena arena;
+  char* big = arena.Allocate(100000);
+  std::memset(big, 0x5a, 100000);
+  char* small = arena.Allocate(8);
+  std::memset(small, 0x11, 8);
+  EXPECT_EQ(static_cast<unsigned char>(big[99999]), 0x5a);
+}
+
+TEST(ArenaTest, AlignedAllocationsArePointerAligned) {
+  Arena arena;
+  arena.Allocate(1);  // misalign the bump pointer
+  for (int i = 0; i < 100; ++i) {
+    char* p = arena.AllocateAligned(24);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(void*), 0u);
+    arena.Allocate(1 + static_cast<size_t>(i % 7));  // keep misaligning
+  }
+}
+
+TEST(ArenaTest, MemoryUsageGrowsMonotonically) {
+  Arena arena;
+  size_t prev = arena.MemoryUsage();
+  for (int i = 0; i < 100; ++i) {
+    arena.Allocate(1024);
+    EXPECT_GE(arena.MemoryUsage(), prev);
+    prev = arena.MemoryUsage();
+  }
+  EXPECT_GE(arena.MemoryUsage(), 100 * 1024u);
+}
+
+}  // namespace
+}  // namespace lsmio::lsm

@@ -1,0 +1,148 @@
+// Property-based engine validation: a randomized op stream applied both to
+// the DB and to an in-memory reference model must agree, across the option
+// matrix of the paper's knobs (WAL, compression, cache, compaction, sync).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "lsm/db.h"
+#include "vfs/mem_vfs.h"
+
+namespace lsmio::lsm {
+namespace {
+
+struct EngineConfig {
+  bool disable_wal;
+  bool compress;
+  bool disable_cache;
+  bool disable_compaction;
+  bool sync_writes;
+  bool use_mmap;
+};
+
+std::string PrintConfig(const ::testing::TestParamInfo<EngineConfig>& info) {
+  const EngineConfig& c = info.param;
+  std::string name;
+  name += c.disable_wal ? "NoWal" : "Wal";
+  name += c.compress ? "Lz" : "Raw";
+  name += c.disable_cache ? "NoCache" : "Cache";
+  name += c.disable_compaction ? "NoCompact" : "Compact";
+  name += c.sync_writes ? "Sync" : "Async";
+  name += c.use_mmap ? "Mmap" : "Pread";
+  return name;
+}
+
+class DbPropertyTest : public ::testing::TestWithParam<EngineConfig> {
+ protected:
+  Options MakeOptions() {
+    const EngineConfig& c = GetParam();
+    Options options;
+    options.vfs = &fs_;
+    options.write_buffer_size = 16 * KiB;  // force flushes during the run
+    options.disable_wal = c.disable_wal;
+    options.compression = c.compress ? CompressionType::kLzLite : CompressionType::kNone;
+    options.disable_cache = c.disable_cache;
+    options.disable_compaction = c.disable_compaction;
+    options.sync_writes = c.sync_writes;
+    options.use_mmap = c.use_mmap;
+    options.l0_compaction_trigger = 3;
+    return options;
+  }
+
+  vfs::MemVfs fs_;
+};
+
+TEST_P(DbPropertyTest, RandomOpsMatchReferenceModel) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+
+  std::map<std::string, std::string> model;
+  Rng rng(20260707);
+
+  constexpr int kOps = 3000;
+  for (int op = 0; op < kOps; ++op) {
+    const uint64_t dice = rng.Uniform(100);
+    const std::string key = "key" + std::to_string(rng.Uniform(150));
+    if (dice < 55) {
+      std::string value(rng.Uniform(300) + 1, '\0');
+      rng.Fill(value.data(), value.size());
+      model[key] = value;
+      ASSERT_TRUE(db->Put({}, key, value).ok());
+    } else if (dice < 75) {
+      model.erase(key);
+      ASSERT_TRUE(db->Delete({}, key).ok());
+    } else if (dice < 95) {
+      std::string value;
+      const Status s = db->Get({}, key, &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << "op " << op << " key " << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << "op " << op << ": " << s.ToString();
+        ASSERT_EQ(value, it->second) << "op " << op;
+      }
+    } else {
+      ASSERT_TRUE(db->FlushMemTable(/*wait=*/rng.Bernoulli(0.5)).ok());
+    }
+  }
+
+  // Final full comparison via iterator.
+  std::unique_ptr<Iterator> iter(db->NewIterator({}));
+  auto expected = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++expected) {
+    ASSERT_NE(expected, model.end()) << "extra key " << iter->key().ToString();
+    EXPECT_EQ(iter->key().ToString(), expected->first);
+    EXPECT_EQ(iter->value().ToString(), expected->second);
+  }
+  EXPECT_EQ(expected, model.end());
+  ASSERT_TRUE(iter->status().ok());
+}
+
+TEST_P(DbPropertyTest, ReopenPreservesBarrieredState) {
+  std::map<std::string, std::string> model;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+    Rng rng(42);
+    for (int i = 0; i < 500; ++i) {
+      const std::string key = "k" + std::to_string(rng.Uniform(100));
+      std::string value(rng.Uniform(200) + 1, '\0');
+      rng.Fill(value.data(), value.size());
+      model[key] = value;
+      ASSERT_TRUE(db->Put({}, key, value).ok());
+    }
+    // Barrier makes everything durable regardless of WAL setting.
+    ASSERT_TRUE(db->FlushMemTable(true).ok());
+  }
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+  for (const auto& [key, value] : model) {
+    std::string got;
+    ASSERT_TRUE(db->Get({}, key, &got).ok()) << key;
+    EXPECT_EQ(got, value) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionMatrix, DbPropertyTest,
+    ::testing::Values(
+        // The paper's checkpoint configuration.
+        EngineConfig{true, false, true, true, false, false},
+        // Default durable configuration.
+        EngineConfig{false, false, false, false, false, false},
+        // Compression on, compaction on, synced.
+        EngineConfig{false, true, false, false, true, false},
+        // WAL off but compaction on.
+        EngineConfig{true, false, false, false, false, true},
+        // Everything on.
+        EngineConfig{false, true, false, false, false, true},
+        // Cache off, compression on, no compaction.
+        EngineConfig{false, true, true, true, false, false}),
+    PrintConfig);
+
+}  // namespace
+}  // namespace lsmio::lsm

@@ -1,0 +1,127 @@
+#include "lsm/dbformat.h"
+
+#include <gtest/gtest.h>
+
+namespace lsmio::lsm {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq, ValueType t) {
+  std::string encoded;
+  AppendInternalKey(&encoded, user_key, seq, t);
+  return encoded;
+}
+
+TEST(InternalKeyTest, EncodeDecodeRoundTrip) {
+  const std::string encoded = IKey("user-key", 12345, ValueType::kValue);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(encoded, &parsed));
+  EXPECT_EQ(parsed.user_key.ToString(), "user-key");
+  EXPECT_EQ(parsed.sequence, 12345u);
+  EXPECT_EQ(parsed.type, ValueType::kValue);
+}
+
+TEST(InternalKeyTest, DeletionType) {
+  const std::string encoded = IKey("k", 7, ValueType::kDeletion);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(encoded, &parsed));
+  EXPECT_EQ(parsed.type, ValueType::kDeletion);
+}
+
+TEST(InternalKeyTest, RejectsTooShort) {
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(Slice("short"), &parsed));
+}
+
+TEST(InternalKeyTest, RejectsBadTypeTag) {
+  std::string encoded = IKey("k", 7, ValueType::kValue);
+  encoded[encoded.size() - 8] = '\x09';  // invalid type byte
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(encoded, &parsed));
+}
+
+TEST(InternalKeyComparatorTest, OrdersByUserKeyThenDescendingSequence) {
+  InternalKeyComparator icmp(BytewiseComparator());
+
+  // Same user key: newer (higher sequence) sorts first.
+  EXPECT_LT(icmp.Compare(IKey("k", 10, ValueType::kValue),
+                         IKey("k", 5, ValueType::kValue)),
+            0);
+  // Different user key dominates.
+  EXPECT_LT(icmp.Compare(IKey("a", 1, ValueType::kValue),
+                         IKey("b", 100, ValueType::kValue)),
+            0);
+  // Identical keys compare equal.
+  EXPECT_EQ(icmp.Compare(IKey("k", 5, ValueType::kValue),
+                         IKey("k", 5, ValueType::kValue)),
+            0);
+}
+
+TEST(InternalKeyComparatorTest, SeekKeyFindsNewestVisible) {
+  // A seek key at sequence S must sort before all entries with seq <= S for
+  // the same user key (so lower-bound lands on the newest visible entry).
+  InternalKeyComparator icmp(BytewiseComparator());
+  const std::string seek = IKey("k", 7, kValueTypeForSeek);
+  EXPECT_GT(icmp.Compare(seek, IKey("k", 9, ValueType::kValue)), 0);
+  EXPECT_LE(icmp.Compare(seek, IKey("k", 7, ValueType::kValue)), 0);
+  EXPECT_LT(icmp.Compare(seek, IKey("k", 3, ValueType::kValue)), 0);
+}
+
+TEST(LookupKeyTest, PartsAreConsistent) {
+  const LookupKey lkey("checkpoint/var1", 99);
+  EXPECT_EQ(lkey.user_key().ToString(), "checkpoint/var1");
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(lkey.internal_key(), &parsed));
+  EXPECT_EQ(parsed.user_key.ToString(), "checkpoint/var1");
+  EXPECT_EQ(parsed.sequence, 99u);
+  // memtable_key = varint-length prefix + internal key.
+  EXPECT_GT(lkey.memtable_key().size(), lkey.internal_key().size());
+}
+
+TEST(LookupKeyTest, LongKeysUseHeapPath) {
+  const std::string long_key(5000, 'k');
+  const LookupKey lkey(long_key, 1);
+  EXPECT_EQ(lkey.user_key().ToString(), long_key);
+}
+
+TEST(FileNameTest, FormatsAreParseable) {
+  uint64_t number = 0;
+  FileType type;
+
+  ASSERT_TRUE(ParseFileName("000123.sst", &number, &type));
+  EXPECT_EQ(number, 123u);
+  EXPECT_EQ(type, FileType::kTableFile);
+
+  ASSERT_TRUE(ParseFileName("000007.log", &number, &type));
+  EXPECT_EQ(number, 7u);
+  EXPECT_EQ(type, FileType::kLogFile);
+
+  ASSERT_TRUE(ParseFileName("MANIFEST-000002", &number, &type));
+  EXPECT_EQ(number, 2u);
+  EXPECT_EQ(type, FileType::kManifestFile);
+
+  ASSERT_TRUE(ParseFileName("CURRENT", &number, &type));
+  EXPECT_EQ(type, FileType::kCurrentFile);
+
+  EXPECT_FALSE(ParseFileName("garbage.txt", &number, &type));
+  EXPECT_FALSE(ParseFileName("", &number, &type));
+}
+
+TEST(FileNameTest, GeneratedNamesRoundTrip) {
+  uint64_t number = 0;
+  FileType type;
+  const std::string table = TableFileName("/db", 42);
+  ASSERT_TRUE(ParseFileName(table.substr(4), &number, &type));
+  EXPECT_EQ(number, 42u);
+  EXPECT_EQ(type, FileType::kTableFile);
+
+  const std::string log = LogFileName("/db", 9);
+  ASSERT_TRUE(ParseFileName(log.substr(4), &number, &type));
+  EXPECT_EQ(type, FileType::kLogFile);
+
+  const std::string manifest = ManifestFileName("/db", 3);
+  ASSERT_TRUE(ParseFileName(manifest.substr(4), &number, &type));
+  EXPECT_EQ(type, FileType::kManifestFile);
+}
+
+}  // namespace
+}  // namespace lsmio::lsm

@@ -1,0 +1,129 @@
+#include "lsm/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lsm/comparator.h"
+
+namespace lsmio::lsm {
+namespace {
+
+class MemTableTest : public ::testing::Test {
+ protected:
+  MemTableTest() : icmp_(BytewiseComparator()), mem_(new MemTable(icmp_)) {
+    mem_->Ref();
+  }
+  ~MemTableTest() override { mem_->Unref(); }
+
+  InternalKeyComparator icmp_;
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, PutThenGet) {
+  mem_->Add(1, ValueType::kValue, "key", "value");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(LookupKey("key", 10), &value, &s));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(value, "value");
+}
+
+TEST_F(MemTableTest, GetMissingKey) {
+  mem_->Add(1, ValueType::kValue, "key", "value");
+  std::string value;
+  Status s;
+  EXPECT_FALSE(mem_->Get(LookupKey("other", 10), &value, &s));
+}
+
+TEST_F(MemTableTest, NewerVersionShadowsOlder) {
+  mem_->Add(1, ValueType::kValue, "k", "v1");
+  mem_->Add(2, ValueType::kValue, "k", "v2");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 10), &value, &s));
+  EXPECT_EQ(value, "v2");
+}
+
+TEST_F(MemTableTest, SnapshotSeesOldVersion) {
+  mem_->Add(1, ValueType::kValue, "k", "v1");
+  mem_->Add(5, ValueType::kValue, "k", "v5");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 3), &value, &s));
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 5), &value, &s));
+  EXPECT_EQ(value, "v5");
+}
+
+TEST_F(MemTableTest, DeletionReturnsNotFound) {
+  mem_->Add(1, ValueType::kValue, "k", "v");
+  mem_->Add(2, ValueType::kDeletion, "k", "");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 10), &value, &s));
+  EXPECT_TRUE(s.IsNotFound());
+  // But the old version is still visible at sequence 1.
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 1), &value, &s));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST_F(MemTableTest, EmptyValueRoundTrips) {
+  mem_->Add(1, ValueType::kValue, "k", "");
+  std::string value = "junk";
+  Status s;
+  ASSERT_TRUE(mem_->Get(LookupKey("k", 10), &value, &s));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(value.empty());
+}
+
+TEST_F(MemTableTest, LargeValuesSurvive) {
+  const std::string big(1 << 20, 'B');
+  mem_->Add(1, ValueType::kValue, "big", big);
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_->Get(LookupKey("big", 10), &value, &s));
+  EXPECT_EQ(value, big);
+  EXPECT_GE(mem_->ApproximateMemoryUsage(), big.size());
+}
+
+TEST_F(MemTableTest, IteratorYieldsSortedInternalKeys) {
+  mem_->Add(3, ValueType::kValue, "b", "vb");
+  mem_->Add(1, ValueType::kValue, "c", "vc");
+  mem_->Add(2, ValueType::kValue, "a", "va");
+
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  iter->SeekToFirst();
+  std::vector<std::string> user_keys;
+  while (iter->Valid()) {
+    user_keys.push_back(ExtractUserKey(iter->key()).ToString());
+    iter->Next();
+  }
+  EXPECT_EQ(user_keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(MemTableTest, IteratorSeek) {
+  mem_->Add(1, ValueType::kValue, "apple", "1");
+  mem_->Add(2, ValueType::kValue, "banana", "2");
+  mem_->Add(3, ValueType::kValue, "cherry", "3");
+
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  std::string seek_key;
+  AppendInternalKey(&seek_key, "b", kMaxSequenceNumber, kValueTypeForSeek);
+  iter->Seek(Slice(seek_key));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), "banana");
+}
+
+TEST_F(MemTableTest, EntryCountTracksAdds) {
+  EXPECT_EQ(mem_->num_entries(), 0u);
+  for (int i = 0; i < 57; ++i) {
+    mem_->Add(static_cast<SequenceNumber>(i + 1), ValueType::kValue,
+              "k" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(mem_->num_entries(), 57u);
+}
+
+}  // namespace
+}  // namespace lsmio::lsm

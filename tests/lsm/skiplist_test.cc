@@ -1,0 +1,140 @@
+#include "lsm/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+
+namespace lsmio::lsm {
+namespace {
+
+struct U64Cmp {
+  int operator()(uint64_t a, uint64_t b) const {
+    if (a < b) return -1;
+    if (a > b) return +1;
+    return 0;
+  }
+};
+
+using U64List = SkipList<uint64_t, U64Cmp>;
+
+TEST(SkipListTest, EmptyList) {
+  Arena arena;
+  U64List list(U64Cmp{}, &arena);
+  EXPECT_FALSE(list.Contains(10));
+
+  U64List::Iterator iter(&list);
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToFirst();
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToLast();
+  EXPECT_FALSE(iter.Valid());
+  iter.Seek(100);
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipListTest, InsertLookupAndOrderedScan) {
+  constexpr int kN = 2000;
+  constexpr uint64_t kR = 5000;
+  Arena arena;
+  U64List list(U64Cmp{}, &arena);
+  std::set<uint64_t> keys;
+  Rng rng(1000);
+
+  for (int i = 0; i < kN; ++i) {
+    const uint64_t key = rng.Uniform(kR);
+    if (keys.insert(key).second) list.Insert(key);
+  }
+
+  for (uint64_t i = 0; i < kR; ++i) {
+    EXPECT_EQ(list.Contains(i), keys.count(i) > 0) << "key " << i;
+  }
+
+  // Forward scan matches the set.
+  {
+    U64List::Iterator iter(&list);
+    iter.SeekToFirst();
+    for (const uint64_t expected : keys) {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(iter.key(), expected);
+      iter.Next();
+    }
+    EXPECT_FALSE(iter.Valid());
+  }
+
+  // Backward scan matches the reversed set.
+  {
+    U64List::Iterator iter(&list);
+    iter.SeekToLast();
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(iter.key(), *it);
+      iter.Prev();
+    }
+    EXPECT_FALSE(iter.Valid());
+  }
+}
+
+TEST(SkipListTest, SeekFindsLowerBound) {
+  Arena arena;
+  U64List list(U64Cmp{}, &arena);
+  for (uint64_t k : {10u, 20u, 30u, 40u}) list.Insert(k);
+
+  U64List::Iterator iter(&list);
+  iter.Seek(25);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.key(), 30u);
+
+  iter.Seek(30);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.key(), 30u);
+
+  iter.Seek(41);
+  EXPECT_FALSE(iter.Valid());
+
+  iter.Seek(0);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.key(), 10u);
+}
+
+TEST(SkipListTest, ConcurrentReadDuringInsert) {
+  // One writer inserting ascending keys; readers scan concurrently and must
+  // always observe a sorted, gap-free prefix.
+  Arena arena;
+  U64List list(U64Cmp{}, &arena);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> inserted{0};
+
+  std::thread writer([&] {
+    for (uint64_t k = 0; k < 20000; ++k) {
+      list.Insert(k);
+      inserted.store(k + 1, std::memory_order_release);
+    }
+    done.store(true);
+  });
+
+  std::thread reader([&] {
+    while (!done.load()) {
+      const uint64_t lower_bound_count = inserted.load(std::memory_order_acquire);
+      U64List::Iterator iter(&list);
+      iter.SeekToFirst();
+      uint64_t expected = 0;
+      while (iter.Valid()) {
+        ASSERT_EQ(iter.key(), expected);
+        ++expected;
+        iter.Next();
+      }
+      ASSERT_GE(expected, lower_bound_count);
+    }
+  });
+
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(list.Contains(19999));
+}
+
+}  // namespace
+}  // namespace lsmio::lsm

@@ -1,0 +1,233 @@
+#include "lsm/table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "lsm/cache.h"
+#include "lsm/comparator.h"
+#include "lsm/dbformat.h"
+#include "lsm/filter_policy.h"
+#include "lsm/table_builder.h"
+#include "vfs/mem_vfs.h"
+
+namespace lsmio::lsm {
+namespace {
+
+// Builds a table of internal keys in a MemVfs and reopens it for reading.
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : icmp_(BytewiseComparator()), policy_(NewBloomFilterPolicy(10)) {}
+
+  std::string IKey(const std::string& user_key, SequenceNumber seq = 1,
+                   ValueType t = ValueType::kValue) {
+    std::string encoded;
+    AppendInternalKey(&encoded, user_key, seq, t);
+    return encoded;
+  }
+
+  void BuildAndOpen(const std::map<std::string, std::string>& user_entries,
+                    Options options = {}) {
+    std::unique_ptr<vfs::WritableFile> file;
+    ASSERT_TRUE(fs_.NewWritableFile("/t.sst", {}, &file).ok());
+    TableBuilder builder(options, &icmp_, policy_.get(), file.get());
+    for (const auto& [k, v] : user_entries) builder.Add(IKey(k), v);
+    ASSERT_TRUE(builder.Finish().ok());
+    ASSERT_TRUE(file->Close().ok());
+
+    uint64_t size = 0;
+    ASSERT_TRUE(fs_.GetFileSize("/t.sst", &size).ok());
+    ASSERT_TRUE(fs_.NewRandomAccessFile("/t.sst", {}, &raf_).ok());
+    cache_ = NewLRUCache(1 << 20);
+    ASSERT_TRUE(Table::Open(options, &icmp_, policy_.get(), cache_.get(), 1,
+                            raf_.get(), size, &table_)
+                    .ok());
+  }
+
+  // Gets a user key through InternalGet.
+  bool Get(const std::string& user_key, std::string* value) {
+    std::string seek;
+    AppendInternalKey(&seek, user_key, kMaxSequenceNumber, kValueTypeForSeek);
+    bool found = false;
+    const Status s = table_->InternalGet(
+        {}, seek, [&](const Slice& k, const Slice& v) {
+          ParsedInternalKey parsed;
+          if (ParseInternalKey(k, &parsed) &&
+              parsed.user_key == Slice(user_key)) {
+            *value = v.ToString();
+            found = true;
+          }
+        });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return found;
+  }
+
+  vfs::MemVfs fs_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<const FilterPolicy> policy_;
+  std::unique_ptr<vfs::RandomAccessFile> raf_;
+  std::unique_ptr<Cache> cache_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TableTest, PointLookups) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 500; ++i) {
+    entries["key" + std::to_string(10000 + i)] = "value" + std::to_string(i);
+  }
+  BuildAndOpen(entries);
+
+  std::string value;
+  ASSERT_TRUE(Get("key10000", &value));
+  EXPECT_EQ(value, "value0");
+  ASSERT_TRUE(Get("key10250", &value));
+  EXPECT_EQ(value, "value250");
+  ASSERT_TRUE(Get("key10499", &value));
+  EXPECT_EQ(value, "value499");
+  EXPECT_FALSE(Get("key99999", &value));
+  EXPECT_FALSE(Get("aaa", &value));
+}
+
+TEST_F(TableTest, FullScanInOrder) {
+  std::map<std::string, std::string> entries;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    std::string key(8, '\0');
+    rng.Fill(key.data(), key.size());
+    entries[key] = std::to_string(i);
+  }
+  BuildAndOpen(entries);
+
+  std::unique_ptr<Iterator> iter(table_->NewIterator({}));
+  auto expected = entries.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++expected) {
+    ASSERT_NE(expected, entries.end());
+    EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), expected->first);
+    EXPECT_EQ(iter->value().ToString(), expected->second);
+  }
+  EXPECT_EQ(expected, entries.end());
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST_F(TableTest, SeekWithinScan) {
+  BuildAndOpen({{"b", "1"}, {"d", "2"}, {"f", "3"}});
+  std::unique_ptr<Iterator> iter(table_->NewIterator({}));
+  iter->Seek(IKey("c", kMaxSequenceNumber, kValueTypeForSeek));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), "d");
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), "f");
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(TableTest, SmallBlockSizeProducesManyBlocks) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 300; ++i) {
+    entries["key" + std::to_string(1000 + i)] = std::string(100, 'v');
+  }
+  Options options;
+  options.block_size = 256;  // force many data blocks
+  BuildAndOpen(entries, options);
+
+  std::string value;
+  for (int i = 0; i < 300; i += 37) {
+    ASSERT_TRUE(Get("key" + std::to_string(1000 + i), &value)) << i;
+  }
+  std::unique_ptr<Iterator> iter(table_->NewIterator({}));
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) ++count;
+  EXPECT_EQ(count, 300);
+}
+
+TEST_F(TableTest, CompressedTableRoundTrips) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 200; ++i) {
+    entries["key" + std::to_string(1000 + i)] = std::string(500, 'r');
+  }
+  Options options;
+  options.compression = CompressionType::kLzLite;
+  BuildAndOpen(entries, options);
+
+  uint64_t compressed_size = 0;
+  ASSERT_TRUE(fs_.GetFileSize("/t.sst", &compressed_size).ok());
+  EXPECT_LT(compressed_size, 200 * 500u);  // repetitive values must shrink
+
+  std::string value;
+  ASSERT_TRUE(Get("key1000", &value));
+  EXPECT_EQ(value, std::string(500, 'r'));
+  ASSERT_TRUE(Get("key1199", &value));
+}
+
+TEST_F(TableTest, ChecksumVerificationDetectsCorruption) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 100; ++i) {
+    entries["key" + std::to_string(i)] = "payload" + std::to_string(i);
+  }
+  Options options;
+  BuildAndOpen(entries, options);
+
+  // Flip a byte in the middle of the data region.
+  std::unique_ptr<vfs::FileHandle> handle;
+  ASSERT_TRUE(fs_.OpenFileHandle("/t.sst", false, {}, &handle).ok());
+  ASSERT_TRUE(handle->WriteAt(100, "X").ok());
+
+  // Reopen with a cold cache so the read hits the corrupted bytes.
+  uint64_t size = 0;
+  ASSERT_TRUE(fs_.GetFileSize("/t.sst", &size).ok());
+  std::unique_ptr<Table> table2;
+  ASSERT_TRUE(Table::Open(options, &icmp_, policy_.get(), nullptr, 2,
+                          raf_.get(), size, &table2)
+                  .ok());
+  ReadOptions read_opts;
+  read_opts.verify_checksums = true;
+  std::unique_ptr<Iterator> iter(table2->NewIterator(read_opts));
+  iter->SeekToFirst();
+  while (iter->Valid()) iter->Next();
+  EXPECT_TRUE(iter->status().IsCorruption());
+}
+
+TEST_F(TableTest, OpenRejectsNonTableFile) {
+  ASSERT_TRUE(vfs::WriteStringToFile(fs_, "/junk", std::string(200, 'j')).ok());
+  std::unique_ptr<vfs::RandomAccessFile> raf;
+  ASSERT_TRUE(fs_.NewRandomAccessFile("/junk", {}, &raf).ok());
+  std::unique_ptr<Table> table;
+  EXPECT_TRUE(Table::Open({}, &icmp_, policy_.get(), nullptr, 1, raf.get(), 200,
+                          &table)
+                  .IsCorruption());
+}
+
+TEST_F(TableTest, OpenRejectsTooShortFile) {
+  ASSERT_TRUE(vfs::WriteStringToFile(fs_, "/tiny", "x").ok());
+  std::unique_ptr<vfs::RandomAccessFile> raf;
+  ASSERT_TRUE(fs_.NewRandomAccessFile("/tiny", {}, &raf).ok());
+  std::unique_ptr<Table> table;
+  EXPECT_TRUE(
+      Table::Open({}, &icmp_, policy_.get(), nullptr, 1, raf.get(), 1, &table)
+          .IsCorruption());
+}
+
+TEST_F(TableTest, ApproximateOffsetsAreMonotone) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 500; ++i) {
+    entries["key" + std::to_string(10000 + i)] = std::string(200, 'o');
+  }
+  Options options;
+  options.block_size = 1024;
+  BuildAndOpen(entries, options);
+
+  uint64_t prev = 0;
+  for (int i = 0; i < 500; i += 50) {
+    const uint64_t off =
+        table_->ApproximateOffsetOf(IKey("key" + std::to_string(10000 + i)));
+    EXPECT_GE(off, prev);
+    prev = off;
+  }
+  EXPECT_GT(prev, 0u);
+}
+
+}  // namespace
+}  // namespace lsmio::lsm

@@ -1,0 +1,143 @@
+#include "lsm/version.h"
+
+#include <gtest/gtest.h>
+
+#include "lsm/comparator.h"
+#include "lsm/table_cache.h"
+#include "vfs/mem_vfs.h"
+
+namespace lsmio::lsm {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq) {
+  std::string encoded;
+  AppendInternalKey(&encoded, user_key, seq, ValueType::kValue);
+  return encoded;
+}
+
+FileMetaData MakeFile(uint64_t number, const std::string& smallest,
+                      const std::string& largest, uint64_t size = 1000) {
+  FileMetaData f;
+  f.number = number;
+  f.file_size = size;
+  f.smallest = IKey(smallest, 100);
+  f.largest = IKey(largest, 1);
+  return f;
+}
+
+class VersionSetTest : public ::testing::Test {
+ protected:
+  VersionSetTest() : icmp_(BytewiseComparator()) {
+    options_.vfs = &fs_;
+    table_cache_ = std::make_unique<TableCache>("/db", options_, &icmp_, nullptr,
+                                                nullptr, 10);
+    versions_ = std::make_unique<VersionSet>("/db", options_, &icmp_,
+                                             table_cache_.get());
+  }
+
+  vfs::MemVfs fs_;
+  Options options_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<TableCache> table_cache_;
+  std::unique_ptr<VersionSet> versions_;
+};
+
+TEST_F(VersionSetTest, FileNumbersAreMonotonic) {
+  const uint64_t a = versions_->NewFileNumber();
+  const uint64_t b = versions_->NewFileNumber();
+  EXPECT_GT(b, a);
+  versions_->ReuseFileNumber(b);
+  EXPECT_EQ(versions_->NewFileNumber(), b);
+}
+
+TEST_F(VersionSetTest, MakeVersionAddsAndRemoves) {
+  auto v1 = versions_->MakeVersion({{0, MakeFile(10, "a", "m")}}, {});
+  ASSERT_TRUE(versions_->LogAndApply(v1).ok());
+  EXPECT_EQ(versions_->current()->NumFiles(0), 1);
+
+  auto v2 = versions_->MakeVersion({{0, MakeFile(11, "n", "z")}}, {});
+  ASSERT_TRUE(versions_->LogAndApply(v2).ok());
+  EXPECT_EQ(versions_->current()->NumFiles(0), 2);
+
+  auto v3 = versions_->MakeVersion({{1, MakeFile(12, "a", "z", 2000)}},
+                                   {{0, 10}, {0, 11}});
+  ASSERT_TRUE(versions_->LogAndApply(v3).ok());
+  EXPECT_EQ(versions_->current()->NumFiles(0), 0);
+  EXPECT_EQ(versions_->current()->NumFiles(1), 1);
+  EXPECT_EQ(versions_->current()->TotalBytes(1), 2000u);
+  EXPECT_EQ(versions_->current()->TotalFiles(), 1);
+}
+
+TEST_F(VersionSetTest, L0OrderedNewestFirst) {
+  auto v = versions_->MakeVersion(
+      {{0, MakeFile(5, "a", "c")}, {0, MakeFile(9, "a", "c")}, {0, MakeFile(7, "a", "c")}},
+      {});
+  EXPECT_EQ(v->files[0][0].number, 9u);
+  EXPECT_EQ(v->files[0][1].number, 7u);
+  EXPECT_EQ(v->files[0][2].number, 5u);
+}
+
+TEST_F(VersionSetTest, DeeperLevelsSortedBySmallestKey) {
+  auto v = versions_->MakeVersion(
+      {{2, MakeFile(5, "m", "p")}, {2, MakeFile(6, "a", "c")}, {2, MakeFile(7, "x", "z")}},
+      {});
+  EXPECT_EQ(v->files[2][0].number, 6u);
+  EXPECT_EQ(v->files[2][1].number, 5u);
+  EXPECT_EQ(v->files[2][2].number, 7u);
+}
+
+TEST_F(VersionSetTest, SnapshotSurvivesRecovery) {
+  versions_->SetLastSequence(777);
+  versions_->SetLogNumber(42);
+  auto v = versions_->MakeVersion(
+      {{0, MakeFile(10, "a", "m")}, {3, MakeFile(11, "n", "z", 5000)}}, {});
+  ASSERT_TRUE(versions_->LogAndApply(v).ok());
+
+  // Fresh VersionSet recovering from the same directory.
+  VersionSet recovered("/db", options_, &icmp_, table_cache_.get());
+  bool save_manifest = false;
+  ASSERT_TRUE(recovered.Recover(&save_manifest).ok());
+  EXPECT_EQ(recovered.LastSequence(), 777u);
+  EXPECT_EQ(recovered.LogNumber(), 42u);
+  EXPECT_EQ(recovered.current()->NumFiles(0), 1);
+  EXPECT_EQ(recovered.current()->NumFiles(3), 1);
+  EXPECT_EQ(recovered.current()->files[3][0].file_size, 5000u);
+  EXPECT_EQ(recovered.current()->files[0][0].smallest, IKey("a", 100));
+}
+
+TEST_F(VersionSetTest, RecoverFailsWithoutCurrent) {
+  VersionSet fresh("/empty-db", options_, &icmp_, table_cache_.get());
+  bool save_manifest = false;
+  EXPECT_FALSE(fresh.Recover(&save_manifest).ok());
+}
+
+TEST_F(VersionSetTest, AddLiveFilesListsEverything) {
+  auto v = versions_->MakeVersion(
+      {{0, MakeFile(10, "a", "b")}, {1, MakeFile(20, "c", "d")}, {4, MakeFile(30, "e", "f")}},
+      {});
+  ASSERT_TRUE(versions_->LogAndApply(v).ok());
+  std::vector<uint64_t> live;
+  versions_->AddLiveFiles(&live);
+  std::sort(live.begin(), live.end());
+  EXPECT_EQ(live, (std::vector<uint64_t>{10, 20, 30}));
+}
+
+TEST_F(VersionSetTest, ComparatorMismatchDetectedOnRecover) {
+  ASSERT_TRUE(versions_->LogAndApply(versions_->MakeVersion({}, {})).ok());
+
+  // A comparator with a different name.
+  class WeirdComparator : public Comparator {
+   public:
+    int Compare(const Slice& a, const Slice& b) const override { return a.compare(b); }
+    const char* Name() const override { return "weird.Comparator"; }
+    void FindShortestSeparator(std::string*, const Slice&) const override {}
+    void FindShortSuccessor(std::string*) const override {}
+  } weird;
+  InternalKeyComparator weird_icmp(&weird);
+  VersionSet recovered("/db", options_, &weird_icmp, table_cache_.get());
+  bool save_manifest = false;
+  EXPECT_TRUE(recovered.Recover(&save_manifest).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lsmio::lsm

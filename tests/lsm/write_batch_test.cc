@@ -1,0 +1,149 @@
+#include "lsm/write_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lsm/comparator.h"
+#include "lsm/memtable.h"
+
+namespace lsmio::lsm {
+namespace {
+
+// Records the ops a batch contains in order.
+struct OpRecorder final : WriteBatch::Handler {
+  std::vector<std::string> ops;
+  void Put(const Slice& key, const Slice& value) override {
+    ops.push_back("Put(" + key.ToString() + "," + value.ToString() + ")");
+  }
+  void Delete(const Slice& key) override {
+    ops.push_back("Delete(" + key.ToString() + ")");
+  }
+};
+
+TEST(WriteBatchTest, EmptyBatch) {
+  WriteBatch batch;
+  EXPECT_EQ(batch.Count(), 0);
+  OpRecorder rec;
+  ASSERT_TRUE(batch.Iterate(&rec).ok());
+  EXPECT_TRUE(rec.ops.empty());
+}
+
+TEST(WriteBatchTest, OpsPreserveOrder) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Delete("b");
+  batch.Put("c", "3");
+  EXPECT_EQ(batch.Count(), 3);
+
+  OpRecorder rec;
+  ASSERT_TRUE(batch.Iterate(&rec).ok());
+  EXPECT_EQ(rec.ops, (std::vector<std::string>{"Put(a,1)", "Delete(b)", "Put(c,3)"}));
+}
+
+TEST(WriteBatchTest, SequenceRoundTrip) {
+  WriteBatch batch;
+  batch.SetSequence(0xdeadbeefULL);
+  EXPECT_EQ(batch.Sequence(), 0xdeadbeefULL);
+}
+
+TEST(WriteBatchTest, AppendConcatenates) {
+  WriteBatch a;
+  a.Put("x", "1");
+  WriteBatch b;
+  b.Put("y", "2");
+  b.Delete("z");
+  a.Append(b);
+  EXPECT_EQ(a.Count(), 3);
+
+  OpRecorder rec;
+  ASSERT_TRUE(a.Iterate(&rec).ok());
+  EXPECT_EQ(rec.ops, (std::vector<std::string>{"Put(x,1)", "Put(y,2)", "Delete(z)"}));
+}
+
+TEST(WriteBatchTest, ClearEmpties) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Clear();
+  EXPECT_EQ(batch.Count(), 0);
+  EXPECT_EQ(batch.Sequence(), 0u);
+}
+
+TEST(WriteBatchTest, ContentsRoundTripThroughSetContents) {
+  WriteBatch a;
+  a.SetSequence(42);
+  a.Put("key", "value");
+  a.Delete("gone");
+
+  WriteBatch b;
+  ASSERT_TRUE(WriteBatch::SetContents(&b, a.Contents()).ok());
+  EXPECT_EQ(b.Count(), 2);
+  EXPECT_EQ(b.Sequence(), 42u);
+
+  OpRecorder rec;
+  ASSERT_TRUE(b.Iterate(&rec).ok());
+  EXPECT_EQ(rec.ops, (std::vector<std::string>{"Put(key,value)", "Delete(gone)"}));
+}
+
+TEST(WriteBatchTest, SetContentsRejectsTruncated) {
+  WriteBatch b;
+  EXPECT_TRUE(WriteBatch::SetContents(&b, Slice("short", 5)).IsCorruption());
+}
+
+TEST(WriteBatchTest, IterateDetectsCountMismatch) {
+  WriteBatch a;
+  a.Put("k", "v");
+  std::string rep(a.Contents().data(), a.Contents().size());
+  rep[8] = 5;  // corrupt the count field
+  WriteBatch b;
+  ASSERT_TRUE(WriteBatch::SetContents(&b, rep).ok());
+  OpRecorder rec;
+  EXPECT_TRUE(b.Iterate(&rec).IsCorruption());
+}
+
+TEST(WriteBatchTest, InsertIntoAssignsSequentialSequences) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+
+  WriteBatch batch;
+  batch.SetSequence(100);
+  batch.Put("a", "va");
+  batch.Put("b", "vb");
+  batch.Delete("a");
+  ASSERT_TRUE(batch.InsertInto(mem).ok());
+
+  // "a" was deleted at sequence 102, put at 100.
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem->Get(LookupKey("a", 200), &value, &s));
+  EXPECT_TRUE(s.IsNotFound());
+  ASSERT_TRUE(mem->Get(LookupKey("a", 101), &value, &s));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(value, "va");
+  ASSERT_TRUE(mem->Get(LookupKey("b", 200), &value, &s));
+  EXPECT_EQ(value, "vb");
+
+  mem->Unref();
+}
+
+TEST(WriteBatchTest, ApproximateSizeGrowsWithPayload) {
+  WriteBatch batch;
+  const size_t empty = batch.ApproximateSize();
+  batch.Put("key", std::string(1000, 'v'));
+  EXPECT_GT(batch.ApproximateSize(), empty + 1000);
+}
+
+TEST(WriteBatchTest, BinaryKeysAndValuesSurvive) {
+  WriteBatch batch;
+  const std::string key("\x00\x01\xff\xfe", 4);
+  const std::string value("\x00zero\x00embedded", 14);
+  batch.Put(key, value);
+
+  OpRecorder rec;
+  ASSERT_TRUE(batch.Iterate(&rec).ok());
+  EXPECT_EQ(rec.ops[0], "Put(" + key + "," + value + ")");
+}
+
+}  // namespace
+}  // namespace lsmio::lsm

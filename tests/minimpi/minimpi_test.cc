@@ -1,0 +1,209 @@
+#include "minimpi/minimpi.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace lsmio::minimpi {
+namespace {
+
+TEST(MiniMpiTest, SingleRankWorld) {
+  RunWorld(1, [](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    comm.Barrier();  // must not deadlock
+    EXPECT_EQ(comm.Allreduce(uint64_t{7}, ReduceOp::kSum), 7u);
+  });
+}
+
+TEST(MiniMpiTest, RanksAndSizeAreCorrect) {
+  constexpr int kRanks = 8;
+  std::atomic<int> rank_mask{0};
+  RunWorld(kRanks, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), kRanks);
+    rank_mask.fetch_or(1 << comm.rank());
+  });
+  EXPECT_EQ(rank_mask.load(), (1 << kRanks) - 1);
+}
+
+TEST(MiniMpiTest, BarrierSynchronizes) {
+  constexpr int kRanks = 6;
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violation{false};
+  RunWorld(kRanks, [&](Comm& comm) {
+    phase1.fetch_add(1);
+    comm.Barrier();
+    // After the barrier, every rank must have completed phase 1.
+    if (phase1.load() != kRanks) violation.store(true);
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(MiniMpiTest, SendRecvDeliversInOrder) {
+  RunWorld(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.Send(1, 5, "first");
+      comm.Send(1, 5, "second");
+      comm.Send(1, 9, "other-tag");
+    } else {
+      EXPECT_EQ(comm.Recv(0, 9), "other-tag");  // tags are independent
+      EXPECT_EQ(comm.Recv(0, 5), "first");
+      EXPECT_EQ(comm.Recv(0, 5), "second");
+    }
+  });
+}
+
+TEST(MiniMpiTest, SendRecvBetweenManyPairs) {
+  constexpr int kRanks = 8;
+  RunWorld(kRanks, [](Comm& comm) {
+    // Ring exchange: send to (rank+1) % size, receive from (rank-1+size)%size.
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    comm.Send(next, 0, "from-" + std::to_string(comm.rank()));
+    EXPECT_EQ(comm.Recv(prev, 0), "from-" + std::to_string(prev));
+  });
+}
+
+TEST(MiniMpiTest, BcastFromEveryRoot) {
+  constexpr int kRanks = 4;
+  RunWorld(kRanks, [](Comm& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::string data =
+          comm.rank() == root ? "payload-from-" + std::to_string(root) : "";
+      comm.Bcast(&data, root);
+      EXPECT_EQ(data, "payload-from-" + std::to_string(root));
+    }
+  });
+}
+
+TEST(MiniMpiTest, GatherCollectsInRankOrder) {
+  constexpr int kRanks = 5;
+  RunWorld(kRanks, [](Comm& comm) {
+    const auto result = comm.Gather("r" + std::to_string(comm.rank()), 2);
+    if (comm.rank() == 2) {
+      ASSERT_EQ(result.size(), static_cast<size_t>(kRanks));
+      for (int r = 0; r < kRanks; ++r) {
+        EXPECT_EQ(result[static_cast<size_t>(r)], "r" + std::to_string(r));
+      }
+    } else {
+      EXPECT_TRUE(result.empty());
+    }
+  });
+}
+
+TEST(MiniMpiTest, AllgatherGivesEveryoneEverything) {
+  constexpr int kRanks = 7;
+  RunWorld(kRanks, [](Comm& comm) {
+    const auto result = comm.Allgather(std::string(1 + comm.rank(), 'x'));
+    ASSERT_EQ(result.size(), static_cast<size_t>(kRanks));
+    for (int r = 0; r < kRanks; ++r) {
+      EXPECT_EQ(result[static_cast<size_t>(r)], std::string(1 + r, 'x'));
+    }
+  });
+}
+
+TEST(MiniMpiTest, AllgatherWithEmptyContributions) {
+  RunWorld(3, [](Comm& comm) {
+    const auto result =
+        comm.Allgather(comm.rank() == 1 ? "only-one" : std::string());
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_EQ(result[0], "");
+    EXPECT_EQ(result[1], "only-one");
+    EXPECT_EQ(result[2], "");
+  });
+}
+
+TEST(MiniMpiTest, ReduceSumMinMax) {
+  constexpr int kRanks = 6;
+  RunWorld(kRanks, [](Comm& comm) {
+    const auto value = static_cast<uint64_t>(comm.rank() + 1);  // 1..6
+    const uint64_t sum = comm.Reduce(value, ReduceOp::kSum, 0);
+    const uint64_t min = comm.Reduce(value, ReduceOp::kMin, 0);
+    const uint64_t max = comm.Reduce(value, ReduceOp::kMax, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(sum, 21u);
+      EXPECT_EQ(min, 1u);
+      EXPECT_EQ(max, 6u);
+    }
+  });
+}
+
+TEST(MiniMpiTest, AllreduceDoubleSum) {
+  constexpr int kRanks = 4;
+  RunWorld(kRanks, [](Comm& comm) {
+    const double result = comm.Allreduce(0.5 * (comm.rank() + 1), ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(result, 0.5 * (1 + 2 + 3 + 4));
+  });
+}
+
+TEST(MiniMpiTest, AllreduceMaxVisibleEverywhere) {
+  RunWorld(5, [](Comm& comm) {
+    const uint64_t result =
+        comm.Allreduce(static_cast<uint64_t>(comm.rank() * 10), ReduceOp::kMax);
+    EXPECT_EQ(result, 40u);
+  });
+}
+
+TEST(MiniMpiTest, BackToBackCollectivesDoNotCrossWires) {
+  RunWorld(4, [](Comm& comm) {
+    for (int i = 0; i < 50; ++i) {
+      const uint64_t sum =
+          comm.Allreduce(static_cast<uint64_t>(i), ReduceOp::kSum);
+      EXPECT_EQ(sum, static_cast<uint64_t>(i) * 4);
+    }
+  });
+}
+
+TEST(MiniMpiTest, SplitByParity) {
+  constexpr int kRanks = 8;
+  RunWorld(kRanks, [](Comm& comm) {
+    auto sub = comm.Split(comm.rank() % 2, comm.rank());
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->size(), kRanks / 2);
+    EXPECT_EQ(sub->rank(), comm.rank() / 2);
+
+    // Collectives within the sub-communicator only involve its members.
+    const uint64_t sum = sub->Allreduce(static_cast<uint64_t>(comm.rank()),
+                                        ReduceOp::kSum);
+    if (comm.rank() % 2 == 0) {
+      EXPECT_EQ(sum, 0u + 2 + 4 + 6);
+    } else {
+      EXPECT_EQ(sum, 1u + 3 + 5 + 7);
+    }
+    sub->Barrier();
+  });
+}
+
+TEST(MiniMpiTest, SplitRespectsKeyOrdering) {
+  RunWorld(4, [](Comm& comm) {
+    // Reverse the rank order within one color group via the key.
+    auto sub = comm.Split(0, -comm.rank());
+    EXPECT_EQ(sub->size(), 4);
+    EXPECT_EQ(sub->rank(), 3 - comm.rank());
+  });
+}
+
+TEST(MiniMpiTest, ExceptionInRankPropagates) {
+  EXPECT_THROW(
+      RunWorld(3,
+               [](Comm& comm) {
+                 // Every rank throws so nobody blocks on a collective.
+                 throw std::runtime_error("rank " + std::to_string(comm.rank()));
+               }),
+      std::runtime_error);
+}
+
+TEST(MiniMpiTest, LargeMessages) {
+  RunWorld(2, [](Comm& comm) {
+    const std::string big(8 << 20, 'm');
+    if (comm.rank() == 0) {
+      comm.Send(1, 0, big);
+    } else {
+      EXPECT_EQ(comm.Recv(0, 0).size(), big.size());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace lsmio::minimpi

@@ -1,0 +1,126 @@
+#include "pfs/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace lsmio::pfs {
+namespace {
+
+StripeLayout MakeLayout(uint64_t stripe_size, int stripe_count, int start = 0,
+                        int num_osts = 45) {
+  return StripeLayout(StripeSettings{stripe_size, stripe_count}, start, num_osts);
+}
+
+uint64_t TotalLength(const std::vector<ObjectExtent>& extents) {
+  return std::accumulate(extents.begin(), extents.end(), uint64_t{0},
+                         [](uint64_t acc, const ObjectExtent& e) { return acc + e.length; });
+}
+
+TEST(StripeLayoutTest, EmptyExtent) {
+  const auto layout = MakeLayout(64 * KiB, 4);
+  EXPECT_TRUE(layout.Map(0, 0).empty());
+}
+
+TEST(StripeLayoutTest, SingleStripeWithinOneOst) {
+  const auto layout = MakeLayout(64 * KiB, 4);
+  const auto extents = layout.Map(0, 64 * KiB);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].ost, 0);
+  EXPECT_EQ(extents[0].object_offset, 0u);
+  EXPECT_EQ(extents[0].length, 64 * KiB);
+}
+
+TEST(StripeLayoutTest, PartialStripe) {
+  const auto layout = MakeLayout(64 * KiB, 4);
+  const auto extents = layout.Map(1000, 500);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].ost, 0);
+  EXPECT_EQ(extents[0].object_offset, 1000u);
+  EXPECT_EQ(extents[0].length, 500u);
+}
+
+TEST(StripeLayoutTest, FullRowSpreadsOverAllStripes) {
+  const auto layout = MakeLayout(64 * KiB, 4);
+  const auto extents = layout.Map(0, 4 * 64 * KiB);
+  ASSERT_EQ(extents.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(extents[static_cast<size_t>(i)].ost, i);
+    EXPECT_EQ(extents[static_cast<size_t>(i)].object_offset, 0u);
+    EXPECT_EQ(extents[static_cast<size_t>(i)].length, 64 * KiB);
+  }
+}
+
+TEST(StripeLayoutTest, MultipleRowsMergePerOst) {
+  // Two full rows over 4 OSTs: each OST holds two contiguous stripes in its
+  // object, so one extent per OST, length 2 * stripe_size.
+  const auto layout = MakeLayout(64 * KiB, 4);
+  const auto extents = layout.Map(0, 8 * 64 * KiB);
+  ASSERT_EQ(extents.size(), 4u);
+  for (const auto& e : extents) {
+    EXPECT_EQ(e.length, 2 * 64 * KiB);
+    EXPECT_EQ(e.object_offset, 0u);
+  }
+}
+
+TEST(StripeLayoutTest, OffsetIntoLaterRow) {
+  const auto layout = MakeLayout(64 * KiB, 4);
+  // Row 5 (offset 5*64K) lands on OST 1, object offset (5/4)*64K = 64K.
+  const auto extents = layout.Map(5 * 64 * KiB, 64 * KiB);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].ost, 1);
+  EXPECT_EQ(extents[0].object_offset, 64 * KiB);
+}
+
+TEST(StripeLayoutTest, StartingOstRotates) {
+  const auto layout = MakeLayout(64 * KiB, 4, /*start=*/7);
+  const auto extents = layout.Map(0, 4 * 64 * KiB);
+  ASSERT_EQ(extents.size(), 4u);
+  EXPECT_EQ(extents[0].ost, 7);
+  EXPECT_EQ(extents[1].ost, 8);
+  EXPECT_EQ(extents[3].ost, 10);
+}
+
+TEST(StripeLayoutTest, StartingOstWrapsAroundOstCount) {
+  const auto layout = MakeLayout(64 * KiB, 4, /*start=*/44, /*num_osts=*/45);
+  const auto extents = layout.Map(0, 2 * 64 * KiB);
+  ASSERT_EQ(extents.size(), 2u);
+  EXPECT_EQ(extents[0].ost, 44);
+  EXPECT_EQ(extents[1].ost, 0);
+}
+
+TEST(StripeLayoutTest, LengthIsAlwaysConserved) {
+  const auto layout = MakeLayout(64 * KiB, 4);
+  for (uint64_t offset : {uint64_t{0}, uint64_t{1}, 63 * KiB, 64 * KiB, 200 * KiB + 17}) {
+    for (uint64_t length : {uint64_t{1}, 64 * KiB, 256 * KiB, MiB + 12345}) {
+      EXPECT_EQ(TotalLength(layout.Map(offset, length)), length)
+          << "offset=" << offset << " length=" << length;
+    }
+  }
+}
+
+TEST(StripeLayoutTest, ContiguousExtentYieldsAtMostStripeCountPieces) {
+  const auto layout = MakeLayout(64 * KiB, 4);
+  // 4 MiB spans 64 rows; per-OST stripes merge to exactly 4 extents.
+  const auto extents = layout.Map(0, 4 * MiB);
+  EXPECT_EQ(extents.size(), 4u);
+  EXPECT_EQ(TotalLength(extents), 4 * MiB);
+}
+
+TEST(StripeLayoutTest, StrideOneCountIsSingleOst) {
+  const auto layout = MakeLayout(1 * MiB, 1, /*start=*/3);
+  const auto extents = layout.Map(10 * MiB, 5 * MiB);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].ost, 3);
+  EXPECT_EQ(extents[0].object_offset, 10 * MiB);
+  EXPECT_EQ(extents[0].length, 5 * MiB);
+}
+
+TEST(StripeLayoutTest, SixteenWayStripe) {
+  const auto layout = MakeLayout(64 * KiB, 16);
+  const auto extents = layout.Map(0, 16 * 64 * KiB);
+  EXPECT_EQ(extents.size(), 16u);
+}
+
+}  // namespace
+}  // namespace lsmio::pfs

@@ -1,0 +1,311 @@
+// Behavioural tests of the Lustre simulator: the mechanisms that produce
+// the paper's curve shapes must hold as properties (sequential beats
+// strided, contention collapses past the stripe count, barriers align
+// ranks, coalescing helps).
+#include "pfs/sim.h"
+
+#include <gtest/gtest.h>
+
+#include "vfs/trace.h"
+
+namespace lsmio::pfs {
+namespace {
+
+using vfs::IoOp;
+using vfs::IoOpKind;
+using vfs::TraceContext;
+
+constexpr uint64_t kBarrierA = 100;
+constexpr uint64_t kBarrierB = 101;
+
+SimOptions SmallCluster() {
+  SimOptions options;
+  options.cluster.num_osts = 4;
+  options.cluster.num_oss = 1;
+  options.stripe.stripe_count = 4;
+  options.stripe.stripe_size = 64 * KiB;
+  return options;
+}
+
+// Wraps a rank's timed write phase with the markers the harness emits.
+void WritePhase(TraceContext& ctx, int rank, uint32_t file,
+                const std::vector<std::pair<uint64_t, uint64_t>>& extents) {
+  ctx.RecordBarrier(rank, kBarrierA);
+  ctx.RecordPhaseBegin(rank);
+  ctx.Record(rank, IoOp{IoOpKind::kCreate, file, 0, 0});
+  for (const auto& [offset, size] : extents) {
+    ctx.Record(rank, IoOp{IoOpKind::kWrite, file, offset, size});
+  }
+  ctx.Record(rank, IoOp{IoOpKind::kSync, file, 0, 0});
+  ctx.Record(rank, IoOp{IoOpKind::kClose, file, 0, 0});
+  ctx.RecordPhaseEnd(rank);
+  ctx.RecordBarrier(rank, kBarrierB);
+}
+
+TEST(LustreSimTest, EmptyTracesProduceZeroTime) {
+  TraceContext ctx(2);
+  LustreSim sim(SmallCluster());
+  const SimResult result = sim.Run(ctx);
+  EXPECT_EQ(result.phase_seconds, 0.0);
+  EXPECT_EQ(result.makespan_seconds, 0.0);
+  EXPECT_EQ(result.total_rpcs, 0u);
+}
+
+TEST(LustreSimTest, SingleSequentialWriterApproachesOstBandwidth) {
+  TraceContext ctx(1);
+  const uint32_t file = ctx.InternFile("/f");
+  // 256 MiB written sequentially in 1 MiB calls.
+  std::vector<std::pair<uint64_t, uint64_t>> extents;
+  for (uint64_t i = 0; i < 256; ++i) extents.emplace_back(i * MiB, MiB);
+  WritePhase(ctx, 0, file, extents);
+
+  SimOptions options = SmallCluster();
+  LustreSim sim(options);
+  const SimResult result = sim.Run(ctx);
+
+  EXPECT_EQ(result.phase_bytes_written, 256 * MiB);
+  // Striped over 4 OSTs at 500 MB/s each but bounded by the client NIC
+  // (1.25 GB/s): bandwidth must be near the NIC limit.
+  const double bw = result.WriteBandwidth();
+  EXPECT_GT(bw, 0.6 * options.cluster.client_nic_bw);
+  EXPECT_LE(bw, 1.01 * options.cluster.client_nic_bw);
+}
+
+TEST(LustreSimTest, DeterministicAcrossRuns) {
+  TraceContext ctx(3);
+  for (int r = 0; r < 3; ++r) {
+    const uint32_t file = ctx.InternFile("/f" + std::to_string(r));
+    WritePhase(ctx, r, file, {{0, 8 * MiB}, {8 * MiB, 8 * MiB}});
+  }
+  LustreSim sim_a(SmallCluster());
+  LustreSim sim_b(SmallCluster());
+  const SimResult a = sim_a.Run(ctx);
+  const SimResult b = sim_b.Run(ctx);
+  EXPECT_EQ(a.phase_seconds, b.phase_seconds);
+  EXPECT_EQ(a.total_rpcs, b.total_rpcs);
+  EXPECT_EQ(a.total_seeks, b.total_seeks);
+}
+
+TEST(LustreSimTest, StridedSharedFileIsSlowerThanSequentialPerFile) {
+  // 8 ranks, 4-way striped shared file, 64 KiB strided records (the IOR
+  // pattern past the stripe count) vs 8 ranks each streaming their own file.
+  constexpr int kRanks = 8;
+  constexpr uint64_t kRecord = 64 * KiB;
+  constexpr int kSegments = 64;
+
+  TraceContext strided(kRanks);
+  {
+    const uint32_t file = strided.InternFile("/shared");
+    for (int r = 0; r < kRanks; ++r) {
+      std::vector<std::pair<uint64_t, uint64_t>> extents;
+      for (int s = 0; s < kSegments; ++s) {
+        extents.emplace_back((static_cast<uint64_t>(s) * kRanks + r) * kRecord,
+                             kRecord);
+      }
+      WritePhase(strided, r, file, extents);
+    }
+  }
+
+  TraceContext sequential(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    const uint32_t file = sequential.InternFile("/own" + std::to_string(r));
+    std::vector<std::pair<uint64_t, uint64_t>> extents;
+    for (int s = 0; s < kSegments; ++s) {
+      extents.emplace_back(static_cast<uint64_t>(s) * kRecord, kRecord);
+    }
+    WritePhase(sequential, r, file, extents);
+  }
+
+  LustreSim sim_strided(SmallCluster());
+  LustreSim sim_seq(SmallCluster());
+  const SimResult rs = sim_strided.Run(strided);
+  const SimResult rq = sim_seq.Run(sequential);
+
+  ASSERT_EQ(rs.phase_bytes_written, rq.phase_bytes_written);
+  // Strided interleaving on 4 OSTs causes seek storms; per-file sequential
+  // streams coalesce into large RPCs. Expect a decisive gap.
+  EXPECT_GT(rq.WriteBandwidth(), 3.0 * rs.WriteBandwidth());
+  EXPECT_GT(rs.total_seeks, rq.total_seeks);
+}
+
+TEST(LustreSimTest, SharedFileScalesUntilStripeCountThenDegrades) {
+  // Per-node bandwidth with a 4-wide shared file should hold up to 4 nodes
+  // and collapse well before 16 (the Figure 5 shape).
+  auto bandwidth_at = [&](int ranks) {
+    TraceContext ctx(ranks);
+    const uint32_t file = ctx.InternFile("/shared");
+    constexpr uint64_t kBlock = 1 * MiB;
+    constexpr int kSegments = 32;
+    for (int r = 0; r < ranks; ++r) {
+      std::vector<std::pair<uint64_t, uint64_t>> extents;
+      for (int s = 0; s < kSegments; ++s) {
+        extents.emplace_back(
+            (static_cast<uint64_t>(s) * static_cast<uint64_t>(ranks) +
+             static_cast<uint64_t>(r)) * kBlock,
+            kBlock);
+      }
+      WritePhase(ctx, r, file, extents);
+    }
+    SimOptions options = SmallCluster();
+    options.cluster.num_osts = 16;  // plenty of OSTs; the file uses 4
+    LustreSim sim(options);
+    return sim.Run(ctx).WriteBandwidth();
+  };
+
+  const double bw1 = bandwidth_at(1);
+  const double bw4 = bandwidth_at(4);
+  const double bw16 = bandwidth_at(16);
+
+  EXPECT_GT(bw4, 1.8 * bw1);       // scales while ranks <= stripe count
+  EXPECT_LT(bw16, 0.7 * bw4);      // collapses once ranks >> stripe count
+}
+
+TEST(LustreSimTest, FilePerProcessKeepsScalingPastStripeCount) {
+  auto bandwidth_at = [&](int ranks) {
+    TraceContext ctx(ranks);
+    for (int r = 0; r < ranks; ++r) {
+      const uint32_t file = ctx.InternFile("/rank" + std::to_string(r));
+      std::vector<std::pair<uint64_t, uint64_t>> extents;
+      for (int s = 0; s < 32; ++s) {
+        extents.emplace_back(static_cast<uint64_t>(s) * MiB, MiB);
+      }
+      WritePhase(ctx, r, file, extents);
+    }
+    SimOptions options = SmallCluster();
+    options.cluster.num_osts = 32;
+    // Remove the OSS ceiling: this test isolates OST-level scaling.
+    options.cluster.oss_link_bw = 100e9;
+    LustreSim sim(options);
+    return sim.Run(ctx).WriteBandwidth();
+  };
+
+  const double bw4 = bandwidth_at(4);
+  const double bw16 = bandwidth_at(16);
+  // Files spread (hash-placed, so with some collision imbalance) over 32
+  // OSTs keep scaling past the per-file stripe count — unlike the shared
+  // file, which collapses outright.
+  EXPECT_GT(bw16, 1.25 * bw4);
+}
+
+TEST(LustreSimTest, SmallWritesCoalesceIntoFewRpcs) {
+  // 4 MiB of contiguous 4 KiB appends must not produce 1024 RPCs.
+  TraceContext ctx(1);
+  const uint32_t file = ctx.InternFile("/f");
+  std::vector<std::pair<uint64_t, uint64_t>> extents;
+  for (uint64_t i = 0; i < 1024; ++i) extents.emplace_back(i * 4 * KiB, 4 * KiB);
+  WritePhase(ctx, 0, file, extents);
+
+  LustreSim sim(SmallCluster());
+  const SimResult result = sim.Run(ctx);
+  // 4 MiB in 4 MiB client RPCs over 4 OSTs -> about 4 object RPCs.
+  EXPECT_LE(result.total_rpcs, 8u);
+}
+
+TEST(LustreSimTest, BarrierAlignsPhaseStart) {
+  // Rank 1 does expensive pre-phase work; the barrier before PhaseBegin
+  // must make both ranks start the timed region together.
+  TraceContext ctx(2);
+  const uint32_t f0 = ctx.InternFile("/a");
+  const uint32_t f1 = ctx.InternFile("/b");
+  ctx.RecordCompute(1, 5'000'000'000ULL);  // rank 1: 5 virtual seconds
+  WritePhase(ctx, 0, f0, {{0, MiB}});
+  WritePhase(ctx, 1, f1, {{0, MiB}});
+
+  LustreSim sim(SmallCluster());
+  const SimResult result = sim.Run(ctx);
+  // Phase time excludes the pre-phase compute, so it must be far below 5 s.
+  EXPECT_LT(result.phase_seconds, 1.0);
+  EXPECT_GE(result.makespan_seconds, 5.0);
+}
+
+TEST(LustreSimTest, ComputeInsidePhaseCounts) {
+  TraceContext ctx(1);
+  const uint32_t file = ctx.InternFile("/f");
+  ctx.RecordBarrier(0, kBarrierA);
+  ctx.RecordPhaseBegin(0);
+  ctx.RecordCompute(0, 2'000'000'000ULL);  // 2 virtual seconds
+  ctx.Record(0, IoOp{IoOpKind::kCreate, file, 0, 0});
+  ctx.Record(0, IoOp{IoOpKind::kWrite, file, 0, MiB});
+  ctx.Record(0, IoOp{IoOpKind::kSync, file, 0, 0});
+  ctx.RecordPhaseEnd(0);
+
+  LustreSim sim(SmallCluster());
+  const SimResult result = sim.Run(ctx);
+  EXPECT_GE(result.phase_seconds, 2.0);
+  EXPECT_LT(result.phase_seconds, 2.5);
+}
+
+TEST(LustreSimTest, MetadataOpsSerializeAtMds) {
+  // 32 ranks each doing 50 namespace ops: the single MDS serializes them,
+  // so total time >= ops * service_time.
+  constexpr int kRanks = 32;
+  constexpr int kOpsPerRank = 50;
+  TraceContext ctx(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    const uint32_t file = ctx.InternFile("/meta" + std::to_string(r));
+    for (int i = 0; i < kOpsPerRank; ++i) {
+      ctx.Record(r, IoOp{IoOpKind::kStat, file, 0, 0});
+    }
+  }
+  SimOptions options = SmallCluster();
+  LustreSim sim(options);
+  const SimResult result = sim.Run(ctx);
+  EXPECT_EQ(result.mds_ops, static_cast<uint64_t>(kRanks) * kOpsPerRank);
+  EXPECT_GE(result.makespan_seconds,
+            static_cast<double>(kRanks) * kOpsPerRank *
+                options.cluster.mds_service_time * 0.99);
+}
+
+TEST(LustreSimTest, ReadsBlockTheIssuingRank) {
+  TraceContext ctx(1);
+  const uint32_t file = ctx.InternFile("/f");
+  ctx.RecordBarrier(0, kBarrierA);
+  ctx.RecordPhaseBegin(0);
+  ctx.Record(0, IoOp{IoOpKind::kOpen, file, 0, 0});
+  for (uint64_t i = 0; i < 16; ++i) {
+    // Non-contiguous 64 KiB reads: each pays a round trip + seek.
+    ctx.Record(0, IoOp{IoOpKind::kRead, file, i * 10 * MiB, 64 * KiB});
+  }
+  ctx.RecordPhaseEnd(0);
+
+  SimOptions options = SmallCluster();
+  LustreSim sim(options);
+  const SimResult result = sim.Run(ctx);
+  EXPECT_EQ(result.phase_bytes_read, 16 * 64 * KiB);
+  // Every read is synchronous: at least 16 * (2 * latency + reposition).
+  const double floor = 16 * (2 * options.cluster.rpc_latency +
+                             options.cluster.read_switch_time);
+  EXPECT_GE(result.phase_seconds, floor * 0.9);
+}
+
+TEST(LustreSimTest, CpuCostModelSlowsPhase) {
+  auto run_with_cpu = [&](double cpu_per_byte) {
+    TraceContext ctx(1);
+    const uint32_t file = ctx.InternFile("/f");
+    WritePhase(ctx, 0, file, {{0, 64 * MiB}});
+    SimOptions options = SmallCluster();
+    options.cpu_per_write_byte = cpu_per_byte;
+    LustreSim sim(options);
+    return sim.Run(ctx).phase_seconds;
+  };
+  const double fast = run_with_cpu(0.0);
+  const double slow = run_with_cpu(20e-9);  // 50 MB/s CPU path
+  EXPECT_GT(slow, 2.0 * fast);
+}
+
+TEST(LustreSimTest, PerOstStatsAccountAllBytes) {
+  TraceContext ctx(2);
+  const uint32_t f0 = ctx.InternFile("/x");
+  const uint32_t f1 = ctx.InternFile("/y");
+  WritePhase(ctx, 0, f0, {{0, 8 * MiB}});
+  WritePhase(ctx, 1, f1, {{0, 8 * MiB}});
+
+  LustreSim sim(SmallCluster());
+  const SimResult result = sim.Run(ctx);
+  uint64_t total = 0;
+  for (const auto& ost : result.ost) total += ost.bytes_written;
+  EXPECT_EQ(total, 16 * MiB);
+}
+
+}  // namespace
+}  // namespace lsmio::pfs

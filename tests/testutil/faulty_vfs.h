@@ -1,0 +1,107 @@
+// FaultyVfs: a Vfs decorator for failure-injection tests. After `Arm(n)`,
+// the n-th subsequent write-class operation (and everything after it) fails
+// with IoError, simulating a file system that went away mid-checkpoint.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "vfs/vfs.h"
+
+namespace lsmio::testutil {
+
+class FaultyVfs final : public vfs::Vfs {
+ public:
+  explicit FaultyVfs(vfs::Vfs& base) : base_(base) {}
+
+  /// Fails every write-class op starting with the n-th from now (1-based).
+  void Arm(int n) { remaining_.store(n); }
+  /// Stops injecting failures.
+  void Disarm() { remaining_.store(-1); }
+  /// Number of operations failed so far.
+  [[nodiscard]] int failures() const { return failures_.load(); }
+
+  Status NewWritableFile(const std::string& path, const vfs::OpenOptions& opts,
+                         std::unique_ptr<vfs::WritableFile>* file) override {
+    LSMIO_RETURN_IF_ERROR(Tick());
+    std::unique_ptr<vfs::WritableFile> inner;
+    LSMIO_RETURN_IF_ERROR(base_.NewWritableFile(path, opts, &inner));
+    *file = std::make_unique<Writable>(this, std::move(inner));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& path, const vfs::OpenOptions& opts,
+                             std::unique_ptr<vfs::RandomAccessFile>* file) override {
+    return base_.NewRandomAccessFile(path, opts, file);
+  }
+
+  Status NewSequentialFile(const std::string& path, const vfs::OpenOptions& opts,
+                           std::unique_ptr<vfs::SequentialFile>* file) override {
+    return base_.NewSequentialFile(path, opts, file);
+  }
+
+  Status OpenFileHandle(const std::string& path, bool create,
+                        const vfs::OpenOptions& opts,
+                        std::unique_ptr<vfs::FileHandle>* file) override {
+    if (create) LSMIO_RETURN_IF_ERROR(Tick());
+    return base_.OpenFileHandle(path, create, opts, file);
+  }
+
+  bool FileExists(const std::string& path) override { return base_.FileExists(path); }
+  Status GetFileSize(const std::string& path, uint64_t* size) override {
+    return base_.GetFileSize(path, size);
+  }
+  Status RemoveFile(const std::string& path) override {
+    LSMIO_RETURN_IF_ERROR(Tick());
+    return base_.RemoveFile(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    LSMIO_RETURN_IF_ERROR(Tick());
+    return base_.RenameFile(from, to);
+  }
+  Status CreateDir(const std::string& path) override { return base_.CreateDir(path); }
+  Status ListDir(const std::string& path, std::vector<std::string>* out) override {
+    return base_.ListDir(path, out);
+  }
+
+ private:
+  class Writable final : public vfs::WritableFile {
+   public:
+    Writable(FaultyVfs* owner, std::unique_ptr<vfs::WritableFile> inner)
+        : owner_(owner), inner_(std::move(inner)) {}
+
+    Status Append(const Slice& data) override {
+      LSMIO_RETURN_IF_ERROR(owner_->Tick());
+      return inner_->Append(data);
+    }
+    Status Flush() override { return inner_->Flush(); }
+    Status Sync() override {
+      LSMIO_RETURN_IF_ERROR(owner_->Tick());
+      return inner_->Sync();
+    }
+    Status Close() override { return inner_->Close(); }
+    uint64_t Size() const override { return inner_->Size(); }
+
+   private:
+    FaultyVfs* owner_;
+    std::unique_ptr<vfs::WritableFile> inner_;
+  };
+
+  Status Tick() {
+    int current = remaining_.load();
+    if (current < 0) return Status::OK();
+    // Decrement; fail once it reaches zero (and stay failing).
+    current = remaining_.fetch_sub(1) - 1;
+    if (current <= 0) {
+      ++failures_;
+      return Status::IoError("injected fault");
+    }
+    return Status::OK();
+  }
+
+  vfs::Vfs& base_;
+  std::atomic<int> remaining_{-1};
+  std::atomic<int> failures_{0};
+};
+
+}  // namespace lsmio::testutil

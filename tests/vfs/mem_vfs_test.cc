@@ -1,0 +1,203 @@
+#include "vfs/mem_vfs.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace lsmio::vfs {
+namespace {
+
+TEST(MemVfsTest, WriteThenReadBack) {
+  MemVfs fs;
+  ASSERT_TRUE(WriteStringToFile(fs, "/a/b", "hello world").ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(fs, "/a/b", &contents).ok());
+  EXPECT_EQ(contents, "hello world");
+}
+
+TEST(MemVfsTest, MissingFileIsNotFound) {
+  MemVfs fs;
+  std::string contents;
+  EXPECT_TRUE(ReadFileToString(fs, "/missing", &contents).IsNotFound());
+  EXPECT_FALSE(fs.FileExists("/missing"));
+  uint64_t size;
+  EXPECT_TRUE(fs.GetFileSize("/missing", &size).IsNotFound());
+  EXPECT_TRUE(fs.RemoveFile("/missing").IsNotFound());
+}
+
+TEST(MemVfsTest, WritableFileTruncatesExisting) {
+  MemVfs fs;
+  ASSERT_TRUE(WriteStringToFile(fs, "/f", "old contents").ok());
+  ASSERT_TRUE(WriteStringToFile(fs, "/f", "new").ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(fs, "/f", &contents).ok());
+  EXPECT_EQ(contents, "new");
+}
+
+TEST(MemVfsTest, AppendAccumulates) {
+  MemVfs fs;
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs.NewWritableFile("/f", {}, &file).ok());
+  ASSERT_TRUE(file->Append("one").ok());
+  ASSERT_TRUE(file->Append("two").ok());
+  EXPECT_EQ(file->Size(), 6u);
+  ASSERT_TRUE(file->Close().ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(fs, "/f", &contents).ok());
+  EXPECT_EQ(contents, "onetwo");
+}
+
+TEST(MemVfsTest, RandomAccessReads) {
+  MemVfs fs;
+  ASSERT_TRUE(WriteStringToFile(fs, "/f", "0123456789").ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(fs.NewRandomAccessFile("/f", {}, &file).ok());
+  EXPECT_EQ(file->Size(), 10u);
+
+  std::string scratch;
+  Slice result;
+  ASSERT_TRUE(file->Read(3, 4, &result, &scratch).ok());
+  EXPECT_EQ(result.ToString(), "3456");
+
+  // Read past EOF truncates.
+  ASSERT_TRUE(file->Read(8, 10, &result, &scratch).ok());
+  EXPECT_EQ(result.ToString(), "89");
+
+  // Read at EOF yields empty.
+  ASSERT_TRUE(file->Read(100, 1, &result, &scratch).ok());
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(MemVfsTest, SequentialReadAndSkip) {
+  MemVfs fs;
+  ASSERT_TRUE(WriteStringToFile(fs, "/f", "abcdefghij").ok());
+  std::unique_ptr<SequentialFile> file;
+  ASSERT_TRUE(fs.NewSequentialFile("/f", {}, &file).ok());
+
+  std::string scratch;
+  Slice result;
+  ASSERT_TRUE(file->Read(3, &result, &scratch).ok());
+  EXPECT_EQ(result.ToString(), "abc");
+  ASSERT_TRUE(file->Skip(2).ok());
+  ASSERT_TRUE(file->Read(3, &result, &scratch).ok());
+  EXPECT_EQ(result.ToString(), "fgh");
+}
+
+TEST(MemVfsTest, FileHandlePositionalWrites) {
+  MemVfs fs;
+  std::unique_ptr<FileHandle> handle;
+  ASSERT_TRUE(fs.OpenFileHandle("/f", /*create=*/true, {}, &handle).ok());
+
+  // Sparse write extends with zeros.
+  ASSERT_TRUE(handle->WriteAt(5, "XY").ok());
+  EXPECT_EQ(handle->Size(), 7u);
+
+  std::string scratch;
+  Slice result;
+  ASSERT_TRUE(handle->ReadAt(0, 7, &result, &scratch).ok());
+  EXPECT_EQ(result.ToString(), std::string("\0\0\0\0\0XY", 7));
+
+  // Overwrite in place.
+  ASSERT_TRUE(handle->WriteAt(0, "abcde").ok());
+  ASSERT_TRUE(handle->ReadAt(0, 7, &result, &scratch).ok());
+  EXPECT_EQ(result.ToString(), "abcdeXY");
+
+  ASSERT_TRUE(handle->Truncate(3).ok());
+  EXPECT_EQ(handle->Size(), 3u);
+}
+
+TEST(MemVfsTest, OpenFileHandleNoCreateFailsOnMissing) {
+  MemVfs fs;
+  std::unique_ptr<FileHandle> handle;
+  EXPECT_TRUE(fs.OpenFileHandle("/nope", /*create=*/false, {}, &handle).IsNotFound());
+}
+
+TEST(MemVfsTest, RenameMovesContents) {
+  MemVfs fs;
+  ASSERT_TRUE(WriteStringToFile(fs, "/from", "data").ok());
+  ASSERT_TRUE(fs.RenameFile("/from", "/to").ok());
+  EXPECT_FALSE(fs.FileExists("/from"));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(fs, "/to", &contents).ok());
+  EXPECT_EQ(contents, "data");
+}
+
+TEST(MemVfsTest, ListDirReturnsImmediateChildren) {
+  MemVfs fs;
+  ASSERT_TRUE(WriteStringToFile(fs, "/db/000001.sst", "x").ok());
+  ASSERT_TRUE(WriteStringToFile(fs, "/db/000002.log", "y").ok());
+  ASSERT_TRUE(WriteStringToFile(fs, "/db/sub/nested", "z").ok());
+  ASSERT_TRUE(WriteStringToFile(fs, "/other/file", "w").ok());
+
+  std::vector<std::string> children;
+  ASSERT_TRUE(fs.ListDir("/db", &children).ok());
+  EXPECT_EQ(children.size(), 3u);  // 000001.sst, 000002.log, sub
+}
+
+TEST(MemVfsTest, TotalBytesAndFileCount) {
+  MemVfs fs;
+  ASSERT_TRUE(WriteStringToFile(fs, "/a", "12345").ok());
+  ASSERT_TRUE(WriteStringToFile(fs, "/b", "123").ok());
+  EXPECT_EQ(fs.TotalBytes(), 8u);
+  EXPECT_EQ(fs.FileCount(), 2u);
+}
+
+TEST(MemVfsTest, ConcurrentWritersToDistinctFiles) {
+  MemVfs fs;
+  constexpr int kThreads = 8;
+  constexpr int kAppends = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fs, t] {
+      std::unique_ptr<WritableFile> file;
+      ASSERT_TRUE(fs.NewWritableFile("/f" + std::to_string(t), {}, &file).ok());
+      for (int i = 0; i < kAppends; ++i) {
+        ASSERT_TRUE(file->Append("0123456789").ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    uint64_t size = 0;
+    ASSERT_TRUE(fs.GetFileSize("/f" + std::to_string(t), &size).ok());
+    EXPECT_EQ(size, static_cast<uint64_t>(kAppends) * 10);
+  }
+}
+
+TEST(MemVfsTest, ConcurrentHandleWritesToSharedFile) {
+  // Models the IOR shared-file pattern: each thread owns disjoint strides.
+  MemVfs fs;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kChunk = 1024;
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&fs, t] {
+        std::unique_ptr<FileHandle> handle;
+        ASSERT_TRUE(fs.OpenFileHandle("/shared", true, {}, &handle).ok());
+        const std::string payload(kChunk, static_cast<char>('A' + t));
+        for (int i = 0; i < 16; ++i) {
+          const uint64_t offset = (static_cast<uint64_t>(i) * kThreads +
+                                   static_cast<uint64_t>(t)) * kChunk;
+          ASSERT_TRUE(handle->WriteAt(offset, payload).ok());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  uint64_t size = 0;
+  ASSERT_TRUE(fs.GetFileSize("/shared", &size).ok());
+  EXPECT_EQ(size, kChunk * kThreads * 16);
+  // Verify a couple of strides landed intact.
+  std::unique_ptr<FileHandle> handle;
+  ASSERT_TRUE(fs.OpenFileHandle("/shared", false, {}, &handle).ok());
+  std::string scratch;
+  Slice result;
+  ASSERT_TRUE(handle->ReadAt(kChunk, kChunk, &result, &scratch).ok());
+  EXPECT_EQ(result[0], 'B');
+  EXPECT_EQ(result[kChunk - 1], 'B');
+}
+
+}  // namespace
+}  // namespace lsmio::vfs

@@ -1,0 +1,115 @@
+#include "vfs/posix_vfs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace lsmio::vfs {
+namespace {
+
+class PosixVfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lsmio_posix_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(PosixVfs().CreateDir(dir_.string()).ok());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PosixVfsTest, WriteSyncReadBack) {
+  Vfs& fs = PosixVfs();
+  ASSERT_TRUE(WriteStringToFile(fs, Path("f"), "persisted bytes").ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(fs, Path("f"), &contents).ok());
+  EXPECT_EQ(contents, "persisted bytes");
+}
+
+TEST_F(PosixVfsTest, MissingFileIsNotFound) {
+  Vfs& fs = PosixVfs();
+  std::unique_ptr<SequentialFile> file;
+  EXPECT_TRUE(fs.NewSequentialFile(Path("missing"), {}, &file).IsNotFound());
+}
+
+TEST_F(PosixVfsTest, RandomAccessWithAndWithoutMmap) {
+  Vfs& fs = PosixVfs();
+  std::string payload(100000, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<char>(i % 251);
+  ASSERT_TRUE(WriteStringToFile(fs, Path("f"), payload).ok());
+
+  for (const bool mmap : {false, true}) {
+    OpenOptions opts;
+    opts.use_mmap = mmap;
+    std::unique_ptr<RandomAccessFile> file;
+    ASSERT_TRUE(fs.NewRandomAccessFile(Path("f"), opts, &file).ok());
+    EXPECT_EQ(file->Size(), payload.size());
+    std::string scratch;
+    Slice result;
+    ASSERT_TRUE(file->Read(50000, 123, &result, &scratch).ok());
+    EXPECT_EQ(result.ToString(), payload.substr(50000, 123)) << "mmap=" << mmap;
+  }
+}
+
+TEST_F(PosixVfsTest, FileHandleStridedWrites) {
+  Vfs& fs = PosixVfs();
+  std::unique_ptr<FileHandle> handle;
+  ASSERT_TRUE(fs.OpenFileHandle(Path("f"), true, {}, &handle).ok());
+  ASSERT_TRUE(handle->WriteAt(4096, "stripe1").ok());
+  ASSERT_TRUE(handle->WriteAt(0, "stripe0").ok());
+  ASSERT_TRUE(handle->Sync().ok());
+  EXPECT_EQ(handle->Size(), 4096u + 7);
+
+  std::string scratch;
+  Slice result;
+  ASSERT_TRUE(handle->ReadAt(4096, 7, &result, &scratch).ok());
+  EXPECT_EQ(result.ToString(), "stripe1");
+  ASSERT_TRUE(handle->Close().ok());
+}
+
+TEST_F(PosixVfsTest, RenameAndRemove) {
+  Vfs& fs = PosixVfs();
+  ASSERT_TRUE(WriteStringToFile(fs, Path("a"), "x").ok());
+  ASSERT_TRUE(fs.RenameFile(Path("a"), Path("b")).ok());
+  EXPECT_FALSE(fs.FileExists(Path("a")));
+  EXPECT_TRUE(fs.FileExists(Path("b")));
+  ASSERT_TRUE(fs.RemoveFile(Path("b")).ok());
+  EXPECT_FALSE(fs.FileExists(Path("b")));
+}
+
+TEST_F(PosixVfsTest, ListDir) {
+  Vfs& fs = PosixVfs();
+  ASSERT_TRUE(WriteStringToFile(fs, Path("one"), "1").ok());
+  ASSERT_TRUE(WriteStringToFile(fs, Path("two"), "2").ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(fs.ListDir(dir_.string(), &children).ok());
+  EXPECT_EQ(children.size(), 2u);
+}
+
+TEST_F(PosixVfsTest, GetFileSize) {
+  Vfs& fs = PosixVfs();
+  ASSERT_TRUE(WriteStringToFile(fs, Path("f"), std::string(12345, 'x')).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(fs.GetFileSize(Path("f"), &size).ok());
+  EXPECT_EQ(size, 12345u);
+}
+
+TEST_F(PosixVfsTest, LargeSequentialReadInChunks) {
+  Vfs& fs = PosixVfs();
+  const std::string payload(3 * 1024 * 1024 + 17, 'q');
+  ASSERT_TRUE(WriteStringToFile(fs, Path("big"), payload).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(fs, Path("big"), &contents).ok());
+  EXPECT_EQ(contents.size(), payload.size());
+  EXPECT_EQ(contents, payload);
+}
+
+}  // namespace
+}  // namespace lsmio::vfs

@@ -1,0 +1,168 @@
+#include "vfs/trace_vfs.h"
+
+#include <gtest/gtest.h>
+
+#include "vfs/mem_vfs.h"
+
+namespace lsmio::vfs {
+namespace {
+
+TEST(TraceContextTest, InternIsStableAndShared) {
+  TraceContext ctx(2);
+  const uint32_t a = ctx.InternFile("/x");
+  const uint32_t b = ctx.InternFile("/y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ctx.InternFile("/x"), a);
+  EXPECT_EQ(ctx.PathOf(a), "/x");
+  EXPECT_EQ(ctx.num_files(), 2u);
+}
+
+TEST(TraceVfsTest, AppendWritesRecordGrowingOffsets) {
+  MemVfs base;
+  TraceContext ctx(1);
+  TraceVfs fs(base, ctx, 0);
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs.NewWritableFile("/f", {}, &file).ok());
+  ASSERT_TRUE(file->Append("12345").ok());
+  ASSERT_TRUE(file->Append("678").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  const auto& ops = ctx.TraceForRank(0).ops;
+  ASSERT_EQ(ops.size(), 5u);
+  EXPECT_EQ(ops[0].kind, IoOpKind::kCreate);
+  EXPECT_EQ(ops[1].kind, IoOpKind::kWrite);
+  EXPECT_EQ(ops[1].offset, 0u);
+  EXPECT_EQ(ops[1].size, 5u);
+  EXPECT_EQ(ops[2].kind, IoOpKind::kWrite);
+  EXPECT_EQ(ops[2].offset, 5u);
+  EXPECT_EQ(ops[2].size, 3u);
+  EXPECT_EQ(ops[3].kind, IoOpKind::kSync);
+  EXPECT_EQ(ops[4].kind, IoOpKind::kClose);
+}
+
+TEST(TraceVfsTest, DataActuallyLandsInBase) {
+  MemVfs base;
+  TraceContext ctx(1);
+  TraceVfs fs(base, ctx, 0);
+  ASSERT_TRUE(WriteStringToFile(fs, "/f", "payload").ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(base, "/f", &contents).ok());
+  EXPECT_EQ(contents, "payload");
+}
+
+TEST(TraceVfsTest, HandleWritesRecordExplicitOffsets) {
+  MemVfs base;
+  TraceContext ctx(1);
+  TraceVfs fs(base, ctx, 0);
+
+  std::unique_ptr<FileHandle> handle;
+  ASSERT_TRUE(fs.OpenFileHandle("/shared", true, {}, &handle).ok());
+  ASSERT_TRUE(handle->WriteAt(65536, std::string(4096, 'x')).ok());
+  ASSERT_TRUE(handle->WriteAt(0, std::string(100, 'y')).ok());
+  ASSERT_TRUE(handle->Close().ok());
+
+  const auto& ops = ctx.TraceForRank(0).ops;
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].kind, IoOpKind::kCreate);  // file did not exist
+  EXPECT_EQ(ops[1].offset, 65536u);
+  EXPECT_EQ(ops[1].size, 4096u);
+  EXPECT_EQ(ops[2].offset, 0u);
+}
+
+TEST(TraceVfsTest, ReopenRecordsOpenNotCreate) {
+  MemVfs base;
+  TraceContext ctx(1);
+  TraceVfs fs(base, ctx, 0);
+  ASSERT_TRUE(WriteStringToFile(base, "/f", "x").ok());
+
+  std::unique_ptr<FileHandle> handle;
+  ASSERT_TRUE(fs.OpenFileHandle("/f", true, {}, &handle).ok());
+  EXPECT_EQ(ctx.TraceForRank(0).ops[0].kind, IoOpKind::kOpen);
+}
+
+TEST(TraceVfsTest, ReadsAreRecordedWithSizes) {
+  MemVfs base;
+  TraceContext ctx(1);
+  TraceVfs fs(base, ctx, 0);
+  ASSERT_TRUE(WriteStringToFile(base, "/f", "0123456789").ok());
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(fs.NewRandomAccessFile("/f", {}, &file).ok());
+  std::string scratch;
+  Slice result;
+  ASSERT_TRUE(file->Read(2, 5, &result, &scratch).ok());
+
+  const auto& ops = ctx.TraceForRank(0).ops;
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].kind, IoOpKind::kOpen);
+  EXPECT_EQ(ops[1].kind, IoOpKind::kRead);
+  EXPECT_EQ(ops[1].offset, 2u);
+  EXPECT_EQ(ops[1].size, 5u);
+}
+
+TEST(TraceVfsTest, MultipleRanksShareFilesAndIds) {
+  MemVfs base;
+  TraceContext ctx(2);
+  TraceVfs fs0(base, ctx, 0);
+  TraceVfs fs1(base, ctx, 1);
+
+  std::unique_ptr<FileHandle> h0;
+  std::unique_ptr<FileHandle> h1;
+  ASSERT_TRUE(fs0.OpenFileHandle("/shared", true, {}, &h0).ok());
+  ASSERT_TRUE(fs1.OpenFileHandle("/shared", true, {}, &h1).ok());
+  ASSERT_TRUE(h0->WriteAt(0, "aaaa").ok());
+  ASSERT_TRUE(h1->WriteAt(4, "bbbb").ok());
+
+  const uint32_t id0 = ctx.TraceForRank(0).ops[0].file;
+  const uint32_t id1 = ctx.TraceForRank(1).ops[0].file;
+  EXPECT_EQ(id0, id1);  // same file interned to the same id across ranks
+}
+
+TEST(TraceVfsTest, BarrierComputePhaseMarkers) {
+  MemVfs base;
+  TraceContext ctx(1);
+  TraceVfs fs(base, ctx, 0);
+  fs.RecordPhaseBegin();
+  fs.RecordCompute(12345);
+  fs.RecordBarrier(7);
+  fs.RecordPhaseEnd();
+
+  const auto& ops = ctx.TraceForRank(0).ops;
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].kind, IoOpKind::kPhaseBegin);
+  EXPECT_EQ(ops[1].kind, IoOpKind::kCompute);
+  EXPECT_EQ(ops[1].size, 12345u);
+  EXPECT_EQ(ops[2].kind, IoOpKind::kBarrier);
+  EXPECT_EQ(ops[2].size, 7u);
+  EXPECT_EQ(ops[3].kind, IoOpKind::kPhaseEnd);
+}
+
+TEST(TraceVfsTest, ZeroComputeIsElided) {
+  MemVfs base;
+  TraceContext ctx(1);
+  TraceVfs fs(base, ctx, 0);
+  fs.RecordCompute(0);
+  EXPECT_TRUE(ctx.TraceForRank(0).ops.empty());
+}
+
+TEST(TraceVfsTest, BytesInPhaseCountsOnlyInsidePhase) {
+  MemVfs base;
+  TraceContext ctx(1);
+  TraceVfs fs(base, ctx, 0);
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs.NewWritableFile("/f", {}, &file).ok());
+  ASSERT_TRUE(file->Append("before!").ok());  // 7 bytes outside the phase
+  fs.RecordPhaseBegin();
+  ASSERT_TRUE(file->Append(std::string(100, 'x')).ok());
+  fs.RecordPhaseEnd();
+  ASSERT_TRUE(file->Append("after").ok());
+
+  EXPECT_EQ(ctx.BytesWrittenInPhase(), 100u);
+  EXPECT_EQ(ctx.BytesReadInPhase(), 0u);
+}
+
+}  // namespace
+}  // namespace lsmio::vfs
