@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ior_vs_lsmio.dir/bench_fig5_ior_vs_lsmio.cc.o"
+  "CMakeFiles/bench_fig5_ior_vs_lsmio.dir/bench_fig5_ior_vs_lsmio.cc.o.d"
+  "bench_fig5_ior_vs_lsmio"
+  "bench_fig5_ior_vs_lsmio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ior_vs_lsmio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_hdf5_adios_vs_lsmio.
+# This may be replaced when dependencies are built.

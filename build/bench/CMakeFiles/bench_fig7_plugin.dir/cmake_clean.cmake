@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_plugin.dir/bench_fig7_plugin.cc.o"
+  "CMakeFiles/bench_fig7_plugin.dir/bench_fig7_plugin.cc.o.d"
+  "bench_fig7_plugin"
+  "bench_fig7_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

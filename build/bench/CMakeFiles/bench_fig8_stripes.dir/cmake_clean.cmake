@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_stripes.dir/bench_fig8_stripes.cc.o"
+  "CMakeFiles/bench_fig8_stripes.dir/bench_fig8_stripes.cc.o.d"
+  "bench_fig8_stripes"
+  "bench_fig8_stripes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_stripes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

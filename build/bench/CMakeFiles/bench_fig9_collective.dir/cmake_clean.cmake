@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_collective.dir/bench_fig9_collective.cc.o"
+  "CMakeFiles/bench_fig9_collective.dir/bench_fig9_collective.cc.o.d"
+  "bench_fig9_collective"
+  "bench_fig9_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/a2_migration.cpp" "examples/CMakeFiles/a2_migration.dir/a2_migration.cpp.o" "gcc" "examples/CMakeFiles/a2_migration.dir/a2_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsmio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/a2/CMakeFiles/lsmio_a2.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/lsmio_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/lsmio_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/lsmio_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lsmio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_migration.dir/a2_migration.cpp.o"
+  "CMakeFiles/a2_migration.dir/a2_migration.cpp.o.d"
+  "a2_migration"
+  "a2_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

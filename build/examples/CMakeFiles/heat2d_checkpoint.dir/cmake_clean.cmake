@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat2d_checkpoint.dir/heat2d_checkpoint.cpp.o"
+  "CMakeFiles/heat2d_checkpoint.dir/heat2d_checkpoint.cpp.o.d"
+  "heat2d_checkpoint"
+  "heat2d_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat2d_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_restart.dir/nbody_restart.cpp.o"
+  "CMakeFiles/nbody_restart.dir/nbody_restart.cpp.o.d"
+  "nbody_restart"
+  "nbody_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

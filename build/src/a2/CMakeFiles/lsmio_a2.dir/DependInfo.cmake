@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/a2/a2.cc" "src/a2/CMakeFiles/lsmio_a2.dir/a2.cc.o" "gcc" "src/a2/CMakeFiles/lsmio_a2.dir/a2.cc.o.d"
+  "/root/repo/src/a2/bp_engine.cc" "src/a2/CMakeFiles/lsmio_a2.dir/bp_engine.cc.o" "gcc" "src/a2/CMakeFiles/lsmio_a2.dir/bp_engine.cc.o.d"
+  "/root/repo/src/a2/xml.cc" "src/a2/CMakeFiles/lsmio_a2.dir/xml.cc.o" "gcc" "src/a2/CMakeFiles/lsmio_a2.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsmio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/lsmio_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmio_a2.dir/a2.cc.o"
+  "CMakeFiles/lsmio_a2.dir/a2.cc.o.d"
+  "CMakeFiles/lsmio_a2.dir/bp_engine.cc.o"
+  "CMakeFiles/lsmio_a2.dir/bp_engine.cc.o.d"
+  "CMakeFiles/lsmio_a2.dir/xml.cc.o"
+  "CMakeFiles/lsmio_a2.dir/xml.cc.o.d"
+  "liblsmio_a2.a"
+  "liblsmio_a2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmio_a2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

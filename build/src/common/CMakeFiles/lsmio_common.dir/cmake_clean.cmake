@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmio_common.dir/coding.cc.o"
+  "CMakeFiles/lsmio_common.dir/coding.cc.o.d"
+  "CMakeFiles/lsmio_common.dir/crc32c.cc.o"
+  "CMakeFiles/lsmio_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/lsmio_common.dir/hash.cc.o"
+  "CMakeFiles/lsmio_common.dir/hash.cc.o.d"
+  "CMakeFiles/lsmio_common.dir/histogram.cc.o"
+  "CMakeFiles/lsmio_common.dir/histogram.cc.o.d"
+  "CMakeFiles/lsmio_common.dir/logging.cc.o"
+  "CMakeFiles/lsmio_common.dir/logging.cc.o.d"
+  "CMakeFiles/lsmio_common.dir/status.cc.o"
+  "CMakeFiles/lsmio_common.dir/status.cc.o.d"
+  "CMakeFiles/lsmio_common.dir/thread_pool.cc.o"
+  "CMakeFiles/lsmio_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/lsmio_common.dir/units.cc.o"
+  "CMakeFiles/lsmio_common.dir/units.cc.o.d"
+  "liblsmio_common.a"
+  "liblsmio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

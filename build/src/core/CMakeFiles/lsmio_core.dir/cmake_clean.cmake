@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmio_core.dir/fstream.cc.o"
+  "CMakeFiles/lsmio_core.dir/fstream.cc.o.d"
+  "CMakeFiles/lsmio_core.dir/manager.cc.o"
+  "CMakeFiles/lsmio_core.dir/manager.cc.o.d"
+  "CMakeFiles/lsmio_core.dir/plugin.cc.o"
+  "CMakeFiles/lsmio_core.dir/plugin.cc.o.d"
+  "CMakeFiles/lsmio_core.dir/store.cc.o"
+  "CMakeFiles/lsmio_core.dir/store.cc.o.d"
+  "liblsmio_core.a"
+  "liblsmio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmio_h5l.dir/h5l.cc.o"
+  "CMakeFiles/lsmio_h5l.dir/h5l.cc.o.d"
+  "liblsmio_h5l.a"
+  "liblsmio_h5l.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmio_h5l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lsmio_h5l.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmio_iorsim.dir/iorsim.cc.o"
+  "CMakeFiles/lsmio_iorsim.dir/iorsim.cc.o.d"
+  "liblsmio_iorsim.a"
+  "liblsmio_iorsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmio_iorsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

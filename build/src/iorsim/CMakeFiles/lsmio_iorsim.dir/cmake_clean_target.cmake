@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsmio_iorsim.a"
+)

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/arena.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/arena.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/arena.cc.o.d"
+  "/root/repo/src/lsm/block.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/block.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/block.cc.o.d"
+  "/root/repo/src/lsm/block_builder.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/block_builder.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/block_builder.cc.o.d"
+  "/root/repo/src/lsm/builder.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/builder.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/builder.cc.o.d"
+  "/root/repo/src/lsm/cache.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/cache.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/cache.cc.o.d"
+  "/root/repo/src/lsm/comparator.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/comparator.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/comparator.cc.o.d"
+  "/root/repo/src/lsm/compression.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/compression.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/compression.cc.o.d"
+  "/root/repo/src/lsm/db_impl.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/db_impl.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/db_impl.cc.o.d"
+  "/root/repo/src/lsm/db_iter.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/db_iter.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/db_iter.cc.o.d"
+  "/root/repo/src/lsm/dbformat.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/dbformat.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/dbformat.cc.o.d"
+  "/root/repo/src/lsm/filter_block.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/filter_block.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/filter_block.cc.o.d"
+  "/root/repo/src/lsm/filter_policy.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/filter_policy.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/filter_policy.cc.o.d"
+  "/root/repo/src/lsm/format.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/format.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/format.cc.o.d"
+  "/root/repo/src/lsm/iterator.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/iterator.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/iterator.cc.o.d"
+  "/root/repo/src/lsm/log_reader.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/log_reader.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/log_reader.cc.o.d"
+  "/root/repo/src/lsm/log_writer.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/log_writer.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/log_writer.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/memtable.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/memtable.cc.o.d"
+  "/root/repo/src/lsm/merger.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/merger.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/merger.cc.o.d"
+  "/root/repo/src/lsm/table.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/table.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/table.cc.o.d"
+  "/root/repo/src/lsm/table_builder.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/table_builder.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/table_builder.cc.o.d"
+  "/root/repo/src/lsm/table_cache.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/table_cache.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/table_cache.cc.o.d"
+  "/root/repo/src/lsm/two_level_iterator.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/two_level_iterator.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/two_level_iterator.cc.o.d"
+  "/root/repo/src/lsm/version.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/version.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/version.cc.o.d"
+  "/root/repo/src/lsm/write_batch.cc" "src/lsm/CMakeFiles/lsmio_lsm.dir/write_batch.cc.o" "gcc" "src/lsm/CMakeFiles/lsmio_lsm.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsmio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/lsmio_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

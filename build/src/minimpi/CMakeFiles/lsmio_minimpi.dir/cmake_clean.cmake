@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmio_minimpi.dir/minimpi.cc.o"
+  "CMakeFiles/lsmio_minimpi.dir/minimpi.cc.o.d"
+  "liblsmio_minimpi.a"
+  "liblsmio_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmio_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

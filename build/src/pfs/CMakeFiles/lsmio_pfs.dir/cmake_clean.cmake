@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmio_pfs.dir/layout.cc.o"
+  "CMakeFiles/lsmio_pfs.dir/layout.cc.o.d"
+  "CMakeFiles/lsmio_pfs.dir/sim.cc.o"
+  "CMakeFiles/lsmio_pfs.dir/sim.cc.o.d"
+  "liblsmio_pfs.a"
+  "liblsmio_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmio_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/mem_vfs.cc" "src/vfs/CMakeFiles/lsmio_vfs.dir/mem_vfs.cc.o" "gcc" "src/vfs/CMakeFiles/lsmio_vfs.dir/mem_vfs.cc.o.d"
+  "/root/repo/src/vfs/posix_vfs.cc" "src/vfs/CMakeFiles/lsmio_vfs.dir/posix_vfs.cc.o" "gcc" "src/vfs/CMakeFiles/lsmio_vfs.dir/posix_vfs.cc.o.d"
+  "/root/repo/src/vfs/trace.cc" "src/vfs/CMakeFiles/lsmio_vfs.dir/trace.cc.o" "gcc" "src/vfs/CMakeFiles/lsmio_vfs.dir/trace.cc.o.d"
+  "/root/repo/src/vfs/trace_vfs.cc" "src/vfs/CMakeFiles/lsmio_vfs.dir/trace_vfs.cc.o" "gcc" "src/vfs/CMakeFiles/lsmio_vfs.dir/trace_vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsmio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmio_vfs.dir/mem_vfs.cc.o"
+  "CMakeFiles/lsmio_vfs.dir/mem_vfs.cc.o.d"
+  "CMakeFiles/lsmio_vfs.dir/posix_vfs.cc.o"
+  "CMakeFiles/lsmio_vfs.dir/posix_vfs.cc.o.d"
+  "CMakeFiles/lsmio_vfs.dir/trace.cc.o"
+  "CMakeFiles/lsmio_vfs.dir/trace.cc.o.d"
+  "CMakeFiles/lsmio_vfs.dir/trace_vfs.cc.o"
+  "CMakeFiles/lsmio_vfs.dir/trace_vfs.cc.o.d"
+  "liblsmio_vfs.a"
+  "liblsmio_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmio_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_test.dir/a2/a2_test.cc.o"
+  "CMakeFiles/a2_test.dir/a2/a2_test.cc.o.d"
+  "CMakeFiles/a2_test.dir/a2/xml_test.cc.o"
+  "CMakeFiles/a2_test.dir/a2/xml_test.cc.o.d"
+  "a2_test"
+  "a2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

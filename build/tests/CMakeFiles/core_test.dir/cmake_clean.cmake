@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/fstream_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/fstream_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/fstream_test.cc.o"
+  "CMakeFiles/core_test.dir/core/fstream_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/manager_test.cc.o"
+  "CMakeFiles/core_test.dir/core/manager_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/plugin_test.cc.o"
+  "CMakeFiles/core_test.dir/core/plugin_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/store_test.cc.o"
+  "CMakeFiles/core_test.dir/core/store_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h5l_test.dir/h5l/h5l_test.cc.o"
+  "CMakeFiles/h5l_test.dir/h5l/h5l_test.cc.o.d"
+  "h5l_test"
+  "h5l_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h5l_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iorsim_test.dir/iorsim/iorsim_test.cc.o"
+  "CMakeFiles/iorsim_test.dir/iorsim/iorsim_test.cc.o.d"
+  "iorsim_test"
+  "iorsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iorsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

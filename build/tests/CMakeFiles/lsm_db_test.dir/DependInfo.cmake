@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lsm/db_fault_test.cc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_fault_test.cc.o" "gcc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_fault_test.cc.o.d"
+  "/root/repo/tests/lsm/db_property_test.cc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_property_test.cc.o" "gcc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_property_test.cc.o.d"
+  "/root/repo/tests/lsm/db_recovery_test.cc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_recovery_test.cc.o" "gcc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_recovery_test.cc.o.d"
+  "/root/repo/tests/lsm/db_snapshot_test.cc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_snapshot_test.cc.o" "gcc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_snapshot_test.cc.o.d"
+  "/root/repo/tests/lsm/db_test.cc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_test.cc.o" "gcc" "tests/CMakeFiles/lsm_db_test.dir/lsm/db_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsmio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iorsim/CMakeFiles/lsmio_iorsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/a2/CMakeFiles/lsmio_a2.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5l/CMakeFiles/lsmio_h5l.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/lsmio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/lsmio_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/lsmio_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/lsmio_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lsmio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_db_test.dir/lsm/db_fault_test.cc.o"
+  "CMakeFiles/lsm_db_test.dir/lsm/db_fault_test.cc.o.d"
+  "CMakeFiles/lsm_db_test.dir/lsm/db_property_test.cc.o"
+  "CMakeFiles/lsm_db_test.dir/lsm/db_property_test.cc.o.d"
+  "CMakeFiles/lsm_db_test.dir/lsm/db_recovery_test.cc.o"
+  "CMakeFiles/lsm_db_test.dir/lsm/db_recovery_test.cc.o.d"
+  "CMakeFiles/lsm_db_test.dir/lsm/db_snapshot_test.cc.o"
+  "CMakeFiles/lsm_db_test.dir/lsm/db_snapshot_test.cc.o.d"
+  "CMakeFiles/lsm_db_test.dir/lsm/db_test.cc.o"
+  "CMakeFiles/lsm_db_test.dir/lsm/db_test.cc.o.d"
+  "lsm_db_test"
+  "lsm_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lsm/arena_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/arena_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/arena_test.cc.o.d"
+  "/root/repo/tests/lsm/block_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/block_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/block_test.cc.o.d"
+  "/root/repo/tests/lsm/cache_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/cache_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/cache_test.cc.o.d"
+  "/root/repo/tests/lsm/compression_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/compression_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/compression_test.cc.o.d"
+  "/root/repo/tests/lsm/dbformat_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/dbformat_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/dbformat_test.cc.o.d"
+  "/root/repo/tests/lsm/filter_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/filter_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/filter_test.cc.o.d"
+  "/root/repo/tests/lsm/format_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/format_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/format_test.cc.o.d"
+  "/root/repo/tests/lsm/log_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/log_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/log_test.cc.o.d"
+  "/root/repo/tests/lsm/memtable_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/memtable_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/memtable_test.cc.o.d"
+  "/root/repo/tests/lsm/skiplist_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/skiplist_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/skiplist_test.cc.o.d"
+  "/root/repo/tests/lsm/table_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/table_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/table_test.cc.o.d"
+  "/root/repo/tests/lsm/version_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/version_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/version_test.cc.o.d"
+  "/root/repo/tests/lsm/write_batch_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/write_batch_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/write_batch_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lsmio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iorsim/CMakeFiles/lsmio_iorsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/a2/CMakeFiles/lsmio_a2.dir/DependInfo.cmake"
+  "/root/repo/build/src/h5l/CMakeFiles/lsmio_h5l.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/lsmio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/lsmio_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/lsmio_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/lsmio_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lsmio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

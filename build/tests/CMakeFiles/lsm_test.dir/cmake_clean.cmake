@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_test.dir/lsm/arena_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/arena_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/block_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/block_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/cache_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/cache_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/compression_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/compression_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/dbformat_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/dbformat_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/filter_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/filter_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/format_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/format_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/log_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/log_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/memtable_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/memtable_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/skiplist_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/skiplist_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/table_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/table_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/version_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/version_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/write_batch_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/write_batch_test.cc.o.d"
+  "lsm_test"
+  "lsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfs_test.dir/pfs/layout_test.cc.o"
+  "CMakeFiles/pfs_test.dir/pfs/layout_test.cc.o.d"
+  "CMakeFiles/pfs_test.dir/pfs/sim_test.cc.o"
+  "CMakeFiles/pfs_test.dir/pfs/sim_test.cc.o.d"
+  "pfs_test"
+  "pfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

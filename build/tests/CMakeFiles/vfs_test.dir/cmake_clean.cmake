@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_test.dir/vfs/mem_vfs_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/mem_vfs_test.cc.o.d"
+  "CMakeFiles/vfs_test.dir/vfs/posix_vfs_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/posix_vfs_test.cc.o.d"
+  "CMakeFiles/vfs_test.dir/vfs/trace_vfs_test.cc.o"
+  "CMakeFiles/vfs_test.dir/vfs/trace_vfs_test.cc.o.d"
+  "vfs_test"
+  "vfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

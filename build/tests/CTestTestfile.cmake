@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vfs_test "/root/repo/build/tests/vfs_test")
+set_tests_properties(vfs_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lsm_test "/root/repo/build/tests/lsm_test")
+set_tests_properties(lsm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;27;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lsm_db_test "/root/repo/build/tests/lsm_db_test")
+set_tests_properties(lsm_db_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;42;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(minimpi_test "/root/repo/build/tests/minimpi_test")
+set_tests_properties(minimpi_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;49;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pfs_test "/root/repo/build/tests/pfs_test")
+set_tests_properties(pfs_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;51;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(h5l_test "/root/repo/build/tests/h5l_test")
+set_tests_properties(h5l_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;53;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(a2_test "/root/repo/build/tests/a2_test")
+set_tests_properties(a2_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;55;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;57;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(iorsim_test "/root/repo/build/tests/iorsim_test")
+set_tests_properties(iorsim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;64;lsmio_add_test;/root/repo/tests/CMakeLists.txt;0;")
