@@ -41,6 +41,19 @@ struct LsmioOptions {
   /// SSTable block size.
   uint64_t block_size = 4 * KiB;
 
+  // --- write pipeline ---
+  /// Background threads shared by flush and compaction. The two are
+  /// scheduled independently, so with >= 2 threads a long compaction never
+  /// delays a flush; at most one flush runs at a time, preserving the
+  /// paper's single flushing thread (§3.1.2).
+  int background_threads = 2;
+  /// Total memtables (1 active + N-1 immutable queued for flush). Values
+  /// > 2 let checkpoint bursts roll to a fresh buffer instead of stalling
+  /// behind an in-flight flush. Minimum effective value is 2.
+  int max_write_buffer_number = 2;
+  /// Group commit: concurrent writers batch into one WAL append/fsync.
+  bool enable_group_commit = true;
+
   /// Open the store without mutating it (concurrent multi-rank readers of
   /// one store, e.g. the ADIOS2-plugin read path, require this).
   bool read_only = false;

@@ -29,6 +29,18 @@ std::string IndexKey(const std::string& name) { return "i!" + name; }
 /// A block index entry: fixed64 offset | fixed64 count | fixed32 elem size.
 constexpr size_t kIndexEntrySize = 8 + 8 + 4;
 
+/// Small positive integer parameter, or `fallback` when absent/invalid.
+int ParameterInt(a2::IO& io, const std::string& key, int fallback) {
+  const std::string value = io.Parameter(key);
+  if (value.empty()) return fallback;
+  int parsed = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9' || parsed > 1000) return fallback;
+    parsed = parsed * 10 + (c - '0');
+  }
+  return parsed > 0 ? parsed : fallback;
+}
+
 LsmioOptions PluginOptions(a2::IO& io) {
   LsmioOptions options;
   options.vfs = &io.fs();
@@ -38,6 +50,12 @@ LsmioOptions PluginOptions(a2::IO& io) {
   options.block_size = io.ParameterBytes("BlockSize", 4 * KiB);
   options.sync_writes = io.Parameter("Sync") == "true";
   options.use_mmap = io.Parameter("Mmap") == "true";
+  // Write pipeline knobs (XML <parameter key="..."/>).
+  options.background_threads =
+      ParameterInt(io, "BackgroundThreads", options.background_threads);
+  options.max_write_buffer_number =
+      ParameterInt(io, "MaxWriteBufferNumber", options.max_write_buffer_number);
+  options.enable_group_commit = io.Parameter("GroupCommit") != "false";
   return options;
 }
 

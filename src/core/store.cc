@@ -20,7 +20,12 @@ lsm::Options ToEngineOptions(const LsmioOptions& options) {
   engine.write_buffer_size = options.write_buffer_size;
   engine.block_size = options.block_size;
   engine.read_only = options.read_only;
-  engine.background_threads = 1;  // §3.1.2: a single flushing thread
+  // Flush and compaction schedule independently on this pool; at most one
+  // flush runs at a time, so §3.1.2's single flushing thread is preserved
+  // for any value.
+  engine.background_threads = options.background_threads;
+  engine.max_write_buffer_number = options.max_write_buffer_number;
+  engine.enable_group_commit = options.enable_group_commit;
   return engine;
 }
 
@@ -72,7 +77,47 @@ class LsmStore final : public Store {
 
   Status Append(const Slice& key, const Slice& value) override {
     // Read-modify-write; the engine keeps this cheap because the hot tail
-    // lives in the memtable.
+    // lives in the memtable. During an open batch the engine cannot see the
+    // batched-but-unapplied ops, so the batch must be consulted first or an
+    // Append after a batched Put would extend a stale value.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (batching_) {
+        struct LastOp final : lsm::WriteBatch::Handler {
+          explicit LastOp(const Slice& k) : target(k) {}
+          void Put(const Slice& k, const Slice& v) override {
+            if (k == target) {
+              found = true;
+              deleted = false;
+              value.assign(v.data(), v.size());
+            }
+          }
+          void Delete(const Slice& k) override {
+            if (k == target) {
+              found = true;
+              deleted = true;
+              value.clear();
+            }
+          }
+          Slice target;
+          bool found = false;
+          bool deleted = false;
+          std::string value;
+        } last(key);
+        LSMIO_RETURN_IF_ERROR(batch_.Iterate(&last));
+
+        std::string existing;
+        if (last.found) {
+          existing = std::move(last.value);  // empty when deleted in batch
+        } else {
+          Status s = db_->Get({}, key, &existing);
+          if (!s.ok() && !s.IsNotFound()) return s;
+        }
+        existing.append(value.data(), value.size());
+        batch_.Put(key, existing);
+        return Status::OK();
+      }
+    }
     std::string existing;
     Status s = db_->Get({}, key, &existing);
     if (!s.ok() && !s.IsNotFound()) return s;

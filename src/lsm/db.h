@@ -41,6 +41,12 @@ struct DbStats {
   uint64_t bytes_flushed = 0;   // table bytes produced by flushes
   uint64_t bytes_compacted = 0; // table bytes produced by compactions
   uint64_t wal_bytes = 0;
+  // --- write pipeline ---
+  uint64_t group_commit_batches = 0;  // write groups led (1 WAL append each)
+  uint64_t group_commit_writers = 0;  // writers absorbed into groups
+  uint64_t write_stall_micros = 0;    // writer wait on full buffers / L0
+  uint64_t flush_queue_depth = 0;     // gauge: immutable memtables pending
+  uint64_t compaction_queue_depth = 0;// gauge: compactions scheduled/running
 };
 
 class DB {

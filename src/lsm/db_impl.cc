@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/logging.h"
 #include "lsm/builder.h"
@@ -45,11 +46,11 @@ DBImpl::~DBImpl() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_.store(true);
-    while (background_work_scheduled_) bg_cv_.wait(lock);
+    while (flush_scheduled_ || compaction_scheduled_) bg_cv_.wait(lock);
   }
   bg_pool_->Shutdown();
   if (mem_ != nullptr) mem_->Unref();
-  if (imm_ != nullptr) imm_->Unref();
+  for (MemTable* imm : imm_queue_) imm->Unref();
   if (logfile_ != nullptr) logfile_->Close();
 }
 
@@ -223,6 +224,72 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   if (options_.read_only) {
     return Status::InvalidArgument("database opened read-only");
   }
+  if (!options_.enable_group_commit) return WriteSerialized(options, updates);
+
+  Writer w(updates, options.sync || options_.sync_writes);
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) w.cv.wait(lock);
+  if (w.done) return w.status;
+
+  // This thread is the leader: until it pops itself off writers_, it has
+  // exclusive ownership of mem_/log_/logfile_, even across the unlock below.
+  Status status = MakeRoomForWrite(lock);
+  Writer* last_writer = &w;
+  if (status.ok()) {
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
+    SequenceNumber last_sequence = versions_->LastSequence();
+    write_batch->SetSequence(last_sequence + 1);
+    last_sequence += static_cast<SequenceNumber>(write_batch->Count());
+
+    uint64_t wal_bytes = 0;
+    struct Counter final : WriteBatch::Handler {
+      uint64_t puts = 0, dels = 0;
+      void Put(const Slice&, const Slice&) override { ++puts; }
+      void Delete(const Slice&) override { ++dels; }
+    } counter;
+    {
+      // One WAL append + (at most) one fsync for the whole group; followers
+      // and concurrent readers proceed against the published memtable while
+      // the leader does the I/O.
+      lock.unlock();
+      if (!options_.disable_wal) {
+        status = log_->AddRecord(write_batch->Contents());
+        wal_bytes = write_batch->Contents().size();
+        if (status.ok() && w.sync) status = logfile_->Sync();
+      }
+      if (status.ok()) status = write_batch->InsertInto(mem_);
+      (void)write_batch->Iterate(&counter);
+      lock.lock();
+    }
+    versions_->SetLastSequence(last_sequence);
+    stats_.wal_bytes += wal_bytes;
+    stats_.bytes_written += write_batch->Contents().size();
+    stats_.puts += counter.puts;
+    stats_.deletes += counter.dels;
+    ++stats_.group_commit_batches;
+    if (write_batch == &tmp_batch_) tmp_batch_.Clear();
+  }
+
+  // Mark every writer in the group done and hand leadership to the next.
+  for (;;) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    ++stats_.group_commit_writers;
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  return status;
+}
+
+Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates) {
+  // Seed write path (one global mutex across WAL + sync + memtable insert);
+  // kept behind Options::enable_group_commit=false for ablation.
   std::unique_lock<std::mutex> lock(mu_);
   LSMIO_RETURN_IF_ERROR(MakeRoomForWrite(lock));
 
@@ -252,21 +319,61 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   return Status::OK();
 }
 
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  assert(result != nullptr);
+  size_t size = result->ApproximateSize();
+
+  // Large enough to amortize the fsync, but capped so a stream of tiny
+  // writes is not held hostage to a giant group (LevelDB's heuristic).
+  size_t max_size = 1 * MiB;
+  if (size <= 128 * KiB) max_size = size + 128 * KiB;
+
+  *last_writer = first;
+  for (auto it = std::next(writers_.begin()); it != writers_.end(); ++it) {
+    Writer* w = *it;
+    if (w->batch == nullptr) break;      // memtable-switch request: own group
+    if (w->sync && !first->sync) break;  // never weaken a sync writer
+    size += w->batch->ApproximateSize();
+    if (size > max_size) break;
+    if (result == first->batch) {
+      // Switch to the scratch batch; the leader's own batch must not be
+      // mutated (the caller owns it).
+      result = &tmp_batch_;
+      assert(result->Count() == 0);
+      result->Append(*first->batch);
+    }
+    result->Append(*w->batch);
+    *last_writer = w;
+  }
+  return result;
+}
+
 Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
+  const auto stall_wait = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    bg_cv_.wait(lock);
+    stats_.write_stall_micros += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
   for (;;) {
     if (!bg_error_.ok()) return bg_error_;
     if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
       return Status::OK();
     }
-    if (imm_ != nullptr) {
-      // Previous flush still running; the paper's single flush thread means
-      // writers stall here under sustained overload.
-      bg_cv_.wait(lock);
+    if (MemTableQueueFull()) {
+      // Every allowed memtable is full and queued; wait for a flush to
+      // retire the oldest one.
+      stall_wait();
       continue;
     }
     if (!options_.disable_compaction &&
         versions_->current()->NumFiles(0) >= options_.l0_stop_writes_trigger) {
-      bg_cv_.wait(lock);
+      stall_wait();
       continue;
     }
     LSMIO_RETURN_IF_ERROR(SwitchMemTable(lock));
@@ -274,7 +381,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
 }
 
 Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
-  assert(imm_ == nullptr);
+  assert(!MemTableQueueFull());
 
   // Roll the WAL together with the memtable.
   if (!options_.disable_wal) {
@@ -292,10 +399,10 @@ Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
     log_ = std::make_unique<log::Writer>(logfile_.get());
   }
 
-  imm_ = mem_;
+  imm_queue_.push_back(mem_);
   mem_ = new MemTable(internal_comparator_);
   mem_->Ref();
-  MaybeScheduleBackgroundWork(lock);
+  MaybeScheduleFlush(lock);
   return Status::OK();
 }
 
@@ -303,13 +410,24 @@ Status DBImpl::FlushMemTable(bool wait) {
   if (options_.read_only) return Status::OK();  // nothing can be dirty
   std::unique_lock<std::mutex> lock(mu_);
   if (mem_->num_entries() > 0) {
-    // Wait for a pending flush slot, then switch.
-    while (imm_ != nullptr && bg_error_.ok()) bg_cv_.wait(lock);
-    LSMIO_RETURN_IF_ERROR(bg_error_);
-    LSMIO_RETURN_IF_ERROR(SwitchMemTable(lock));
+    // Queue a batch-less writer: the memtable switch must not interleave
+    // with a write group that has the mutex dropped.
+    Writer w(nullptr, false);
+    writers_.push_back(&w);
+    while (!w.done && &w != writers_.front()) w.cv.wait(lock);
+    assert(!w.done);  // batch-less writers are never absorbed into a group
+
+    Status s = bg_error_;
+    if (s.ok() && mem_->num_entries() > 0) {
+      while (MemTableQueueFull() && bg_error_.ok()) bg_cv_.wait(lock);
+      s = bg_error_.ok() ? SwitchMemTable(lock) : bg_error_;
+    }
+    writers_.pop_front();
+    if (!writers_.empty()) writers_.front()->cv.notify_one();
+    LSMIO_RETURN_IF_ERROR(s);
   }
   if (wait) {
-    while ((imm_ != nullptr || background_work_scheduled_) && bg_error_.ok()) {
+    while ((!imm_queue_.empty() || flush_scheduled_) && bg_error_.ok()) {
       bg_cv_.wait(lock);
     }
     LSMIO_RETURN_IF_ERROR(bg_error_);
@@ -320,22 +438,33 @@ Status DBImpl::FlushMemTable(bool wait) {
 Status DBImpl::CompactRange() {
   if (options_.disable_compaction) return Status::OK();
   std::unique_lock<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) return bg_error_;
   manual_compaction_requested_ = true;
-  MaybeScheduleBackgroundWork(lock);
-  while ((manual_compaction_requested_ || background_work_scheduled_) &&
+  MaybeScheduleCompaction(lock);
+  while ((manual_compaction_requested_ || compaction_scheduled_) &&
          bg_error_.ok()) {
     bg_cv_.wait(lock);
   }
+  // Clear on every exit path (including bg_error_) so a failed manual
+  // compaction cannot wedge later calls.
+  manual_compaction_requested_ = false;
   return bg_error_;
 }
 
 // --- background work ----------------------------------------------------------
 
-void DBImpl::MaybeScheduleBackgroundWork(std::unique_lock<std::mutex>&) {
-  if (background_work_scheduled_ || shutting_down_.load()) return;
-  if (imm_ == nullptr && !NeedsCompaction() && !manual_compaction_requested_) return;
-  background_work_scheduled_ = true;
-  bg_pool_->Submit([this] { BackgroundCall(); });
+void DBImpl::MaybeScheduleFlush(std::unique_lock<std::mutex>&) {
+  if (flush_scheduled_ || shutting_down_.load()) return;
+  if (imm_queue_.empty()) return;
+  flush_scheduled_ = true;
+  bg_pool_->Submit([this] { BackgroundFlushCall(); });
+}
+
+void DBImpl::MaybeScheduleCompaction(std::unique_lock<std::mutex>&) {
+  if (compaction_scheduled_ || shutting_down_.load()) return;
+  if (!NeedsCompaction() && !manual_compaction_requested_) return;
+  compaction_scheduled_ = true;
+  bg_pool_->Submit([this] { BackgroundCompactionCall(); });
 }
 
 bool DBImpl::NeedsCompaction() const {
@@ -348,34 +477,46 @@ bool DBImpl::NeedsCompaction() const {
   return false;
 }
 
-void DBImpl::BackgroundCall() {
+void DBImpl::BackgroundFlushCall() {
   std::unique_lock<std::mutex> lock(mu_);
-  assert(background_work_scheduled_);
+  assert(flush_scheduled_);
 
-  if (!shutting_down_.load() && bg_error_.ok()) {
-    Status s;
-    if (imm_ != nullptr) {
-      lock.unlock();
-      s = CompactMemTable();
-      lock.lock();
-    } else if (NeedsCompaction() || manual_compaction_requested_) {
-      lock.unlock();
-      s = BackgroundCompaction();
-      lock.lock();
-      manual_compaction_requested_ = false;
-    }
+  if (!shutting_down_.load() && bg_error_.ok() && !imm_queue_.empty()) {
+    MemTable* imm = imm_queue_.front();
+    lock.unlock();
+    const Status s = CompactMemTable(imm);
+    lock.lock();
     if (!s.ok()) bg_error_ = s;
   }
 
-  background_work_scheduled_ = false;
-  // More work may have become ready (e.g. flush finished, compaction due).
-  MaybeScheduleBackgroundWork(lock);
+  flush_scheduled_ = false;
+  MaybeScheduleFlush(lock);       // more immutables may be queued
+  MaybeScheduleCompaction(lock);  // the flush may have tipped L0 over
   bg_cv_.notify_all();
 }
 
-Status DBImpl::CompactMemTable() {
-  // Called without mu_; imm_ is stable (only this thread clears it).
-  assert(imm_ != nullptr);
+void DBImpl::BackgroundCompactionCall() {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(compaction_scheduled_);
+
+  if (!shutting_down_.load() && bg_error_.ok()) {
+    const bool manual = manual_compaction_requested_;
+    lock.unlock();
+    const Status s = BackgroundCompaction();
+    lock.lock();
+    if (manual) manual_compaction_requested_ = false;
+    if (!s.ok()) bg_error_ = s;
+  }
+
+  compaction_scheduled_ = false;
+  MaybeScheduleCompaction(lock);
+  bg_cv_.notify_all();
+}
+
+Status DBImpl::CompactMemTable(MemTable* imm) {
+  // Called without mu_. `imm` stays at the front of imm_queue_ (readable by
+  // Get/iterators) until the flush is installed; only this thread pops it.
+  assert(imm != nullptr);
 
   FileMetaData meta;
   {
@@ -384,7 +525,7 @@ Status DBImpl::CompactMemTable() {
     pending_outputs_.insert(meta.number);
   }
 
-  std::unique_ptr<Iterator> iter(imm_->NewIterator());
+  std::unique_ptr<Iterator> iter(imm->NewIterator());
   Status s = BuildTable(dbname_, fs(), options_, &internal_comparator_,
                         filter_policy_.get(), iter.get(), &meta);
 
@@ -397,8 +538,9 @@ Status DBImpl::CompactMemTable() {
     stats_.bytes_flushed += meta.file_size;
   }
   if (s.ok()) {
-    imm_->Unref();
-    imm_ = nullptr;
+    assert(!imm_queue_.empty() && imm_queue_.front() == imm);
+    imm_queue_.pop_front();
+    imm->Unref();
     RemoveObsoleteFiles();
   }
   return s;
@@ -633,7 +775,7 @@ SequenceNumber DBImpl::SmallestSnapshot() const {
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* value) {
   MemTable* mem;
-  MemTable* imm;
+  std::vector<MemTable*> imms;  // newest first
   std::shared_ptr<Version> current;
   SequenceNumber sequence;
   {
@@ -642,8 +784,11 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
                                               : versions_->LastSequence();
     mem = mem_;
     mem->Ref();
-    imm = imm_;
-    if (imm != nullptr) imm->Ref();
+    imms.reserve(imm_queue_.size());
+    for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+      (*it)->Ref();
+      imms.push_back(*it);
+    }
     current = versions_->current();
     ++stats_.gets;
   }
@@ -653,9 +798,15 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
   bool found = false;
   if (mem->Get(lkey, value, &s)) {
     found = true;
-  } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
-    found = true;
   } else {
+    for (MemTable* imm : imms) {
+      if (imm->Get(lkey, value, &s)) {
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
     s = current->Get(options, table_cache_.get(), lkey, value);
     found = s.ok();
   }
@@ -664,7 +815,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
     std::lock_guard<std::mutex> lock(mu_);
     if (found && s.ok()) ++stats_.get_hits;
     mem->Unref();
-    if (imm != nullptr) imm->Unref();
+    for (MemTable* imm : imms) imm->Unref();
   }
   return s;
 }
@@ -678,19 +829,20 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
   iters.push_back(mem_->NewIterator());
   mem_->Ref();
   MemTable* mem = mem_;
-  MemTable* imm = imm_;
-  if (imm != nullptr) {
-    iters.push_back(imm->NewIterator());
-    imm->Ref();
+  std::vector<MemTable*> imms;  // newest first
+  for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+    iters.push_back((*it)->NewIterator());
+    (*it)->Ref();
+    imms.push_back(*it);
   }
   auto current = versions_->current();
   current->AddIterators(options, table_cache_.get(), &iters);
 
   Iterator* merged = NewMergingIterator(&internal_comparator_, iters.data(),
                                         static_cast<int>(iters.size()));
-  merged->RegisterCleanup([mem, imm, current]() mutable {
+  merged->RegisterCleanup([mem, imms = std::move(imms), current]() mutable {
     mem->Unref();
-    if (imm != nullptr) imm->Unref();
+    for (MemTable* imm : imms) imm->Unref();
     current.reset();
   });
   return merged;
@@ -721,13 +873,16 @@ void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
 
 DbStats DBImpl::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  DbStats stats = stats_;
+  stats.flush_queue_depth = imm_queue_.size();
+  stats.compaction_queue_depth = compaction_scheduled_ ? 1 : 0;
+  return stats;
 }
 
 uint64_t DBImpl::ApproximateMemoryUsage() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
-  if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+  for (const MemTable* imm : imm_queue_) total += imm->ApproximateMemoryUsage();
   return total;
 }
 

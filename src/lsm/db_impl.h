@@ -1,11 +1,16 @@
-// DBImpl: the concrete engine behind lsm::DB. Single write mutex, one
-// background thread (paper §3.1.2 configures a single flushing thread),
-// leveled compaction that can be disabled entirely (paper mode: flushes
-// accumulate as L0 files).
+// DBImpl: the concrete engine behind lsm::DB. Writes go through a
+// LevelDB/RocksDB-style group-commit queue: concurrent writers line up,
+// the front writer merges the pending batches and performs one WAL
+// append/sync for the whole group with the mutex released. Memtables roll
+// into a queue of immutables (max_write_buffer_number) flushed by a
+// background thread; flush and compaction are scheduled independently so
+// a long compaction never blocks a flush. Leveled compaction can be
+// disabled entirely (paper mode: flushes accumulate as L0 files).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -45,17 +50,36 @@ class DBImpl final : public DB {
   friend class DB;
   struct SnapshotImpl;
 
+  /// One queued DB::Write (or memtable-switch request when batch == nullptr).
+  /// Lives on the caller's stack; linked into writers_ under mu_.
+  struct Writer {
+    explicit Writer(WriteBatch* b, bool s) : batch(b), sync(s) {}
+    WriteBatch* batch;  // nullptr => force a memtable switch (FlushMemTable)
+    bool sync;
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
   vfs::Vfs& fs() const;
 
   Status Initialize();                       // open/create + recover
   Status NewDb();                            // write fresh CURRENT/manifest
   Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence);
+  Status WriteSerialized(const WriteOptions& options, WriteBatch* updates);
+  WriteBatch* BuildBatchGroup(Writer** last_writer);  // mu_ held
   Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
   Status SwitchMemTable(std::unique_lock<std::mutex>& lock);
+  bool MemTableQueueFull() const {            // mu_ held
+    return 1 + static_cast<int>(imm_queue_.size()) >=
+           std::max(2, options_.max_write_buffer_number);
+  }
 
-  void MaybeScheduleBackgroundWork(std::unique_lock<std::mutex>& lock);
-  void BackgroundCall();
-  Status CompactMemTable();
+  void MaybeScheduleFlush(std::unique_lock<std::mutex>& lock);
+  void MaybeScheduleCompaction(std::unique_lock<std::mutex>& lock);
+  void BackgroundFlushCall();
+  void BackgroundCompactionCall();
+  Status CompactMemTable(MemTable* imm);
   bool NeedsCompaction() const;
   Status BackgroundCompaction();
   Status CompactFiles(int level, const std::vector<FileMetaData>& level_inputs,
@@ -81,11 +105,16 @@ class DBImpl final : public DB {
   std::condition_variable bg_cv_;
   std::unique_ptr<VersionSet> versions_;
   MemTable* mem_ = nullptr;
-  MemTable* imm_ = nullptr;
+  std::deque<MemTable*> imm_queue_;  // oldest first; front flushes next
   std::unique_ptr<vfs::WritableFile> logfile_;
   uint64_t logfile_number_ = 0;
   std::unique_ptr<log::Writer> log_;
-  bool background_work_scheduled_ = false;
+  std::deque<Writer*> writers_;  // front = leader; only the leader (with
+                                 // writers_ exclusivity) touches mem_/log_
+                                 // while mu_ is released
+  WriteBatch tmp_batch_;         // scratch for merged write groups
+  bool flush_scheduled_ = false;
+  bool compaction_scheduled_ = false;
   bool manual_compaction_requested_ = false;
   Status bg_error_;
   std::atomic<bool> shutting_down_{false};

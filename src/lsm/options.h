@@ -72,6 +72,12 @@ struct Options {
   /// the paper configures 32 MB to match ADIOS2's BufferChunkSize).
   uint64_t write_buffer_size = 32 * MiB;
 
+  /// Total memtables held in memory (one active + up to N-1 immutable ones
+  /// queued for flush). Values > 2 let writers roll to a fresh memtable
+  /// instead of stalling while earlier flushes are still in flight.
+  /// Minimum effective value is 2.
+  int max_write_buffer_number = 2;
+
   /// Target uncompressed size of an SSTable data block.
   uint64_t block_size = 4 * KiB;
 
@@ -99,9 +105,18 @@ struct Options {
   /// Capacity of the block cache (ignored when disable_cache).
   uint64_t block_cache_capacity = 8 * MiB;
 
-  /// Number of background threads for flush/compaction. The paper
-  /// configures a single flushing thread (§3.1.2).
+  /// Number of background threads shared by flush and compaction work.
+  /// Flushes and compactions are scheduled independently, so with >= 2
+  /// threads a long compaction never delays a memtable flush. The paper
+  /// configures a single *flushing* thread (§3.1.2); at most one flush
+  /// runs at a time regardless of this value.
   int background_threads = 1;
+
+  /// Group commit: concurrent DB::Write callers queue up, the front writer
+  /// merges the pending batches and performs one WAL append + sync for the
+  /// whole group with the DB mutex released. Disable to fall back to the
+  /// fully serialized write path (kept for ablation benchmarks).
+  bool enable_group_commit = true;
 };
 
 /// Options for read operations.

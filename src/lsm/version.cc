@@ -185,6 +185,7 @@ Status VersionSet::DecodeSnapshot(const Slice& record) {
   log_number_ = log_number;
   next_file_number_ = next_file;
   last_sequence_ = last_seq;
+  retained_.push_back(current_);
   current_ = std::move(v);
   return Status::OK();
 }
@@ -267,6 +268,7 @@ Status VersionSet::Recover(bool* save_manifest) {
 }
 
 Status VersionSet::LogAndApply(std::shared_ptr<Version> v) {
+  retained_.push_back(current_);
   current_ = std::move(v);
   if (manifest_log_ == nullptr) {
     return WriteSnapshot();
@@ -311,6 +313,19 @@ std::shared_ptr<Version> VersionSet::MakeVersion(
 void VersionSet::AddLiveFiles(std::vector<uint64_t>* live) const {
   for (int level = 0; level < kNumLevels; ++level) {
     for (const auto& f : current_->files[level]) live->push_back(f.number);
+  }
+  // Old versions still pinned by readers keep their files live; prune the
+  // rest. Called with the DB mutex held, so no one else mutates retained_.
+  auto it = retained_.begin();
+  while (it != retained_.end()) {
+    if (const auto v = it->lock()) {
+      for (int level = 0; level < kNumLevels; ++level) {
+        for (const auto& f : v->files[level]) live->push_back(f.number);
+      }
+      ++it;
+    } else {
+      it = retained_.erase(it);
+    }
   }
 }
 

@@ -103,7 +103,10 @@ class VersionSet {
 
   [[nodiscard]] uint64_t ManifestFileNumber() const { return manifest_file_number_; }
 
-  /// All file numbers referenced by the current version (GC keeps these).
+  /// All file numbers referenced by the current version or by any superseded
+  /// version a reader still holds (GC keeps these). Readers drop mu_ while
+  /// reading table files, so a concurrent flush/compaction install must not
+  /// let GC delete the files under them.
   void AddLiveFiles(std::vector<uint64_t>* live) const;
 
   /// Writes the current state as a manifest snapshot + CURRENT. Used on DB
@@ -123,6 +126,9 @@ class VersionSet {
   TableCache* table_cache_;
 
   std::shared_ptr<Version> current_;
+  /// Superseded versions that may still be referenced by unlocked readers;
+  /// expired entries are pruned during AddLiveFiles.
+  mutable std::vector<std::weak_ptr<Version>> retained_;
 
   uint64_t next_file_number_ = 2;
   uint64_t manifest_file_number_ = 0;

@@ -93,6 +93,55 @@ TEST_F(StoreTest, BatchModeDoubleStartFails) {
   EXPECT_TRUE(store_->StopBatch().IsBusy());
 }
 
+TEST_F(StoreTest, AppendInsideBatchSeesBatchedPut) {
+  LsmioOptions options = PaperOptions();
+  options.use_write_batch = true;
+  Open(options);
+
+  ASSERT_TRUE(store_->StartBatch().ok());
+  ASSERT_TRUE(store_->Put("log", "first").ok());
+  // The engine cannot see the batched put yet; Append must consult the
+  // open batch, not read a stale (absent) value.
+  ASSERT_TRUE(store_->Append("log", "|second").ok());
+  ASSERT_TRUE(store_->StopBatch().ok());
+
+  std::string value;
+  ASSERT_TRUE(store_->Get("log", &value).ok());
+  EXPECT_EQ(value, "first|second");
+}
+
+TEST_F(StoreTest, AppendInsideBatchExtendsAppliedValue) {
+  LsmioOptions options = PaperOptions();
+  options.use_write_batch = true;
+  Open(options);
+
+  ASSERT_TRUE(store_->Put("log", "base").ok());  // applied outside any batch
+  ASSERT_TRUE(store_->StartBatch().ok());
+  ASSERT_TRUE(store_->Append("log", "+batched").ok());
+  ASSERT_TRUE(store_->Append("log", "+twice").ok());
+  ASSERT_TRUE(store_->StopBatch().ok());
+
+  std::string value;
+  ASSERT_TRUE(store_->Get("log", &value).ok());
+  EXPECT_EQ(value, "base+batched+twice");
+}
+
+TEST_F(StoreTest, AppendInsideBatchAfterBatchedDelStartsFresh) {
+  LsmioOptions options = PaperOptions();
+  options.use_write_batch = true;
+  Open(options);
+
+  ASSERT_TRUE(store_->Put("log", "stale").ok());
+  ASSERT_TRUE(store_->StartBatch().ok());
+  ASSERT_TRUE(store_->Del("log").ok());
+  ASSERT_TRUE(store_->Append("log", "fresh").ok());
+  ASSERT_TRUE(store_->StopBatch().ok());
+
+  std::string value;
+  ASSERT_TRUE(store_->Get("log", &value).ok());
+  EXPECT_EQ(value, "fresh");
+}
+
 TEST_F(StoreTest, WriteBarrierAppliesOpenBatch) {
   LsmioOptions options = PaperOptions();
   options.use_write_batch = true;
