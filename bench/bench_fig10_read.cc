@@ -1,9 +1,39 @@
 // Figure 10: read benchmarks. ADIOS2 reads best; LSMIO trails ADIOS2 by a
 // modest margin but beats the IOR baseline; collective reads hurt IOR;
 // HDF5 trails everything.
+//
+// Besides the table, emits a JSON document (to the path given as argv[1],
+// or stdout when absent) for bench_results/.
+#include <cstdio>
+
 #include "figure_common.h"
 
-int main() {
+namespace {
+
+void EmitJson(std::FILE* out, const std::vector<lsmio::bench::Series>& series,
+              double average_gap) {
+  using lsmio::bench::NodeCounts;
+  std::fprintf(out, "{\n  \"bench\": \"fig10_read\",\n");
+  std::fprintf(out, "  \"stripe_count\": 4,\n  \"block_bytes\": %d,\n", 64 * 1024);
+  std::fprintf(out, "  \"series\": [\n");
+  for (size_t i = 0; i < series.size(); ++i) {
+    std::fprintf(out, "    {\"name\": \"%s\", \"bw_bytes_per_sec\": {",
+                 series[i].name.c_str());
+    bool first = true;
+    for (const int nodes : NodeCounts()) {
+      std::fprintf(out, "%s\"%d\": %.0f", first ? "" : ", ", nodes,
+                   series[i].bw_by_nodes.at(nodes));
+      first = false;
+    }
+    std::fprintf(out, "}}%s\n", i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"lsmio_below_adios2_average_gap\": %.3f\n}\n",
+               average_gap);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lsmio;
   using namespace lsmio::bench;
 
@@ -47,5 +77,18 @@ int main() {
               "LSMIO below ADIOS2 on reads (average gap)", average_gap * 100);
   PrintClaim("LSMIO direct over plugin on reads at 48 nodes",
              PeakRatio(lsmio, plugin), ">1x (same pattern as writes)");
+
+  if (argc > 1) {
+    std::FILE* out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", argv[1]);
+      return 1;
+    }
+    EmitJson(out, series, average_gap);
+    std::fclose(out);
+  } else {
+    std::printf("\n");
+    EmitJson(stdout, series, average_gap);
+  }
   return 0;
 }

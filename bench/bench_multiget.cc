@@ -1,0 +1,217 @@
+// Batched-restore microbenchmark: per-key Get vs MultiGet over a real
+// on-disk store at batch sizes {1, 16, 64, 256}. Each batch is a
+// sequential run of keys (run starts visited in shuffled order) — the
+// access pattern of a checkpoint restore, which reads back consecutive
+// chunk/block keys of each variable.
+//
+// "cold" uses the paper's checkpoint store configuration (block cache
+// disabled), so every data block comes off the VFS: MultiGet resolves the
+// batch with one mutex acquisition, one index walk per table, one decode
+// per block (not per key), and coalesces adjacent block reads into single
+// VFS reads. "warm" re-reads through a block-cache-enabled handle whose
+// cache already holds every block.
+// Emits a JSON document on stdout; progress goes to stderr.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "lsm/db.h"
+#include "vfs/posix_vfs.h"
+
+namespace {
+
+using namespace lsmio;
+
+constexpr int kKeys = 8192;
+constexpr size_t kValueBytes = 2 * KiB;
+constexpr int kL0Files = 8;
+
+std::string KeyOf(int i) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "key%08d", i);
+  return buf;
+}
+
+lsm::Options BenchOptions(bool with_cache) {
+  lsm::Options options;
+  options.disable_compaction = true;  // the checkpoint config: L0 only
+  options.disable_cache = !with_cache;
+  options.block_size = 4 * KiB;
+  options.write_buffer_size = 64 * MiB;  // flushes are explicit below
+  return options;
+}
+
+// Writes kKeys values split across kL0Files L0 files.
+bool Fill(const std::string& dir) {
+  lsm::Options options = BenchOptions(/*with_cache=*/false);
+  lsm::DB::Destroy(options, dir);
+  std::unique_ptr<lsm::DB> db;
+  if (!lsm::DB::Open(options, dir, &db).ok()) return false;
+
+  std::string value(kValueBytes, 'v');
+  Rng rng(7);
+  rng.Fill(value.data(), value.size());
+  for (int i = 0; i < kKeys; ++i) {
+    if (!db->Put({}, KeyOf(i), value).ok()) return false;
+    if ((i + 1) % (kKeys / kL0Files) == 0 &&
+        !db->FlushMemTable(/*wait=*/true).ok()) {
+      return false;
+    }
+  }
+  return db->FlushMemTable(/*wait=*/true).ok();
+}
+
+// The restore read order for a given batch size: the keyspace split into
+// sequential runs of `batch` keys, with the runs visited in a shuffled
+// (but deterministic) order.
+std::vector<std::string> RestoreOrder(int batch) {
+  std::vector<int> starts;
+  for (int s = 0; s < kKeys; s += batch) starts.push_back(s);
+  Rng rng(42);
+  for (size_t i = starts.size() - 1; i > 0; --i) {
+    std::swap(starts[i], starts[rng.Next() % static_cast<uint64_t>(i + 1)]);
+  }
+  std::vector<std::string> keys;
+  keys.reserve(kKeys);
+  for (const int start : starts) {
+    for (int i = start; i < std::min(kKeys, start + batch); ++i) {
+      keys.push_back(KeyOf(i));
+    }
+  }
+  return keys;
+}
+
+double KeysPerSec(std::chrono::steady_clock::time_point start, int keys) {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return seconds > 0 ? keys / seconds : 0;
+}
+
+// One pass over all keys in batches of `batch`, via per-key Get.
+double RunGet(lsm::DB* db, const std::vector<std::string>& keys, int batch) {
+  std::string value;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t base = 0; base < keys.size(); base += batch) {
+    const size_t end = std::min(keys.size(), base + batch);
+    for (size_t i = base; i < end; ++i) {
+      if (!db->Get({}, keys[i], &value).ok()) return 0;
+    }
+  }
+  return KeysPerSec(start, static_cast<int>(keys.size()));
+}
+
+// One pass over all keys in batches of `batch`, via MultiGet.
+double RunMultiGet(lsm::DB* db, const std::vector<std::string>& keys, int batch) {
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t base = 0; base < keys.size(); base += batch) {
+    const size_t end = std::min(keys.size(), base + batch);
+    std::vector<Slice> slices;
+    slices.reserve(end - base);
+    for (size_t i = base; i < end; ++i) slices.emplace_back(keys[i]);
+    if (!db->MultiGet({}, slices, &values, &statuses).ok()) return 0;
+    for (const Status& s : statuses) {
+      if (!s.ok()) return 0;
+    }
+  }
+  return KeysPerSec(start, static_cast<int>(keys.size()));
+}
+
+struct BatchResult {
+  int batch = 0;
+  double get_cold = 0, multiget_cold = 0;
+  double get_warm = 0, multiget_warm = 0;
+  uint64_t coalesced_reads = 0;
+};
+
+}  // namespace
+
+int main() {
+  const std::string dir =
+      "/tmp/lsmio_bench_multiget." + std::to_string(::getpid());
+  if (!Fill(dir)) {
+    std::fprintf(stderr, "fill failed\n");
+    return 1;
+  }
+
+  std::vector<BatchResult> results;
+  for (const int batch : {1, 16, 64, 256}) {
+    BatchResult r;
+    r.batch = batch;
+    const std::vector<std::string> keys = RestoreOrder(batch);
+
+    // Cold: the paper's checkpoint store config has no block cache, so a
+    // fresh open reads every data block from the VFS.
+    {
+      std::unique_ptr<lsm::DB> db;
+      if (!lsm::DB::Open(BenchOptions(/*with_cache=*/false), dir, &db).ok()) {
+        return 1;
+      }
+      r.get_cold = RunGet(db.get(), keys, batch);
+    }
+    {
+      std::unique_ptr<lsm::DB> db;
+      if (!lsm::DB::Open(BenchOptions(/*with_cache=*/false), dir, &db).ok()) {
+        return 1;
+      }
+      r.multiget_cold = RunMultiGet(db.get(), keys, batch);
+      r.coalesced_reads = db->GetStats().multiget_coalesced_reads;
+    }
+
+    // Warm: a block-cache-enabled handle, second pass fully cached.
+    std::unique_ptr<lsm::DB> db;
+    if (!lsm::DB::Open(BenchOptions(/*with_cache=*/true), dir, &db).ok()) {
+      return 1;
+    }
+    RunGet(db.get(), keys, batch);  // populate the cache
+    r.get_warm = RunGet(db.get(), keys, batch);
+    r.multiget_warm = RunMultiGet(db.get(), keys, batch);
+
+    std::fprintf(stderr,
+                 "batch %3d: cold get %8.0f k/s, cold mget %8.0f k/s (%.2fx); "
+                 "warm get %8.0f k/s, warm mget %8.0f k/s (%.2fx)\n",
+                 batch, r.get_cold, r.multiget_cold,
+                 r.get_cold > 0 ? r.multiget_cold / r.get_cold : 0, r.get_warm,
+                 r.multiget_warm,
+                 r.get_warm > 0 ? r.multiget_warm / r.get_warm : 0);
+    results.push_back(r);
+  }
+  lsm::DB::Destroy(BenchOptions(/*with_cache=*/false), dir);
+
+  double speedup64 = 0;
+  std::printf("{\n  \"bench\": \"multiget\",\n");
+  std::printf("  \"keys\": %d,\n  \"value_bytes\": %zu,\n  \"l0_files\": %d,\n",
+              kKeys, kValueBytes, kL0Files);
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BatchResult& r = results[i];
+    const double cold_speedup = r.get_cold > 0 ? r.multiget_cold / r.get_cold : 0;
+    if (r.batch == 64) speedup64 = cold_speedup;
+    std::printf("    {\"batch\": %d, "
+                "\"cold_get_keys_per_sec\": %.0f, "
+                "\"cold_multiget_keys_per_sec\": %.0f, "
+                "\"cold_speedup\": %.2f, "
+                "\"warm_get_keys_per_sec\": %.0f, "
+                "\"warm_multiget_keys_per_sec\": %.0f, "
+                "\"warm_speedup\": %.2f, "
+                "\"coalesced_reads\": %llu}%s\n",
+                r.batch, r.get_cold, r.multiget_cold, cold_speedup, r.get_warm,
+                r.multiget_warm,
+                r.get_warm > 0 ? r.multiget_warm / r.get_warm : 0,
+                static_cast<unsigned long long>(r.coalesced_reads),
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"cold_speedup_at_64\": %.2f\n}\n", speedup64);
+
+  std::fprintf(stderr, "cold speedup at batch 64: %.2fx (target >= 1.5x)\n",
+               speedup64);
+  return speedup64 >= 1.5 ? 0 : 2;
+}

@@ -53,6 +53,7 @@ KvStreamBuf::KvStreamBuf(Manager* manager, std::string name,
     ok_ = false;
     return;
   }
+  readable_ = (mode & std::ios_base::in) != 0;
   const Status meta = LoadMeta();
   if (meta.IsNotFound()) {
     if ((mode & std::ios_base::in) != 0 && (mode & std::ios_base::out) == 0) {
@@ -93,14 +94,51 @@ Status KvStreamBuf::LoadChunk(uint64_t chunk_index) {
   if (loaded_chunk_ == chunk_index) return Status::OK();
   LSMIO_RETURN_IF_ERROR(FlushChunk());
   setg(nullptr, nullptr, nullptr);  // get area pointed into the old chunk
-  Status s = manager_->Get(ChunkKey(chunk_index), &chunk_);
-  if (s.IsNotFound()) {
-    chunk_.clear();
-  } else if (!s.ok()) {
-    return s;
+  if (readable_ && size_ > 0 && prefetched_.count(chunk_index) == 0) {
+    PrefetchFrom(chunk_index);
+  }
+  auto it = prefetched_.find(chunk_index);
+  if (it != prefetched_.end()) {
+    chunk_ = std::move(it->second);
+    prefetched_.erase(it);
+  } else {
+    Status s = manager_->Get(ChunkKey(chunk_index), &chunk_);
+    if (s.IsNotFound()) {
+      chunk_.clear();
+    } else if (!s.ok()) {
+      return s;
+    }
   }
   loaded_chunk_ = chunk_index;
   return Status::OK();
+}
+
+// Batch-loads `chunk_index` and the next few chunks via one engine MultiGet
+// (readahead for sequential restore reads). Only runs for readable streams;
+// a trailing single chunk falls through to the plain Get in LoadChunk.
+void KvStreamBuf::PrefetchFrom(uint64_t chunk_index) {
+  static constexpr uint64_t kPrefetchChunks = 4;
+  const uint64_t last_chunk = (size_ - 1) / chunk_size_;
+  if (chunk_index >= last_chunk) return;  // nothing ahead to batch with
+  const uint64_t end = std::min(last_chunk, chunk_index + kPrefetchChunks - 1);
+
+  std::vector<std::string> key_storage;
+  key_storage.reserve(static_cast<size_t>(end - chunk_index + 1));
+  for (uint64_t c = chunk_index; c <= end; ++c) {
+    key_storage.push_back(ChunkKey(c));
+  }
+  std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  if (!manager_->GetBatch(keys, &values, &statuses).ok()) return;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].ok()) {
+      prefetched_[chunk_index + i] = std::move(values[i]);
+    } else if (statuses[i].IsNotFound()) {
+      prefetched_[chunk_index + i].clear();  // sparse chunk reads as empty
+    }
+    // Other errors: leave unstashed so LoadChunk's Get surfaces them.
+  }
 }
 
 // Folds the consumed part of an active get area into position_ and drops

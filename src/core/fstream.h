@@ -15,6 +15,7 @@
 #pragma once
 
 #include <istream>
+#include <map>
 #include <memory>
 #include <streambuf>
 #include <string>
@@ -70,6 +71,7 @@ class KvStreamBuf final : public std::streambuf {
   std::string MetaKey() const;
   void SyncPositionFromGetArea();
   Status LoadChunk(uint64_t chunk_index);
+  void PrefetchFrom(uint64_t chunk_index);
   Status FlushChunk();
   Status LoadMeta();
   Status StoreMeta();
@@ -82,7 +84,11 @@ class KvStreamBuf final : public std::streambuf {
   uint64_t loaded_chunk_ = ~0ULL;
   bool chunk_dirty_ = false;
   bool ok_ = true;
+  bool readable_ = false;
   std::string chunk_;  // working buffer of the loaded chunk
+  /// Chunks batch-loaded ahead of the read position (consumed by LoadChunk,
+  /// so a later read-modify-write never sees a stale copy).
+  std::map<uint64_t, std::string> prefetched_;
 };
 
 /// An iostream over the LSMIO store. Matches the std::fstream surface the

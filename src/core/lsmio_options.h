@@ -41,6 +41,13 @@ struct LsmioOptions {
   /// SSTable block size.
   uint64_t block_size = 4 * KiB;
 
+  // --- read path ---
+  /// Keep each open table's index and filter blocks pinned for the table's
+  /// lifetime instead of round-tripping through the block cache per probe.
+  bool pin_index_and_filter = true;
+  /// Readahead window for compaction input scans (0 disables).
+  uint64_t compaction_readahead_bytes = 1 * MiB;
+
   // --- write pipeline ---
   /// Background threads shared by flush and compaction. The two are
   /// scheduled independently, so with >= 2 threads a long compaction never

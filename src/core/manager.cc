@@ -61,10 +61,37 @@ int Manager::OwnerOf(const Slice& key) const {
 }
 
 Status Manager::Get(const Slice& key, std::string* value) {
-  Status s = store_->Get(key, value);
+  return Get(lsm::ReadOptions{}, key, value);
+}
+
+Status Manager::Get(const lsm::ReadOptions& read_options, const Slice& key,
+                    std::string* value) {
+  Status s = store_->Get(read_options, key, value);
   std::lock_guard<std::mutex> lock(counters_mu_);
   ++counters_.gets;
   if (s.ok()) counters_.bytes_got += value->size();
+  return s;
+}
+
+Status Manager::GetBatch(std::span<const Slice> keys,
+                         std::vector<std::string>* values,
+                         std::vector<Status>* statuses) {
+  return GetBatch(lsm::ReadOptions{}, keys, values, statuses);
+}
+
+Status Manager::GetBatch(const lsm::ReadOptions& read_options,
+                         std::span<const Slice> keys,
+                         std::vector<std::string>* values,
+                         std::vector<Status>* statuses) {
+  Status s = store_->GetBatch(read_options, keys, values, statuses);
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.multigets;
+  counters_.multiget_keys += keys.size();
+  if (s.ok()) {
+    for (size_t i = 0; i < statuses->size(); ++i) {
+      if ((*statuses)[i].ok()) counters_.bytes_got += (*values)[i].size();
+    }
+  }
   return s;
 }
 

@@ -7,7 +7,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/slice.h"
@@ -25,6 +27,8 @@ struct ManagerCounters {
   uint64_t bytes_put = 0;
   uint64_t bytes_got = 0;
   uint64_t remote_puts = 0;  // routed to another rank (collective mode)
+  uint64_t multigets = 0;       // GetBatch calls
+  uint64_t multiget_keys = 0;   // keys looked up through GetBatch
   Histogram put_latency_us;
 };
 
@@ -41,8 +45,19 @@ class Manager {
 
   // --- K/V API (paper Table 2) ---
 
-  /// Always synchronous.
+  /// Always synchronous. The overload taking lsm::ReadOptions exposes the
+  /// engine read knobs (fill_cache, verify_checksums, readahead, snapshot).
   Status Get(const Slice& key, std::string* value);
+  Status Get(const lsm::ReadOptions& read_options, const Slice& key,
+             std::string* value);
+
+  /// Batched point lookup (engine MultiGet): one consistent read point for
+  /// the whole batch, per-key results in (*values)[i] / (*statuses)[i].
+  Status GetBatch(std::span<const Slice> keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses);
+  Status GetBatch(const lsm::ReadOptions& read_options,
+                  std::span<const Slice> keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses);
 
   /// Local or remote (collective mode) upsert.
   Status Put(const Slice& key, const Slice& value);

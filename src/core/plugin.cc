@@ -178,6 +178,10 @@ class LsmioReaderEngine final : public a2::Engine {
     const std::vector<IndexedBlock>* blocks = nullptr;
     LSMIO_RETURN_IF_ERROR(BlocksFor(variable.name(), &blocks));
 
+    // Group the intersecting blocks by owning rank store, then fetch each
+    // group with one engine MultiGet instead of a synchronous point Get per
+    // block — the read-side cost the paper identifies for restores.
+    std::map<size_t, std::vector<const IndexedBlock*>> by_store;
     for (const IndexedBlock& block : *blocks) {
       if (block.element_size != element_size) {
         return Status::InvalidArgument("element size mismatch for " +
@@ -186,21 +190,38 @@ class LsmioReaderEngine final : public a2::Engine {
       const uint64_t isect_begin = std::max(want_begin, block.offset);
       const uint64_t isect_end = std::min(want_end, block.offset + block.count);
       if (isect_begin >= isect_end) continue;
+      by_store[block.store].push_back(&block);
+    }
 
-      // Point lookup per block — the synchronous read pattern the paper
-      // identifies as LSMIO's read-side cost.
-      std::string value;
-      LSMIO_RETURN_IF_ERROR(stores_[block.store]->Get(
-          DataKey(variable.name(), block.offset), &value));
-      if (value.size() != block.count * element_size) {
-        return Status::Corruption("block size mismatch for " + variable.name());
+    for (const auto& [store_index, group] : by_store) {
+      std::vector<std::string> key_storage;
+      key_storage.reserve(group.size());
+      for (const IndexedBlock* block : group) {
+        key_storage.push_back(DataKey(variable.name(), block->offset));
       }
-      std::memcpy(
-          static_cast<char*>(data) + (isect_begin - want_begin) * element_size,
-          value.data() + (isect_begin - block.offset) * element_size,
-          (isect_end - isect_begin) * element_size);
-      covered += isect_end - isect_begin;
-      stats_.bytes_got += (isect_end - isect_begin) * element_size;
+      std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+      std::vector<std::string> values;
+      std::vector<Status> statuses;
+      LSMIO_RETURN_IF_ERROR(
+          stores_[store_index]->GetBatch(keys, &values, &statuses));
+      for (size_t i = 0; i < group.size(); ++i) {
+        LSMIO_RETURN_IF_ERROR(statuses[i]);
+        const IndexedBlock& block = *group[i];
+        const std::string& value = values[i];
+        if (value.size() != block.count * element_size) {
+          return Status::Corruption("block size mismatch for " +
+                                    variable.name());
+        }
+        const uint64_t isect_begin = std::max(want_begin, block.offset);
+        const uint64_t isect_end =
+            std::min(want_end, block.offset + block.count);
+        std::memcpy(
+            static_cast<char*>(data) + (isect_begin - want_begin) * element_size,
+            value.data() + (isect_begin - block.offset) * element_size,
+            (isect_end - isect_begin) * element_size);
+        covered += isect_end - isect_begin;
+        stats_.bytes_got += (isect_end - isect_begin) * element_size;
+      }
     }
     if (covered < variable.count()) {
       return Status::NotFound("selection not fully covered for " + variable.name());

@@ -26,6 +26,8 @@ lsm::Options ToEngineOptions(const LsmioOptions& options) {
   engine.background_threads = options.background_threads;
   engine.max_write_buffer_number = options.max_write_buffer_number;
   engine.enable_group_commit = options.enable_group_commit;
+  engine.pin_index_and_filter = options.pin_index_and_filter;
+  engine.compaction_readahead_bytes = options.compaction_readahead_bytes;
   return engine;
 }
 
@@ -56,10 +58,17 @@ class LsmStore final : public Store {
     return s;
   }
 
-  Status Get(const Slice& key, std::string* value) override {
+  Status Get(const lsm::ReadOptions& options, const Slice& key,
+             std::string* value) override {
     // Reads see batched-but-unapplied writes only after StopBatch — the
     // LevelDB-mode contract the paper describes (aggregation is opaque).
-    return db_->Get({}, key, value);
+    return db_->Get(options, key, value);
+  }
+
+  Status GetBatch(const lsm::ReadOptions& options, std::span<const Slice> keys,
+                  std::vector<std::string>* values,
+                  std::vector<Status>* statuses) override {
+    return db_->MultiGet(options, keys, values, statuses);
   }
 
   Status Put(const Slice& key, const Slice& value) override {
@@ -154,7 +163,9 @@ class LsmStore final : public Store {
 
   lsm::DbStats EngineStats() const override { return db_->GetStats(); }
 
-  lsm::Iterator* NewIterator() override { return db_->NewIterator({}); }
+  lsm::Iterator* NewIterator(const lsm::ReadOptions& options) override {
+    return db_->NewIterator(options);
+  }
 
  private:
   LsmioOptions options_;

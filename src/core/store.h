@@ -4,7 +4,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -24,8 +26,25 @@ class Store {
   /// Ends aggregation, applying buffered writes.
   virtual Status StopBatch() = 0;
 
-  /// Point lookup; always synchronous (paper Table 1).
-  virtual Status Get(const Slice& key, std::string* value) = 0;
+  /// Point lookup; always synchronous (paper Table 1). Engine read options
+  /// (fill_cache, verify_checksums, snapshot, readahead) pass through
+  /// instead of being defaulted internally.
+  virtual Status Get(const lsm::ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+  /// Point lookup with default read options.
+  Status Get(const Slice& key, std::string* value) {
+    return Get(lsm::ReadOptions{}, key, value);
+  }
+  /// Batched point lookup (engine MultiGet): fills (*values)[i] and
+  /// (*statuses)[i] per key at one consistent read point.
+  virtual Status GetBatch(const lsm::ReadOptions& options,
+                          std::span<const Slice> keys,
+                          std::vector<std::string>* values,
+                          std::vector<Status>* statuses) = 0;
+  Status GetBatch(std::span<const Slice> keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses) {
+    return GetBatch(lsm::ReadOptions{}, keys, values, statuses);
+  }
   /// Upsert; asynchronous unless the store is configured for sync writes.
   virtual Status Put(const Slice& key, const Slice& value) = 0;
   /// Appends to the existing value (creates it when absent).
@@ -38,8 +57,11 @@ class Store {
 
   /// Engine statistics passthrough.
   [[nodiscard]] virtual lsm::DbStats EngineStats() const = 0;
-  /// Iterator over the full key space (caller deletes before the store).
-  virtual lsm::Iterator* NewIterator() = 0;
+  /// Iterator over the full key space (caller deletes before the store),
+  /// honouring the given engine read options (e.g. readahead_bytes for
+  /// sequential restore scans, fill_cache=false for one-shot sweeps).
+  virtual lsm::Iterator* NewIterator(const lsm::ReadOptions& options) = 0;
+  lsm::Iterator* NewIterator() { return NewIterator(lsm::ReadOptions{}); }
 };
 
 /// Opens the LSM-backed Local Store at `path`, applying the paper's

@@ -7,23 +7,29 @@
 namespace lsmio::lsm {
 
 uint32_t Block::NumRestarts() const noexcept {
-  assert(contents_.size() >= sizeof(uint32_t));
-  return DecodeFixed32(contents_.data() + contents_.size() - sizeof(uint32_t));
+  assert(data_.size() >= sizeof(uint32_t));
+  return DecodeFixed32(data_.data() + data_.size() - sizeof(uint32_t));
 }
 
 Block::Block(std::string contents) : contents_(std::move(contents)) {
-  if (contents_.size() < sizeof(uint32_t)) {
+  data_ = Slice(contents_);
+  Init();
+}
+
+Block::Block(const Slice& contents) : data_(contents) { Init(); }
+
+void Block::Init() {
+  if (data_.size() < sizeof(uint32_t)) {
     malformed_ = true;
     return;
   }
   const uint32_t num_restarts = NumRestarts();
-  const size_t max_restarts =
-      (contents_.size() - sizeof(uint32_t)) / sizeof(uint32_t);
+  const size_t max_restarts = (data_.size() - sizeof(uint32_t)) / sizeof(uint32_t);
   if (num_restarts > max_restarts) {
     malformed_ = true;
     return;
   }
-  restart_offset_ = static_cast<uint32_t>(contents_.size()) -
+  restart_offset_ = static_cast<uint32_t>(data_.size()) -
                     (1 + num_restarts) * sizeof(uint32_t);
 }
 
@@ -210,7 +216,7 @@ Iterator* Block::NewIterator(const Comparator* cmp) {
   }
   const uint32_t num_restarts = NumRestarts();
   if (num_restarts == 0) return NewEmptyIterator();
-  return new Iter(cmp, contents_.data(), restart_offset_, num_restarts);
+  return new Iter(cmp, data_.data(), restart_offset_, num_restarts);
 }
 
 }  // namespace lsmio::lsm

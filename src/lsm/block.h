@@ -14,12 +14,18 @@ class Block {
  public:
   /// Takes ownership of heap-allocated contents.
   explicit Block(std::string contents);
+
+  /// Borrows `contents`; the caller keeps the bytes alive for the block's
+  /// (and its iterators') lifetime. Lets a coalesced multi-block read serve
+  /// several blocks from one buffer without a per-block copy.
+  explicit Block(const Slice& contents);
+
   ~Block() = default;
 
   Block(const Block&) = delete;
   Block& operator=(const Block&) = delete;
 
-  [[nodiscard]] size_t size() const noexcept { return contents_.size(); }
+  [[nodiscard]] size_t size() const noexcept { return data_.size(); }
 
   /// New iterator (caller deletes). `cmp` must outlive the iterator.
   Iterator* NewIterator(const Comparator* cmp);
@@ -29,7 +35,10 @@ class Block {
 
   [[nodiscard]] uint32_t NumRestarts() const noexcept;
 
-  std::string contents_;
+  void Init();
+
+  std::string contents_;  // empty when the block borrows its bytes
+  Slice data_;            // the block bytes (owned or borrowed)
   uint32_t restart_offset_ = 0;  // offset of restart array
   bool malformed_ = false;
 };

@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -47,6 +49,15 @@ struct DbStats {
   uint64_t write_stall_micros = 0;    // writer wait on full buffers / L0
   uint64_t flush_queue_depth = 0;     // gauge: immutable memtables pending
   uint64_t compaction_queue_depth = 0;// gauge: compactions scheduled/running
+  // --- read path ---
+  uint64_t multiget_batches = 0;      // MultiGet calls
+  uint64_t multiget_keys = 0;         // keys looked up via MultiGet
+  uint64_t multiget_coalesced_reads = 0;  // block reads saved by coalescing
+  uint64_t bloom_checked = 0;         // bloom-filter probes
+  uint64_t bloom_useful = 0;          // probes that proved a key absent
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t readahead_bytes = 0;       // bytes hinted ahead to the VFS
 };
 
 class DB {
@@ -71,6 +82,25 @@ class DB {
 
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
+
+  /// Batched point lookup: fills (*values)[i] / (*statuses)[i] for keys[i]
+  /// (both resized to keys.size()), all at one consistent sequence number.
+  /// The returned Status reflects batch-level failures (I/O errors);
+  /// per-key presence is in *statuses (OK / NotFound). The base
+  /// implementation loops over Get; DBImpl overrides it with a batch that
+  /// resolves memtable hits under one mutex acquisition, groups the rest by
+  /// table file, and coalesces adjacent block reads.
+  virtual Status MultiGet(const ReadOptions& options,
+                          std::span<const Slice> keys,
+                          std::vector<std::string>* values,
+                          std::vector<Status>* statuses) {
+    values->assign(keys.size(), {});
+    statuses->assign(keys.size(), Status::OK());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*statuses)[i] = Get(options, keys[i], &(*values)[i]);
+    }
+    return Status::OK();
+  }
 
   /// Iterator over the DB (caller deletes before the DB closes).
   virtual Iterator* NewIterator(const ReadOptions& options) = 0;

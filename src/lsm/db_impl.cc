@@ -35,7 +35,7 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname)
   }
   table_cache_ = std::make_unique<TableCache>(
       dbname_, options_, &internal_comparator_, filter_policy_.get(),
-      block_cache_.get(), /*entries=*/1000);
+      block_cache_.get(), /*entries=*/1000, &read_counters_);
   versions_ = std::make_unique<VersionSet>(dbname_, options_,
                                            &internal_comparator_,
                                            table_cache_.get());
@@ -240,6 +240,16 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     WriteBatch* write_batch = BuildBatchGroup(&last_writer);
     SequenceNumber last_sequence = versions_->LastSequence();
     write_batch->SetSequence(last_sequence + 1);
+    // Stamp every batch in the group with its own starting sequence, so a
+    // follower can read its assigned sequence back (e.g. to pin reads at
+    // its write point) even though only the merged batch hits the WAL.
+    SequenceNumber writer_sequence = last_sequence + 1;
+    for (auto it = writers_.begin();; ++it) {
+      Writer* writer = *it;
+      writer->batch->SetSequence(writer_sequence);
+      writer_sequence += static_cast<SequenceNumber>(writer->batch->Count());
+      if (writer == last_writer) break;
+    }
     last_sequence += static_cast<SequenceNumber>(write_batch->Count());
 
     uint64_t wal_bytes = 0;
@@ -608,6 +618,7 @@ Status DBImpl::CompactFiles(int level,
   std::vector<Iterator*> children;
   ReadOptions read_options;
   read_options.fill_cache = false;
+  read_options.readahead_bytes = options_.compaction_readahead_bytes;
   for (const auto& f : level_inputs) {
     children.push_back(table_cache_->NewIterator(read_options, f.number, f.file_size));
   }
@@ -820,6 +831,100 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
   return s;
 }
 
+Status DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses) {
+  const size_t n = keys.size();
+  values->assign(n, {});
+  // Preset OK (a no-allocation status); misses are stamped NotFound below.
+  statuses->assign(n, Status());
+  if (n == 0) return Status::OK();
+
+  // One mutex acquisition pins the whole batch's read view: sequence,
+  // memtable + immutables, and the current file layout.
+  MemTable* mem;
+  std::vector<MemTable*> imms;  // newest first
+  std::shared_ptr<Version> current;
+  SequenceNumber sequence;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sequence = options.snapshot_sequence != 0 ? options.snapshot_sequence
+                                              : versions_->LastSequence();
+    mem = mem_;
+    mem->Ref();
+    imms.reserve(imm_queue_.size());
+    for (auto it = imm_queue_.rbegin(); it != imm_queue_.rend(); ++it) {
+      (*it)->Ref();
+      imms.push_back(*it);
+    }
+    current = versions_->current();
+    ++stats_.multiget_batches;
+    stats_.multiget_keys += n;
+  }
+
+  // LookupKey is non-copyable; a deque keeps them stable while requests
+  // point at them.
+  std::deque<LookupKey> lkeys;
+  std::vector<Version::GetRequest> reqs(n);
+  std::vector<Version::GetRequest*> pending;
+  pending.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    lkeys.emplace_back(keys[i], sequence);
+    const LookupKey& lkey = lkeys.back();
+    Status s;
+    std::string* value = &(*values)[i];
+    bool resolved = false;
+    if (mem->Get(lkey, value, &s)) {
+      resolved = true;
+    } else {
+      for (MemTable* imm : imms) {
+        if (imm->Get(lkey, value, &s)) {
+          resolved = true;
+          break;
+        }
+      }
+    }
+    if (resolved) {
+      (*statuses)[i] = s;
+    } else {
+      reqs[i].lkey = &lkey;
+      reqs[i].value = value;
+      reqs[i].status = &(*statuses)[i];
+      pending.push_back(&reqs[i]);
+    }
+  }
+
+  Status batch_status;
+  if (!pending.empty()) {
+    const Comparator* ucmp = internal_comparator_.user_comparator();
+    std::stable_sort(pending.begin(), pending.end(),
+                     [ucmp](const Version::GetRequest* a,
+                            const Version::GetRequest* b) {
+                       return ucmp->Compare(a->lkey->user_key(),
+                                            b->lkey->user_key()) < 0;
+                     });
+    batch_status = current->MultiGet(options, table_cache_.get(), pending);
+    // Keys the level walk never resolved are misses — or report the batch
+    // failure when the walk itself broke.
+    for (Version::GetRequest* req : pending) {
+      if (!req->done) {
+        *req->status = batch_status.ok() ? Status::NotFound("key not present")
+                                         : batch_status;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Status& s : *statuses) {
+      if (s.ok()) ++stats_.get_hits;
+    }
+    mem->Unref();
+    for (MemTable* imm : imms) imm->Unref();
+  }
+  return batch_status;
+}
+
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                                       SequenceNumber* latest_snapshot) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -876,6 +981,13 @@ DbStats DBImpl::GetStats() const {
   DbStats stats = stats_;
   stats.flush_queue_depth = imm_queue_.size();
   stats.compaction_queue_depth = compaction_scheduled_ ? 1 : 0;
+  const auto relaxed = std::memory_order_relaxed;
+  stats.bloom_checked = read_counters_.bloom_checked.load(relaxed);
+  stats.bloom_useful = read_counters_.bloom_useful.load(relaxed);
+  stats.block_cache_hits = read_counters_.block_cache_hits.load(relaxed);
+  stats.block_cache_misses = read_counters_.block_cache_misses.load(relaxed);
+  stats.readahead_bytes = read_counters_.readahead_bytes.load(relaxed);
+  stats.multiget_coalesced_reads = read_counters_.coalesced_reads.load(relaxed);
   return stats;
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <span>
 #include <string>
 
 #include "common/thread_pool.h"
@@ -22,6 +23,7 @@
 #include "lsm/dbformat.h"
 #include "lsm/log_writer.h"
 #include "lsm/memtable.h"
+#include "lsm/read_stats.h"
 #include "lsm/table_cache.h"
 #include "lsm/version.h"
 
@@ -38,6 +40,9 @@ class DBImpl final : public DB {
   Status Delete(const WriteOptions& options, const Slice& key) override;
   Status Write(const WriteOptions& options, WriteBatch* updates) override;
   Status Get(const ReadOptions& options, const Slice& key, std::string* value) override;
+  Status MultiGet(const ReadOptions& options, std::span<const Slice> keys,
+                  std::vector<std::string>* values,
+                  std::vector<Status>* statuses) override;
   Iterator* NewIterator(const ReadOptions& options) override;
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;
@@ -98,6 +103,9 @@ class DBImpl final : public DB {
   InternalKeyComparator internal_comparator_;
   std::unique_ptr<const FilterPolicy> filter_policy_;
   std::unique_ptr<Cache> block_cache_;
+  /// Read-path counters updated lock-free by tables on reader threads;
+  /// folded into DbStats by GetStats. Must outlive table_cache_.
+  ReadCounters read_counters_;
   std::unique_ptr<TableCache> table_cache_;
 
   // --- guarded by mu_ ---

@@ -47,18 +47,12 @@ Status Footer::DecodeFrom(Slice* input) {
   return Status::OK();
 }
 
-Status ReadBlockContents(vfs::RandomAccessFile* file, const ReadOptions& options,
-                         bool always_verify, const BlockHandle& handle,
-                         std::string* contents) {
-  const size_t n = static_cast<size_t>(handle.size());
-  std::string scratch;
-  Slice raw;
-  LSMIO_RETURN_IF_ERROR(
-      file->Read(handle.offset(), n + kBlockTrailerSize, &raw, &scratch));
-  if (raw.size() != n + kBlockTrailerSize) {
+Status DecodeBlockContents(const Slice& raw, const ReadOptions& options,
+                           bool always_verify, std::string* contents) {
+  if (raw.size() < kBlockTrailerSize) {
     return Status::Corruption("truncated block read");
   }
-
+  const size_t n = raw.size() - kBlockTrailerSize;
   const char* data = raw.data();
   if (options.verify_checksums || always_verify) {
     const uint32_t expected = crc32c::Unmask(DecodeFixed32(data + n + 1));
@@ -76,6 +70,47 @@ Status ReadBlockContents(vfs::RandomAccessFile* file, const ReadOptions& options
       return LzLiteDecompress(Slice(data, n), contents);
   }
   return Status::Corruption("unknown block compression type");
+}
+
+Status DecodeBlockView(const Slice& raw, const ReadOptions& options,
+                       bool always_verify, std::string* scratch, Slice* view) {
+  if (raw.size() < kBlockTrailerSize) {
+    return Status::Corruption("truncated block read");
+  }
+  const size_t n = raw.size() - kBlockTrailerSize;
+  const char* data = raw.data();
+  if (options.verify_checksums || always_verify) {
+    const uint32_t expected = crc32c::Unmask(DecodeFixed32(data + n + 1));
+    const uint32_t actual = crc32c::Value(data, n + 1);
+    if (actual != expected) {
+      return Status::Corruption("block checksum mismatch");
+    }
+  }
+
+  switch (static_cast<CompressionType>(data[n])) {
+    case CompressionType::kNone:
+      *view = Slice(data, n);
+      return Status::OK();
+    case CompressionType::kLzLite:
+      LSMIO_RETURN_IF_ERROR(LzLiteDecompress(Slice(data, n), scratch));
+      *view = Slice(*scratch);
+      return Status::OK();
+  }
+  return Status::Corruption("unknown block compression type");
+}
+
+Status ReadBlockContents(vfs::RandomAccessFile* file, const ReadOptions& options,
+                         bool always_verify, const BlockHandle& handle,
+                         std::string* contents) {
+  const size_t n = static_cast<size_t>(handle.size());
+  std::string scratch;
+  Slice raw;
+  LSMIO_RETURN_IF_ERROR(
+      file->Read(handle.offset(), n + kBlockTrailerSize, &raw, &scratch));
+  if (raw.size() != n + kBlockTrailerSize) {
+    return Status::Corruption("truncated block read");
+  }
+  return DecodeBlockContents(raw, options, always_verify, contents);
 }
 
 }  // namespace lsmio::lsm

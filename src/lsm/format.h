@@ -66,4 +66,17 @@ Status ReadBlockContents(vfs::RandomAccessFile* file, const ReadOptions& options
                          bool always_verify, const BlockHandle& handle,
                          std::string* contents);
 
+/// Verifies and decompresses one on-disk block given its raw bytes
+/// (contents + trailer). Lets callers that fetched several adjacent blocks
+/// in a single coalesced read decode each block from the shared buffer.
+Status DecodeBlockContents(const Slice& raw, const ReadOptions& options,
+                           bool always_verify, std::string* contents);
+
+/// Zero-copy variant of DecodeBlockContents: when the block is stored
+/// uncompressed, *view points into `raw` (the caller keeps those bytes
+/// alive); otherwise the block is decompressed into *scratch and *view
+/// points at it.
+Status DecodeBlockView(const Slice& raw, const ReadOptions& options,
+                       bool always_verify, std::string* scratch, Slice* view);
+
 }  // namespace lsmio::lsm

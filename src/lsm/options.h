@@ -105,6 +105,17 @@ struct Options {
   /// Capacity of the block cache (ignored when disable_cache).
   uint64_t block_cache_capacity = 8 * MiB;
 
+  /// Keep every open table's index and filter blocks pinned (cache handle
+  /// retained for the table's lifetime) instead of re-fetching them through
+  /// the block cache on each probe. Off = per-probe cache round trips, kept
+  /// as an ablation knob. Ignored (always pinned) when disable_cache.
+  bool pin_index_and_filter = true;
+
+  /// Readahead window for compaction input reads: each input table iterator
+  /// hints this many bytes ahead to the VFS (posix_fadvise + prefetch
+  /// buffer on PosixVfs). 0 disables.
+  uint64_t compaction_readahead_bytes = 1 * MiB;
+
   /// Number of background threads shared by flush and compaction work.
   /// Flushes and compactions are scheduled independently, so with >= 2
   /// threads a long compaction never delays a memtable flush. The paper
@@ -127,6 +138,9 @@ struct ReadOptions {
   bool fill_cache = true;
   /// Read at this snapshot sequence number; 0 means "latest".
   uint64_t snapshot_sequence = 0;
+  /// Sequential readahead window: table iterators hint this many bytes
+  /// ahead of the current block to the VFS. 0 disables.
+  uint64_t readahead_bytes = 0;
 };
 
 /// Options for write operations.

@@ -1,15 +1,42 @@
 #include "lsm/table.h"
 
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
 #include "common/coding.h"
 #include "lsm/block.h"
-#include "lsm/cache.h"
 #include "lsm/comparator.h"
 #include "lsm/dbformat.h"
 #include "lsm/filter_block.h"
 #include "lsm/format.h"
+#include "lsm/read_stats.h"
 #include "lsm/two_level_iterator.h"
 
 namespace lsmio::lsm {
+
+namespace {
+
+/// Upper bound on one coalesced MultiGet read (several adjacent blocks
+/// fetched with a single VFS read).
+constexpr uint64_t kMaxCoalescedReadBytes = 1 << 20;
+
+void DeleteCachedBlock(const Slice&, void* value) {
+  delete static_cast<Block*>(value);
+}
+
+void DeleteCachedFilterData(const Slice&, void* value) {
+  delete static_cast<std::string*>(value);
+}
+
+/// A resolved data block plus how to let go of it.
+struct BlockGuard {
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;  // release when non-null
+  bool owned = false;                     // delete when true
+};
+
+}  // namespace
 
 struct Table::Rep {
   Options options;
@@ -18,21 +45,64 @@ struct Table::Rep {
   Cache* block_cache = nullptr;
   uint64_t cache_id = 0;
   vfs::RandomAccessFile* file = nullptr;
-  Status status;
+  ReadCounters* counters = nullptr;
 
-  std::unique_ptr<Block> index_block;
-  std::unique_ptr<FilterBlockReader> filter;
-  std::string filter_data;  // owns bytes the FilterBlockReader points into
   BlockHandle metaindex_handle;
+  BlockHandle index_handle;
+  BlockHandle filter_handle;
+  bool has_filter = false;
+
+  /// Pinned state (Options::pin_index_and_filter, or no block cache): the
+  /// index/filter are resolved once at Open and stay valid for the table's
+  /// lifetime — either table-owned or pinned in the cache via a retained
+  /// handle. When unpinned, these stay null and every probe round-trips
+  /// through the block cache.
+  std::unique_ptr<Block> owned_index;
+  Cache::Handle* pinned_index_handle = nullptr;
+  Block* pinned_index = nullptr;
+
+  std::unique_ptr<std::string> owned_filter_data;
+  Cache::Handle* pinned_filter_handle = nullptr;
+  std::unique_ptr<FilterBlockReader> filter;  // over the pinned filter bytes
+
+  /// End of the last readahead window hinted to the VFS; avoids re-hinting
+  /// the same range for every block of a sequential scan.
+  std::atomic<uint64_t> hinted_end{0};
+
+  [[nodiscard]] bool use_cache() const {
+    return block_cache != nullptr && !options.disable_cache;
+  }
+
+  void CacheKey(uint64_t offset, char out[16]) const {
+    EncodeFixed64(out, cache_id);
+    EncodeFixed64(out + 8, offset);
+  }
+
+  void CountCacheHit() const {
+    if (counters) counters->block_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountCacheMiss() const {
+    if (counters) counters->block_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
 };
 
 Table::Table(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
-Table::~Table() = default;
+
+Table::~Table() {
+  if (rep_->pinned_index_handle != nullptr) {
+    rep_->block_cache->Release(rep_->pinned_index_handle);
+  }
+  if (rep_->pinned_filter_handle != nullptr) {
+    rep_->filter.reset();  // reader points into the cached bytes
+    rep_->block_cache->Release(rep_->pinned_filter_handle);
+  }
+}
 
 Status Table::Open(const Options& options, const Comparator* comparator,
                    const FilterPolicy* filter_policy, Cache* block_cache,
                    uint64_t cache_id, vfs::RandomAccessFile* file,
-                   uint64_t file_size, std::unique_ptr<Table>* table) {
+                   uint64_t file_size, std::unique_ptr<Table>* table,
+                   ReadCounters* counters) {
   table->reset();
   if (file_size < Footer::kEncodedLength) {
     return Status::Corruption("file is too short to be an sstable");
@@ -64,49 +134,174 @@ Status Table::Open(const Options& options, const Comparator* comparator,
   rep->block_cache = block_cache;
   rep->cache_id = cache_id;
   rep->file = file;
-  rep->index_block = std::make_unique<Block>(std::move(index_contents));
+  rep->counters = counters;
   rep->metaindex_handle = footer.metaindex_handle();
+  rep->index_handle = footer.index_handle();
+
+  // Without a cache there is nowhere to round-trip through, so the index is
+  // effectively always pinned (table-owned).
+  const bool pin = options.pin_index_and_filter || !rep->use_cache();
+  auto index_block = std::make_unique<Block>(std::move(index_contents));
+  if (pin) {
+    if (rep->use_cache()) {
+      char key[16];
+      rep->CacheKey(rep->index_handle.offset(), key);
+      Block* raw = index_block.release();
+      rep->pinned_index_handle = rep->block_cache->Insert(
+          Slice(key, sizeof key), raw, raw->size(), DeleteCachedBlock);
+      rep->pinned_index = raw;
+    } else {
+      rep->pinned_index = index_block.get();
+      rep->owned_index = std::move(index_block);
+    }
+  } else {
+    // Unpinned: leave the freshly read index warm in the cache; probes will
+    // look it up (and re-read on eviction).
+    char key[16];
+    rep->CacheKey(rep->index_handle.offset(), key);
+    Block* raw = index_block.release();
+    Cache::Handle* h = rep->block_cache->Insert(Slice(key, sizeof key), raw,
+                                                raw->size(), DeleteCachedBlock);
+    rep->block_cache->Release(h);
+  }
 
   auto* t = new Table(std::move(rep));
-  t->ReadMeta(footer);
+  t->ReadMeta(footer);  // best-effort: reads work without a filter
   table->reset(t);
   return Status::OK();
 }
 
-void Table::ReadMeta(const Footer& footer) {
-  if (rep_->filter_policy == nullptr) return;
+Status Table::ReadMeta(const Footer& footer) {
+  Rep* r = rep_.get();
+  if (r->filter_policy == nullptr) return Status::OK();
 
   ReadOptions opt;
-  opt.verify_checksums = rep_->options.paranoid_checks;
+  opt.verify_checksums = r->options.paranoid_checks;
   std::string meta_contents;
-  if (!ReadBlockContents(rep_->file, opt, false, footer.metaindex_handle(),
-                         &meta_contents)
-           .ok()) {
-    return;  // no filter available; reads still work
-  }
+  LSMIO_RETURN_IF_ERROR(ReadBlockContents(r->file, opt, false,
+                                          footer.metaindex_handle(),
+                                          &meta_contents));
   Block meta(std::move(meta_contents));
   std::unique_ptr<Iterator> iter(meta.NewIterator(BytewiseComparator()));
-  const std::string key = std::string("filter.") + rep_->filter_policy->Name();
+  const std::string key = std::string("filter.") + r->filter_policy->Name();
   iter->Seek(key);
-  if (iter->Valid() && iter->key() == Slice(key)) {
-    ReadFilter(iter->value());
+  if (!iter->Valid() || iter->key() != Slice(key)) return Status::OK();
+
+  Slice v = iter->value();
+  BlockHandle filter_handle;
+  LSMIO_RETURN_IF_ERROR(filter_handle.DecodeFrom(&v));
+  r->filter_handle = filter_handle;
+
+  auto filter_data = std::make_unique<std::string>();
+  LSMIO_RETURN_IF_ERROR(
+      ReadBlockContents(r->file, opt, false, filter_handle, filter_data.get()));
+  r->has_filter = true;
+
+  const bool pin = r->options.pin_index_and_filter || !r->use_cache();
+  if (pin) {
+    std::string* raw = filter_data.release();
+    if (r->use_cache()) {
+      char ckey[16];
+      r->CacheKey(filter_handle.offset(), ckey);
+      r->pinned_filter_handle = r->block_cache->Insert(
+          Slice(ckey, sizeof ckey), raw, raw->size(), DeleteCachedFilterData);
+    } else {
+      r->owned_filter_data.reset(raw);
+    }
+    r->filter = std::make_unique<FilterBlockReader>(r->filter_policy, Slice(*raw));
+  } else {
+    char ckey[16];
+    r->CacheKey(filter_handle.offset(), ckey);
+    std::string* raw = filter_data.release();
+    Cache::Handle* h = r->block_cache->Insert(Slice(ckey, sizeof ckey), raw,
+                                              raw->size(), DeleteCachedFilterData);
+    r->block_cache->Release(h);
   }
+  return Status::OK();
 }
 
-void Table::ReadFilter(const Slice& filter_handle_value) {
-  Slice v = filter_handle_value;
-  BlockHandle filter_handle;
-  if (!filter_handle.DecodeFrom(&v).ok()) return;
-
-  ReadOptions opt;
-  opt.verify_checksums = rep_->options.paranoid_checks;
-  if (!ReadBlockContents(rep_->file, opt, false, filter_handle,
-                         &rep_->filter_data)
-           .ok()) {
-    return;
+Status Table::IndexBlock(Block** block, Cache::Handle** cache_handle) const {
+  Rep* r = rep_.get();
+  *cache_handle = nullptr;
+  if (r->pinned_index != nullptr) {
+    *block = r->pinned_index;
+    return Status::OK();
   }
-  rep_->filter = std::make_unique<FilterBlockReader>(rep_->filter_policy,
-                                                     Slice(rep_->filter_data));
+  // Unpinned mode: round-trip through the block cache on every probe.
+  char key[16];
+  r->CacheKey(r->index_handle.offset(), key);
+  const Slice ckey(key, sizeof key);
+  Cache::Handle* h = r->block_cache->Lookup(ckey);
+  if (h != nullptr) {
+    r->CountCacheHit();
+  } else {
+    r->CountCacheMiss();
+    ReadOptions opt;
+    opt.verify_checksums = r->options.paranoid_checks;
+    std::string contents;
+    LSMIO_RETURN_IF_ERROR(ReadBlockContents(r->file, opt, /*always_verify=*/true,
+                                            r->index_handle, &contents));
+    auto* raw = new Block(std::move(contents));
+    h = r->block_cache->Insert(ckey, raw, raw->size(), DeleteCachedBlock);
+  }
+  *block = static_cast<Block*>(r->block_cache->Value(h));
+  *cache_handle = h;
+  return Status::OK();
+}
+
+bool Table::FilterKeyMayMatch(uint64_t block_offset, const Slice& user_key) const {
+  Rep* r = rep_.get();
+  if (!r->has_filter && r->filter == nullptr) return true;
+  if (r->counters) {
+    r->counters->bloom_checked.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool may_match = true;
+  if (r->filter != nullptr) {
+    may_match = r->filter->KeyMayMatch(block_offset, user_key);
+  } else {
+    // Unpinned: fetch the filter bytes through the cache for this probe.
+    char key[16];
+    r->CacheKey(r->filter_handle.offset(), key);
+    const Slice ckey(key, sizeof key);
+    Cache::Handle* h = r->block_cache->Lookup(ckey);
+    if (h != nullptr) {
+      r->CountCacheHit();
+    } else {
+      r->CountCacheMiss();
+      ReadOptions opt;
+      opt.verify_checksums = r->options.paranoid_checks;
+      auto data = std::make_unique<std::string>();
+      if (!ReadBlockContents(r->file, opt, false, r->filter_handle, data.get())
+               .ok()) {
+        return true;  // filter unavailable: cannot prove absence
+      }
+      std::string* raw = data.release();
+      h = r->block_cache->Insert(ckey, raw, raw->size(), DeleteCachedFilterData);
+    }
+    const auto* data = static_cast<const std::string*>(r->block_cache->Value(h));
+    FilterBlockReader reader(r->filter_policy, Slice(*data));
+    may_match = reader.KeyMayMatch(block_offset, user_key);
+    r->block_cache->Release(h);
+  }
+  if (!may_match && r->counters) {
+    r->counters->bloom_useful.fetch_add(1, std::memory_order_relaxed);
+  }
+  return may_match;
+}
+
+void Table::MaybeReadahead(const ReadOptions& options,
+                           const BlockHandle& handle) const {
+  if (options.readahead_bytes == 0) return;
+  Rep* r = rep_.get();
+  const uint64_t span = handle.size() + kBlockTrailerSize;
+  const uint64_t need = handle.offset() + span;
+  if (need <= r->hinted_end.load(std::memory_order_relaxed)) return;
+  const uint64_t len = std::max<uint64_t>(span, options.readahead_bytes);
+  r->file->Hint(handle.offset(), len);
+  r->hinted_end.store(handle.offset() + len, std::memory_order_relaxed);
+  if (r->counters) {
+    r->counters->readahead_bytes.fetch_add(len, std::memory_order_relaxed);
+  }
 }
 
 Iterator* Table::NewBlockIterator(const ReadOptions& options,
@@ -117,29 +312,31 @@ Iterator* Table::NewBlockIterator(const ReadOptions& options,
   Status s = handle.DecodeFrom(&input);
   if (!s.ok()) return NewErrorIterator(s);
 
+  MaybeReadahead(options, handle);
+
   // Block-cache key: cache_id (8) | block offset (8).
   Block* block = nullptr;
   Cache::Handle* cache_handle = nullptr;
-  const bool use_cache = r->block_cache != nullptr && !r->options.disable_cache;
+  const bool use_cache = r->use_cache();
 
   if (use_cache) {
     char cache_key[16];
-    EncodeFixed64(cache_key, r->cache_id);
-    EncodeFixed64(cache_key + 8, handle.offset());
+    r->CacheKey(handle.offset(), cache_key);
     const Slice key(cache_key, sizeof cache_key);
     cache_handle = r->block_cache->Lookup(key);
     if (cache_handle != nullptr) {
+      r->CountCacheHit();
       block = static_cast<Block*>(r->block_cache->Value(cache_handle));
     } else {
+      r->CountCacheMiss();
       std::string contents;
       s = ReadBlockContents(r->file, options, r->options.paranoid_checks,
                             handle, &contents);
       if (!s.ok()) return NewErrorIterator(s);
       block = new Block(std::move(contents));
       if (options.fill_cache) {
-        cache_handle = r->block_cache->Insert(
-            key, block, block->size(),
-            [](const Slice&, void* value) { delete static_cast<Block*>(value); });
+        cache_handle = r->block_cache->Insert(key, block, block->size(),
+                                              DeleteCachedBlock);
       }
     }
   } else {
@@ -161,9 +358,19 @@ Iterator* Table::NewBlockIterator(const ReadOptions& options,
 }
 
 Iterator* Table::NewIterator(const ReadOptions& options) const {
+  Block* index = nullptr;
+  Cache::Handle* index_handle = nullptr;
+  const Status s = IndexBlock(&index, &index_handle);
+  if (!s.ok()) return NewErrorIterator(s);
+
+  Iterator* index_iter = index->NewIterator(rep_->comparator);
+  if (index_handle != nullptr) {
+    Cache* cache = rep_->block_cache;
+    index_iter->RegisterCleanup([cache, index_handle] { cache->Release(index_handle); });
+  }
   const Table* self = this;
   return NewTwoLevelIterator(
-      rep_->index_block->NewIterator(rep_->comparator),
+      index_iter,
       [self](const ReadOptions& opts, const Slice& index_value) {
         return self->NewBlockIterator(opts, index_value);
       },
@@ -173,18 +380,29 @@ Iterator* Table::NewIterator(const ReadOptions& options) const {
 Status Table::InternalGet(
     const ReadOptions& options, const Slice& internal_key,
     const std::function<void(const Slice&, const Slice&)>& handle_result) const {
-  std::unique_ptr<Iterator> index_iter(
-      rep_->index_block->NewIterator(rep_->comparator));
+  Block* index = nullptr;
+  Cache::Handle* index_handle = nullptr;
+  LSMIO_RETURN_IF_ERROR(IndexBlock(&index, &index_handle));
+  Cache* cache = rep_->block_cache;
+  struct IndexRelease {
+    Cache* cache;
+    Cache::Handle* handle;
+    ~IndexRelease() {
+      if (handle != nullptr) cache->Release(handle);
+    }
+  } release{cache, index_handle};
+
+  std::unique_ptr<Iterator> index_iter(index->NewIterator(rep_->comparator));
   index_iter->Seek(internal_key);
   if (!index_iter->Valid()) return index_iter->status();
 
   // Bloom check against the block this key would live in.
   const Slice handle_value = index_iter->value();
-  if (rep_->filter != nullptr && internal_key.size() >= 8) {
+  if (internal_key.size() >= 8) {
     Slice hv = handle_value;
     BlockHandle handle;
     if (handle.DecodeFrom(&hv).ok() &&
-        !rep_->filter->KeyMayMatch(handle.offset(), ExtractUserKey(internal_key))) {
+        !FilterKeyMayMatch(handle.offset(), ExtractUserKey(internal_key))) {
       return Status::OK();  // definitively absent
     }
   }
@@ -197,17 +415,215 @@ Status Table::InternalGet(
   return block_iter->status();
 }
 
-uint64_t Table::ApproximateOffsetOf(const Slice& internal_key) const {
-  std::unique_ptr<Iterator> index_iter(
-      rep_->index_block->NewIterator(rep_->comparator));
-  index_iter->Seek(internal_key);
-  if (index_iter->Valid()) {
-    Slice input = index_iter->value();
+Status Table::MultiGet(
+    const ReadOptions& options, std::span<const Slice> internal_keys,
+    const std::function<void(size_t, const Slice&, const Slice&)>& handle_result)
+    const {
+  if (internal_keys.empty()) return Status::OK();
+  Rep* r = rep_.get();
+
+  Block* index = nullptr;
+  Cache::Handle* index_handle = nullptr;
+  LSMIO_RETURN_IF_ERROR(IndexBlock(&index, &index_handle));
+  struct IndexRelease {
+    Cache* cache;
+    Cache::Handle* handle;
+    ~IndexRelease() {
+      if (handle != nullptr) cache->Release(handle);
+    }
+  } release{r->block_cache, index_handle};
+
+  // Pass 1: walk the index forward (keys are sorted, so block offsets are
+  // non-decreasing), bloom-filter probes, group keys by data block.
+  struct BlockWork {
     BlockHandle handle;
-    if (handle.DecodeFrom(&input).ok()) return handle.offset();
+    std::vector<size_t> keys;  // indices into internal_keys
+  };
+  std::vector<BlockWork> work;
+  {
+    std::unique_ptr<Iterator> index_iter(index->NewIterator(r->comparator));
+    BlockHandle handle;
+    bool positioned = false;  // index_iter valid and `handle` decoded for it
+    for (size_t i = 0; i < internal_keys.size(); ++i) {
+      const Slice& ikey = internal_keys[i];
+      // Ascending keys mean entries before the current one are already
+      // proven smaller, so the iterator only ever moves forward: stay put
+      // when the current entry still covers the key, try the adjacent
+      // entry (the common case for a sequential batch) before paying a
+      // binary re-seek.
+      bool moved = false;
+      if (!positioned) {
+        index_iter->Seek(ikey);
+        moved = true;
+      } else if (r->comparator->Compare(ikey, index_iter->key()) > 0) {
+        index_iter->Next();
+        moved = true;
+        if (index_iter->Valid() &&
+            r->comparator->Compare(ikey, index_iter->key()) > 0) {
+          index_iter->Seek(ikey);
+        }
+      }
+      if (moved) {
+        if (!index_iter->Valid()) {
+          LSMIO_RETURN_IF_ERROR(index_iter->status());
+          break;  // sorted: every remaining key is also past the last block
+        }
+        Slice hv = index_iter->value();
+        LSMIO_RETURN_IF_ERROR(handle.DecodeFrom(&hv));
+        positioned = true;
+      }
+      if (ikey.size() >= 8 &&
+          !FilterKeyMayMatch(handle.offset(), ExtractUserKey(ikey))) {
+        continue;  // definitively absent
+      }
+      if (!work.empty() && work.back().handle.offset() == handle.offset()) {
+        work.back().keys.push_back(i);
+      } else {
+        work.push_back(BlockWork{handle, {i}});
+      }
+    }
   }
-  // Past the last key: approximate with the metaindex offset (≈ file end).
-  return rep_->metaindex_handle.offset();
+  if (work.empty()) return Status::OK();
+
+  // Pass 2: resolve blocks — cache lookups first, then coalesce runs of
+  // adjacent missing blocks into single VFS reads.
+  const bool use_cache = r->use_cache();
+  // Buffers backing blocks that borrow their bytes (the non-cached path);
+  // they must stay alive until the guards release those blocks.
+  std::vector<std::unique_ptr<std::string>> backing;
+  std::vector<BlockGuard> guards(work.size());
+  struct GuardRelease {
+    std::vector<BlockGuard>* guards;
+    Cache* cache;
+    ~GuardRelease() {
+      for (BlockGuard& g : *guards) {
+        if (g.cache_handle != nullptr) cache->Release(g.cache_handle);
+        else if (g.owned) delete g.block;
+      }
+    }
+  } guard_release{&guards, r->block_cache};
+
+  if (use_cache) {
+    for (size_t j = 0; j < work.size(); ++j) {
+      char cache_key[16];
+      r->CacheKey(work[j].handle.offset(), cache_key);
+      Cache::Handle* h = r->block_cache->Lookup(Slice(cache_key, sizeof cache_key));
+      if (h != nullptr) {
+        r->CountCacheHit();
+        guards[j].block = static_cast<Block*>(r->block_cache->Value(h));
+        guards[j].cache_handle = h;
+      } else {
+        r->CountCacheMiss();
+      }
+    }
+  } else {
+    for (size_t j = 0; j < work.size(); ++j) r->CountCacheMiss();
+  }
+
+  const bool cache_fill = use_cache && options.fill_cache;
+  std::string scratch;
+  for (size_t j = 0; j < work.size();) {
+    if (guards[j].block != nullptr) {
+      ++j;
+      continue;
+    }
+    // Extend the run while blocks are physically adjacent
+    // (offset + size + trailer == next offset) and also unresolved.
+    size_t k = j;
+    const uint64_t start = work[j].handle.offset();
+    uint64_t end = start + work[j].handle.size() + kBlockTrailerSize;
+    while (k + 1 < work.size() && guards[k + 1].block == nullptr &&
+           work[k + 1].handle.offset() == end &&
+           end - start + work[k + 1].handle.size() + kBlockTrailerSize <=
+               kMaxCoalescedReadBytes) {
+      ++k;
+      end = work[k].handle.offset() + work[k].handle.size() + kBlockTrailerSize;
+    }
+    // Uncached blocks serve straight out of the coalesced read buffer, so
+    // each run gets its own buffer, kept alive in `backing`.
+    std::string* read_buf = &scratch;
+    if (!cache_fill) {
+      backing.push_back(std::make_unique<std::string>());
+      read_buf = backing.back().get();
+    }
+    Slice raw;
+    LSMIO_RETURN_IF_ERROR(
+        r->file->Read(start, static_cast<size_t>(end - start), &raw, read_buf));
+    if (raw.size() != end - start) {
+      return Status::Corruption("truncated coalesced block read");
+    }
+    if (k > j && r->counters) {
+      r->counters->coalesced_reads.fetch_add(k - j, std::memory_order_relaxed);
+    }
+    for (size_t m = j; m <= k; ++m) {
+      const Slice block_raw(
+          raw.data() + (work[m].handle.offset() - start),
+          static_cast<size_t>(work[m].handle.size()) + kBlockTrailerSize);
+      if (cache_fill) {
+        std::string contents;
+        LSMIO_RETURN_IF_ERROR(DecodeBlockContents(block_raw, options,
+                                                  r->options.paranoid_checks,
+                                                  &contents));
+        auto* block = new Block(std::move(contents));
+        guards[m].block = block;
+        char cache_key[16];
+        r->CacheKey(work[m].handle.offset(), cache_key);
+        guards[m].cache_handle =
+            r->block_cache->Insert(Slice(cache_key, sizeof cache_key), block,
+                                   block->size(), DeleteCachedBlock);
+      } else {
+        // Zero-copy: the block views the read buffer (or, when compressed,
+        // its own decompression buffer parked in `backing`).
+        std::string decompressed;
+        Slice view;
+        LSMIO_RETURN_IF_ERROR(DecodeBlockView(block_raw, options,
+                                              r->options.paranoid_checks,
+                                              &decompressed, &view));
+        if (!decompressed.empty()) {
+          backing.push_back(
+              std::make_unique<std::string>(std::move(decompressed)));
+          view = Slice(*backing.back());
+        }
+        guards[m].block = new Block(view);
+        guards[m].owned = true;
+      }
+    }
+    j = k + 1;
+  }
+
+  // Pass 3: seek each key inside its block.
+  for (size_t j = 0; j < work.size(); ++j) {
+    std::unique_ptr<Iterator> block_iter(
+        guards[j].block->NewIterator(r->comparator));
+    for (const size_t i : work[j].keys) {
+      block_iter->Seek(internal_keys[i]);
+      if (block_iter->Valid()) {
+        handle_result(i, block_iter->key(), block_iter->value());
+      }
+      LSMIO_RETURN_IF_ERROR(block_iter->status());
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Table::ApproximateOffsetOf(const Slice& internal_key) const {
+  Block* index = nullptr;
+  Cache::Handle* index_handle = nullptr;
+  if (!IndexBlock(&index, &index_handle).ok()) {
+    return rep_->metaindex_handle.offset();
+  }
+  uint64_t result = rep_->metaindex_handle.offset();  // ≈ file end
+  {
+    std::unique_ptr<Iterator> index_iter(index->NewIterator(rep_->comparator));
+    index_iter->Seek(internal_key);
+    if (index_iter->Valid()) {
+      Slice input = index_iter->value();
+      BlockHandle handle;
+      if (handle.DecodeFrom(&input).ok()) result = handle.offset();
+    }
+  }
+  if (index_handle != nullptr) rep_->block_cache->Release(index_handle);
+  return result;
 }
 
 }  // namespace lsmio::lsm

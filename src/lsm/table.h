@@ -1,46 +1,71 @@
 // Immutable SSTable reader: footer → index/metaindex/filter blocks, block
 // cache integration, point lookups via bloom filter, iteration via the
-// two-level iterator.
+// two-level iterator, and batched lookups (MultiGet) that coalesce adjacent
+// data-block reads into single VFS reads.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "lsm/cache.h"
 #include "lsm/iterator.h"
 #include "lsm/options.h"
 #include "vfs/vfs.h"
 
 namespace lsmio::lsm {
 
-class Cache;
+class Block;
+class BlockHandle;
 class Comparator;
 class FilterPolicy;
+struct ReadCounters;
 
 class Table {
  public:
   /// Opens a table over `file` (which must outlive the Table). `file_size`
   /// is the table's full size; `cache_id` namespaces block-cache keys and
-  /// `block_cache` may be null. `filter_policy` may be null.
+  /// `block_cache` may be null. `filter_policy` may be null. `counters`
+  /// (optional) receives read-path statistics and must outlive the Table.
+  ///
+  /// With Options::pin_index_and_filter (default) the index and filter
+  /// blocks are loaded once and stay pinned — cache-handle retained for the
+  /// table's lifetime when a block cache exists, table-owned otherwise.
+  /// When unpinned, every probe does a cache round trip per block.
   static Status Open(const Options& options, const Comparator* comparator,
                      const FilterPolicy* filter_policy, Cache* block_cache,
                      uint64_t cache_id, vfs::RandomAccessFile* file,
-                     uint64_t file_size, std::unique_ptr<Table>* table);
+                     uint64_t file_size, std::unique_ptr<Table>* table,
+                     ReadCounters* counters = nullptr);
 
   ~Table();
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
 
-  /// Iterator over the table's (internal key, value) entries.
+  /// Iterator over the table's (internal key, value) entries. When
+  /// options.readahead_bytes > 0, each block fetch hints the VFS that many
+  /// bytes ahead (sequential-scan readahead for compaction/restore).
   Iterator* NewIterator(const ReadOptions& options) const;
 
   /// Seeks `internal_key`; if an entry is found, calls
   /// handle_result(arg_key, arg_value). Checks the bloom filter first.
   Status InternalGet(const ReadOptions& options, const Slice& internal_key,
                      const std::function<void(const Slice&, const Slice&)>& handle_result) const;
+
+  /// Batched lookup: `internal_keys` must be sorted ascending by the
+  /// table's comparator. Seeks the index once per key in order, probes the
+  /// bloom filter first, groups keys by data block, and fetches runs of
+  /// adjacent cache-missing blocks with one VFS read each. Calls
+  /// handle_result(i, found_key, found_value) for every key whose block
+  /// contains an entry >= the key (same contract as InternalGet).
+  Status MultiGet(const ReadOptions& options,
+                  std::span<const Slice> internal_keys,
+                  const std::function<void(size_t, const Slice&, const Slice&)>&
+                      handle_result) const;
 
   /// Approximate file offset where `internal_key` would live.
   uint64_t ApproximateOffsetOf(const Slice& internal_key) const;
@@ -49,12 +74,19 @@ class Table {
   struct Rep;
   explicit Table(std::unique_ptr<Rep> rep);
 
-  static Iterator* BlockReader(void* arg, const ReadOptions& options,
-                               const Slice& index_value);
   Iterator* NewBlockIterator(const ReadOptions& options, const Slice& index_value) const;
 
-  void ReadMeta(const class Footer& footer);
-  void ReadFilter(const Slice& filter_handle_value);
+  /// Returns the index block; *cache_handle is non-null when the block was
+  /// pinned in the cache for this call only (caller releases after use).
+  Status IndexBlock(Block** block, Cache::Handle** cache_handle) const;
+  /// False when the bloom filter proves `user_key` absent from the data
+  /// block at `block_offset`.
+  bool FilterKeyMayMatch(uint64_t block_offset, const Slice& user_key) const;
+  /// Issues a VFS readahead hint covering `handle` when the current hinted
+  /// window does not already reach past it.
+  void MaybeReadahead(const ReadOptions& options, const BlockHandle& handle) const;
+
+  Status ReadMeta(const class Footer& footer);
 
   std::unique_ptr<Rep> rep_;
 };

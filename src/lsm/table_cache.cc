@@ -22,12 +22,13 @@ void DeleteEntry(const Slice&, void* value) {
 
 TableCache::TableCache(std::string dbname, const Options& options,
                        const Comparator* icmp, const FilterPolicy* filter_policy,
-                       Cache* block_cache, int entries)
+                       Cache* block_cache, int entries, ReadCounters* counters)
     : dbname_(std::move(dbname)),
       options_(options),
       icmp_(icmp),
       filter_policy_(filter_policy),
       block_cache_(block_cache),
+      counters_(counters),
       cache_(NewLRUCache(static_cast<size_t>(entries))) {}
 
 TableCache::~TableCache() = default;
@@ -49,7 +50,8 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   LSMIO_RETURN_IF_ERROR(Table::Open(options_, icmp_, filter_policy_,
                                     block_cache_,
                                     block_cache_ ? block_cache_->NewId() : 0,
-                                    tf->file.get(), file_size, &tf->table));
+                                    tf->file.get(), file_size, &tf->table,
+                                    counters_));
   // Charge 1 per table: the cache capacity is "number of open tables".
   *handle = cache_->Insert(key, tf.release(), 1, DeleteEntry);
   return Status::OK();
@@ -80,6 +82,18 @@ Status TableCache::Get(
   LSMIO_RETURN_IF_ERROR(FindTable(file_number, file_size, &handle));
   auto* tf = static_cast<TableAndFile*>(cache_->Value(handle));
   Status s = tf->table->InternalGet(options, internal_key, handle_result);
+  cache_->Release(handle);
+  return s;
+}
+
+Status TableCache::MultiGet(
+    const ReadOptions& options, uint64_t file_number, uint64_t file_size,
+    std::span<const Slice> internal_keys,
+    const std::function<void(size_t, const Slice&, const Slice&)>& handle_result) {
+  Cache::Handle* handle = nullptr;
+  LSMIO_RETURN_IF_ERROR(FindTable(file_number, file_size, &handle));
+  auto* tf = static_cast<TableAndFile*>(cache_->Value(handle));
+  Status s = tf->table->MultiGet(options, internal_keys, handle_result);
   cache_->Release(handle);
   return s;
 }

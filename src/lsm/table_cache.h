@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "lsm/cache.h"
@@ -17,13 +18,17 @@ namespace lsmio::lsm {
 class Comparator;
 class FilterPolicy;
 class Table;
+struct ReadCounters;
 
 class TableCache {
  public:
-  /// `entries` bounds the number of simultaneously open tables.
+  /// `entries` bounds the number of simultaneously open tables. `counters`
+  /// (optional, must outlive the cache) receives read-path statistics from
+  /// every table opened through this cache.
   TableCache(std::string dbname, const Options& options,
              const Comparator* icmp, const FilterPolicy* filter_policy,
-             Cache* block_cache, int entries);
+             Cache* block_cache, int entries,
+             ReadCounters* counters = nullptr);
   ~TableCache();
 
   TableCache(const TableCache&) = delete;
@@ -40,6 +45,14 @@ class TableCache {
              uint64_t file_size, const Slice& internal_key,
              const std::function<void(const Slice&, const Slice&)>& handle_result);
 
+  /// Batched lookup in table `file_number`; `internal_keys` must be sorted
+  /// ascending. handle_result(i, key, value) fires per located entry (same
+  /// contract as Table::MultiGet).
+  Status MultiGet(const ReadOptions& options, uint64_t file_number,
+                  uint64_t file_size, std::span<const Slice> internal_keys,
+                  const std::function<void(size_t, const Slice&, const Slice&)>&
+                      handle_result);
+
   /// Drops the cached handle for a deleted file.
   void Evict(uint64_t file_number);
 
@@ -51,6 +64,7 @@ class TableCache {
   const Comparator* icmp_;
   const FilterPolicy* filter_policy_;
   Cache* block_cache_;
+  ReadCounters* counters_;
   std::unique_ptr<Cache> cache_;
 };
 

@@ -98,6 +98,114 @@ Status Version::Get(const ReadOptions& options, TableCache* table_cache,
   return Status::NotFound("key not present");
 }
 
+Status Version::MultiGet(const ReadOptions& options, TableCache* table_cache,
+                         std::span<GetRequest*> reqs) const {
+  const Comparator* ucmp = icmp_->user_comparator();
+
+  enum class KeyState : uint8_t { kNotFound, kFound, kDeleted, kCorrupt };
+
+  // Probes one table file with a sorted group of unresolved requests.
+  auto probe_file = [&](const FileMetaData& f,
+                        const std::vector<GetRequest*>& group) -> Status {
+    std::vector<Slice> ikeys;
+    ikeys.reserve(group.size());
+    for (const GetRequest* req : group) ikeys.push_back(req->lkey->internal_key());
+    std::vector<KeyState> states(group.size(), KeyState::kNotFound);
+
+    auto saver = [&](size_t i, const Slice& ikey, const Slice& v) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(ikey, &parsed)) {
+        states[i] = KeyState::kCorrupt;
+        return;
+      }
+      if (ucmp->Compare(parsed.user_key, group[i]->lkey->user_key()) != 0) {
+        return;  // a different key: not found in this table
+      }
+      if (parsed.type == ValueType::kValue) {
+        group[i]->value->assign(v.data(), v.size());
+        states[i] = KeyState::kFound;
+      } else {
+        states[i] = KeyState::kDeleted;
+      }
+    };
+
+    LSMIO_RETURN_IF_ERROR(
+        table_cache->MultiGet(options, f.number, f.file_size, ikeys, saver));
+    for (size_t i = 0; i < group.size(); ++i) {
+      GetRequest* req = group[i];
+      switch (states[i]) {
+        case KeyState::kFound:
+          *req->status = Status::OK();
+          req->done = true;
+          break;
+        case KeyState::kDeleted:
+          *req->status = Status::NotFound("deleted");
+          req->done = true;
+          break;
+        case KeyState::kCorrupt:
+          *req->status = Status::Corruption("corrupted key");
+          req->done = true;
+          break;
+        case KeyState::kNotFound:
+          break;
+      }
+    }
+    return Status::OK();
+  };
+
+  // L0: newest first; each file is probed once with its in-range keys.
+  for (const auto& f : files[0]) {
+    const Slice smallest = ExtractUserKey(Slice(f.smallest));
+    const Slice largest = ExtractUserKey(Slice(f.largest));
+    std::vector<GetRequest*> group;
+    for (GetRequest* req : reqs) {
+      if (req->done) continue;
+      const Slice uk = req->lkey->user_key();
+      if (ucmp->Compare(uk, smallest) >= 0 && ucmp->Compare(uk, largest) <= 0) {
+        group.push_back(req);
+      }
+    }
+    if (!group.empty()) LSMIO_RETURN_IF_ERROR(probe_file(f, group));
+  }
+
+  // L1+: files are sorted and disjoint; binary-search the first key's file,
+  // then extend the group with the run of following keys inside it.
+  for (int level = 1; level < kNumLevels; ++level) {
+    const auto& level_files = files[level];
+    if (level_files.empty()) continue;
+    size_t i = 0;
+    while (i < reqs.size()) {
+      GetRequest* req = reqs[i];
+      if (req->done) {
+        ++i;
+        continue;
+      }
+      const Slice internal_key = req->lkey->internal_key();
+      const auto it = std::lower_bound(
+          level_files.begin(), level_files.end(), internal_key,
+          [this](const FileMetaData& f, const Slice& target) {
+            return icmp_->Compare(Slice(f.largest), target) < 0;
+          });
+      if (it == level_files.end() ||
+          ucmp->Compare(req->lkey->user_key(),
+                        ExtractUserKey(Slice(it->smallest))) < 0) {
+        ++i;
+        continue;
+      }
+      const Slice largest = ExtractUserKey(Slice(it->largest));
+      std::vector<GetRequest*> group{req};
+      size_t j = i + 1;
+      for (; j < reqs.size(); ++j) {
+        if (ucmp->Compare(reqs[j]->lkey->user_key(), largest) > 0) break;
+        if (!reqs[j]->done) group.push_back(reqs[j]);
+      }
+      LSMIO_RETURN_IF_ERROR(probe_file(*it, group));
+      i = j;
+    }
+  }
+  return Status::OK();
+}
+
 void Version::AddIterators(const ReadOptions& options, TableCache* table_cache,
                            std::vector<Iterator*>* iters) const {
   for (const auto& level_files : files) {

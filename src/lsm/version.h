@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,24 @@ class Version {
   /// Looks `user key` up through the levels, newest first.
   Status Get(const ReadOptions& options, TableCache* table_cache,
              const LookupKey& key, std::string* value) const;
+
+  /// One key of a MultiGet batch flowing through the level search. The
+  /// caller owns the lkey/value/status storage; *status must be preset to
+  /// the final "not anywhere" value (NotFound) and is overwritten when the
+  /// key resolves, at which point `done` is set.
+  struct GetRequest {
+    const LookupKey* lkey = nullptr;
+    std::string* value = nullptr;
+    Status* status = nullptr;
+    bool done = false;
+  };
+
+  /// Batched lookup: `reqs` must be sorted ascending by user key. Walks the
+  /// levels newest-first like Get, but probes each table file once with all
+  /// the still-unresolved keys that fall inside it (TableCache::MultiGet),
+  /// so adjacent keys share index seeks and coalesced block reads.
+  Status MultiGet(const ReadOptions& options, TableCache* table_cache,
+                  std::span<GetRequest*> reqs) const;
 
   /// Appends an iterator per table file to *iters.
   void AddIterators(const ReadOptions& options, TableCache* table_cache,

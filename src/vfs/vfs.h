@@ -57,6 +57,14 @@ class RandomAccessFile {
   /// mmap'd memory) and is valid until the next call / file close.
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       std::string* scratch) const = 0;
+  /// Advisory: the caller expects to read [offset, offset+length) soon,
+  /// typically sequentially. Backends may prefetch; correctness never
+  /// depends on it. Default (and MemVfs): no-op — memory is already
+  /// "prefetched".
+  virtual void Hint(uint64_t offset, size_t length) const {
+    (void)offset;
+    (void)length;
+  }
   [[nodiscard]] virtual uint64_t Size() const = 0;
 };
 

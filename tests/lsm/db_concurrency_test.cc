@@ -283,6 +283,102 @@ TEST_F(DbConcurrencyTest, FlushProceedsDuringManualCompaction) {
   EXPECT_EQ(Get("l0.47"), value);
 }
 
+// MultiGet must return exactly what per-key Get returns at the same pinned
+// sequence number while writers, flushes, and compactions churn the tree
+// underneath the readers.
+TEST_F(DbConcurrencyTest, MultiGetMatchesGetUnderConcurrency) {
+  Options options = BaseOptions();
+  options.write_buffer_size = 32 * KiB;
+  options.disable_compaction = false;
+  options.l0_compaction_trigger = 2;
+  options.disable_cache = false;
+  options.block_size = 1 * KiB;
+  Open(options);
+
+  constexpr int kKeys = 200;
+  auto key_of = [](int i) { return "mg" + std::to_string(1000 + i); };
+
+  // Seed every key so readers always have something to find.
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(db_->Put({}, key_of(i), "seed").ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable(/*wait=*/true).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    int round = 0;
+    while (!stop.load()) {
+      ++round;
+      for (int i = 0; i < kKeys; ++i) {
+        const std::string value =
+            "round" + std::to_string(round) + "." + std::to_string(i);
+        if (i % 17 == 0) {
+          if (!db_->Delete({}, key_of(i)).ok()) ++failures;
+        } else if (!db_->Put({}, key_of(i), value).ok()) {
+          ++failures;
+        }
+      }
+      if (round % 4 == 0 && !db_->FlushMemTable(/*wait=*/false).ok()) {
+        ++failures;
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::vector<std::string> keys;
+      for (int i = 0; i < kKeys; ++i) keys.push_back(key_of(i));
+      std::vector<Slice> slices(keys.begin(), keys.end());
+
+      for (int pass = 0; pass < 40; ++pass) {
+        // Pin one read point for both paths; MultiGet and Get must agree
+        // bit-for-bit at that sequence. The registered snapshot (sequence
+        // S0) keeps compaction from dropping any version visible at the
+        // probe's sequence S >= S0; the probe write tells us S.
+        const Snapshot* snap = db_->GetSnapshot();
+        WriteBatch probe;
+        probe.Put("mg.probe", "p");
+        if (!db_->Write({}, &probe).ok()) {
+          ++failures;
+          db_->ReleaseSnapshot(snap);
+          continue;
+        }
+        ReadOptions pinned;
+        pinned.snapshot_sequence = probe.Sequence();
+
+        std::vector<std::string> values;
+        std::vector<Status> statuses;
+        if (!db_->MultiGet(pinned, slices, &values, &statuses).ok()) {
+          ++failures;
+          db_->ReleaseSnapshot(snap);
+          continue;
+        }
+        for (int i = 0; i < kKeys; ++i) {
+          std::string single;
+          const Status s = db_->Get(pinned, keys[i], &single);
+          if (s.ok() != statuses[i].ok() ||
+              s.IsNotFound() != statuses[i].IsNotFound() ||
+              (s.ok() && single != values[i])) {
+            ++failures;
+          }
+        }
+        db_->ReleaseSnapshot(snap);
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const DbStats stats = db_->GetStats();
+  EXPECT_EQ(stats.multiget_batches, 3u * 40u);
+  EXPECT_EQ(stats.multiget_keys, stats.multiget_batches * kKeys);
+}
+
 // A manual compaction that fails must not wedge later CompactRange calls
 // (the request flag is cleared on every exit path).
 TEST_F(DbConcurrencyTest, FailedManualCompactionDoesNotWedge) {

@@ -2,16 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
+#include <tuple>
+#include <vector>
 
 #include "common/random.h"
 #include "lsm/cache.h"
 #include "lsm/comparator.h"
 #include "lsm/dbformat.h"
 #include "lsm/filter_policy.h"
+#include "lsm/read_stats.h"
 #include "lsm/table_builder.h"
 #include "vfs/mem_vfs.h"
+#include "vfs/posix_vfs.h"
 
 namespace lsmio::lsm {
 namespace {
@@ -228,6 +234,194 @@ TEST_F(TableTest, ApproximateOffsetsAreMonotone) {
   }
   EXPECT_GT(prev, 0u);
 }
+
+// Read/iterate matrix over {use_mmap} x {pin_index_and_filter} against the
+// real file system: mmap is a PosixVfs feature, and the pinned/unpinned
+// index-filter modes must serve identical results.
+class TableMatrixTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {
+ protected:
+  TableMatrixTest() : icmp_(BytewiseComparator()), policy_(NewBloomFilterPolicy(10)) {}
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lsmio_table_matrix_" + std::to_string(::getpid()) + "_" +
+            std::to_string(std::get<0>(GetParam())) +
+            std::to_string(std::get<1>(GetParam())));
+    std::filesystem::remove_all(dir_);
+    ASSERT_TRUE(vfs::PosixVfs().CreateDir(dir_.string()).ok());
+  }
+
+  void TearDown() override {
+    table_.reset();
+    raf_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string IKey(const std::string& user_key, SequenceNumber seq = 1,
+                   ValueType t = ValueType::kValue) {
+    std::string encoded;
+    AppendInternalKey(&encoded, user_key, seq, t);
+    return encoded;
+  }
+
+  void BuildAndOpen(const std::map<std::string, std::string>& user_entries) {
+    const auto [use_mmap, pin] = GetParam();
+    vfs::Vfs& fs = vfs::PosixVfs();
+    const std::string path = (dir_ / "t.sst").string();
+
+    Options options;
+    options.block_size = 512;
+    options.pin_index_and_filter = pin;
+
+    std::unique_ptr<vfs::WritableFile> file;
+    ASSERT_TRUE(fs.NewWritableFile(path, {}, &file).ok());
+    TableBuilder builder(options, &icmp_, policy_.get(), file.get());
+    for (const auto& [k, v] : user_entries) builder.Add(IKey(k), v);
+    ASSERT_TRUE(builder.Finish().ok());
+    ASSERT_TRUE(file->Close().ok());
+
+    uint64_t size = 0;
+    ASSERT_TRUE(fs.GetFileSize(path, &size).ok());
+    vfs::OpenOptions open_opts;
+    open_opts.use_mmap = use_mmap;
+    ASSERT_TRUE(fs.NewRandomAccessFile(path, open_opts, &raf_).ok());
+    cache_ = NewLRUCache(1 << 20);
+    ASSERT_TRUE(Table::Open(options, &icmp_, policy_.get(), cache_.get(), 1,
+                            raf_.get(), size, &table_, &counters_)
+                    .ok());
+  }
+
+  bool Get(const std::string& user_key, std::string* value) {
+    std::string seek;
+    AppendInternalKey(&seek, user_key, kMaxSequenceNumber, kValueTypeForSeek);
+    bool found = false;
+    const Status s = table_->InternalGet(
+        {}, seek, [&](const Slice& k, const Slice& v) {
+          ParsedInternalKey parsed;
+          if (ParseInternalKey(k, &parsed) &&
+              parsed.user_key == Slice(user_key)) {
+            *value = v.ToString();
+            found = true;
+          }
+        });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return found;
+  }
+
+  std::filesystem::path dir_;
+  InternalKeyComparator icmp_;
+  std::unique_ptr<const FilterPolicy> policy_;
+  std::unique_ptr<vfs::RandomAccessFile> raf_;
+  std::unique_ptr<Cache> cache_;
+  std::unique_ptr<Table> table_;
+  ReadCounters counters_;
+};
+
+TEST_P(TableMatrixTest, LookupsIterationAndMultiGet) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 400; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof key, "key%06d", i);
+    entries[key] = "value" + std::to_string(i);
+  }
+  BuildAndOpen(entries);
+
+  // Point lookups: hits and bloom-filtered misses.
+  std::string value;
+  ASSERT_TRUE(Get("key000000", &value));
+  EXPECT_EQ(value, "value0");
+  ASSERT_TRUE(Get("key000399", &value));
+  EXPECT_EQ(value, "value399");
+  EXPECT_FALSE(Get("key999999", &value));
+  EXPECT_FALSE(Get("aaa", &value));
+
+  // Full in-order iteration, with readahead hints enabled.
+  ReadOptions scan;
+  scan.readahead_bytes = 64 << 10;
+  std::unique_ptr<Iterator> iter(table_->NewIterator(scan));
+  auto expected = entries.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++expected) {
+    ASSERT_NE(expected, entries.end());
+    EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), expected->first);
+    EXPECT_EQ(iter->value().ToString(), expected->second);
+  }
+  EXPECT_EQ(expected, entries.end());
+  EXPECT_TRUE(iter->status().ok());
+  EXPECT_GT(counters_.readahead_bytes.load(), 0u);
+
+  // MultiGet over a sorted batch: present keys, bloom-rejected absences,
+  // and duplicates. Results must match the per-key lookups.
+  std::vector<std::string> storage;
+  for (int i = 0; i < 400; i += 5) {
+    char key[16];
+    std::snprintf(key, sizeof key, "key%06d", i);
+    storage.push_back(IKey(key, kMaxSequenceNumber, kValueTypeForSeek));
+    if (i % 50 == 0) storage.push_back(storage.back());  // duplicate
+  }
+  std::vector<Slice> ikeys(storage.begin(), storage.end());
+  std::map<size_t, std::string> got;
+  const Status s = table_->MultiGet(
+      {}, ikeys, [&](size_t i, const Slice& k, const Slice& v) {
+        ParsedInternalKey parsed;
+        ASSERT_TRUE(ParseInternalKey(k, &parsed));
+        if (parsed.user_key == ExtractUserKey(ikeys[i])) {
+          got[i] = v.ToString();
+        }
+      });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (size_t i = 0; i < ikeys.size(); ++i) {
+    const std::string user_key = ExtractUserKey(ikeys[i]).ToString();
+    ASSERT_TRUE(got.count(i)) << user_key;
+    EXPECT_EQ(got[i], entries[user_key]) << user_key;
+  }
+
+  // The same batch again: with a warm cache nothing should need the file.
+  const uint64_t misses_before = counters_.block_cache_misses.load();
+  std::map<size_t, std::string> again;
+  ASSERT_TRUE(table_
+                  ->MultiGet({}, ikeys,
+                             [&](size_t i, const Slice&, const Slice& v) {
+                               again[i] = v.ToString();
+                             })
+                  .ok());
+  EXPECT_EQ(again.size(), ikeys.size());
+  EXPECT_EQ(counters_.block_cache_misses.load(), misses_before);
+}
+
+TEST_P(TableMatrixTest, MultiGetColdCacheCoalesces) {
+  std::map<std::string, std::string> entries;
+  for (int i = 0; i < 300; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof key, "key%06d", i);
+    entries[key] = std::string(100, 'v');
+  }
+  BuildAndOpen(entries);
+
+  std::vector<std::string> storage;
+  for (int i = 0; i < 300; i += 2) {
+    char key[16];
+    std::snprintf(key, sizeof key, "key%06d", i);
+    storage.push_back(IKey(key, kMaxSequenceNumber, kValueTypeForSeek));
+  }
+  std::vector<Slice> ikeys(storage.begin(), storage.end());
+  size_t found = 0;
+  ASSERT_TRUE(table_
+                  ->MultiGet({}, ikeys,
+                             [&](size_t, const Slice&, const Slice&) { ++found; })
+                  .ok());
+  EXPECT_EQ(found, ikeys.size());
+  // A dense batch over adjacent 512-byte blocks must coalesce reads.
+  EXPECT_GT(counters_.coalesced_reads.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MmapByPin, TableMatrixTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<bool, bool>>& info) {
+      return std::string(std::get<0>(info.param) ? "Mmap" : "Pread") +
+             (std::get<1>(info.param) ? "Pinned" : "Unpinned");
+    });
 
 }  // namespace
 }  // namespace lsmio::lsm
