@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# LSMIO analysis matrix: lint (Clang thread-safety + clang-tidy), TSan, ASan.
+#
+# Each leg configures its own build tree under build-ci/ and runs the tier-1
+# ctest suite. Legs that need a toolchain the host lacks (the lint leg needs
+# Clang) are SKIPPED with a notice rather than failed, so the script is
+# useful both on full CI images and on minimal dev boxes.
+#
+# Usage:
+#   ci/check.sh            # run all legs
+#   ci/check.sh lint       # one leg: lint | tsan | asan | plain
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+PASS=()
+FAIL=()
+SKIP=()
+
+run_leg() {
+  local name="$1"; shift
+  local builddir="$ROOT/build-ci/$name"
+  echo
+  echo "=== [$name] cmake $* ==="
+  if ! cmake -B "$builddir" -S "$ROOT" "$@" >"$builddir.configure.log" 2>&1; then
+    # cmake writes the log next to the build dir; show the tail on failure.
+    mkdir -p "$(dirname "$builddir")"
+    tail -30 "$builddir.configure.log" || true
+    FAIL+=("$name (configure)")
+    return 1
+  fi
+  if ! cmake --build "$builddir" -j "$JOBS" >"$builddir.build.log" 2>&1; then
+    tail -40 "$builddir.build.log" || true
+    FAIL+=("$name (build)")
+    return 1
+  fi
+  if ! ctest --test-dir "$builddir" --output-on-failure -j "$JOBS"; then
+    FAIL+=("$name (test)")
+    return 1
+  fi
+  PASS+=("$name")
+}
+
+leg_plain() {
+  run_leg plain
+}
+
+leg_lint() {
+  local clangxx
+  clangxx="$(command -v clang++ || true)"
+  if [ -z "$clangxx" ]; then
+    echo "=== [lint] SKIPPED: clang++ not found (thread-safety analysis needs Clang) ==="
+    SKIP+=("lint (no clang++)")
+    return 0
+  fi
+  run_leg lint -DCMAKE_CXX_COMPILER="$clangxx" -DLSMIO_LINT=ON
+}
+
+leg_tsan() {
+  run_leg tsan -DLSMIO_SANITIZE=thread
+}
+
+leg_asan() {
+  run_leg asan -DLSMIO_SANITIZE=address
+}
+
+mkdir -p "$ROOT/build-ci"
+
+case "${1:-all}" in
+  plain) leg_plain ;;
+  lint)  leg_lint ;;
+  tsan)  leg_tsan ;;
+  asan)  leg_asan ;;
+  all)
+    leg_lint
+    leg_tsan
+    leg_asan
+    ;;
+  *)
+    echo "usage: ci/check.sh [all|plain|lint|tsan|asan]" >&2
+    exit 2
+    ;;
+esac
+
+echo
+echo "=== analysis matrix summary ==="
+for leg in "${PASS[@]:-}";  do [ -n "$leg" ] && echo "  PASS  $leg"; done
+for leg in "${SKIP[@]:-}";  do [ -n "$leg" ] && echo "  SKIP  $leg"; done
+for leg in "${FAIL[@]:-}";  do [ -n "$leg" ] && echo "  FAIL  $leg"; done
+
+[ "${#FAIL[@]}" -eq 0 ]

@@ -1,0 +1,41 @@
+# Configure-time self-test of the lint toolchain (included only when
+# LSMIO_LINT=ON, i.e. compiler is Clang).
+#
+# A lint build that silently stopped analyzing — wrong compiler, annotations
+# compiled away, flag dropped — looks exactly like a clean one. So before
+# trusting the build, prove the gate fires both ways:
+#   1. a snippet that touches a GUARDED_BY member without holding the mutex
+#      must FAIL to compile under -Werror=thread-safety;
+#   2. the same logic with correct locking must SUCCEED.
+
+set(_lsmio_gate_dir "${CMAKE_CURRENT_LIST_DIR}/lint_gate")
+set(_lsmio_gate_flags
+  "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+  "-DCMAKE_CXX_STANDARD=20")
+
+try_compile(LSMIO_LINT_GATE_VIOLATION_COMPILES
+  "${CMAKE_BINARY_DIR}/lint_gate_bad"
+  "${_lsmio_gate_dir}/requires_violation.cc"
+  CMAKE_FLAGS ${_lsmio_gate_flags}
+  COMPILE_DEFINITIONS "-Wthread-safety -Werror=thread-safety")
+
+if(LSMIO_LINT_GATE_VIOLATION_COMPILES)
+  message(FATAL_ERROR
+    "LSMIO_LINT gate test failed: a REQUIRES(mu) violation COMPILED. "
+    "The thread-safety analysis is not active (annotations compiled away or "
+    "-Wthread-safety not honored); a 'clean' lint build would be meaningless.")
+endif()
+
+try_compile(LSMIO_LINT_GATE_CONFORMING_COMPILES
+  "${CMAKE_BINARY_DIR}/lint_gate_good"
+  "${_lsmio_gate_dir}/requires_conforming.cc"
+  CMAKE_FLAGS ${_lsmio_gate_flags}
+  COMPILE_DEFINITIONS "-Wthread-safety -Werror=thread-safety")
+
+if(NOT LSMIO_LINT_GATE_CONFORMING_COMPILES)
+  message(FATAL_ERROR
+    "LSMIO_LINT gate test failed: the conforming snippet did NOT compile. "
+    "synchronization.h or the lint flags are broken.")
+endif()
+
+message(STATUS "LSMIO_LINT: gate test passed (REQUIRES violation rejected, conforming code accepted)")

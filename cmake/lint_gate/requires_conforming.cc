@@ -1,0 +1,36 @@
+// Lint gate: MUST compile under -Werror=thread-safety.
+// Same logic as requires_violation.cc with the locking done correctly,
+// proving a clean result means "analyzed and passed", not "not analyzed".
+#include "common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() {
+    lsmio::MutexLock lock(&mu_);
+    ++value_;
+  }
+  long Read() const {
+    lsmio::MutexLock lock(&mu_);
+    return value_;
+  }
+  long ReadWithHelper() const {
+    lsmio::MutexLock lock(&mu_);
+    return ReadLocked();
+  }
+
+ private:
+  long ReadLocked() const REQUIRES(mu_) { return value_; }
+
+  mutable lsmio::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.IncrementLocked();
+  return static_cast<int>(c.Read() + c.ReadWithHelper());
+}

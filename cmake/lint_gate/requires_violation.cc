@@ -1,0 +1,27 @@
+// Lint gate: MUST NOT compile under -Werror=thread-safety.
+// Touches a GUARDED_BY member from a method that does not hold the mutex.
+#include "common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() {
+    lsmio::MutexLock lock(&mu_);
+    ++value_;
+  }
+  // BUG (deliberate): reads value_ without mu_ — the analysis must reject it.
+  long Read() const { return value_; }
+
+ private:
+  mutable lsmio::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.IncrementLocked();
+  return static_cast<int>(c.Read());
+}

@@ -1,6 +1,7 @@
 #include "a2/a2.h"
 
-#include <mutex>
+#include "common/synchronization.h"
+
 
 #include "a2/xml.h"
 #include "common/logging.h"
@@ -11,8 +12,8 @@ namespace lsmio::a2 {
 
 namespace {
 
-std::mutex& RegistryMutex() {
-  static std::mutex mu;
+lsmio::Mutex& RegistryMutex() {
+  static lsmio::Mutex mu;
   return mu;
 }
 
@@ -24,13 +25,13 @@ std::map<std::string, EngineFactory>& Registry() {
 }  // namespace
 
 void RegisterEngine(const std::string& type, EngineFactory factory) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  lsmio::MutexLock lock(&RegistryMutex());
   Registry()[type] = std::move(factory);
 }
 
 bool IsEngineRegistered(const std::string& type) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  return Registry().count(type) > 0;
+  lsmio::MutexLock lock(&RegistryMutex());
+  return Registry().contains(type);
 }
 
 // Defined in bp_engine.cc.
@@ -71,7 +72,7 @@ Result<std::unique_ptr<Engine>> IO::Open(const std::string& path, Mode mode) {
   }
   EngineFactory factory;
   {
-    std::lock_guard<std::mutex> lock(RegistryMutex());
+    lsmio::MutexLock lock(&RegistryMutex());
     auto it = Registry().find(engine_type_);
     if (it == Registry().end()) {
       return Status::InvalidArgument("unknown engine type: " + engine_type_);

@@ -1,14 +1,15 @@
 #include "common/logging.h"
 
+#include "common/synchronization.h"
+
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 
 namespace lsmio {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+lsmio::Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) noexcept {
   switch (level) {
@@ -30,7 +31,7 @@ namespace internal {
 void LogLine(LogLevel level, const char* file, int line, const std::string& msg) {
   const char* base = std::strrchr(file, '/');
   base = base ? base + 1 : file;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  lsmio::MutexLock lock(&g_log_mutex);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
 }
 

@@ -65,7 +65,7 @@ class Slice {
 
 inline bool operator==(const Slice& a, const Slice& b) noexcept {
   return a.size() == b.size() &&
-         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
 }
 inline bool operator!=(const Slice& a, const Slice& b) noexcept { return !(a == b); }
 

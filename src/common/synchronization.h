@@ -1,0 +1,201 @@
+// Annotated synchronization primitives: the machine-checked form of the
+// locking contracts that used to live in comments ("mu_ held").
+//
+// Mutex/CondVar/MutexLock wrap the std primitives and carry Clang
+// thread-safety capability attributes, so a clang build with
+// -Wthread-safety -Werror (cmake -DLSMIO_LINT=ON) rejects code that
+// touches a GUARDED_BY member without its mutex, calls a REQUIRES(mu_)
+// helper unlocked, or forgets to release on an exit path. Under GCC (or
+// any compiler without the attributes) the annotations compile away and
+// the wrappers behave exactly like std::mutex/std::condition_variable.
+//
+// Conventions (see DESIGN.md §9):
+//  - every long-lived mutex is a lsmio::Mutex; every member it protects is
+//    GUARDED_BY(mu_); every "called with mu_ held" helper is REQUIRES(mu_)
+//  - scope-lock with MutexLock (relockable: Unlock()/Lock() for the
+//    group-commit pattern of doing I/O with the mutex released)
+//  - CondVar is bound to its Mutex at construction; Wait() atomically
+//    releases and reacquires that mutex
+//  - Mutex::AssertHeld() documents cross-object contracts the static
+//    analysis cannot see (e.g. VersionSet methods that require the DB
+//    mutex); with LSMIO_MUTEX_DEBUG it aborts at runtime on violation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+// --- Clang thread-safety annotation macros ---------------------------------
+//
+// Attribute spellings follow the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Guarded so any
+// compiler without __attribute__((capability(...))) sees empty tokens.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LSMIO_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LSMIO_THREAD_ANNOTATION
+#define LSMIO_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) LSMIO_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY LSMIO_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) LSMIO_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) LSMIO_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) LSMIO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) LSMIO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) LSMIO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  LSMIO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) LSMIO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  LSMIO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) LSMIO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  LSMIO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) LSMIO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) LSMIO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) LSMIO_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) LSMIO_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS LSMIO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Runtime held-tracking for Mutex::AssertHeld. On by default in debug
+// builds; force with -DLSMIO_MUTEX_DEBUG=1 (the sync_annotations_test does)
+// or disable with -DLSMIO_MUTEX_DEBUG=0.
+#if !defined(LSMIO_MUTEX_DEBUG)
+#if !defined(NDEBUG)
+#define LSMIO_MUTEX_DEBUG 1
+#else
+#define LSMIO_MUTEX_DEBUG 0
+#endif
+#endif
+
+namespace lsmio {
+
+/// Annotated exclusive mutex. Non-recursive, like std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    NoteHeld();
+  }
+
+  void Unlock() RELEASE() {
+    NoteReleased();
+    mu_.unlock();
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    NoteHeld();
+    return true;
+  }
+
+  /// Documents (and, with LSMIO_MUTEX_DEBUG, enforces at runtime) that the
+  /// calling thread holds this mutex. The ASSERT_CAPABILITY annotation
+  /// teaches the static analysis that the capability is held from here on,
+  /// which is how cross-object contracts (e.g. VersionSet methods called
+  /// under the DB mutex) are expressed.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#if LSMIO_MUTEX_DEBUG
+    if (holder_.load(std::memory_order_relaxed) != std::this_thread::get_id()) {
+      std::fprintf(stderr,
+                   "lsmio::Mutex::AssertHeld failed: mutex %p is not held by "
+                   "this thread\n",
+                   static_cast<const void*>(this));
+      std::abort();
+    }
+#endif
+  }
+
+ private:
+  friend class CondVar;
+
+  void NoteHeld() {
+#if LSMIO_MUTEX_DEBUG
+    holder_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+  void NoteReleased() {
+#if LSMIO_MUTEX_DEBUG
+    holder_.store(std::thread::id(), std::memory_order_relaxed);
+#endif
+  }
+
+  std::mutex mu_;
+#if LSMIO_MUTEX_DEBUG
+  /// Id of the thread currently inside the critical section (relaxed: only
+  /// ever compared against the *calling* thread's own id, so a stale value
+  /// can never produce a false "held" for a thread that does not hold it).
+  std::atomic<std::thread::id> holder_{};
+#endif
+};
+
+/// Condition variable bound to one Mutex for its lifetime (LevelDB's
+/// port::CondVar shape). Wait() must be called with that mutex held; it
+/// atomically releases it while blocked and reacquires before returning.
+/// The analysis cannot express "requires the mutex passed at construction",
+/// so Wait() carries no REQUIRES — the debug AssertHeld covers it.
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait() NO_THREAD_SAFETY_ANALYSIS {
+    mu_->AssertHeld();
+    mu_->NoteReleased();
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+    mu_->NoteHeld();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  Mutex* const mu_;
+  std::condition_variable cv_;
+};
+
+/// Scoped lock holder, relockable like std::unique_lock: Unlock()/Lock()
+/// support the group-commit pattern of releasing the DB mutex around I/O.
+/// Must be released (or never re-acquired) before destruction runs; the
+/// destructor releases only if currently held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+
+  ~MutexLock() RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+
+  void Lock() ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_ = true;
+};
+
+}  // namespace lsmio

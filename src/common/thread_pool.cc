@@ -16,25 +16,25 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     assert(!shutdown_ && "Submit after Shutdown");
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait();
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (auto& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -44,8 +44,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait();
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -56,9 +56,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.SignalAll();
     }
   }
 }

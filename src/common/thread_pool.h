@@ -3,12 +3,12 @@
 // is a programmer error.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace lsmio {
 
@@ -22,26 +22,26 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Thread-safe.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and all running tasks have finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   [[nodiscard]] int num_threads() const noexcept { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  int active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_{&mu_};
+  CondVar idle_cv_{&mu_};
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // immutable after construction
+  int active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lsmio

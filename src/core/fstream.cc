@@ -1,10 +1,12 @@
 #include "core/fstream.h"
 
+#include "common/synchronization.h"
+
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 
 #include "common/coding.h"
 
@@ -13,26 +15,28 @@ namespace lsmio {
 // --- FStreamApi -----------------------------------------------------------------
 
 namespace {
-std::mutex g_api_mu;
-std::unique_ptr<Manager> g_manager;
-uint64_t g_chunk_size = 1 * MiB;
+Mutex g_api_mu;
+std::unique_ptr<Manager> g_manager GUARDED_BY(g_api_mu);
+/// Read by KvStreamBuf constructors without the API mutex, so it is a
+/// relaxed atomic rather than GUARDED_BY(g_api_mu).
+std::atomic<uint64_t> g_chunk_size{1 * MiB};
 }  // namespace
 
 Status FStreamApi::Initialize(const LsmioOptions& options, const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_api_mu);
+  MutexLock lock(&g_api_mu);
   if (g_manager != nullptr) return Status::Busy("FStreamApi already initialized");
-  g_chunk_size = options.fstream_chunk_size;
+  g_chunk_size.store(options.fstream_chunk_size, std::memory_order_relaxed);
   return Manager::Open(options, path, &g_manager);
 }
 
 Status FStreamApi::WriteBarrier() {
-  std::lock_guard<std::mutex> lock(g_api_mu);
+  MutexLock lock(&g_api_mu);
   if (g_manager == nullptr) return Status::InvalidArgument("FStreamApi not initialized");
   return g_manager->WriteBarrier(BarrierMode::kSync);
 }
 
 Status FStreamApi::Cleanup() {
-  std::lock_guard<std::mutex> lock(g_api_mu);
+  MutexLock lock(&g_api_mu);
   if (g_manager == nullptr) return Status::OK();
   Status s = g_manager->WriteBarrier(BarrierMode::kSync);
   g_manager.reset();
@@ -40,7 +44,7 @@ Status FStreamApi::Cleanup() {
 }
 
 Manager* FStreamApi::manager() {
-  std::lock_guard<std::mutex> lock(g_api_mu);
+  MutexLock lock(&g_api_mu);
   return g_manager.get();
 }
 
@@ -48,7 +52,7 @@ Manager* FStreamApi::manager() {
 
 KvStreamBuf::KvStreamBuf(Manager* manager, std::string name,
                          std::ios_base::openmode mode)
-    : manager_(manager), name_(std::move(name)), chunk_size_(g_chunk_size) {
+    : manager_(manager), name_(std::move(name)), chunk_size_(g_chunk_size.load(std::memory_order_relaxed)) {
   if (manager_ == nullptr) {
     ok_ = false;
     return;
@@ -94,7 +98,7 @@ Status KvStreamBuf::LoadChunk(uint64_t chunk_index) {
   if (loaded_chunk_ == chunk_index) return Status::OK();
   LSMIO_RETURN_IF_ERROR(FlushChunk());
   setg(nullptr, nullptr, nullptr);  // get area pointed into the old chunk
-  if (readable_ && size_ > 0 && prefetched_.count(chunk_index) == 0) {
+  if (readable_ && size_ > 0 && !prefetched_.contains(chunk_index)) {
     PrefetchFrom(chunk_index);
   }
   auto it = prefetched_.find(chunk_index);

@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/coding.h"
 #include "common/hash.h"
+#include "common/synchronization.h"
 #include "minimpi/minimpi.h"
 
 namespace lsmio {
@@ -29,17 +31,34 @@ struct RemoteBuffer {
 };
 
 namespace {
-std::mutex g_buffer_mu;
-std::map<const Manager*, RemoteBuffer>& Buffers() {
+Mutex g_buffer_mu;
+std::map<const Manager*, RemoteBuffer>& Buffers() REQUIRES(g_buffer_mu) {
   static std::map<const Manager*, RemoteBuffer> buffers;
   return buffers;
 }
-RemoteBuffer& BufferFor(const Manager* manager) {
-  std::lock_guard<std::mutex> lock(g_buffer_mu);
-  return Buffers()[manager];
+/// Packs one routed put into the manager's buffer, entirely under the lock.
+/// (The previous shape returned a RemoteBuffer& from under the lock and let
+/// callers mutate it unlocked — a data race when application threads share a
+/// Manager.)
+void AppendRemotePut(const Manager* manager, int dest, const Slice& key,
+                     const Slice& value) {
+  MutexLock lock(&g_buffer_mu);
+  RemoteBuffer& buffer = Buffers()[manager];
+  PackRemotePut(&buffer.packed, dest, key, value);
+  ++buffer.count;
+}
+/// Removes and returns the manager's buffered puts (empty if none).
+RemoteBuffer TakeBufferFor(const Manager* manager) {
+  MutexLock lock(&g_buffer_mu);
+  auto& buffers = Buffers();
+  auto it = buffers.find(manager);
+  if (it == buffers.end()) return RemoteBuffer{};
+  RemoteBuffer taken = std::move(it->second);
+  buffers.erase(it);
+  return taken;
 }
 void DropBufferFor(const Manager* manager) {
-  std::lock_guard<std::mutex> lock(g_buffer_mu);
+  MutexLock lock(&g_buffer_mu);
   Buffers().erase(manager);
 }
 }  // namespace
@@ -67,7 +86,7 @@ Status Manager::Get(const Slice& key, std::string* value) {
 Status Manager::Get(const lsm::ReadOptions& read_options, const Slice& key,
                     std::string* value) {
   Status s = store_->Get(read_options, key, value);
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(&counters_mu_);
   ++counters_.gets;
   if (s.ok()) counters_.bytes_got += value->size();
   return s;
@@ -84,7 +103,7 @@ Status Manager::GetBatch(const lsm::ReadOptions& read_options,
                          std::vector<std::string>* values,
                          std::vector<Status>* statuses) {
   Status s = store_->GetBatch(read_options, keys, values, statuses);
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(&counters_mu_);
   ++counters_.multigets;
   counters_.multiget_keys += keys.size();
   if (s.ok()) {
@@ -102,10 +121,8 @@ Status Manager::Put(const Slice& key, const Slice& value) {
   if (options_.collective_io && options_.comm != nullptr &&
       OwnerOf(key) != options_.comm->rank()) {
     // Route to the owner: buffered until the next CollectiveFence.
-    RemoteBuffer& buffer = BufferFor(this);
-    PackRemotePut(&buffer.packed, OwnerOf(key), key, value);
-    ++buffer.count;
-    std::lock_guard<std::mutex> lock(counters_mu_);
+    AppendRemotePut(this, OwnerOf(key), key, value);
+    MutexLock lock(&counters_mu_);
     ++counters_.remote_puts;
     ++counters_.puts;
     counters_.bytes_put += value.size();
@@ -116,7 +133,7 @@ Status Manager::Put(const Slice& key, const Slice& value) {
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
                            std::chrono::steady_clock::now() - start)
                            .count();
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(&counters_mu_);
   ++counters_.puts;
   counters_.bytes_put += value.size();
   counters_.put_latency_us.Add(static_cast<double>(elapsed));
@@ -153,7 +170,7 @@ Status Manager::GetDouble(const Slice& key, double* value) {
 
 Status Manager::Append(const Slice& key, const Slice& value) {
   Status s = store_->Append(key, value);
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(&counters_mu_);
   ++counters_.appends;
   counters_.bytes_put += value.size();
   return s;
@@ -161,7 +178,7 @@ Status Manager::Append(const Slice& key, const Slice& value) {
 
 Status Manager::Del(const Slice& key) {
   Status s = store_->Del(key);
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(&counters_mu_);
   ++counters_.dels;
   return s;
 }
@@ -170,7 +187,7 @@ Status Manager::WriteBarrier() { return WriteBarrier(options_.barrier_mode); }
 
 Status Manager::WriteBarrier(BarrierMode mode) {
   Status s = store_->WriteBarrier(mode);
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(&counters_mu_);
   ++counters_.write_barriers;
   return s;
 }
@@ -182,10 +199,8 @@ Status Manager::CollectiveFence() {
   if (!options_.collective_io || options_.comm == nullptr) return Status::OK();
   minimpi::Comm& comm = *options_.comm;
 
-  RemoteBuffer& buffer = BufferFor(this);
+  const RemoteBuffer buffer = TakeBufferFor(this);
   const std::vector<std::string> all = comm.Allgather(buffer.packed);
-  buffer.packed.clear();
-  buffer.count = 0;
 
   // Apply entries destined to this rank.
   for (const std::string& packed : all) {
@@ -208,7 +223,7 @@ Status Manager::CollectiveFence() {
 }
 
 ManagerCounters Manager::counters() const {
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(&counters_mu_);
   return counters_;
 }
 

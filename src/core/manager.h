@@ -6,12 +6,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/synchronization.h"
 #include "common/slice.h"
 #include "core/store.h"
 
@@ -93,15 +94,15 @@ class Manager {
 
  private:
   Manager(LsmioOptions options, std::unique_ptr<Store> store)
-      : options_(options), store_(std::move(store)) {}
+      : options_(std::move(options)), store_(std::move(store)) {}
 
   /// Owner rank of a key in collective mode.
   [[nodiscard]] int OwnerOf(const Slice& key) const;
 
   LsmioOptions options_;
   std::unique_ptr<Store> store_;
-  mutable std::mutex counters_mu_;
-  ManagerCounters counters_;
+  mutable Mutex counters_mu_;
+  ManagerCounters counters_ GUARDED_BY(counters_mu_);
 };
 
 }  // namespace lsmio

@@ -1,6 +1,6 @@
 #include "core/store.h"
 
-#include <mutex>
+#include "common/synchronization.h"
 
 namespace lsmio {
 
@@ -33,11 +33,11 @@ lsm::Options ToEngineOptions(const LsmioOptions& options) {
 
 class LsmStore final : public Store {
  public:
-  LsmStore(const LsmioOptions& options, std::unique_ptr<lsm::DB> db)
-      : options_(options), db_(std::move(db)) {}
+  LsmStore(LsmioOptions options, std::unique_ptr<lsm::DB> db)
+      : options_(std::move(options)), db_(std::move(db)) {}
 
   Status StartBatch() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!options_.use_write_batch) return Status::OK();
     if (batching_) return Status::Busy("batch already started");
     batching_ = true;
@@ -46,7 +46,7 @@ class LsmStore final : public Store {
   }
 
   Status StopBatch() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!options_.use_write_batch) return Status::OK();
     if (!batching_) return Status::Busy("no batch in progress");
     batching_ = false;
@@ -73,7 +73,7 @@ class LsmStore final : public Store {
 
   Status Put(const Slice& key, const Slice& value) override {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (batching_) {
         batch_.Put(key, value);
         return Status::OK();
@@ -90,7 +90,7 @@ class LsmStore final : public Store {
     // batched-but-unapplied ops, so the batch must be consulted first or an
     // Append after a batched Put would extend a stale value.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (batching_) {
         struct LastOp final : lsm::WriteBatch::Handler {
           explicit LastOp(const Slice& k) : target(k) {}
@@ -136,7 +136,7 @@ class LsmStore final : public Store {
 
   Status Del(const Slice& key) override {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (batching_) {
         batch_.Delete(key);
         return Status::OK();
@@ -150,7 +150,7 @@ class LsmStore final : public Store {
   Status WriteBarrier(BarrierMode mode) override {
     // Flush any open batch first, then the memtable.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (batching_ && batch_.Count() > 0) {
         lsm::WriteOptions write_options;
         write_options.sync = options_.sync_writes;
@@ -170,9 +170,11 @@ class LsmStore final : public Store {
  private:
   LsmioOptions options_;
   std::unique_ptr<lsm::DB> db_;
-  std::mutex mu_;
-  bool batching_ = false;
-  lsm::WriteBatch batch_;
+  /// Guards the batching window. Lock order (DESIGN.md §9): mu_ is above
+  /// DBImpl::mu_ — StopBatch/WriteBarrier call db_->Write while holding it.
+  Mutex mu_;
+  bool batching_ GUARDED_BY(mu_) = false;
+  lsm::WriteBatch batch_ GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -2,10 +2,10 @@
 
 #include <cassert>
 #include <cstring>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "common/synchronization.h"
 
 namespace lsmio::lsm {
 namespace {
@@ -39,11 +39,14 @@ class LRUShard {
     }
   }
 
-  void SetCapacity(size_t capacity) { capacity_ = capacity; }
+  void SetCapacity(size_t capacity) {
+    MutexLock lock(&mu_);
+    capacity_ = capacity;
+  }
 
   Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
                         std::function<void(const Slice&, void*)> deleter) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto* e = new LRUEntry;
     e->key.assign(key.data(), key.size());
     e->value = value;
@@ -64,7 +67,7 @@ class LRUShard {
   }
 
   Cache::Handle* Lookup(const Slice& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = table_.find(std::string(key.data(), key.size()));
     if (it == table_.end()) return nullptr;
     LRUEntry* e = it->second;
@@ -76,18 +79,18 @@ class LRUShard {
   }
 
   void Release(Cache::Handle* handle) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     Unref(reinterpret_cast<LRUEntry*>(handle));
   }
 
   void Erase(const Slice& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = table_.find(std::string(key.data(), key.size()));
     if (it != table_.end()) RemoveFromTable(it->second);
   }
 
   size_t Usage() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return usage_;
   }
 
@@ -106,7 +109,7 @@ class LRUShard {
     e->next->prev = e;
   }
 
-  void Unref(LRUEntry* e) {
+  void Unref(LRUEntry* e) REQUIRES(mu_) {
     assert(e->refs > 0);
     if (--e->refs == 0) {
       // Only entries already removed from the table (and thus unlinked from
@@ -120,7 +123,7 @@ class LRUShard {
   // Drops the cache's reference and unlinks from the LRU list; the entry is
   // freed once the last client handle is released. The LRU list therefore
   // only ever contains in-table entries.
-  void RemoveFromTable(LRUEntry* e) {
+  void RemoveFromTable(LRUEntry* e) REQUIRES(mu_) {
     assert(e->in_cache);
     table_.erase(e->key);
     e->in_cache = false;
@@ -129,7 +132,7 @@ class LRUShard {
     Unref(e);
   }
 
-  void EvictIfNeeded() {
+  void EvictIfNeeded() REQUIRES(mu_) {
     while (usage_ > capacity_ && lru_.next != &lru_) {
       // Evict from the LRU end, skipping entries pinned by clients.
       LRUEntry* victim = nullptr;
@@ -144,11 +147,13 @@ class LRUShard {
     }
   }
 
-  std::mutex mu_;
-  size_t capacity_ = 0;
-  size_t usage_ = 0;
-  std::unordered_map<std::string, LRUEntry*> table_;
-  LRUEntry lru_;  // dummy head; lru_.next is oldest, lru_.prev is newest
+  Mutex mu_;
+  size_t capacity_ GUARDED_BY(mu_) = 0;
+  size_t usage_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, LRUEntry*> table_ GUARDED_BY(mu_);
+  /// Dummy head; lru_.next is oldest, lru_.prev is newest. The list nodes
+  /// hang off table_ entries, so the whole structure is guarded by mu_.
+  LRUEntry lru_ GUARDED_BY(mu_);
 };
 
 class ShardedLRUCache final : public Cache {
@@ -179,7 +184,7 @@ class ShardedLRUCache final : public Cache {
   void Erase(const Slice& key) override { shards_[ShardOf(key)].Erase(key); }
 
   uint64_t NewId() override {
-    std::lock_guard<std::mutex> lock(id_mu_);
+    MutexLock lock(&id_mu_);
     return ++last_id_;
   }
 
@@ -199,8 +204,8 @@ class ShardedLRUCache final : public Cache {
   }
 
   LRUShard shards_[kNumShards];
-  std::mutex id_mu_;
-  uint64_t last_id_ = 0;
+  Mutex id_mu_;
+  uint64_t last_id_ GUARDED_BY(id_mu_) = 0;
 };
 
 }  // namespace

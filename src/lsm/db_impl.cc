@@ -39,14 +39,17 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname)
   versions_ = std::make_unique<VersionSet>(dbname_, options_,
                                            &internal_comparator_,
                                            table_cache_.get());
+  // The VersionSet is guarded by mu_; install it so every VersionSet entry
+  // point can debug-assert the cross-object lock contract.
+  versions_->SetOwnerMutex(&mu_);
   bg_pool_ = std::make_unique<ThreadPool>(std::max(1, options_.background_threads));
 }
 
 DBImpl::~DBImpl() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_.store(true);
-    while (flush_scheduled_ || compaction_scheduled_) bg_cv_.wait(lock);
+    while (flush_scheduled_ || compaction_scheduled_) bg_cv_.Wait();
   }
   bg_pool_->Shutdown();
   if (mem_ != nullptr) mem_->Unref();
@@ -70,7 +73,7 @@ Status DBImpl::NewDb() {
 }
 
 Status DBImpl::Initialize() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
 
   const bool exists = fs().FileExists(CurrentFileName(dbname_));
   if (!exists) {
@@ -226,15 +229,15 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   }
   if (!options_.enable_group_commit) return WriteSerialized(options, updates);
 
-  Writer w(updates, options.sync || options_.sync_writes);
-  std::unique_lock<std::mutex> lock(mu_);
+  Writer w(updates, options.sync || options_.sync_writes, &mu_);
+  MutexLock lock(&mu_);
   writers_.push_back(&w);
-  while (!w.done && &w != writers_.front()) w.cv.wait(lock);
+  while (!w.done && &w != writers_.front()) w.cv.Wait();
   if (w.done) return w.status;
 
   // This thread is the leader: until it pops itself off writers_, it has
   // exclusive ownership of mem_/log_/logfile_, even across the unlock below.
-  Status status = MakeRoomForWrite(lock);
+  Status status = MakeRoomForWrite();
   Writer* last_writer = &w;
   if (status.ok()) {
     WriteBatch* write_batch = BuildBatchGroup(&last_writer);
@@ -262,7 +265,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       // One WAL append + (at most) one fsync for the whole group; followers
       // and concurrent readers proceed against the published memtable while
       // the leader does the I/O.
-      lock.unlock();
+      lock.Unlock();
       if (!options_.disable_wal) {
         status = log_->AddRecord(write_batch->Contents());
         wal_bytes = write_batch->Contents().size();
@@ -270,7 +273,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       }
       if (status.ok()) status = write_batch->InsertInto(mem_);
       (void)write_batch->Iterate(&counter);
-      lock.lock();
+      lock.Lock();
     }
     versions_->SetLastSequence(last_sequence);
     stats_.wal_bytes += wal_bytes;
@@ -289,19 +292,19 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     if (ready != &w) {
       ready->status = status;
       ready->done = true;
-      ready->cv.notify_one();
+      ready->cv.Signal();
     }
     if (ready == last_writer) break;
   }
-  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  if (!writers_.empty()) writers_.front()->cv.Signal();
   return status;
 }
 
 Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates) {
   // Seed write path (one global mutex across WAL + sync + memtable insert);
   // kept behind Options::enable_group_commit=false for ablation.
-  std::unique_lock<std::mutex> lock(mu_);
-  LSMIO_RETURN_IF_ERROR(MakeRoomForWrite(lock));
+  MutexLock lock(&mu_);
+  LSMIO_RETURN_IF_ERROR(MakeRoomForWrite());
 
   const SequenceNumber sequence = versions_->LastSequence() + 1;
   updates->SetSequence(sequence);
@@ -361,10 +364,10 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
   return result;
 }
 
-Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
-  const auto stall_wait = [&] {
+Status DBImpl::MakeRoomForWrite() {
+  const auto stall_wait = [&]() REQUIRES(mu_) {
     const auto start = std::chrono::steady_clock::now();
-    bg_cv_.wait(lock);
+    bg_cv_.Wait();
     stats_.write_stall_micros += static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start)
@@ -386,11 +389,11 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock) {
       stall_wait();
       continue;
     }
-    LSMIO_RETURN_IF_ERROR(SwitchMemTable(lock));
+    LSMIO_RETURN_IF_ERROR(SwitchMemTable());
   }
 }
 
-Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
+Status DBImpl::SwitchMemTable() {
   assert(!MemTableQueueFull());
 
   // Roll the WAL together with the memtable.
@@ -412,33 +415,33 @@ Status DBImpl::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
   imm_queue_.push_back(mem_);
   mem_ = new MemTable(internal_comparator_);
   mem_->Ref();
-  MaybeScheduleFlush(lock);
+  MaybeScheduleFlush();
   return Status::OK();
 }
 
 Status DBImpl::FlushMemTable(bool wait) {
   if (options_.read_only) return Status::OK();  // nothing can be dirty
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (mem_->num_entries() > 0) {
     // Queue a batch-less writer: the memtable switch must not interleave
     // with a write group that has the mutex dropped.
-    Writer w(nullptr, false);
+    Writer w(nullptr, false, &mu_);
     writers_.push_back(&w);
-    while (!w.done && &w != writers_.front()) w.cv.wait(lock);
+    while (!w.done && &w != writers_.front()) w.cv.Wait();
     assert(!w.done);  // batch-less writers are never absorbed into a group
 
     Status s = bg_error_;
     if (s.ok() && mem_->num_entries() > 0) {
-      while (MemTableQueueFull() && bg_error_.ok()) bg_cv_.wait(lock);
-      s = bg_error_.ok() ? SwitchMemTable(lock) : bg_error_;
+      while (MemTableQueueFull() && bg_error_.ok()) bg_cv_.Wait();
+      s = bg_error_.ok() ? SwitchMemTable() : bg_error_;
     }
     writers_.pop_front();
-    if (!writers_.empty()) writers_.front()->cv.notify_one();
+    if (!writers_.empty()) writers_.front()->cv.Signal();
     LSMIO_RETURN_IF_ERROR(s);
   }
   if (wait) {
     while ((!imm_queue_.empty() || flush_scheduled_) && bg_error_.ok()) {
-      bg_cv_.wait(lock);
+      bg_cv_.Wait();
     }
     LSMIO_RETURN_IF_ERROR(bg_error_);
   }
@@ -447,13 +450,13 @@ Status DBImpl::FlushMemTable(bool wait) {
 
 Status DBImpl::CompactRange() {
   if (options_.disable_compaction) return Status::OK();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!bg_error_.ok()) return bg_error_;
   manual_compaction_requested_ = true;
-  MaybeScheduleCompaction(lock);
+  MaybeScheduleCompaction();
   while ((manual_compaction_requested_ || compaction_scheduled_) &&
          bg_error_.ok()) {
-    bg_cv_.wait(lock);
+    bg_cv_.Wait();
   }
   // Clear on every exit path (including bg_error_) so a failed manual
   // compaction cannot wedge later calls.
@@ -463,14 +466,14 @@ Status DBImpl::CompactRange() {
 
 // --- background work ----------------------------------------------------------
 
-void DBImpl::MaybeScheduleFlush(std::unique_lock<std::mutex>&) {
+void DBImpl::MaybeScheduleFlush() {
   if (flush_scheduled_ || shutting_down_.load()) return;
   if (imm_queue_.empty()) return;
   flush_scheduled_ = true;
   bg_pool_->Submit([this] { BackgroundFlushCall(); });
 }
 
-void DBImpl::MaybeScheduleCompaction(std::unique_lock<std::mutex>&) {
+void DBImpl::MaybeScheduleCompaction() {
   if (compaction_scheduled_ || shutting_down_.load()) return;
   if (!NeedsCompaction() && !manual_compaction_requested_) return;
   compaction_scheduled_ = true;
@@ -488,39 +491,39 @@ bool DBImpl::NeedsCompaction() const {
 }
 
 void DBImpl::BackgroundFlushCall() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   assert(flush_scheduled_);
 
   if (!shutting_down_.load() && bg_error_.ok() && !imm_queue_.empty()) {
     MemTable* imm = imm_queue_.front();
-    lock.unlock();
+    lock.Unlock();
     const Status s = CompactMemTable(imm);
-    lock.lock();
+    lock.Lock();
     if (!s.ok()) bg_error_ = s;
   }
 
   flush_scheduled_ = false;
-  MaybeScheduleFlush(lock);       // more immutables may be queued
-  MaybeScheduleCompaction(lock);  // the flush may have tipped L0 over
-  bg_cv_.notify_all();
+  MaybeScheduleFlush();       // more immutables may be queued
+  MaybeScheduleCompaction();  // the flush may have tipped L0 over
+  bg_cv_.SignalAll();
 }
 
 void DBImpl::BackgroundCompactionCall() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   assert(compaction_scheduled_);
 
   if (!shutting_down_.load() && bg_error_.ok()) {
     const bool manual = manual_compaction_requested_;
-    lock.unlock();
+    lock.Unlock();
     const Status s = BackgroundCompaction();
-    lock.lock();
+    lock.Lock();
     if (manual) manual_compaction_requested_ = false;
     if (!s.ok()) bg_error_ = s;
   }
 
   compaction_scheduled_ = false;
-  MaybeScheduleCompaction(lock);
-  bg_cv_.notify_all();
+  MaybeScheduleCompaction();
+  bg_cv_.SignalAll();
 }
 
 Status DBImpl::CompactMemTable(MemTable* imm) {
@@ -530,7 +533,7 @@ Status DBImpl::CompactMemTable(MemTable* imm) {
 
   FileMetaData meta;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     meta.number = versions_->NewFileNumber();
     pending_outputs_.insert(meta.number);
   }
@@ -539,7 +542,7 @@ Status DBImpl::CompactMemTable(MemTable* imm) {
   Status s = BuildTable(dbname_, fs(), options_, &internal_comparator_,
                         filter_policy_.get(), iter.get(), &meta);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pending_outputs_.erase(meta.number);
   if (s.ok() && meta.file_size > 0) {
     auto v = versions_->MakeVersion({{0, meta}}, {});
@@ -562,7 +565,7 @@ Status DBImpl::BackgroundCompaction() {
   std::vector<FileMetaData> level_inputs;
   std::vector<FileMetaData> next_inputs;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto current = versions_->current();
     if (current->NumFiles(0) >= options_.l0_compaction_trigger ||
         (manual_compaction_requested_ && current->NumFiles(0) > 0)) {
@@ -610,7 +613,7 @@ Status DBImpl::CompactFiles(int level,
                             const std::vector<FileMetaData>& level_inputs,
                             const std::vector<FileMetaData>& next_inputs) {
   const SequenceNumber smallest_snapshot = [&] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return SmallestSnapshot();
   }();
 
@@ -629,7 +632,7 @@ Status DBImpl::CompactFiles(int level,
       &internal_comparator_, children.data(), static_cast<int>(children.size())));
 
   const bool bottommost = [&] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto current = versions_->current();
     for (int l = level + 2; l < kNumLevels; ++l) {
       if (current->NumFiles(l) > 0) return false;
@@ -655,7 +658,7 @@ Status DBImpl::CompactFiles(int level,
     out_file.reset();
     if (fs_status.ok() && current_output.file_size > 0) {
       outputs.push_back(current_output);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stats_.bytes_compacted += current_output.file_size;
     }
     return fs_status;
@@ -693,7 +696,7 @@ Status DBImpl::CompactFiles(int level,
 
     if (builder == nullptr) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         current_output = FileMetaData{};
         current_output.number = versions_->NewFileNumber();
         pending_outputs_.insert(current_output.number);
@@ -719,7 +722,7 @@ Status DBImpl::CompactFiles(int level,
     builder.reset();
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& f : outputs) pending_outputs_.erase(f.number);
   if (!s.ok()) return s;
 
@@ -790,7 +793,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
   std::shared_ptr<Version> current;
   SequenceNumber sequence;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     sequence = options.snapshot_sequence != 0 ? options.snapshot_sequence
                                               : versions_->LastSequence();
     mem = mem_;
@@ -823,7 +826,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (found && s.ok()) ++stats_.get_hits;
     mem->Unref();
     for (MemTable* imm : imms) imm->Unref();
@@ -847,7 +850,7 @@ Status DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
   std::shared_ptr<Version> current;
   SequenceNumber sequence;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     sequence = options.snapshot_sequence != 0 ? options.snapshot_sequence
                                               : versions_->LastSequence();
     mem = mem_;
@@ -915,7 +918,7 @@ Status DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const Status& s : *statuses) {
       if (s.ok()) ++stats_.get_hits;
     }
@@ -927,7 +930,7 @@ Status DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
 
 Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                                       SequenceNumber* latest_snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   *latest_snapshot = versions_->LastSequence();
 
   std::vector<Iterator*> iters;
@@ -963,21 +966,21 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto* snap = new SnapshotImpl(versions_->LastSequence());
   snapshots_.push_back(snap);
   return snap;
 }
 
 void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto* impl = static_cast<const SnapshotImpl*>(snapshot);
   snapshots_.remove(impl);
   delete impl;
 }
 
 DbStats DBImpl::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   DbStats stats = stats_;
   stats.flush_queue_depth = imm_queue_.size();
   stats.compaction_queue_depth = compaction_scheduled_ ? 1 : 0;
@@ -992,7 +995,7 @@ DbStats DBImpl::GetStats() const {
 }
 
 uint64_t DBImpl::ApproximateMemoryUsage() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
   for (const MemTable* imm : imm_queue_) total += imm->ApproximateMemoryUsage();
   return total;

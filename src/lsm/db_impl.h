@@ -9,15 +9,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <span>
 #include <string>
 
+#include "common/synchronization.h"
 #include "common/thread_pool.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
@@ -58,42 +57,45 @@ class DBImpl final : public DB {
   /// One queued DB::Write (or memtable-switch request when batch == nullptr).
   /// Lives on the caller's stack; linked into writers_ under mu_.
   struct Writer {
-    explicit Writer(WriteBatch* b, bool s) : batch(b), sync(s) {}
+    Writer(WriteBatch* b, bool s, Mutex* mu) : batch(b), sync(s), cv(mu) {}
     WriteBatch* batch;  // nullptr => force a memtable switch (FlushMemTable)
     bool sync;
-    bool done = false;
-    Status status;
-    std::condition_variable cv;
+    bool done = false;  // guarded by the DB mutex the cv is bound to
+    Status status;      // guarded by the DB mutex the cv is bound to
+    CondVar cv;
   };
 
   vfs::Vfs& fs() const;
 
-  Status Initialize();                       // open/create + recover
-  Status NewDb();                            // write fresh CURRENT/manifest
-  Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence);
-  Status WriteSerialized(const WriteOptions& options, WriteBatch* updates);
-  WriteBatch* BuildBatchGroup(Writer** last_writer);  // mu_ held
-  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock);
-  Status SwitchMemTable(std::unique_lock<std::mutex>& lock);
-  bool MemTableQueueFull() const {            // mu_ held
+  Status Initialize() EXCLUDES(mu_);         // open/create + recover
+  Status NewDb() REQUIRES(mu_);              // write fresh CURRENT/manifest
+  Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence)
+      REQUIRES(mu_);
+  Status WriteSerialized(const WriteOptions& options, WriteBatch* updates)
+      EXCLUDES(mu_);
+  WriteBatch* BuildBatchGroup(Writer** last_writer) REQUIRES(mu_);
+  Status MakeRoomForWrite() REQUIRES(mu_);
+  Status SwitchMemTable() REQUIRES(mu_);
+  bool MemTableQueueFull() const REQUIRES(mu_) {
     return 1 + static_cast<int>(imm_queue_.size()) >=
            std::max(2, options_.max_write_buffer_number);
   }
 
-  void MaybeScheduleFlush(std::unique_lock<std::mutex>& lock);
-  void MaybeScheduleCompaction(std::unique_lock<std::mutex>& lock);
-  void BackgroundFlushCall();
-  void BackgroundCompactionCall();
-  Status CompactMemTable(MemTable* imm);
-  bool NeedsCompaction() const;
-  Status BackgroundCompaction();
+  void MaybeScheduleFlush() REQUIRES(mu_);
+  void MaybeScheduleCompaction() REQUIRES(mu_);
+  void BackgroundFlushCall() EXCLUDES(mu_);
+  void BackgroundCompactionCall() EXCLUDES(mu_);
+  Status CompactMemTable(MemTable* imm) EXCLUDES(mu_);
+  bool NeedsCompaction() const REQUIRES(mu_);
+  Status BackgroundCompaction() EXCLUDES(mu_);
   Status CompactFiles(int level, const std::vector<FileMetaData>& level_inputs,
-                      const std::vector<FileMetaData>& next_inputs);
-  void RemoveObsoleteFiles();
+                      const std::vector<FileMetaData>& next_inputs)
+      EXCLUDES(mu_);
+  void RemoveObsoleteFiles() REQUIRES(mu_);
 
   Iterator* NewInternalIterator(const ReadOptions& options,
-                                SequenceNumber* latest_snapshot);
-  SequenceNumber SmallestSnapshot() const;  // mu_ held
+                                SequenceNumber* latest_snapshot) EXCLUDES(mu_);
+  SequenceNumber SmallestSnapshot() const REQUIRES(mu_);
 
   uint64_t MaxBytesForLevel(int level) const;
 
@@ -108,27 +110,35 @@ class DBImpl final : public DB {
   ReadCounters read_counters_;
   std::unique_ptr<TableCache> table_cache_;
 
-  // --- guarded by mu_ ---
-  mutable std::mutex mu_;
-  std::condition_variable bg_cv_;
-  std::unique_ptr<VersionSet> versions_;
+  // --- concurrency state ---
+  // Lock hierarchy (DESIGN.md §9): Manager -> LsmStore -> DBImpl::mu_ ->
+  // cache shard mutexes / VFS-internal mutexes. mu_ is the engine-wide
+  // mutex; compiler-enforced via the GUARDED_BY/REQUIRES annotations below.
+  mutable Mutex mu_;
+  CondVar bg_cv_{&mu_};
+  std::unique_ptr<VersionSet> versions_ GUARDED_BY(mu_);
+  // mem_/log_/logfile_/tmp_batch_ follow the group-commit hybrid contract:
+  // mutated only by the writers_ front ("leader"), which keeps exclusive
+  // ownership even while mu_ is released for the WAL append/sync. All other
+  // threads may only read the mem_ pointer under mu_ (taking a ref). The
+  // static analysis cannot express leader exclusivity, so these members are
+  // deliberately not GUARDED_BY(mu_).
   MemTable* mem_ = nullptr;
-  std::deque<MemTable*> imm_queue_;  // oldest first; front flushes next
-  std::unique_ptr<vfs::WritableFile> logfile_;
-  uint64_t logfile_number_ = 0;
-  std::unique_ptr<log::Writer> log_;
-  std::deque<Writer*> writers_;  // front = leader; only the leader (with
-                                 // writers_ exclusivity) touches mem_/log_
-                                 // while mu_ is released
-  WriteBatch tmp_batch_;         // scratch for merged write groups
-  bool flush_scheduled_ = false;
-  bool compaction_scheduled_ = false;
-  bool manual_compaction_requested_ = false;
-  Status bg_error_;
+  std::deque<MemTable*> imm_queue_ GUARDED_BY(mu_);  // oldest first; front
+                                                     // flushes next
+  std::unique_ptr<vfs::WritableFile> logfile_;  // leader-owned (see mem_)
+  uint64_t logfile_number_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<log::Writer> log_;  // leader-owned (see mem_)
+  std::deque<Writer*> writers_ GUARDED_BY(mu_);  // front = leader
+  WriteBatch tmp_batch_;  // leader-owned scratch for merged write groups
+  bool flush_scheduled_ GUARDED_BY(mu_) = false;
+  bool compaction_scheduled_ GUARDED_BY(mu_) = false;
+  bool manual_compaction_requested_ GUARDED_BY(mu_) = false;
+  Status bg_error_ GUARDED_BY(mu_);
   std::atomic<bool> shutting_down_{false};
-  std::set<uint64_t> pending_outputs_;
-  std::list<const SnapshotImpl*> snapshots_;
-  DbStats stats_;
+  std::set<uint64_t> pending_outputs_ GUARDED_BY(mu_);
+  std::list<const SnapshotImpl*> snapshots_ GUARDED_BY(mu_);
+  DbStats stats_ GUARDED_BY(mu_);
 
   // Background executor; created last, destroyed first.
   std::unique_ptr<ThreadPool> bg_pool_;

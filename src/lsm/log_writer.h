@@ -1,4 +1,9 @@
 // Appends records to a WAL/manifest log in the block format of log_format.h.
+//
+// External-synchronization contract (DESIGN.md §9): Writer is not
+// thread-safe; AddRecord must be externally serialized. The engine's WAL
+// writer is mutated only by the group-commit leader (DBImpl), the manifest
+// writer only under DBImpl::mu_ via VersionSet.
 #pragma once
 
 #include <cstdint>

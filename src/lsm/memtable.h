@@ -1,6 +1,13 @@
 // MemTable: the in-RAM C0 tree (paper §2.2) — a skip list of encoded
 // internal-key/value records in arena memory. Reference-counted because an
 // immutable memtable stays readable while a background thread flushes it.
+//
+// External-synchronization contract (DESIGN.md §9): a MemTable has no mutex.
+// Add() must be externally serialized (in the engine: only the group-commit
+// leader writes, see DBImpl). Get()/NewIterator() may run concurrently with
+// one writer because the skip list publishes nodes with release/acquire
+// ordering; Ref/Unref are atomic so readers can pin a table after dropping
+// the DB mutex.
 #pragma once
 
 #include <atomic>

@@ -1,5 +1,9 @@
 // Cache of open Table readers keyed by file number, so repeated point
 // lookups don't re-open and re-parse table footers.
+//
+// Thread-safety: all methods are safe to call concurrently; the state lives
+// in the underlying ShardedLRUCache (per-shard mutexes, see lsm/cache.cc)
+// and Tables themselves are immutable once opened.
 #pragma once
 
 #include <cstdint>

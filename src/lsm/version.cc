@@ -310,6 +310,7 @@ Status VersionSet::SetCurrentFile(uint64_t manifest_number) {
 }
 
 Status VersionSet::WriteSnapshot() {
+  AssertOwnerHeld();
   // Start a fresh manifest file.
   manifest_file_number_ = NewFileNumber();
   const std::string fname = ManifestFileName(dbname_, manifest_file_number_);
@@ -330,6 +331,7 @@ Status VersionSet::WriteSnapshot() {
 }
 
 Status VersionSet::Recover(bool* save_manifest) {
+  AssertOwnerHeld();
   *save_manifest = false;
   std::string current;
   Status s = vfs::ReadFileToString(fs(), CurrentFileName(dbname_), &current);
@@ -376,6 +378,7 @@ Status VersionSet::Recover(bool* save_manifest) {
 }
 
 Status VersionSet::LogAndApply(std::shared_ptr<Version> v) {
+  AssertOwnerHeld();
   retained_.push_back(current_);
   current_ = std::move(v);
   if (manifest_log_ == nullptr) {
@@ -390,6 +393,7 @@ Status VersionSet::LogAndApply(std::shared_ptr<Version> v) {
 std::shared_ptr<Version> VersionSet::MakeVersion(
     const std::vector<std::pair<int, FileMetaData>>& additions,
     const std::vector<std::pair<int, uint64_t>>& deletions) const {
+  AssertOwnerHeld();
   auto v = std::make_shared<Version>(icmp_);
   for (int level = 0; level < kNumLevels; ++level) {
     for (const auto& f : current_->files[level]) {
@@ -419,6 +423,7 @@ std::shared_ptr<Version> VersionSet::MakeVersion(
 }
 
 void VersionSet::AddLiveFiles(std::vector<uint64_t>* live) const {
+  AssertOwnerHeld();
   for (int level = 0; level < kNumLevels; ++level) {
     for (const auto& f : current_->files[level]) live->push_back(f.number);
   }

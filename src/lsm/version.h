@@ -7,12 +7,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/slice.h"
+#include "common/synchronization.h"
 #include "common/status.h"
 #include "lsm/dbformat.h"
 #include "lsm/iterator.h"
@@ -84,6 +84,15 @@ class Version {
 };
 
 /// Owner of the current Version and the manifest.
+///
+/// Concurrency contract: a VersionSet has no mutex of its own — every
+/// mutating or state-reading method must be called with the *owner's*
+/// mutex held (DBImpl::mu_ in the engine). That cross-object requirement
+/// is invisible to the static analysis, so it is enforced at runtime
+/// instead: SetOwnerMutex installs the guarding mutex, and each entry
+/// point calls AssertOwnerHeld (aborting under LSMIO_MUTEX_DEBUG when the
+/// caller does not hold it). Standalone users (tests) that never share a
+/// VersionSet across threads simply skip SetOwnerMutex.
 class VersionSet {
  public:
   VersionSet(std::string dbname, const Options& options,
@@ -92,6 +101,10 @@ class VersionSet {
 
   VersionSet(const VersionSet&) = delete;
   VersionSet& operator=(const VersionSet&) = delete;
+
+  /// Declares `mu` as the mutex guarding this VersionSet (see class
+  /// comment). Call once, before the set is shared across threads.
+  void SetOwnerMutex(const Mutex* mu) { owner_mu_ = mu; }
 
   /// Recovers state from CURRENT/manifest. *save_manifest is set when the
   /// manifest should be rewritten (e.g. it did not exist).
@@ -106,19 +119,35 @@ class VersionSet {
       const std::vector<std::pair<int, FileMetaData>>& additions,
       const std::vector<std::pair<int, uint64_t>>& deletions) const;
 
-  [[nodiscard]] std::shared_ptr<Version> current() const { return current_; }
+  [[nodiscard]] std::shared_ptr<Version> current() const {
+    AssertOwnerHeld();
+    return current_;
+  }
 
-  [[nodiscard]] uint64_t NewFileNumber() { return next_file_number_++; }
+  [[nodiscard]] uint64_t NewFileNumber() {
+    AssertOwnerHeld();
+    return next_file_number_++;
+  }
   /// Re-use a file number handed out by NewFileNumber but never used.
   void ReuseFileNumber(uint64_t number) {
+    AssertOwnerHeld();
     if (next_file_number_ == number + 1) next_file_number_ = number;
   }
 
-  [[nodiscard]] SequenceNumber LastSequence() const { return last_sequence_; }
-  void SetLastSequence(SequenceNumber s) { last_sequence_ = s; }
+  [[nodiscard]] SequenceNumber LastSequence() const {
+    AssertOwnerHeld();
+    return last_sequence_;
+  }
+  void SetLastSequence(SequenceNumber s) {
+    AssertOwnerHeld();
+    last_sequence_ = s;
+  }
 
   [[nodiscard]] uint64_t LogNumber() const { return log_number_; }
-  void SetLogNumber(uint64_t number) { log_number_ = number; }
+  void SetLogNumber(uint64_t number) {
+    AssertOwnerHeld();
+    log_number_ = number;
+  }
 
   [[nodiscard]] uint64_t ManifestFileNumber() const { return manifest_file_number_; }
 
@@ -137,12 +166,19 @@ class VersionSet {
   Status DecodeSnapshot(const Slice& record);
   Status SetCurrentFile(uint64_t manifest_number);
 
+  /// Debug-checks the owner's-mutex contract (no-op when no owner mutex
+  /// was installed, or when LSMIO_MUTEX_DEBUG is off).
+  void AssertOwnerHeld() const {
+    if (owner_mu_ != nullptr) owner_mu_->AssertHeld();
+  }
+
   vfs::Vfs& fs() const;
 
   std::string dbname_;
   Options options_;
   const InternalKeyComparator* icmp_;
   TableCache* table_cache_;
+  const Mutex* owner_mu_ = nullptr;  // installed by SetOwnerMutex
 
   std::shared_ptr<Version> current_;
   /// Superseded versions that may still be referenced by unlocked readers;

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <tuple>
+
+#include "common/synchronization.h"
 
 namespace lsmio::minimpi {
 
@@ -30,19 +30,20 @@ class World {
 
   void Send(uint32_t context, int src, int dst, int64_t tag, std::string data) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       mailboxes_[Key{context, src, dst, tag}].push_back(std::move(data));
     }
-    cv_.notify_all();
+    cv_.SignalAll();
   }
 
   std::string Recv(uint32_t context, int src, int dst, int64_t tag) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const Key key{context, src, dst, tag};
-    cv_.wait(lock, [&] {
+    auto ready = [&]() REQUIRES(mu_) {
       auto it = mailboxes_.find(key);
       return it != mailboxes_.end() && !it->second.empty();
-    });
+    };
+    while (!ready()) cv_.Wait();
     auto it = mailboxes_.find(key);
     std::string data = std::move(it->second.front());
     it->second.pop_front();
@@ -51,20 +52,20 @@ class World {
   }
 
   void Barrier(uint32_t context, int group_size) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     BarrierState& b = barriers_[context];
     const uint64_t generation = b.generation;
     if (++b.waiting == group_size) {
       b.waiting = 0;
       ++b.generation;
-      cv_.notify_all();
+      cv_.SignalAll();
     } else {
-      cv_.wait(lock, [&] { return b.generation != generation; });
+      while (b.generation == generation) cv_.Wait();
     }
   }
 
   uint32_t NewContext() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return next_context_++;
   }
 
@@ -77,11 +78,11 @@ class World {
   };
 
   int num_ranks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<Key, std::deque<std::string>> mailboxes_;
-  std::map<uint32_t, BarrierState> barriers_;
-  uint32_t next_context_ = 1;
+  Mutex mu_;
+  CondVar cv_{&mu_};
+  std::map<Key, std::deque<std::string>> mailboxes_ GUARDED_BY(mu_);
+  std::map<uint32_t, BarrierState> barriers_ GUARDED_BY(mu_);
+  uint32_t next_context_ GUARDED_BY(mu_) = 1;
 };
 
 void Comm::SendInternal(int dest, int64_t tag, const std::string& data) {

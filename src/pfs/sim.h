@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pfs/cluster.h"
@@ -70,7 +71,7 @@ struct SimResult {
 
 class LustreSim {
  public:
-  explicit LustreSim(SimOptions options) : options_(options) {}
+  explicit LustreSim(SimOptions options) : options_(std::move(options)) {}
 
   /// Replays all ranks' traces; deterministic for identical inputs.
   SimResult Run(const vfs::TraceContext& traces);

@@ -4,31 +4,28 @@
 #include <cstring>
 
 namespace lsmio::vfs {
-namespace {
-
-using MemFilePtr = std::shared_ptr<void>;
-
-}  // namespace
 
 // --- file object implementations -------------------------------------------
+//
+// Each adapter holds a shared_ptr to the whole MemFile block and locks
+// file_->mu around every file_->data access, so the GUARDED_BY relation is
+// visible to the thread-safety analysis (unlike the aliasing-shared_ptr
+// scheme this replaced, which split the mutex and the data into unrelated
+// pointers).
 
 namespace {
 
-struct MemFileRef {
-  std::mutex* mu;
-  std::string* data;
-};
+using MemFilePtr = std::shared_ptr<MemVfs::MemFile>;
 
 }  // namespace
 
 class MemWritableFile final : public WritableFile {
  public:
-  MemWritableFile(std::shared_ptr<std::mutex> mu, std::shared_ptr<std::string> data)
-      : mu_(std::move(mu)), data_(std::move(data)) {}
+  explicit MemWritableFile(MemFilePtr file) : file_(std::move(file)) {}
 
   Status Append(const Slice& slice) override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    data_->append(slice.data(), slice.size());
+    MutexLock lock(&file_->mu);
+    file_->data.append(slice.data(), slice.size());
     size_ += slice.size();
     return Status::OK();
   }
@@ -38,57 +35,51 @@ class MemWritableFile final : public WritableFile {
   uint64_t Size() const override { return size_; }
 
  private:
-  std::shared_ptr<std::mutex> mu_;
-  std::shared_ptr<std::string> data_;
-  uint64_t size_ = 0;
+  MemFilePtr file_;
+  uint64_t size_ = 0;  // writer-private running count; no lock needed
 };
 
 namespace {
 
-// MemVfs stores MemFile { mutex, string } — expose lightweight adapters.
-
 class MemRandom final : public RandomAccessFile {
  public:
-  MemRandom(std::shared_ptr<std::mutex> mu, std::shared_ptr<std::string> data)
-      : mu_(std::move(mu)), data_(std::move(data)) {}
+  explicit MemRandom(MemFilePtr file) : file_(std::move(file)) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               std::string* scratch) const override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    if (offset >= data_->size()) {
+    MutexLock lock(&file_->mu);
+    if (offset >= file_->data.size()) {
       *result = Slice();
       return Status::OK();
     }
-    const size_t avail = data_->size() - static_cast<size_t>(offset);
+    const size_t avail = file_->data.size() - static_cast<size_t>(offset);
     const size_t want = std::min(n, avail);
-    scratch->assign(data_->data() + offset, want);
+    scratch->assign(file_->data.data() + offset, want);
     *result = Slice(*scratch);
     return Status::OK();
   }
 
   uint64_t Size() const override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    return data_->size();
+    MutexLock lock(&file_->mu);
+    return file_->data.size();
   }
 
  private:
-  std::shared_ptr<std::mutex> mu_;
-  std::shared_ptr<std::string> data_;
+  MemFilePtr file_;
 };
 
 class MemSequential final : public SequentialFile {
  public:
-  MemSequential(std::shared_ptr<std::mutex> mu, std::shared_ptr<std::string> data)
-      : mu_(std::move(mu)), data_(std::move(data)) {}
+  explicit MemSequential(MemFilePtr file) : file_(std::move(file)) {}
 
   Status Read(size_t n, Slice* result, std::string* scratch) override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    if (pos_ >= data_->size()) {
+    MutexLock lock(&file_->mu);
+    if (pos_ >= file_->data.size()) {
       *result = Slice();
       return Status::OK();
     }
-    const size_t want = std::min(n, data_->size() - pos_);
-    scratch->assign(data_->data() + pos_, want);
+    const size_t want = std::min(n, file_->data.size() - pos_);
+    scratch->assign(file_->data.data() + pos_, want);
     pos_ += want;
     *result = Slice(*scratch);
     return Status::OK();
@@ -100,33 +91,32 @@ class MemSequential final : public SequentialFile {
   }
 
  private:
-  std::shared_ptr<std::mutex> mu_;
-  std::shared_ptr<std::string> data_;
-  size_t pos_ = 0;
+  MemFilePtr file_;
+  size_t pos_ = 0;  // single-reader cursor; callers serialize Read/Skip
 };
 
 class MemHandle final : public FileHandle {
  public:
-  MemHandle(std::shared_ptr<std::mutex> mu, std::shared_ptr<std::string> data)
-      : mu_(std::move(mu)), data_(std::move(data)) {}
+  explicit MemHandle(MemFilePtr file) : file_(std::move(file)) {}
 
   Status WriteAt(uint64_t offset, const Slice& slice) override {
-    std::lock_guard<std::mutex> lock(*mu_);
+    MutexLock lock(&file_->mu);
     const size_t end = static_cast<size_t>(offset) + slice.size();
-    if (end > data_->size()) data_->resize(end, '\0');
-    std::memcpy(data_->data() + offset, slice.data(), slice.size());
+    if (end > file_->data.size()) file_->data.resize(end, '\0');
+    std::memcpy(file_->data.data() + offset, slice.data(), slice.size());
     return Status::OK();
   }
 
   Status ReadAt(uint64_t offset, size_t n, Slice* result,
                 std::string* scratch) override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    if (offset >= data_->size()) {
+    MutexLock lock(&file_->mu);
+    if (offset >= file_->data.size()) {
       *result = Slice();
       return Status::OK();
     }
-    const size_t want = std::min(n, data_->size() - static_cast<size_t>(offset));
-    scratch->assign(data_->data() + offset, want);
+    const size_t want =
+        std::min(n, file_->data.size() - static_cast<size_t>(offset));
+    scratch->assign(file_->data.data() + offset, want);
     *result = Slice(*scratch);
     return Status::OK();
   }
@@ -134,30 +124,26 @@ class MemHandle final : public FileHandle {
   Status Sync() override { return Status::OK(); }
 
   Status Truncate(uint64_t size) override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    data_->resize(static_cast<size_t>(size), '\0');
+    MutexLock lock(&file_->mu);
+    file_->data.resize(static_cast<size_t>(size), '\0');
     return Status::OK();
   }
 
   Status Close() override { return Status::OK(); }
 
   uint64_t Size() const override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    return data_->size();
+    MutexLock lock(&file_->mu);
+    return file_->data.size();
   }
 
  private:
-  std::shared_ptr<std::mutex> mu_;
-  std::shared_ptr<std::string> data_;
+  MemFilePtr file_;
 };
 
 }  // namespace
 
-// MemVfs::MemFile carries its own mutex+data; to share with adapters we use
-// aliasing shared_ptrs into the MemFile block.
-
 std::shared_ptr<MemVfs::MemFile> MemVfs::Find(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   return it == files_.end() ? nullptr : it->second;
 }
@@ -166,14 +152,12 @@ Status MemVfs::NewWritableFile(const std::string& path, const OpenOptions&,
                                std::unique_ptr<WritableFile>* file) {
   std::shared_ptr<MemFile> f;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto& slot = files_[path];
     slot = std::make_shared<MemFile>();  // truncate semantics
     f = slot;
   }
-  auto mu = std::shared_ptr<std::mutex>(f, &f->mu);
-  auto data = std::shared_ptr<std::string>(f, &f->data);
-  *file = std::make_unique<MemWritableFile>(std::move(mu), std::move(data));
+  *file = std::make_unique<MemWritableFile>(std::move(f));
   return Status::OK();
 }
 
@@ -181,9 +165,7 @@ Status MemVfs::NewRandomAccessFile(const std::string& path, const OpenOptions&,
                                    std::unique_ptr<RandomAccessFile>* file) {
   auto f = Find(path);
   if (!f) return Status::NotFound("mem file: " + path);
-  auto mu = std::shared_ptr<std::mutex>(f, &f->mu);
-  auto data = std::shared_ptr<std::string>(f, &f->data);
-  *file = std::make_unique<MemRandom>(std::move(mu), std::move(data));
+  *file = std::make_unique<MemRandom>(std::move(f));
   return Status::OK();
 }
 
@@ -191,9 +173,7 @@ Status MemVfs::NewSequentialFile(const std::string& path, const OpenOptions&,
                                  std::unique_ptr<SequentialFile>* file) {
   auto f = Find(path);
   if (!f) return Status::NotFound("mem file: " + path);
-  auto mu = std::shared_ptr<std::mutex>(f, &f->mu);
-  auto data = std::shared_ptr<std::string>(f, &f->data);
-  *file = std::make_unique<MemSequential>(std::move(mu), std::move(data));
+  *file = std::make_unique<MemSequential>(std::move(f));
   return Status::OK();
 }
 
@@ -202,7 +182,7 @@ Status MemVfs::OpenFileHandle(const std::string& path, bool create,
                               std::unique_ptr<FileHandle>* file) {
   std::shared_ptr<MemFile> f;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(path);
     if (it == files_.end()) {
       if (!create) return Status::NotFound("mem file: " + path);
@@ -212,33 +192,31 @@ Status MemVfs::OpenFileHandle(const std::string& path, bool create,
       f = it->second;
     }
   }
-  auto mu = std::shared_ptr<std::mutex>(f, &f->mu);
-  auto data = std::shared_ptr<std::string>(f, &f->data);
-  *file = std::make_unique<MemHandle>(std::move(mu), std::move(data));
+  *file = std::make_unique<MemHandle>(std::move(f));
   return Status::OK();
 }
 
 bool MemVfs::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return files_.count(path) > 0;
+  MutexLock lock(&mu_);
+  return files_.contains(path);
 }
 
 Status MemVfs::GetFileSize(const std::string& path, uint64_t* size) {
   auto f = Find(path);
   if (!f) return Status::NotFound("mem file: " + path);
-  std::lock_guard<std::mutex> lock(f->mu);
+  MutexLock lock(&f->mu);
   *size = f->data.size();
   return Status::OK();
 }
 
 Status MemVfs::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.erase(path) == 0) return Status::NotFound("mem file: " + path);
   return Status::OK();
 }
 
 Status MemVfs::RenameFile(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound("mem file: " + from);
   files_[to] = it->second;
@@ -252,7 +230,7 @@ Status MemVfs::ListDir(const std::string& path, std::vector<std::string>* out) {
   out->clear();
   std::string prefix = path;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, file] : files_) {
     if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
       const std::string rest = name.substr(prefix.size());
@@ -269,17 +247,17 @@ Status MemVfs::ListDir(const std::string& path, std::vector<std::string>* out) {
 }
 
 uint64_t MemVfs::TotalBytes() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [name, file] : files_) {
-    std::lock_guard<std::mutex> flock(file->mu);
+    MutexLock flock(&file->mu);
     total += file->data.size();
   }
   return total;
 }
 
 size_t MemVfs::FileCount() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.size();
 }
 

@@ -5,14 +5,23 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/synchronization.h"
 #include "vfs/vfs.h"
 
 namespace lsmio::vfs {
 
 class MemVfs final : public Vfs {
  public:
+  /// One in-memory file: its bytes plus the mutex guarding them. Public so
+  /// the adapter file objects (writable/random/sequential/handle) can hold a
+  /// shared_ptr to the whole block and lock `mu` around `data` accesses in a
+  /// way the thread-safety analysis can follow.
+  struct MemFile {
+    Mutex mu;
+    std::string data GUARDED_BY(mu);
+  };
+
   MemVfs() = default;
 
   Status NewWritableFile(const std::string& path, const OpenOptions& opts,
@@ -33,20 +42,15 @@ class MemVfs final : public Vfs {
   Status ListDir(const std::string& path, std::vector<std::string>* out) override;
 
   /// Total bytes across all files (test/diagnostic aid).
-  uint64_t TotalBytes();
+  uint64_t TotalBytes() EXCLUDES(mu_);
   /// Number of files (test/diagnostic aid).
-  size_t FileCount();
+  size_t FileCount() EXCLUDES(mu_);
 
  private:
-  struct MemFile {
-    std::mutex mu;
-    std::string data;
-  };
+  std::shared_ptr<MemFile> Find(const std::string& path) EXCLUDES(mu_);
 
-  std::shared_ptr<MemFile> Find(const std::string& path);
-
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<MemFile>> files_;
+  Mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace lsmio::vfs

@@ -1,5 +1,7 @@
 #include "vfs/posix_vfs.h"
 
+#include "common/synchronization.h"
+
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -9,7 +11,6 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
-#include <mutex>
 
 #include "common/logging.h"
 
@@ -95,7 +96,7 @@ class PosixRandomAccessFile final : public RandomAccessFile {
       return Status::OK();
     }
     if (want > 0 && prefetch_active_.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lock(prefetch_mu_);
+      MutexLock lock(&prefetch_mu_);
       if (offset >= prefetch_offset_ &&
           offset + want <= prefetch_offset_ + prefetch_.size()) {
         scratch->assign(prefetch_.data() + (offset - prefetch_offset_), want);
@@ -141,7 +142,7 @@ class PosixRandomAccessFile final : public RandomAccessFile {
     // Fill the aligned prefetch window so the caller's subsequent small
     // block reads are served from one large pread instead of many.
     length = std::min(length, kMaxPrefetchBytes);
-    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    MutexLock lock(&prefetch_mu_);
     if (offset >= prefetch_offset_ &&
         offset + length <= prefetch_offset_ + prefetch_.size()) {
       return;  // window already covers the hinted range
@@ -175,10 +176,13 @@ class PosixRandomAccessFile final : public RandomAccessFile {
 
   /// Readahead window filled by Hint; files are immutable once opened, so
   /// served bytes can never be stale.
-  mutable std::mutex prefetch_mu_;
+  mutable Mutex prefetch_mu_;
+  /// Cheap pre-check read outside prefetch_mu_ (acquire pairs with the
+  /// release store in Hint); the guarded window state is re-checked under
+  /// the lock before any byte is served.
   mutable std::atomic<bool> prefetch_active_{false};
-  mutable std::string prefetch_;
-  mutable uint64_t prefetch_offset_ = 0;
+  mutable std::string prefetch_ GUARDED_BY(prefetch_mu_);
+  mutable uint64_t prefetch_offset_ GUARDED_BY(prefetch_mu_) = 0;
 };
 
 class PosixSequentialFile final : public SequentialFile {

@@ -14,7 +14,7 @@ TraceContext::TraceContext(int num_ranks)
 }
 
 uint32_t TraceContext::InternFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(intern_mu_);
+  MutexLock lock(&intern_mu_);
   auto [it, inserted] = path_to_id_.try_emplace(
       path, static_cast<uint32_t>(id_to_path_.size()));
   if (inserted) id_to_path_.push_back(path);
@@ -22,19 +22,19 @@ uint32_t TraceContext::InternFile(const std::string& path) {
 }
 
 const std::string& TraceContext::PathOf(uint32_t file_id) const {
-  std::lock_guard<std::mutex> lock(intern_mu_);
+  MutexLock lock(&intern_mu_);
   assert(file_id < id_to_path_.size());
   return id_to_path_[file_id];
 }
 
 size_t TraceContext::num_files() const {
-  std::lock_guard<std::mutex> lock(intern_mu_);
+  MutexLock lock(&intern_mu_);
   return id_to_path_.size();
 }
 
 void TraceContext::Record(int rank, const IoOp& op) {
   assert(rank >= 0 && rank < num_ranks_);
-  std::lock_guard<std::mutex> lock(trace_locks_[static_cast<size_t>(rank)].mu);
+  MutexLock lock(&trace_locks_[static_cast<size_t>(rank)].mu);
   traces_[static_cast<size_t>(rank)].ops.push_back(op);
 }
 

@@ -10,10 +10,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/synchronization.h"
 
 namespace lsmio::vfs {
 
@@ -56,7 +57,7 @@ namespace internal {
 /// thread, but engine background work (e.g. the LSM flush thread) records
 /// through the same rank's TraceVfs concurrently.
 struct TraceLock {
-  std::mutex mu;
+  Mutex mu;
 };
 }  // namespace internal
 
@@ -118,9 +119,9 @@ class TraceContext {
   std::vector<IoTrace> traces_;
   std::unique_ptr<internal::TraceLock[]> trace_locks_;
 
-  mutable std::mutex intern_mu_;
-  std::unordered_map<std::string, uint32_t> path_to_id_;
-  std::vector<std::string> id_to_path_;
+  mutable Mutex intern_mu_;
+  std::unordered_map<std::string, uint32_t> path_to_id_ GUARDED_BY(intern_mu_);
+  std::vector<std::string> id_to_path_ GUARDED_BY(intern_mu_);
 
   std::atomic<uint64_t> hint_ops_{0};
   std::atomic<uint64_t> hint_bytes_{0};
