@@ -4,8 +4,10 @@
 // threads instead of serializing behind the global mutex (seed path).
 // Emits a JSON document on stdout (alongside the figure benches' tables);
 // progress goes to stderr.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,8 +20,26 @@ namespace {
 
 using namespace lsmio;
 
-constexpr int kTotalOps = 1600;       // split across the writer threads
-constexpr size_t kValueBytes = 4 * KiB;
+// Defaults measure a real workload; CI overrides them via the environment
+// (LSMIO_BENCH_OPS / LSMIO_BENCH_VALUE_BYTES / LSMIO_BENCH_MAX_THREADS) to
+// get a seconds-long smoke run that still exercises every code path.
+long EnvLong(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed <= 0) {
+    std::fprintf(stderr, "ignoring %s=%s (want a positive integer)\n", name, v);
+    return fallback;
+  }
+  return parsed;
+}
+
+const int kTotalOps =
+    static_cast<int>(EnvLong("LSMIO_BENCH_OPS", 1600));  // split across threads
+const size_t kValueBytes =
+    static_cast<size_t>(EnvLong("LSMIO_BENCH_VALUE_BYTES", 4 * KiB));
+const int kMaxThreads = static_cast<int>(EnvLong("LSMIO_BENCH_MAX_THREADS", 8));
 
 struct RunResult {
   int threads = 0;
@@ -105,6 +125,7 @@ int main() {
 
   for (const bool group_commit : {false, true}) {
     for (const int threads : {1, 2, 4, 8}) {
+      if (threads > kMaxThreads) continue;
       std::fprintf(stderr, "%-14s %d thread(s)... ",
                    group_commit ? "group-commit" : "serialized", threads);
       std::fflush(stderr);
@@ -129,14 +150,17 @@ int main() {
                 static_cast<unsigned long long>(r.write_stall_micros),
                 i + 1 < results.size() ? "," : "");
   }
-  const double speedup4 = At(results, 4, true) / At(results, 4, false);
+  // Compare at the widest concurrency actually run (CI caps the sweep).
+  const int peak = std::min(4, kMaxThreads);
+  const double speedup = At(results, peak, true) / At(results, peak, false);
   const double single_ratio = At(results, 1, true) / At(results, 1, false);
-  std::printf("  ],\n  \"speedup_at_4_threads\": %.2f,\n", speedup4);
+  std::printf("  ],\n  \"speedup_threads\": %d,\n  \"speedup\": %.2f,\n", peak,
+              speedup);
   std::printf("  \"single_writer_ratio\": %.2f\n}\n", single_ratio);
 
   std::fprintf(stderr,
-               "\ngroup commit at 4 threads: %.2fx the serialized path "
-               "(target >= 2x); single-writer ratio %.2f (target > 0.95)\n",
-               speedup4, single_ratio);
+               "\ngroup commit at %d threads: %.2fx the serialized path "
+               "(target >= 2x at 4); single-writer ratio %.2f (target > 0.95)\n",
+               peak, speedup, single_ratio);
   return 0;
 }

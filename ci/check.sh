@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# LSMIO analysis matrix: lint (Clang thread-safety + clang-tidy), TSan, ASan.
+# LSMIO analysis matrix: lint (Clang thread-safety + clang-tidy), TSan, ASan,
+# and the bench smoke leg the CI pipeline runs.
 #
 # Each leg configures its own build tree under build-ci/ and runs the tier-1
 # ctest suite. Legs that need a toolchain the host lacks (the lint leg needs
 # Clang) are SKIPPED with a notice rather than failed, so the script is
-# useful both on full CI images and on minimal dev boxes.
+# useful both on full CI images and on minimal dev boxes. Under GitHub
+# Actions a skip additionally emits a ::warning:: annotation so it is
+# visible on the run instead of silently passing.
 #
 # Usage:
-#   ci/check.sh            # run all legs
-#   ci/check.sh lint       # one leg: lint | tsan | asan | plain
+#   ci/check.sh                 # run the default legs (lint, tsan, asan)
+#   ci/check.sh --leg asan      # run exactly one leg
+#   ci/check.sh asan            # same (positional form kept for compat)
+# Legs: plain | lint | tsan | asan | bench | all
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,14 +24,22 @@ PASS=()
 FAIL=()
 SKIP=()
 
+note_skip() {
+  local name="$1" reason="$2"
+  echo "=== [$name] SKIPPED: $reason ==="
+  if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+    echo "::warning title=ci/check.sh leg skipped::$name skipped: $reason"
+  fi
+  SKIP+=("$name ($reason)")
+}
+
 run_leg() {
   local name="$1"; shift
   local builddir="$ROOT/build-ci/$name"
+  mkdir -p "$ROOT/build-ci"
   echo
   echo "=== [$name] cmake $* ==="
   if ! cmake -B "$builddir" -S "$ROOT" "$@" >"$builddir.configure.log" 2>&1; then
-    # cmake writes the log next to the build dir; show the tail on failure.
-    mkdir -p "$(dirname "$builddir")"
     tail -30 "$builddir.configure.log" || true
     FAIL+=("$name (configure)")
     return 1
@@ -51,8 +64,7 @@ leg_lint() {
   local clangxx
   clangxx="$(command -v clang++ || true)"
   if [ -z "$clangxx" ]; then
-    echo "=== [lint] SKIPPED: clang++ not found (thread-safety analysis needs Clang) ==="
-    SKIP+=("lint (no clang++)")
+    note_skip lint "clang++ not found (thread-safety analysis needs Clang)"
     return 0
   fi
   run_leg lint -DCMAKE_CXX_COMPILER="$clangxx" -DLSMIO_LINT=ON
@@ -66,23 +78,111 @@ leg_asan() {
   run_leg asan -DLSMIO_SANITIZE=address
 }
 
-mkdir -p "$ROOT/build-ci"
+# Tiny-config benchmark smoke run: builds the bench binaries, runs them with
+# a deliberately small workload, and validates that both emit parseable JSON
+# into bench_results/. Catches bench bit-rot without burning CI minutes on a
+# real measurement.
+leg_bench() {
+  local name=bench
+  local builddir="$ROOT/build-ci/$name"
+  local outdir="$ROOT/bench_results"
+  if ! command -v python3 >/dev/null 2>&1; then
+    note_skip "$name" "python3 not found (needed to validate bench JSON)"
+    return 0
+  fi
+  mkdir -p "$ROOT/build-ci" "$outdir"
+  echo
+  echo "=== [$name] bench smoke (tiny config) ==="
+  if ! cmake -B "$builddir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+       >"$builddir.configure.log" 2>&1; then
+    tail -30 "$builddir.configure.log" || true
+    FAIL+=("$name (configure)")
+    return 1
+  fi
+  if ! cmake --build "$builddir" -j "$JOBS" \
+       --target bench_micro_lsm bench_concurrent_writers \
+       >"$builddir.build.log" 2>&1; then
+    tail -40 "$builddir.build.log" || true
+    FAIL+=("$name (build)")
+    return 1
+  fi
+  if ! "$builddir/bench/bench_micro_lsm" \
+       --benchmark_min_time=0.01 \
+       --benchmark_out="$outdir/bench_micro_lsm.json" \
+       --benchmark_out_format=json; then
+    FAIL+=("$name (bench_micro_lsm)")
+    return 1
+  fi
+  if ! LSMIO_BENCH_OPS=64 LSMIO_BENCH_VALUE_BYTES=512 LSMIO_BENCH_MAX_THREADS=2 \
+       "$builddir/bench/bench_concurrent_writers" \
+       >"$outdir/bench_concurrent_writers.json"; then
+    FAIL+=("$name (bench_concurrent_writers)")
+    return 1
+  fi
+  if ! python3 - "$outdir/bench_micro_lsm.json" \
+       "$outdir/bench_concurrent_writers.json" <<'PY'
+import json, sys
+micro = json.load(open(sys.argv[1]))
+assert micro.get("benchmarks"), "bench_micro_lsm produced no benchmarks"
+conc = json.load(open(sys.argv[2]))
+assert conc.get("results"), "bench_concurrent_writers produced no results"
+print(f"bench JSON ok: {len(micro['benchmarks'])} micro benchmarks, "
+      f"{len(conc['results'])} concurrent-writer configs")
+PY
+  then
+    FAIL+=("$name (json validation)")
+    return 1
+  fi
+  PASS+=("$name")
+}
 
-case "${1:-all}" in
-  plain) leg_plain ;;
-  lint)  leg_lint ;;
-  tsan)  leg_tsan ;;
-  asan)  leg_asan ;;
-  all)
-    leg_lint
-    leg_tsan
-    leg_asan
-    ;;
-  *)
-    echo "usage: ci/check.sh [all|plain|lint|tsan|asan]" >&2
-    exit 2
-    ;;
-esac
+# --- argument parsing --------------------------------------------------------
+
+LEGS=()
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --leg)
+      if [ "$#" -lt 2 ]; then
+        echo "error: --leg requires a name" >&2
+        exit 2
+      fi
+      LEGS+=("$2")
+      shift 2
+      ;;
+    --leg=*)
+      LEGS+=("${1#--leg=}")
+      shift
+      ;;
+    -h|--help)
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|bench]"
+      exit 0
+      ;;
+    *)
+      LEGS+=("$1")
+      shift
+      ;;
+  esac
+done
+[ "${#LEGS[@]}" -eq 0 ] && LEGS=(all)
+
+for leg in "${LEGS[@]}"; do
+  case "$leg" in
+    plain) leg_plain ;;
+    lint)  leg_lint ;;
+    tsan)  leg_tsan ;;
+    asan)  leg_asan ;;
+    bench) leg_bench ;;
+    all)
+      leg_lint
+      leg_tsan
+      leg_asan
+      ;;
+    *)
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|bench]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo
 echo "=== analysis matrix summary ==="
@@ -90,4 +190,5 @@ for leg in "${PASS[@]:-}";  do [ -n "$leg" ] && echo "  PASS  $leg"; done
 for leg in "${SKIP[@]:-}";  do [ -n "$leg" ] && echo "  SKIP  $leg"; done
 for leg in "${FAIL[@]:-}";  do [ -n "$leg" ] && echo "  FAIL  $leg"; done
 
+# Exit non-zero iff any leg failed; skips are not failures.
 [ "${#FAIL[@]}" -eq 0 ]

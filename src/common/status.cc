@@ -13,6 +13,7 @@ std::string_view StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kBusy: return "Busy";
     case StatusCode::kAborted: return "Aborted";
     case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kReadOnly: return "ReadOnly";
   }
   return "Unknown";
 }

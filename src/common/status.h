@@ -25,6 +25,10 @@ enum class StatusCode : uint8_t {
   kBusy = 6,
   kAborted = 7,
   kOutOfRange = 8,
+  /// The store has entered sticky read-only mode: a WAL/manifest write or
+  /// fsync failed, so accepting further writes could silently lose acked
+  /// data. Reads keep working; writes fail with this code until re-open.
+  kReadOnly = 9,
 };
 
 /// Returns a static name for a StatusCode ("OK", "NotFound", ...).
@@ -45,6 +49,7 @@ class Status {
   static Status Busy(std::string_view msg) { return {StatusCode::kBusy, msg}; }
   static Status Aborted(std::string_view msg) { return {StatusCode::kAborted, msg}; }
   static Status OutOfRange(std::string_view msg) { return {StatusCode::kOutOfRange, msg}; }
+  static Status ReadOnly(std::string_view msg) { return {StatusCode::kReadOnly, msg}; }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
   [[nodiscard]] bool IsNotFound() const noexcept { return code_ == StatusCode::kNotFound; }
@@ -55,6 +60,7 @@ class Status {
   [[nodiscard]] bool IsBusy() const noexcept { return code_ == StatusCode::kBusy; }
   [[nodiscard]] bool IsAborted() const noexcept { return code_ == StatusCode::kAborted; }
   [[nodiscard]] bool IsOutOfRange() const noexcept { return code_ == StatusCode::kOutOfRange; }
+  [[nodiscard]] bool IsReadOnly() const noexcept { return code_ == StatusCode::kReadOnly; }
 
   [[nodiscard]] StatusCode code() const noexcept { return code_; }
   [[nodiscard]] const std::string& message() const noexcept { return msg_; }

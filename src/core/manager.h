@@ -90,6 +90,9 @@ class Manager {
 
   [[nodiscard]] ManagerCounters counters() const;
   [[nodiscard]] lsm::DbStats engine_stats() const { return store_->EngineStats(); }
+  /// OK while the underlying store accepts writes; the typed ReadOnly
+  /// status after a durability failure latched it read-only.
+  [[nodiscard]] Status Health() const { return store_->Health(); }
   [[nodiscard]] Store& store() noexcept { return *store_; }
 
  private:

@@ -163,6 +163,8 @@ class LsmStore final : public Store {
 
   lsm::DbStats EngineStats() const override { return db_->GetStats(); }
 
+  Status Health() const override { return db_->HealthStatus(); }
+
   lsm::Iterator* NewIterator(const lsm::ReadOptions& options) override {
     return db_->NewIterator(options);
   }

@@ -57,6 +57,10 @@ class Store {
 
   /// Engine statistics passthrough.
   [[nodiscard]] virtual lsm::DbStats EngineStats() const = 0;
+  /// Health passthrough: OK while the engine accepts writes; the typed
+  /// ReadOnly status once a WAL/manifest/flush failure latched the engine
+  /// into sticky read-only mode (reopen to clear).
+  [[nodiscard]] virtual Status Health() const = 0;
   /// Iterator over the full key space (caller deletes before the store),
   /// honouring the given engine read options (e.g. readahead_bytes for
   /// sequential restore scans, fill_cache=false for one-shot sweeps).

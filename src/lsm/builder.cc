@@ -32,7 +32,11 @@ Status BuildTable(const std::string& dbname, vfs::Vfs& fs, const Options& option
   Status s = builder.Finish();
   if (s.ok()) {
     meta->file_size = builder.FileSize();
-    s = options.sync_writes ? file->Sync() : Status::OK();
+    // Always fsync, regardless of Options::sync_writes: once the table is
+    // installed in the manifest the WAL that covered its entries gets
+    // deleted, so an unsynced table would silently lose acked writes on
+    // power failure.
+    s = file->Sync();
   }
   if (s.ok()) s = file->Close();
   if (s.ok()) s = iter->status();

@@ -58,6 +58,9 @@ struct DbStats {
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
   uint64_t readahead_bytes = 0;       // bytes hinted ahead to the VFS
+  // --- health ---
+  uint64_t read_only_mode = 0;        // gauge: 1 once a background error
+                                      // latched the engine read-only
 };
 
 class DB {
@@ -116,6 +119,12 @@ class DB {
 
   /// Manually compacts the whole key range (no-op with compaction disabled).
   virtual Status CompactRange() = 0;
+
+  /// OK while the engine is healthy. Once a WAL/manifest/flush failure has
+  /// latched the engine into sticky read-only mode, returns the ReadOnly
+  /// status every subsequent write receives. Reads keep working either way;
+  /// reopen the DB to clear the condition.
+  virtual Status HealthStatus() const { return Status::OK(); }
 
   /// Engine counters.
   virtual DbStats GetStats() const = 0;

@@ -275,12 +275,21 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       (void)write_batch->Iterate(&counter);
       lock.Lock();
     }
-    versions_->SetLastSequence(last_sequence);
-    stats_.wal_bytes += wal_bytes;
-    stats_.bytes_written += write_batch->Contents().size();
-    stats_.puts += counter.puts;
-    stats_.deletes += counter.dels;
-    ++stats_.group_commit_batches;
+    if (status.ok()) {
+      versions_->SetLastSequence(last_sequence);
+      stats_.wal_bytes += wal_bytes;
+      stats_.bytes_written += write_batch->Contents().size();
+      stats_.puts += counter.puts;
+      stats_.deletes += counter.dels;
+      ++stats_.group_commit_batches;
+    } else {
+      // The WAL may hold a torn record (or an append that was never
+      // fsync'ed), or the memtable a partial batch. Accepting more writes
+      // after the failure point could append valid records *behind* the torn
+      // tail and make recovery replay an inconsistent sequence — latch
+      // read-only instead.
+      RecordBackgroundError(status);
+    }
     if (write_batch == &tmp_batch_) tmp_batch_.Clear();
   }
 
@@ -312,10 +321,16 @@ Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates)
                              static_cast<SequenceNumber>(updates->Count()) - 1);
 
   if (!options_.disable_wal) {
-    LSMIO_RETURN_IF_ERROR(log_->AddRecord(updates->Contents()));
-    stats_.wal_bytes += updates->Contents().size();
-    if (options.sync || options_.sync_writes) {
-      LSMIO_RETURN_IF_ERROR(logfile_->Sync());
+    Status s = log_->AddRecord(updates->Contents());
+    if (s.ok()) {
+      stats_.wal_bytes += updates->Contents().size();
+      if (options.sync || options_.sync_writes) s = logfile_->Sync();
+    }
+    if (!s.ok()) {
+      // Same contract as the group-commit path: a failed WAL append/fsync
+      // leaves the log in an unknown state, so the engine goes read-only.
+      RecordBackgroundError(s);
+      return s;
     }
   }
 
@@ -330,6 +345,28 @@ Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates)
   stats_.puts += counter.puts;
   stats_.deletes += counter.dels;
   return Status::OK();
+}
+
+void DBImpl::RecordBackgroundError(const Status& s) {
+  assert(!s.ok());
+  if (bg_error_.ok()) {
+    LSMIO_WARN << "entering read-only mode: " << s.ToString();
+    bg_error_ = s;
+    // Wake writers stalled in MakeRoomForWrite/FlushMemTable so they can
+    // observe the latch and fail instead of waiting forever.
+    bg_cv_.SignalAll();
+  }
+}
+
+Status DBImpl::ReadOnlyError() const {
+  assert(!bg_error_.ok());
+  return Status::ReadOnly("store is read-only after background error: " +
+                          bg_error_.ToString());
+}
+
+Status DBImpl::HealthStatus() const {
+  MutexLock lock(&mu_);
+  return bg_error_.ok() ? Status::OK() : ReadOnlyError();
 }
 
 WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
@@ -374,8 +411,12 @@ Status DBImpl::MakeRoomForWrite() {
             .count());
   };
   for (;;) {
-    if (!bg_error_.ok()) return bg_error_;
-    if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+    if (!bg_error_.ok()) return ReadOnlyError();
+    if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size ||
+        mem_->num_entries() == 0) {
+      // The empty-memtable check matters when write_buffer_size is smaller
+      // than the arena's first block: switching would just install another
+      // over-budget empty memtable, forever.
       return Status::OK();
     }
     if (MemTableQueueFull()) {
@@ -413,6 +454,10 @@ Status DBImpl::SwitchMemTable() {
   }
 
   imm_queue_.push_back(mem_);
+  // logfile_number_ is now the rolled WAL: everything in the retired
+  // memtable lives in older WALs, so once it is flushed to an SST the
+  // recovery log number can advance to this value.
+  imm_log_queue_.push_back(logfile_number_);
   mem_ = new MemTable(internal_comparator_);
   mem_->Ref();
   MaybeScheduleFlush();
@@ -430,10 +475,10 @@ Status DBImpl::FlushMemTable(bool wait) {
     while (!w.done && &w != writers_.front()) w.cv.Wait();
     assert(!w.done);  // batch-less writers are never absorbed into a group
 
-    Status s = bg_error_;
+    Status s = bg_error_.ok() ? Status::OK() : ReadOnlyError();
     if (s.ok() && mem_->num_entries() > 0) {
       while (MemTableQueueFull() && bg_error_.ok()) bg_cv_.Wait();
-      s = bg_error_.ok() ? SwitchMemTable() : bg_error_;
+      s = bg_error_.ok() ? SwitchMemTable() : ReadOnlyError();
     }
     writers_.pop_front();
     if (!writers_.empty()) writers_.front()->cv.Signal();
@@ -443,7 +488,7 @@ Status DBImpl::FlushMemTable(bool wait) {
     while ((!imm_queue_.empty() || flush_scheduled_) && bg_error_.ok()) {
       bg_cv_.Wait();
     }
-    LSMIO_RETURN_IF_ERROR(bg_error_);
+    if (!bg_error_.ok()) return ReadOnlyError();
   }
   return Status::OK();
 }
@@ -451,7 +496,7 @@ Status DBImpl::FlushMemTable(bool wait) {
 Status DBImpl::CompactRange() {
   if (options_.disable_compaction) return Status::OK();
   MutexLock lock(&mu_);
-  if (!bg_error_.ok()) return bg_error_;
+  if (!bg_error_.ok()) return ReadOnlyError();
   manual_compaction_requested_ = true;
   MaybeScheduleCompaction();
   while ((manual_compaction_requested_ || compaction_scheduled_) &&
@@ -461,13 +506,16 @@ Status DBImpl::CompactRange() {
   // Clear on every exit path (including bg_error_) so a failed manual
   // compaction cannot wedge later calls.
   manual_compaction_requested_ = false;
-  return bg_error_;
+  return bg_error_.ok() ? Status::OK() : ReadOnlyError();
 }
 
 // --- background work ----------------------------------------------------------
 
 void DBImpl::MaybeScheduleFlush() {
   if (flush_scheduled_ || shutting_down_.load()) return;
+  // Read-only mode: the queue can never drain, so rescheduling would just
+  // spin the background thread (and keep the destructor waiting forever).
+  if (!bg_error_.ok()) return;
   if (imm_queue_.empty()) return;
   flush_scheduled_ = true;
   bg_pool_->Submit([this] { BackgroundFlushCall(); });
@@ -475,6 +523,7 @@ void DBImpl::MaybeScheduleFlush() {
 
 void DBImpl::MaybeScheduleCompaction() {
   if (compaction_scheduled_ || shutting_down_.load()) return;
+  if (!bg_error_.ok()) return;  // read-only: see MaybeScheduleFlush
   if (!NeedsCompaction() && !manual_compaction_requested_) return;
   compaction_scheduled_ = true;
   bg_pool_->Submit([this] { BackgroundCompactionCall(); });
@@ -499,7 +548,7 @@ void DBImpl::BackgroundFlushCall() {
     lock.Unlock();
     const Status s = CompactMemTable(imm);
     lock.Lock();
-    if (!s.ok()) bg_error_ = s;
+    if (!s.ok()) RecordBackgroundError(s);
   }
 
   flush_scheduled_ = false;
@@ -518,7 +567,7 @@ void DBImpl::BackgroundCompactionCall() {
     const Status s = BackgroundCompaction();
     lock.Lock();
     if (manual) manual_compaction_requested_ = false;
-    if (!s.ok()) bg_error_ = s;
+    if (!s.ok()) RecordBackgroundError(s);
   }
 
   compaction_scheduled_ = false;
@@ -545,6 +594,13 @@ Status DBImpl::CompactMemTable(MemTable* imm) {
   MutexLock lock(&mu_);
   pending_outputs_.erase(meta.number);
   if (s.ok() && meta.file_size > 0) {
+    assert(!imm_queue_.empty() && imm_queue_.front() == imm);
+    // Advance the recovery log number in the same manifest record that
+    // installs the SST. Without this, reopen replays the already-flushed
+    // WAL into a fresh (higher-numbered) L0 file; if the WAL's unsynced
+    // tail was lost in a crash, that stale replay shadows newer synced
+    // data because L0 reads go newest-file-number-first.
+    versions_->SetLogNumber(imm_log_queue_.front());
     auto v = versions_->MakeVersion({{0, meta}}, {});
     s = versions_->LogAndApply(std::move(v));
     stats_.memtable_flushes += 1;
@@ -553,6 +609,7 @@ Status DBImpl::CompactMemTable(MemTable* imm) {
   if (s.ok()) {
     assert(!imm_queue_.empty() && imm_queue_.front() == imm);
     imm_queue_.pop_front();
+    imm_log_queue_.pop_front();
     imm->Unref();
     RemoveObsoleteFiles();
   }
@@ -651,7 +708,10 @@ Status DBImpl::CompactFiles(int level,
     Status fs_status = builder->Finish();
     if (fs_status.ok()) {
       current_output.file_size = builder->FileSize();
-      if (options_.sync_writes) fs_status = out_file->Sync();
+      // Always fsync (as in BuildTable): LogAndApply installs this file and
+      // the inputs it replaces get deleted, so an unsynced output would be
+      // the only copy of its keys after a power failure.
+      fs_status = out_file->Sync();
     }
     if (fs_status.ok()) fs_status = out_file->Close();
     builder.reset();
@@ -982,6 +1042,7 @@ void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
 DbStats DBImpl::GetStats() const {
   MutexLock lock(&mu_);
   DbStats stats = stats_;
+  stats.read_only_mode = bg_error_.ok() ? 0 : 1;
   stats.flush_queue_depth = imm_queue_.size();
   stats.compaction_queue_depth = compaction_scheduled_ ? 1 : 0;
   const auto relaxed = std::memory_order_relaxed;

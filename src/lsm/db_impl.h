@@ -47,6 +47,7 @@ class DBImpl final : public DB {
   void ReleaseSnapshot(const Snapshot* snapshot) override;
   Status FlushMemTable(bool wait) override;
   Status CompactRange() override;
+  Status HealthStatus() const override;
   DbStats GetStats() const override;
   uint64_t ApproximateMemoryUsage() const override;
 
@@ -80,6 +81,13 @@ class DBImpl final : public DB {
     return 1 + static_cast<int>(imm_queue_.size()) >=
            std::max(2, options_.max_write_buffer_number);
   }
+
+  /// Latches the first background/write-pipeline failure. Once set, the
+  /// engine is in sticky read-only mode: reads keep serving, every write
+  /// entry point fails with ReadOnlyError() until the DB is reopened.
+  void RecordBackgroundError(const Status& s) REQUIRES(mu_);
+  /// The typed status writes receive while bg_error_ is latched.
+  Status ReadOnlyError() const REQUIRES(mu_);
 
   void MaybeScheduleFlush() REQUIRES(mu_);
   void MaybeScheduleCompaction() REQUIRES(mu_);
@@ -126,6 +134,10 @@ class DBImpl final : public DB {
   MemTable* mem_ = nullptr;
   std::deque<MemTable*> imm_queue_ GUARDED_BY(mu_);  // oldest first; front
                                                      // flushes next
+  // Parallel to imm_queue_: the WAL number that became active when the
+  // corresponding memtable was retired. Once that memtable is flushed, WALs
+  // below this number are no longer needed for recovery.
+  std::deque<uint64_t> imm_log_queue_ GUARDED_BY(mu_);
   std::unique_ptr<vfs::WritableFile> logfile_;  // leader-owned (see mem_)
   uint64_t logfile_number_ GUARDED_BY(mu_) = 0;
   std::unique_ptr<log::Writer> log_;  // leader-owned (see mem_)

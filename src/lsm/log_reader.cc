@@ -135,6 +135,12 @@ int Reader::ReadPhysicalRecord(Slice* result) {
       if (actual != expected) {
         const size_t drop_size = buffer_.size();
         buffer_.clear();
+        if (eof_) {
+          // A bad CRC inside the final, partial block is a torn write: the
+          // machine died before the sector fully landed. End-of-log, not
+          // corruption — everything before it is intact and recoverable.
+          return kEof;
+        }
         ReportCorruption(drop_size, "checksum mismatch");
         return kBadRecord;
       }

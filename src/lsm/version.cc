@@ -386,7 +386,11 @@ Status VersionSet::LogAndApply(std::shared_ptr<Version> v) {
   }
   const std::string record = EncodeSnapshot();
   Status s = manifest_log_->AddRecord(record);
-  if (s.ok() && options_.sync_writes) s = manifest_file_->Sync();
+  // Always fsync: callers delete obsolete files (compaction inputs, old
+  // WALs) right after LogAndApply returns, so an unsynced manifest record
+  // could leave the durable snapshot pointing at files that no longer
+  // exist after a power failure.
+  if (s.ok()) s = manifest_file_->Sync();
   return s;
 }
 

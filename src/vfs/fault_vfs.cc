@@ -1,0 +1,317 @@
+#include "vfs/fault_vfs.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace lsmio::vfs {
+
+namespace {
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  const size_t n = std::char_traits<char>::length(prefix);
+  return s.size() >= n && s.compare(0, n, prefix) == 0;
+}
+
+}  // namespace
+
+FaultFileClass ClassifyFaultFile(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (EndsWith(name, ".log")) return kWalFile;
+  if (EndsWith(name, ".sst")) return kTableFile;
+  if (StartsWith(name, "MANIFEST-")) return kManifestFile;
+  if (name == "CURRENT" || name == "CURRENT.tmp") return kCurrentFile;
+  return kOtherFile;
+}
+
+// --- file wrappers -----------------------------------------------------------
+
+class FaultVfs::FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultVfs* owner, std::string path,
+                    std::unique_ptr<WritableFile> inner)
+      : owner_(owner), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  Status Append(const Slice& data) override {
+    const Decision d = owner_->Tick(kAppendOp, path_);
+    if (!d.fail) return inner_->Append(data);
+    if (d.partial && !data.empty()) {
+      // Short write: the leading half reaches storage before the failure.
+      // Torn write: the persisted prefix additionally ends in garbage — the
+      // sector the crash interrupted.
+      std::string prefix(data.data(), (data.size() + 1) / 2);
+      if (d.torn) {
+        const size_t tear = std::min<size_t>(8, prefix.size());
+        for (size_t i = prefix.size() - tear; i < prefix.size(); ++i) {
+          prefix[i] = static_cast<char>(prefix[i] ^ 0x5c);
+        }
+      }
+      (void)inner_->Append(prefix);
+    }
+    return owner_->InjectedError();
+  }
+
+  Status Flush() override { return inner_->Flush(); }
+
+  Status Sync() override {
+    const Decision d = owner_->Tick(kSyncOp, path_);
+    if (d.fail) return owner_->InjectedError();
+    LSMIO_RETURN_IF_ERROR(inner_->Sync());
+    owner_->RecordSync(path_, inner_->Size());
+    return Status::OK();
+  }
+
+  Status Close() override { return inner_->Close(); }
+  uint64_t Size() const override { return inner_->Size(); }
+
+ private:
+  FaultVfs* owner_;
+  std::string path_;
+  std::unique_ptr<WritableFile> inner_;
+};
+
+class FaultVfs::FaultFileHandle final : public FileHandle {
+ public:
+  FaultFileHandle(FaultVfs* owner, std::string path,
+                  std::unique_ptr<FileHandle> inner)
+      : owner_(owner), path_(std::move(path)), inner_(std::move(inner)) {}
+
+  Status WriteAt(uint64_t offset, const Slice& data) override {
+    if (owner_->Tick(kWriteAtOp, path_).fail) return owner_->InjectedError();
+    return inner_->WriteAt(offset, data);
+  }
+  Status ReadAt(uint64_t offset, size_t n, Slice* result,
+                std::string* scratch) override {
+    return inner_->ReadAt(offset, n, result, scratch);
+  }
+  Status Sync() override {
+    if (owner_->Tick(kSyncOp, path_).fail) return owner_->InjectedError();
+    LSMIO_RETURN_IF_ERROR(inner_->Sync());
+    owner_->RecordSync(path_, inner_->Size());
+    return Status::OK();
+  }
+  Status Truncate(uint64_t size) override {
+    if (owner_->Tick(kWriteAtOp, path_).fail) return owner_->InjectedError();
+    return inner_->Truncate(size);
+  }
+  Status Close() override { return inner_->Close(); }
+  uint64_t Size() const override { return inner_->Size(); }
+
+ private:
+  FaultVfs* owner_;
+  std::string path_;
+  std::unique_ptr<FileHandle> inner_;
+};
+
+// --- injector core -----------------------------------------------------------
+
+void FaultVfs::Arm(const FaultPoint& point) {
+  MutexLock lock(&mu_);
+  armed_ = true;
+  point_ = point;
+  lost_disk_ = false;
+}
+
+void FaultVfs::Disarm() {
+  MutexLock lock(&mu_);
+  armed_ = false;
+  lost_disk_ = false;
+}
+
+int FaultVfs::faults_injected() const {
+  MutexLock lock(&mu_);
+  return faults_;
+}
+
+uint64_t FaultVfs::write_ops() const {
+  MutexLock lock(&mu_);
+  return write_ops_;
+}
+
+bool FaultVfs::lost_disk() const {
+  MutexLock lock(&mu_);
+  return lost_disk_;
+}
+
+uint64_t FaultVfs::SyncedSize(const std::string& path) const {
+  MutexLock lock(&mu_);
+  const auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.synced_size;
+}
+
+FaultVfs::Decision FaultVfs::Tick(FaultOpClass op, const std::string& path) {
+  MutexLock lock(&mu_);
+  ++write_ops_;
+  Decision d;
+  if (lost_disk_) {
+    ++faults_;
+    d.fail = true;
+    return d;
+  }
+  if (!armed_) return d;
+  if ((point_.ops & op) == 0U) return d;
+  if ((point_.file_classes & ClassifyFaultFile(path)) == 0U) return d;
+  if (--point_.countdown > 0) return d;
+
+  armed_ = false;
+  if (point_.sticky) lost_disk_ = true;
+  ++faults_;
+  d.fail = true;
+  switch (point_.kind) {
+    case FaultKind::kFailOp:
+    case FaultKind::kSyncFailure:
+      break;
+    case FaultKind::kShortWrite:
+      d.partial = true;
+      break;
+    case FaultKind::kTornWrite:
+      d.partial = true;
+      d.torn = true;
+      break;
+  }
+  return d;
+}
+
+void FaultVfs::RecordSync(const std::string& path, uint64_t size) {
+  MutexLock lock(&mu_);
+  FileState& st = files_[path];
+  st.synced_size = std::max(st.synced_size, size);
+  st.ever_synced = true;
+}
+
+Status FaultVfs::DropUnsyncedData(uint64_t seed) {
+  std::map<std::string, FileState> tracked;
+  {
+    MutexLock lock(&mu_);
+    tracked = files_;
+    armed_ = false;
+    lost_disk_ = false;
+  }
+
+  Rng rng(seed);
+  for (auto& [path, st] : tracked) {
+    if (!base_.FileExists(path)) continue;
+    if (!st.ever_synced) {
+      // Created but never fsync'd: a reboot forgets the whole file.
+      LSMIO_RETURN_IF_ERROR(base_.RemoveFile(path));
+      MutexLock lock(&mu_);
+      files_.erase(path);
+      continue;
+    }
+    uint64_t size = 0;
+    LSMIO_RETURN_IF_ERROR(base_.GetFileSize(path, &size));
+    if (size <= st.synced_size) continue;  // everything already durable
+
+    // Some of the unsynced tail may have been written back before power
+    // failed; keep a random prefix of it, never touching the synced bytes.
+    const uint64_t unsynced = size - st.synced_size;
+    const uint64_t keep_extra = rng.Uniform(unsynced + 1);
+    const uint64_t new_size = st.synced_size + keep_extra;
+
+    std::unique_ptr<FileHandle> handle;
+    LSMIO_RETURN_IF_ERROR(base_.OpenFileHandle(path, false, {}, &handle));
+    LSMIO_RETURN_IF_ERROR(handle->Truncate(new_size));
+    if (keep_extra > 0 && rng.Bernoulli(0.5)) {
+      // Tear the final sector of the surviving unsynced tail.
+      const uint64_t tear = std::min<uint64_t>(8, keep_extra);
+      std::string garbage(static_cast<size_t>(tear), '\0');
+      rng.Fill(garbage.data(), garbage.size());
+      LSMIO_RETURN_IF_ERROR(handle->WriteAt(new_size - tear, garbage));
+    }
+    LSMIO_RETURN_IF_ERROR(handle->Close());
+
+    MutexLock lock(&mu_);
+    auto it = files_.find(path);
+    if (it != files_.end()) {
+      it->second.synced_size = std::min(it->second.synced_size, new_size);
+    }
+  }
+  return Status::OK();
+}
+
+// --- Vfs interface -----------------------------------------------------------
+
+Status FaultVfs::NewWritableFile(const std::string& path, const OpenOptions& opts,
+                                 std::unique_ptr<WritableFile>* file) {
+  if (Tick(kCreateOp, path).fail) return InjectedError();
+  std::unique_ptr<WritableFile> inner;
+  LSMIO_RETURN_IF_ERROR(base_.NewWritableFile(path, opts, &inner));
+  {
+    // Truncate semantics: any previously synced content is gone.
+    MutexLock lock(&mu_);
+    files_[path] = FileState{};
+  }
+  *file = std::make_unique<FaultWritableFile>(this, path, std::move(inner));
+  return Status::OK();
+}
+
+Status FaultVfs::NewRandomAccessFile(const std::string& path,
+                                     const OpenOptions& opts,
+                                     std::unique_ptr<RandomAccessFile>* file) {
+  return base_.NewRandomAccessFile(path, opts, file);
+}
+
+Status FaultVfs::NewSequentialFile(const std::string& path,
+                                   const OpenOptions& opts,
+                                   std::unique_ptr<SequentialFile>* file) {
+  return base_.NewSequentialFile(path, opts, file);
+}
+
+Status FaultVfs::OpenFileHandle(const std::string& path, bool create,
+                                const OpenOptions& opts,
+                                std::unique_ptr<FileHandle>* file) {
+  if (create && Tick(kCreateOp, path).fail) return InjectedError();
+  std::unique_ptr<FileHandle> inner;
+  LSMIO_RETURN_IF_ERROR(base_.OpenFileHandle(path, create, opts, &inner));
+  if (create) {
+    MutexLock lock(&mu_);
+    files_.emplace(path, FileState{});  // keep state if already tracked
+  }
+  *file = std::make_unique<FaultFileHandle>(this, path, std::move(inner));
+  return Status::OK();
+}
+
+bool FaultVfs::FileExists(const std::string& path) {
+  return base_.FileExists(path);
+}
+
+Status FaultVfs::GetFileSize(const std::string& path, uint64_t* size) {
+  return base_.GetFileSize(path, size);
+}
+
+Status FaultVfs::RemoveFile(const std::string& path) {
+  if (Tick(kRemoveOp, path).fail) return InjectedError();
+  LSMIO_RETURN_IF_ERROR(base_.RemoveFile(path));
+  MutexLock lock(&mu_);
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultVfs::RenameFile(const std::string& from, const std::string& to) {
+  if (Tick(kRenameOp, from).fail) return InjectedError();
+  LSMIO_RETURN_IF_ERROR(base_.RenameFile(from, to));
+  MutexLock lock(&mu_);
+  const auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultVfs::CreateDir(const std::string& path) {
+  return base_.CreateDir(path);
+}
+
+Status FaultVfs::ListDir(const std::string& path, std::vector<std::string>* out) {
+  return base_.ListDir(path, out);
+}
+
+}  // namespace lsmio::vfs

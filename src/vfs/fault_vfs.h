@@ -1,0 +1,176 @@
+// FaultVfs: a Vfs decorator with programmable failure points, built for
+// crash-consistency testing of the LSM engine (and anything else that
+// writes through a Vfs).
+//
+// Three orthogonal capabilities:
+//
+//  1. Failure points. Arm() installs a FaultPoint that fires on the Nth
+//     write-class operation matching an (operation, file-class) mask.
+//     Kinds: fail the op outright, persist only a prefix (short write),
+//     persist a prefix plus garbage (torn write), or fail fsync. After a
+//     sticky fault fires, every later write-class op fails too — the file
+//     system "went away", as a dying node sees it.
+//
+//  2. Power loss. Every tracked file remembers how many bytes were covered
+//     by its last successful Sync(). DropUnsyncedData() reverts each file
+//     to that durable prefix plus a random portion of the unsynced tail
+//     (the OS may have written some of it back), optionally tearing the
+//     final bytes — the on-disk state a machine reboot leaves behind.
+//
+//  3. Per-file-type targeting. Paths are classified by the LSM naming
+//     convention (WAL *.log, SSTable *.sst, MANIFEST-*, CURRENT) so a test
+//     can break only the WAL, only table flushes, or only manifest writes.
+//
+// Read-class operations always pass through: a crashed writer's files stay
+// readable, which is exactly what recovery needs to exercise.
+//
+// Thread-safe; background flush/compaction threads share the injector with
+// the test thread.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/synchronization.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::vfs {
+
+/// File classes recognized by the injector (bitmask). Classification mirrors
+/// the LSM file-naming convention; anything unrecognized is kOtherFile.
+enum FaultFileClass : unsigned {
+  kWalFile = 1U << 0,       // NNNNNN.log
+  kTableFile = 1U << 1,     // NNNNNN.sst
+  kManifestFile = 1U << 2,  // MANIFEST-NNNNNN
+  kCurrentFile = 1U << 3,   // CURRENT / CURRENT.tmp
+  kOtherFile = 1U << 4,
+  kAnyFile = (1U << 5) - 1,
+};
+
+/// Write-class operations the injector can interpose on (bitmask).
+enum FaultOpClass : unsigned {
+  kCreateOp = 1U << 0,    // NewWritableFile / OpenFileHandle(create)
+  kAppendOp = 1U << 1,    // WritableFile::Append
+  kSyncOp = 1U << 2,      // WritableFile::Sync / FileHandle::Sync
+  kRenameOp = 1U << 3,    // RenameFile
+  kRemoveOp = 1U << 4,    // RemoveFile
+  kWriteAtOp = 1U << 5,   // FileHandle::WriteAt / Truncate
+  kAnyWriteOp = (1U << 6) - 1,
+};
+
+/// What happens when a FaultPoint fires.
+enum class FaultKind : uint8_t {
+  kFailOp,      // the op fails with IoError; no bytes reach the base Vfs
+  kShortWrite,  // (append only) a prefix reaches the base, then IoError
+  kTornWrite,   // (append only) a prefix + garbage bytes reach the base,
+                // then IoError — a sector torn mid-write
+  kSyncFailure, // the op fails and, for Sync, durability is NOT advanced
+};
+
+/// A programmable failure point: fires on the `countdown`-th write-class
+/// operation (1-based) matching both masks.
+struct FaultPoint {
+  FaultKind kind = FaultKind::kFailOp;
+  unsigned file_classes = kAnyFile;  // FaultFileClass bitmask
+  unsigned ops = kAnyWriteOp;        // FaultOpClass bitmask
+  int countdown = 1;
+  /// After firing, every subsequent write-class op (any file, any op) fails
+  /// too: the process has lost its disk and only a reopen after
+  /// DropUnsyncedData() recovers.
+  bool sticky = true;
+};
+
+/// Classifies a path (or bare file name) into a FaultFileClass.
+FaultFileClass ClassifyFaultFile(const std::string& path);
+
+class FaultVfs final : public Vfs {
+ public:
+  explicit FaultVfs(Vfs& base) : base_(base) {}
+  ~FaultVfs() override = default;
+
+  FaultVfs(const FaultVfs&) = delete;
+  FaultVfs& operator=(const FaultVfs&) = delete;
+
+  // --- programming the injector --------------------------------------------
+
+  /// Installs `point` (replacing any armed one) and clears the lost-disk
+  /// latch so the countdown starts fresh.
+  void Arm(const FaultPoint& point) EXCLUDES(mu_);
+  /// Removes the armed fault and clears the lost-disk latch.
+  void Disarm() EXCLUDES(mu_);
+
+  /// Power loss: reverts every tracked file to its synced prefix plus a
+  /// seed-chosen portion of the unsynced tail (possibly tearing the final
+  /// bytes), removes tracked files that were never synced, disarms the
+  /// injector, and clears the lost-disk latch. Call after dropping every
+  /// object that still points at the wrapped files.
+  Status DropUnsyncedData(uint64_t seed) EXCLUDES(mu_);
+
+  // --- introspection --------------------------------------------------------
+
+  /// Number of operations failed by injection so far.
+  [[nodiscard]] int faults_injected() const EXCLUDES(mu_);
+  /// Total write-class operations observed (useful for sizing countdowns).
+  [[nodiscard]] uint64_t write_ops() const EXCLUDES(mu_);
+  /// True once a sticky fault has fired and until Disarm/DropUnsyncedData.
+  [[nodiscard]] bool lost_disk() const EXCLUDES(mu_);
+  /// Bytes of `path` covered by its last successful Sync (0 if untracked).
+  [[nodiscard]] uint64_t SyncedSize(const std::string& path) const EXCLUDES(mu_);
+
+  // --- Vfs interface --------------------------------------------------------
+
+  Status NewWritableFile(const std::string& path, const OpenOptions& opts,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomAccessFile(const std::string& path, const OpenOptions& opts,
+                             std::unique_ptr<RandomAccessFile>* file) override;
+  Status NewSequentialFile(const std::string& path, const OpenOptions& opts,
+                           std::unique_ptr<SequentialFile>* file) override;
+  Status OpenFileHandle(const std::string& path, bool create,
+                        const OpenOptions& opts,
+                        std::unique_ptr<FileHandle>* file) override;
+
+  bool FileExists(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDir(const std::string& path) override;
+  Status ListDir(const std::string& path, std::vector<std::string>* out) override;
+
+ private:
+  class FaultWritableFile;
+  class FaultFileHandle;
+
+  /// Durability bookkeeping for one tracked (written-through-us) file.
+  struct FileState {
+    uint64_t synced_size = 0;  // bytes covered by the last successful Sync
+    bool ever_synced = false;  // survived at least one fsync
+  };
+
+  /// Outcome of consulting the injector for one operation.
+  struct Decision {
+    bool fail = false;     // fail the op with IoError
+    bool partial = false;  // append a prefix first (short/torn write)
+    bool torn = false;     // ...and corrupt the tail of that prefix
+  };
+
+  Decision Tick(FaultOpClass op, const std::string& path) EXCLUDES(mu_);
+
+  Status InjectedError() const {
+    return Status::IoError("injected fault (FaultVfs)");
+  }
+
+  // Called by the file wrappers after a successful inner Sync.
+  void RecordSync(const std::string& path, uint64_t size) EXCLUDES(mu_);
+
+  Vfs& base_;
+  mutable Mutex mu_;
+  bool armed_ GUARDED_BY(mu_) = false;
+  FaultPoint point_ GUARDED_BY(mu_);
+  bool lost_disk_ GUARDED_BY(mu_) = false;
+  int faults_ GUARDED_BY(mu_) = 0;
+  uint64_t write_ops_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, FileState> files_ GUARDED_BY(mu_);
+};
+
+}  // namespace lsmio::vfs

@@ -37,6 +37,22 @@ class DbRecoveryTest : public ::testing::Test {
     return s.IsNotFound() ? "NOT_FOUND" : (s.ok() ? value : "ERROR:" + s.ToString());
   }
 
+  // Name (not full path) of the lexicographically newest "/db" child with
+  // the given prefix/suffix; empty when none matches.
+  std::string NewestFile(const std::string& prefix, const std::string& suffix) {
+    std::vector<std::string> children;
+    EXPECT_TRUE(fs_.ListDir("/db", &children).ok());
+    std::string newest;
+    for (const auto& child : children) {
+      if (child.size() < prefix.size() + suffix.size()) continue;
+      if (child.compare(0, prefix.size(), prefix) != 0) continue;
+      if (child.compare(child.size() - suffix.size(), suffix.size(), suffix) != 0)
+        continue;
+      if (newest.empty() || child > newest) newest = child;
+    }
+    return newest;
+  }
+
   vfs::MemVfs fs_;
   std::unique_ptr<DB> db_;
 };
@@ -142,14 +158,7 @@ TEST_F(DbRecoveryTest, TornWalTailLosesOnlyTheTornRecord) {
   Crash();
 
   // Chop bytes off the newest WAL file to simulate a torn write.
-  std::vector<std::string> children;
-  ASSERT_TRUE(fs_.ListDir("/db", &children).ok());
-  std::string newest_log;
-  for (const auto& child : children) {
-    if (child.size() > 4 && child.substr(child.size() - 4) == ".log") {
-      if (newest_log.empty() || child > newest_log) newest_log = child;
-    }
-  }
+  const std::string newest_log = NewestFile("", ".log");
   ASSERT_FALSE(newest_log.empty());
   uint64_t size = 0;
   ASSERT_TRUE(fs_.GetFileSize("/db/" + newest_log, &size).ok());
@@ -160,6 +169,99 @@ TEST_F(DbRecoveryTest, TornWalTailLosesOnlyTheTornRecord) {
   Open(BaseOptions());
   EXPECT_EQ(Get("intact"), "value");
   EXPECT_EQ(Get("torn"), "NOT_FOUND");
+}
+
+TEST_F(DbRecoveryTest, UncleanCloseWithGarbledWalTailKeepsIntactPrefix) {
+  Open(BaseOptions());
+  ASSERT_TRUE(db_->Put({}, "intact", "v1").ok());
+  ASSERT_TRUE(db_->Put({}, "garbled", std::string(1000, 'g')).ok());
+  Crash();
+
+  // Unclean close: the final WAL record's bytes were never written back, so
+  // the tail holds stale garbage rather than being neatly truncated.
+  const std::string newest_log = NewestFile("", ".log");
+  ASSERT_FALSE(newest_log.empty());
+  uint64_t size = 0;
+  ASSERT_TRUE(fs_.GetFileSize("/db/" + newest_log, &size).ok());
+  ASSERT_GT(size, 200U);
+  std::unique_ptr<vfs::FileHandle> handle;
+  ASSERT_TRUE(fs_.OpenFileHandle("/db/" + newest_log, false, {}, &handle).ok());
+  std::string garbage(200, '\0');
+  Rng rng(99);
+  rng.Fill(garbage.data(), garbage.size());
+  ASSERT_TRUE(handle->WriteAt(size - 200, garbage).ok());
+  ASSERT_TRUE(handle->Close().ok());
+
+  // The garbled record fails its CRC at end-of-log and is treated as a torn
+  // tail, not corruption: everything before it replays.
+  Open(BaseOptions());
+  EXPECT_EQ(Get("intact"), "v1");
+  EXPECT_EQ(Get("garbled"), "NOT_FOUND");
+
+  // The recovered store takes writes again, including to the lost key.
+  ASSERT_TRUE(db_->Put({}, "garbled", "rewritten").ok());
+  EXPECT_EQ(Get("garbled"), "rewritten");
+}
+
+TEST_F(DbRecoveryTest, ManifestRolloverLeavesOneManifestAndCurrentPointsAtIt) {
+  std::map<std::string, std::string> model;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    Open(BaseOptions());
+    const std::string key = "cycle" + std::to_string(cycle);
+    model[key] = "v" + std::to_string(cycle);
+    ASSERT_TRUE(db_->Put({}, key, model[key]).ok());
+    ASSERT_TRUE(db_->FlushMemTable(true).ok());
+    Crash();
+  }
+
+  // Every reopen rolled the manifest; the obsolete ones must be swept.
+  std::vector<std::string> children;
+  ASSERT_TRUE(fs_.ListDir("/db", &children).ok());
+  int manifests = 0;
+  for (const auto& child : children) {
+    if (child.rfind("MANIFEST-", 0) == 0) ++manifests;
+  }
+  EXPECT_EQ(manifests, 1);
+
+  // CURRENT names exactly the surviving manifest.
+  std::string current;
+  ASSERT_TRUE(vfs::ReadFileToString(fs_, "/db/CURRENT", &current).ok());
+  ASSERT_FALSE(current.empty());
+  ASSERT_EQ(current.back(), '\n');
+  current.pop_back();
+  EXPECT_EQ(current, NewestFile("MANIFEST-", ""));
+  EXPECT_TRUE(fs_.FileExists("/db/" + current));
+
+  Open(BaseOptions());
+  for (const auto& [key, value] : model) {
+    EXPECT_EQ(Get(key), value) << key;
+  }
+}
+
+TEST_F(DbRecoveryTest, GarbageAppendedToManifestRecoversLastGoodSnapshot) {
+  Open(BaseOptions());
+  ASSERT_TRUE(db_->Put({}, "flushed", "durable").ok());
+  ASSERT_TRUE(db_->FlushMemTable(true).ok());
+  Crash();
+
+  // A crashed manifest append leaves a partial record at the tail. The
+  // reader must stop at the last good snapshot instead of rejecting the DB.
+  const std::string manifest = NewestFile("MANIFEST-", "");
+  ASSERT_FALSE(manifest.empty());
+  uint64_t size = 0;
+  ASSERT_TRUE(fs_.GetFileSize("/db/" + manifest, &size).ok());
+  std::unique_ptr<vfs::FileHandle> handle;
+  ASSERT_TRUE(fs_.OpenFileHandle("/db/" + manifest, false, {}, &handle).ok());
+  std::string garbage(64, '\0');
+  Rng rng(123);
+  rng.Fill(garbage.data(), garbage.size());
+  ASSERT_TRUE(handle->WriteAt(size, garbage).ok());
+  ASSERT_TRUE(handle->Close().ok());
+
+  Open(BaseOptions());
+  EXPECT_EQ(Get("flushed"), "durable");
+  ASSERT_TRUE(db_->Put({}, "after", "ok").ok());
+  EXPECT_EQ(Get("after"), "ok");
 }
 
 TEST_F(DbRecoveryTest, CompactedStateSurvivesReopen) {

@@ -1,0 +1,234 @@
+// FaultVfs: programmable failure points, per-file-class targeting, and the
+// power-loss model (DropUnsyncedData) used by crash_recovery_test.
+#include "vfs/fault_vfs.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "vfs/mem_vfs.h"
+
+namespace lsmio::vfs {
+namespace {
+
+std::string ReadAll(Vfs& fs, const std::string& path) {
+  std::string out;
+  EXPECT_TRUE(ReadFileToString(fs, path, &out).ok()) << path;
+  return out;
+}
+
+class FaultVfsTest : public ::testing::Test {
+ protected:
+  MemVfs base_;
+  FaultVfs fs_{base_};
+};
+
+TEST_F(FaultVfsTest, ClassifiesLsmFileNames) {
+  EXPECT_EQ(ClassifyFaultFile("/db/000004.log"), kWalFile);
+  EXPECT_EQ(ClassifyFaultFile("/db/000007.sst"), kTableFile);
+  EXPECT_EQ(ClassifyFaultFile("/db/MANIFEST-000002"), kManifestFile);
+  EXPECT_EQ(ClassifyFaultFile("/db/CURRENT"), kCurrentFile);
+  EXPECT_EQ(ClassifyFaultFile("/db/CURRENT.tmp"), kCurrentFile);
+  EXPECT_EQ(ClassifyFaultFile("/db/LOG.old"), kOtherFile);
+  EXPECT_EQ(ClassifyFaultFile("000012.log"), kWalFile);  // bare name
+}
+
+TEST_F(FaultVfsTest, FailsTheNthMatchingOperation) {
+  FaultPoint point;
+  point.kind = FaultKind::kFailOp;
+  point.ops = kAppendOp;
+  point.countdown = 3;
+  fs_.Arm(point);
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  EXPECT_TRUE(file->Append("one").ok());
+  EXPECT_TRUE(file->Append("two").ok());
+  EXPECT_TRUE(file->Append("three").IsIoError());  // third append fires
+  EXPECT_EQ(fs_.faults_injected(), 1);
+}
+
+TEST_F(FaultVfsTest, StickyFaultFailsEverySubsequentWrite) {
+  FaultPoint point;
+  point.ops = kAppendOp;
+  fs_.Arm(point);
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  EXPECT_TRUE(file->Append("x").IsIoError());
+  EXPECT_TRUE(fs_.lost_disk());
+  // The disk is gone for every write-class op, not just the armed one.
+  EXPECT_TRUE(file->Sync().IsIoError());
+  std::unique_ptr<WritableFile> other;
+  EXPECT_TRUE(fs_.NewWritableFile("/g.sst", {}, &other).IsIoError());
+  EXPECT_TRUE(fs_.RemoveFile("/f.log").IsIoError());
+
+  // Reads keep working: recovery must be able to inspect the wreckage.
+  EXPECT_TRUE(fs_.FileExists("/f.log"));
+
+  fs_.Disarm();
+  EXPECT_FALSE(fs_.lost_disk());
+  EXPECT_TRUE(file->Append("y").ok());
+}
+
+TEST_F(FaultVfsTest, OneShotFaultFiresOnce) {
+  FaultPoint point;
+  point.ops = kAppendOp;
+  point.sticky = false;
+  fs_.Arm(point);
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  EXPECT_TRUE(file->Append("x").IsIoError());
+  EXPECT_TRUE(file->Append("y").ok());
+  EXPECT_EQ(fs_.faults_injected(), 1);
+}
+
+TEST_F(FaultVfsTest, TargetsOnlyTheArmedFileClass) {
+  FaultPoint point;
+  point.file_classes = kWalFile;
+  point.ops = kAppendOp;
+  fs_.Arm(point);
+
+  std::unique_ptr<WritableFile> table;
+  ASSERT_TRUE(fs_.NewWritableFile("/000005.sst", {}, &table).ok());
+  EXPECT_TRUE(table->Append("table data").ok());  // .sst is not targeted
+
+  std::unique_ptr<WritableFile> wal;
+  ASSERT_TRUE(fs_.NewWritableFile("/000006.log", {}, &wal).ok());
+  EXPECT_TRUE(wal->Append("wal data").IsIoError());
+}
+
+TEST_F(FaultVfsTest, ShortWritePersistsALeadingPrefix) {
+  FaultPoint point;
+  point.kind = FaultKind::kShortWrite;
+  point.ops = kAppendOp;
+  fs_.Arm(point);
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  EXPECT_TRUE(file->Append(std::string(100, 'a')).IsIoError());
+
+  fs_.Disarm();
+  const std::string contents = ReadAll(fs_, "/f.log");
+  EXPECT_EQ(contents.size(), 50U);
+  EXPECT_EQ(contents, std::string(50, 'a'));
+}
+
+TEST_F(FaultVfsTest, TornWriteCorruptsTheTailOfThePrefix) {
+  FaultPoint point;
+  point.kind = FaultKind::kTornWrite;
+  point.ops = kAppendOp;
+  fs_.Arm(point);
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  EXPECT_TRUE(file->Append(std::string(100, 'a')).IsIoError());
+
+  fs_.Disarm();
+  const std::string contents = ReadAll(fs_, "/f.log");
+  ASSERT_EQ(contents.size(), 50U);
+  EXPECT_EQ(contents.substr(0, 42), std::string(42, 'a'));  // head intact
+  EXPECT_NE(contents.substr(42), std::string(8, 'a'));      // tail garbled
+}
+
+TEST_F(FaultVfsTest, SyncFailureDoesNotAdvanceDurability) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  ASSERT_TRUE(file->Append("durable").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  EXPECT_EQ(fs_.SyncedSize("/f.log"), 7U);
+
+  FaultPoint point;
+  point.kind = FaultKind::kSyncFailure;
+  point.ops = kSyncOp;
+  fs_.Arm(point);
+  ASSERT_TRUE(file->Append("-volatile").ok());
+  EXPECT_TRUE(file->Sync().IsIoError());
+  EXPECT_EQ(fs_.SyncedSize("/f.log"), 7U);  // still only the synced prefix
+}
+
+TEST_F(FaultVfsTest, DropUnsyncedDataKeepsTheSyncedPrefixIntact) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  ASSERT_TRUE(file->Append(std::string(64, 's')).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append(std::string(64, 'u')).ok());  // never synced
+
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ASSERT_TRUE(fs_.DropUnsyncedData(seed).ok());
+    const std::string contents = ReadAll(fs_, "/f.log");
+    ASSERT_GE(contents.size(), 64U) << "seed " << seed;
+    ASSERT_LE(contents.size(), 128U) << "seed " << seed;
+    // The synced prefix must survive byte-for-byte; only the unsynced tail
+    // may shrink or tear.
+    EXPECT_EQ(contents.substr(0, 64), std::string(64, 's')) << "seed " << seed;
+  }
+}
+
+TEST_F(FaultVfsTest, DropUnsyncedDataRemovesNeverSyncedFiles) {
+  std::unique_ptr<WritableFile> synced;
+  ASSERT_TRUE(fs_.NewWritableFile("/keep.log", {}, &synced).ok());
+  ASSERT_TRUE(synced->Append("x").ok());
+  ASSERT_TRUE(synced->Sync().ok());
+
+  std::unique_ptr<WritableFile> unsynced;
+  ASSERT_TRUE(fs_.NewWritableFile("/lose.log", {}, &unsynced).ok());
+  ASSERT_TRUE(unsynced->Append("y").ok());
+
+  ASSERT_TRUE(fs_.DropUnsyncedData(/*seed=*/7).ok());
+  EXPECT_TRUE(fs_.FileExists("/keep.log"));
+  EXPECT_FALSE(fs_.FileExists("/lose.log"));
+}
+
+TEST_F(FaultVfsTest, DropUnsyncedDataClearsTheLostDiskLatch) {
+  FaultPoint point;
+  point.ops = kAppendOp;
+  fs_.Arm(point);
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  EXPECT_TRUE(file->Append("x").IsIoError());
+  ASSERT_TRUE(fs_.lost_disk());
+
+  ASSERT_TRUE(fs_.DropUnsyncedData(/*seed=*/3).ok());
+  EXPECT_FALSE(fs_.lost_disk());
+  std::unique_ptr<WritableFile> fresh;
+  EXPECT_TRUE(fs_.NewWritableFile("/g.log", {}, &fresh).ok());
+}
+
+TEST_F(FaultVfsTest, RenameCarriesDurabilityState) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/a.tmp", {}, &file).ok());
+  ASSERT_TRUE(file->Append("synced").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  ASSERT_TRUE(fs_.RenameFile("/a.tmp", "/b.dat").ok());
+  EXPECT_EQ(fs_.SyncedSize("/b.dat"), 6U);
+  EXPECT_EQ(fs_.SyncedSize("/a.tmp"), 0U);
+
+  // The renamed file survives power loss under its new name.
+  ASSERT_TRUE(fs_.DropUnsyncedData(/*seed=*/11).ok());
+  EXPECT_TRUE(fs_.FileExists("/b.dat"));
+  EXPECT_EQ(ReadAll(fs_, "/b.dat"), "synced");
+}
+
+TEST_F(FaultVfsTest, TruncateSemanticsResetDurabilityOnRecreate) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  ASSERT_TRUE(file->Append("old").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  // Re-creating the file truncates: the old synced bytes are gone, so the
+  // tracker must not claim them durable.
+  ASSERT_TRUE(fs_.NewWritableFile("/f.log", {}, &file).ok());
+  EXPECT_EQ(fs_.SyncedSize("/f.log"), 0U);
+  ASSERT_TRUE(file->Append("new-unsynced").ok());
+  ASSERT_TRUE(fs_.DropUnsyncedData(/*seed=*/5).ok());
+  EXPECT_FALSE(fs_.FileExists("/f.log"));
+}
+
+}  // namespace
+}  // namespace lsmio::vfs
