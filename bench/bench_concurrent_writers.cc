@@ -1,9 +1,15 @@
-// Concurrent-writer sweep: 1/2/4/8 writer threads, sync WAL, with and
-// without group commit. The group-commit path batches concurrent writers
-// into one WAL append + fsync, so aggregate throughput should scale with
-// threads instead of serializing behind the global mutex (seed path).
+// Concurrent-writer sweep: 1..16 writer threads, sync WAL, with and
+// without group commit, plus a shard-scaling sweep (num_shards 1/2/4/8 at
+// the widest thread count). The group-commit path batches concurrent
+// writers into one WAL append + fsync per shard, so aggregate throughput
+// should scale with threads instead of serializing behind the global
+// mutex (seed path); sharding multiplies the independent commit queues,
+// so sync-WAL throughput should scale again with shard count.
 // Emits a JSON document on stdout (alongside the figure benches' tables);
-// progress goes to stderr.
+// progress goes to stderr. The scaling targets assume a multi-core host
+// whose fsyncs do not serialize (a parallel file system, or per-file
+// commit); the JSON records host_cpus so single-core / ext4-journal
+// results are interpretable.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -39,23 +45,29 @@ const int kTotalOps =
     static_cast<int>(EnvLong("LSMIO_BENCH_OPS", 1600));  // split across threads
 const size_t kValueBytes =
     static_cast<size_t>(EnvLong("LSMIO_BENCH_VALUE_BYTES", 4 * KiB));
-const int kMaxThreads = static_cast<int>(EnvLong("LSMIO_BENCH_MAX_THREADS", 8));
+const int kMaxThreads = static_cast<int>(EnvLong("LSMIO_BENCH_MAX_THREADS", 16));
+const bool kVerbose = std::getenv("LSMIO_BENCH_VERBOSE") != nullptr;
 
 struct RunResult {
   int threads = 0;
   bool group_commit = false;
+  int num_shards = 1;
   double puts_per_sec = 0;
   double mib_per_sec = 0;
   uint64_t group_commit_batches = 0;
   uint64_t write_stall_micros = 0;
 };
 
-RunResult RunOnce(int threads, bool group_commit, const std::string& dir) {
+RunResult RunOnce(int threads, bool group_commit, int num_shards,
+                  const std::string& dir) {
   lsm::Options options;
   options.sync_writes = true;  // every write group pays one fsync
   options.disable_compaction = true;
   options.enable_group_commit = group_commit;
-  options.background_threads = 2;
+  // num_shards == 1 keeps the exact pre-sharding configuration; sharded
+  // runs get one pool thread per shard so concurrent flushes never queue.
+  options.background_threads = num_shards == 1 ? 2 : std::max(2, num_shards);
+  options.num_shards = num_shards;
   options.max_write_buffer_number = 4;
   options.write_buffer_size = 8 * MiB;
 
@@ -96,6 +108,7 @@ RunResult RunOnce(int threads, bool group_commit, const std::string& dir) {
   RunResult r;
   r.threads = threads;
   r.group_commit = group_commit;
+  r.num_shards = num_shards;
   const double total_ops = static_cast<double>(ops_per_thread) * threads;
   r.puts_per_sec = total_ops / seconds;
   r.mib_per_sec = total_ops * static_cast<double>(kValueBytes) /
@@ -103,14 +116,33 @@ RunResult RunOnce(int threads, bool group_commit, const std::string& dir) {
   r.group_commit_batches = stats.group_commit_batches;
   r.write_stall_micros = stats.write_stall_micros;
 
+  if (kVerbose && num_shards > 1) {
+    std::vector<lsm::DbStats> per_shard;
+    db->GetShardStats(&per_shard);
+    for (size_t i = 0; i < per_shard.size(); ++i) {
+      std::fprintf(stderr,
+                   "    shard %zu: %llu batches, %llu flushes, "
+                   "%llu stall us\n",
+                   i,
+                   static_cast<unsigned long long>(
+                       per_shard[i].group_commit_batches),
+                   static_cast<unsigned long long>(
+                       per_shard[i].memtable_flushes),
+                   static_cast<unsigned long long>(
+                       per_shard[i].write_stall_micros));
+    }
+  }
+
   db.reset();
   lsm::DB::Destroy(options, dir);
   return r;
 }
 
-double At(const std::vector<RunResult>& results, int threads, bool group_commit) {
+double At(const std::vector<RunResult>& results, int threads, bool group_commit,
+          int num_shards) {
   for (const RunResult& r : results) {
-    if (r.threads == threads && r.group_commit == group_commit) {
+    if (r.threads == threads && r.group_commit == group_commit &&
+        r.num_shards == num_shards) {
       return r.puts_per_sec;
     }
   }
@@ -120,47 +152,79 @@ double At(const std::vector<RunResult>& results, int threads, bool group_commit)
 }  // namespace
 
 int main() {
-  const std::string dir = "/tmp/lsmio_bench_concurrent_writers";
+  const char* dir_env = std::getenv("LSMIO_BENCH_DIR");
+  const std::string dir = (dir_env != nullptr && *dir_env != '\0')
+                              ? std::string(dir_env) + "/lsmio_bench_concurrent_writers"
+                              : "/tmp/lsmio_bench_concurrent_writers";
   std::vector<RunResult> results;
 
   for (const bool group_commit : {false, true}) {
-    for (const int threads : {1, 2, 4, 8}) {
+    for (const int threads : {1, 2, 4, 8, 16}) {
       if (threads > kMaxThreads) continue;
-      std::fprintf(stderr, "%-14s %d thread(s)... ",
+      std::fprintf(stderr, "%-14s %2d thread(s)... ",
                    group_commit ? "group-commit" : "serialized", threads);
       std::fflush(stderr);
-      results.push_back(RunOnce(threads, group_commit, dir));
+      results.push_back(RunOnce(threads, group_commit, /*num_shards=*/1, dir));
       std::fprintf(stderr, "%8.0f puts/s (%6.1f MiB/s)\n",
                    results.back().puts_per_sec, results.back().mib_per_sec);
     }
   }
 
+  // Shard scaling at the widest writer count the sweep ran (>= 8 preferred:
+  // below that there are not enough concurrent writers to keep 8 shards'
+  // commit queues busy). num_shards == 1 re-measures the baseline in the
+  // same pass so the scaling ratio is apples-to-apples.
+  const int shard_threads = std::min(8, kMaxThreads);
+  for (const int num_shards : {1, 2, 4, 8}) {
+    std::fprintf(stderr, "%d shard(s)      %2d thread(s)... ", num_shards,
+                 shard_threads);
+    std::fflush(stderr);
+    results.push_back(RunOnce(shard_threads, /*group_commit=*/true, num_shards,
+                              dir));
+    std::fprintf(stderr, "%8.0f puts/s (%6.1f MiB/s)\n",
+                 results.back().puts_per_sec, results.back().mib_per_sec);
+  }
+
   std::printf("{\n  \"bench\": \"concurrent_writers\",\n");
   std::printf("  \"sync_wal\": true,\n  \"value_bytes\": %zu,\n  \"total_ops\": %d,\n",
               kValueBytes, kTotalOps);
+  std::printf("  \"host_cpus\": %u,\n", std::thread::hardware_concurrency());
   std::printf("  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     std::printf("    {\"threads\": %d, \"group_commit\": %s, "
+                "\"num_shards\": %d, "
                 "\"puts_per_sec\": %.1f, \"mib_per_sec\": %.2f, "
                 "\"group_commit_batches\": %llu, \"write_stall_micros\": %llu}%s\n",
-                r.threads, r.group_commit ? "true" : "false", r.puts_per_sec,
-                r.mib_per_sec,
+                r.threads, r.group_commit ? "true" : "false", r.num_shards,
+                r.puts_per_sec, r.mib_per_sec,
                 static_cast<unsigned long long>(r.group_commit_batches),
                 static_cast<unsigned long long>(r.write_stall_micros),
                 i + 1 < results.size() ? "," : "");
   }
   // Compare at the widest concurrency actually run (CI caps the sweep).
   const int peak = std::min(4, kMaxThreads);
-  const double speedup = At(results, peak, true) / At(results, peak, false);
-  const double single_ratio = At(results, 1, true) / At(results, 1, false);
+  const double speedup = At(results, peak, true, 1) / At(results, peak, false, 1);
+  const double single_ratio = At(results, 1, true, 1) / At(results, 1, false, 1);
+  const double shard_base = At(results, shard_threads, true, 1);
+  const double shard_speedup_4 =
+      shard_base > 0 ? At(results, shard_threads, true, 4) / shard_base : 0;
+  const double shard_speedup_8 =
+      shard_base > 0 ? At(results, shard_threads, true, 8) / shard_base : 0;
   std::printf("  ],\n  \"speedup_threads\": %d,\n  \"speedup\": %.2f,\n", peak,
               speedup);
-  std::printf("  \"single_writer_ratio\": %.2f\n}\n", single_ratio);
+  std::printf("  \"single_writer_ratio\": %.2f,\n", single_ratio);
+  std::printf("  \"shard_scaling\": {\"threads\": %d, "
+              "\"speedup_4_shards\": %.2f, \"speedup_8_shards\": %.2f}\n}\n",
+              shard_threads, shard_speedup_4, shard_speedup_8);
 
   std::fprintf(stderr,
                "\ngroup commit at %d threads: %.2fx the serialized path "
                "(target >= 2x at 4); single-writer ratio %.2f (target > 0.95)\n",
                peak, speedup, single_ratio);
+  std::fprintf(stderr,
+               "shard scaling at %d threads: 4 shards %.2fx, 8 shards %.2fx "
+               "the single-shard path (target >= 1.5x at 4 shards)\n",
+               shard_threads, shard_speedup_4, shard_speedup_8);
   return 0;
 }

@@ -10,10 +10,10 @@
 # visible on the run instead of silently passing.
 #
 # Usage:
-#   ci/check.sh                 # run the default legs (lint, tsan, asan)
+#   ci/check.sh                 # run the default legs (lint, tsan, asan, shards)
 #   ci/check.sh --leg asan      # run exactly one leg
 #   ci/check.sh asan            # same (positional form kept for compat)
-# Legs: plain | lint | tsan | asan | bench | all
+# Legs: plain | lint | tsan | asan | shards | bench | all
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -76,6 +76,19 @@ leg_tsan() {
 
 leg_asan() {
   run_leg asan -DLSMIO_SANITIZE=address
+}
+
+# Full suite under TSan with a 4-way sharded store: every test that opens a
+# DB through the env-sensitive paths (crash soak) runs sharded, and the rest
+# of the suite exercises the sharded open/reopen/destroy machinery compiled
+# in. export/unset rather than a prefix assignment: `VAR=x fn` would leak
+# the variable past the function call in bash.
+leg_shards() {
+  export LSMIO_SHARDS=4
+  run_leg shards -DLSMIO_SANITIZE=thread
+  local rc=$?
+  unset LSMIO_SHARDS
+  return $rc
 }
 
 # Tiny-config benchmark smoke run: builds the bench binaries, runs them with
@@ -154,7 +167,7 @@ while [ "$#" -gt 0 ]; do
       shift
       ;;
     -h|--help)
-      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|bench]"
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|bench]"
       exit 0
       ;;
     *)
@@ -171,14 +184,16 @@ for leg in "${LEGS[@]}"; do
     lint)  leg_lint ;;
     tsan)  leg_tsan ;;
     asan)  leg_asan ;;
+    shards) leg_shards ;;
     bench) leg_bench ;;
     all)
       leg_lint
       leg_tsan
       leg_asan
+      leg_shards
       ;;
     *)
-      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|bench]" >&2
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|bench]" >&2
       exit 2
       ;;
   esac

@@ -60,6 +60,11 @@ struct LsmioOptions {
   int max_write_buffer_number = 2;
   /// Group commit: concurrent writers batch into one WAL append/fsync.
   bool enable_group_commit = true;
+  /// Hash shards the store's keyspace is split into (1 = single LSM,
+  /// previous on-disk format). N > 1 runs N sub-LSMs with independent
+  /// write queues/WALs and concurrent flushes/compactions; fixed at store
+  /// creation. See lsm::Options::num_shards.
+  int num_shards = 1;
 
   /// Open the store without mutating it (concurrent multi-rank readers of
   /// one store, e.g. the ADIOS2-plugin read path, require this).

@@ -28,6 +28,7 @@ lsm::Options ToEngineOptions(const LsmioOptions& options) {
   engine.enable_group_commit = options.enable_group_commit;
   engine.pin_index_and_filter = options.pin_index_and_filter;
   engine.compaction_readahead_bytes = options.compaction_readahead_bytes;
+  engine.num_shards = options.num_shards;
   return engine;
 }
 
@@ -162,6 +163,12 @@ class LsmStore final : public Store {
   }
 
   lsm::DbStats EngineStats() const override { return db_->GetStats(); }
+
+  std::vector<lsm::DbStats> EngineStatsPerShard() const override {
+    std::vector<lsm::DbStats> per_shard;
+    db_->GetShardStats(&per_shard);
+    return per_shard;
+  }
 
   Status Health() const override { return db_->HealthStatus(); }
 

@@ -1,0 +1,70 @@
+#include "lsm/compaction_limiter.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lsmio::lsm {
+
+bool CompactionLimiter::TryStart(void* token, std::function<void()> retry) {
+  MutexLock lock(&mu_);
+  if (running_ < max_concurrent_) {
+    ++running_;
+    return true;
+  }
+  waiters_.push_back({token, std::move(retry)});
+  return false;
+}
+
+void CompactionLimiter::Finish() {
+  MutexLock lock(&mu_);
+  --running_;
+  // Dispatch waiters until the slots are full again. Only the waiters
+  // queued at entry are considered: a retry that immediately re-queues
+  // itself (e.g. the shard turned read-only between park and dispatch and
+  // its TryStart path bails) cannot spin this loop forever.
+  size_t budget = waiters_.size();
+  while (budget-- > 0 && running_ < max_concurrent_ && !waiters_.empty()) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    // The callback re-enters TryStart (and the shard's scheduling path),
+    // so it must run with mu_ released. invoking_ lets Cancel() wait out
+    // a callback of its token that is mid-flight here.
+    invoking_ = w.token;
+    lock.Unlock();
+    w.retry();
+    lock.Lock();
+    invoking_ = nullptr;
+    cv_.SignalAll();
+  }
+}
+
+void CompactionLimiter::Cancel(void* token) {
+  MutexLock lock(&mu_);
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    it = it->token == token ? waiters_.erase(it) : std::next(it);
+  }
+  while (invoking_ == token) cv_.Wait();
+}
+
+void CompactionLimiter::BeginExecute() {
+  MutexLock lock(&mu_);
+  ++executing_;
+  peak_executing_ = std::max(peak_executing_, executing_);
+}
+
+void CompactionLimiter::EndExecute() {
+  MutexLock lock(&mu_);
+  --executing_;
+}
+
+uint64_t CompactionLimiter::executing() const {
+  MutexLock lock(&mu_);
+  return executing_;
+}
+
+uint64_t CompactionLimiter::peak_executing() const {
+  MutexLock lock(&mu_);
+  return peak_executing_;
+}
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,70 @@
+// CompactionLimiter: the fairness cap on compactions running concurrently
+// across the shards of one store. Every shard asks for a slot before
+// submitting compaction work to the shared background pool; when all slots
+// are taken the shard parks a retry callback and is re-dispatched (FIFO)
+// as slots free up. Combined with each shard's own at-most-one-compaction
+// scheduling flag this bounds a store at `max_concurrent` compactions
+// total while guaranteeing a hot shard can never hold more than one slot.
+//
+// The limiter also tracks how many granted compactions are *executing*
+// right now (slot held and the compaction body actually running, not just
+// queued in the pool) plus the high-water mark, which is what the
+// DbStats concurrent-compaction gauges report.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/synchronization.h"
+
+namespace lsmio::lsm {
+
+class CompactionLimiter {
+ public:
+  explicit CompactionLimiter(int max_concurrent)
+      : max_concurrent_(max_concurrent < 1 ? 1 : max_concurrent) {}
+
+  CompactionLimiter(const CompactionLimiter&) = delete;
+  CompactionLimiter& operator=(const CompactionLimiter&) = delete;
+
+  /// Tries to take a slot for `token` (the requesting shard). On success
+  /// the caller must pair it with Finish(). On failure `retry` is queued
+  /// and will be invoked — with no limiter or shard mutex held — once a
+  /// slot frees up; the callback should re-attempt scheduling.
+  bool TryStart(void* token, std::function<void()> retry) EXCLUDES(mu_);
+
+  /// Releases a slot and dispatches queued waiters that now fit.
+  void Finish() EXCLUDES(mu_);
+
+  /// Drops every queued waiter registered by `token` and blocks until any
+  /// in-flight dispatch of one of its callbacks has returned. Must be
+  /// called before the token's owner is destroyed.
+  void Cancel(void* token) EXCLUDES(mu_);
+
+  /// Brackets the actual execution of a granted compaction; drives the
+  /// executing/peak gauges below.
+  void BeginExecute() EXCLUDES(mu_);
+  void EndExecute() EXCLUDES(mu_);
+
+  [[nodiscard]] uint64_t executing() const EXCLUDES(mu_);
+  [[nodiscard]] uint64_t peak_executing() const EXCLUDES(mu_);
+  [[nodiscard]] int max_concurrent() const { return max_concurrent_; }
+
+ private:
+  struct Waiter {
+    void* token;
+    std::function<void()> retry;
+  };
+
+  const int max_concurrent_;
+  mutable Mutex mu_;
+  CondVar cv_{&mu_};  // signalled when invoking_ clears (see Cancel)
+  int running_ GUARDED_BY(mu_) = 0;   // slots handed out
+  uint64_t executing_ GUARDED_BY(mu_) = 0;
+  uint64_t peak_executing_ GUARDED_BY(mu_) = 0;
+  void* invoking_ GUARDED_BY(mu_) = nullptr;  // token whose retry is running
+  std::deque<Waiter> waiters_ GUARDED_BY(mu_);
+};
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,104 @@
+// Compaction pipeline: overlaps the I/O-bound half of a compaction (block
+// reads, decode, heap merge — everything behind Iterator::Next on the
+// merged input) with the compute/write half (drop logic, block encode,
+// output writes), Pome-style.
+//
+// The consumer pulls entries through the KvSource interface. With the
+// pipeline enabled, a producer thread drains the merged input iterator
+// into packed entry batches while the consumer processes the previous
+// batch; the queue is bounded (double buffering), so a slow consumer
+// backpressures the producer instead of buffering the whole compaction,
+// and memory stays at ~2 batches.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "lsm/iterator.h"
+
+namespace lsmio::lsm {
+
+/// Pull interface the compaction consumer loop iterates. The slices
+/// returned by Next stay valid until the next Next call. status() is
+/// meaningful once Next has returned false.
+class KvSource {
+ public:
+  virtual ~KvSource() = default;
+  virtual bool Next(Slice* key, Slice* value) = 0;
+  [[nodiscard]] virtual Status status() const = 0;
+  /// Entry batches handed across the pipeline (0 for the direct source).
+  [[nodiscard]] virtual uint64_t batches() const { return 0; }
+};
+
+/// Direct pass-through used when the pipeline is disabled: Next is exactly
+/// one iterator step on the calling thread.
+class IteratorKvSource final : public KvSource {
+ public:
+  /// Does not take ownership of `iter`.
+  explicit IteratorKvSource(Iterator* iter) : iter_(iter) {}
+
+  bool Next(Slice* key, Slice* value) override {
+    if (!started_) {
+      iter_->SeekToFirst();
+      started_ = true;
+    } else {
+      iter_->Next();
+    }
+    if (!iter_->Valid()) return false;
+    *key = iter_->key();
+    *value = iter_->value();
+    return true;
+  }
+
+  [[nodiscard]] Status status() const override { return iter_->status(); }
+
+ private:
+  Iterator* iter_;
+  bool started_ = false;
+};
+
+/// Double-buffered producer/consumer source: a background thread runs the
+/// input iterator and packs entries into length-prefixed batches of
+/// ~batch_bytes; the consumer decodes them sequentially.
+class PipelinedKvSource final : public KvSource {
+ public:
+  /// Does not take ownership of `iter`, which must stay valid for this
+  /// object's lifetime and is driven exclusively by the producer thread.
+  explicit PipelinedKvSource(Iterator* iter, size_t batch_bytes = 1U << 20,
+                             size_t max_queued_batches = 2);
+  ~PipelinedKvSource() override;
+
+  bool Next(Slice* key, Slice* value) override;
+  [[nodiscard]] Status status() const override;
+  [[nodiscard]] uint64_t batches() const override;
+
+ private:
+  void ProducerLoop(Iterator* iter) EXCLUDES(mu_);
+  /// Blocks while the queue is full; false once cancelled.
+  bool PushBatch(std::string batch) EXCLUDES(mu_);
+
+  const size_t batch_bytes_;
+  const size_t max_queued_batches_;
+
+  mutable Mutex mu_;
+  CondVar producer_cv_{&mu_};  // queue has room / cancelled
+  CondVar consumer_cv_{&mu_};  // batch ready / producer done
+  std::deque<std::string> ready_ GUARDED_BY(mu_);
+  bool done_ GUARDED_BY(mu_) = false;       // producer finished
+  bool cancelled_ GUARDED_BY(mu_) = false;  // consumer tearing down
+  Status producer_status_ GUARDED_BY(mu_);
+  uint64_t batches_ GUARDED_BY(mu_) = 0;
+
+  // Consumer-side state: the batch being decoded is owned exclusively by
+  // the consumer thread after it is popped, so it needs no locking.
+  std::string current_;
+  size_t cursor_ = 0;
+
+  std::thread producer_;  // started last in the constructor
+};
+
+}  // namespace lsmio::lsm

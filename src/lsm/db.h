@@ -61,6 +61,14 @@ struct DbStats {
   // --- health ---
   uint64_t read_only_mode = 0;        // gauge: 1 once a background error
                                       // latched the engine read-only
+  // --- sharding / compaction parallelism ---
+  uint64_t shards = 1;                // gauge: sub-LSM count of the store
+  uint64_t concurrent_compactions = 0;      // gauge: compactions executing
+                                            // right now (store-wide)
+  uint64_t peak_concurrent_compactions = 0; // high-water mark of the above
+  uint64_t compaction_pipeline_batches = 0; // entry batches handed from the
+                                            // compaction read/merge producer
+                                            // to the encode/write consumer
 };
 
 class DB {
@@ -117,8 +125,14 @@ class DB {
   /// one) has completed and the data is on storage.
   virtual Status FlushMemTable(bool wait) = 0;
 
-  /// Manually compacts the whole key range (no-op with compaction disabled).
-  virtual Status CompactRange() = 0;
+  /// Manually compacts the user-key range [begin, end]; either bound may be
+  /// null for "unbounded". Only files (and, on a sharded store, shards)
+  /// whose key range overlaps the request are compacted; shards compact
+  /// concurrently. No-op with compaction disabled.
+  virtual Status CompactRange(const Slice* begin, const Slice* end) = 0;
+
+  /// Manually compacts the whole key range.
+  Status CompactRange() { return CompactRange(nullptr, nullptr); }
 
   /// OK while the engine is healthy. Once a WAL/manifest/flush failure has
   /// latched the engine into sticky read-only mode, returns the ReadOnly
@@ -126,8 +140,16 @@ class DB {
   /// reopen the DB to clear the condition.
   virtual Status HealthStatus() const { return Status::OK(); }
 
-  /// Engine counters.
+  /// Engine counters. On a sharded store these are whole-store aggregates:
+  /// counters are summed across shards, gauges (queue depths, read-only
+  /// mode, compaction concurrency) take the max.
   virtual DbStats GetStats() const = 0;
+
+  /// Per-shard counter breakdown (the verbose form of GetStats). Unsharded
+  /// stores report a single entry identical to GetStats.
+  virtual void GetShardStats(std::vector<DbStats>* out) const {
+    out->assign(1, GetStats());
+  }
 
   /// Approximate bytes held by active+immutable memtables.
   virtual uint64_t ApproximateMemoryUsage() const = 0;

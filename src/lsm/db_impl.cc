@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 #include "lsm/builder.h"
@@ -12,6 +13,7 @@
 #include "lsm/filter_policy.h"
 #include "lsm/log_reader.h"
 #include "lsm/merger.h"
+#include "lsm/sharded_db.h"
 #include "lsm/table_builder.h"
 #include "vfs/posix_vfs.h"
 
@@ -22,7 +24,8 @@ struct DBImpl::SnapshotImpl final : Snapshot {
   SequenceNumber sequence;
 };
 
-DBImpl::DBImpl(const Options& options, const std::string& dbname)
+DBImpl::DBImpl(const Options& options, const std::string& dbname,
+               ThreadPool* shared_pool, CompactionLimiter* shared_limiter)
     : options_(options),
       dbname_(dbname),
       internal_comparator_(options.comparator != nullptr ? options.comparator
@@ -42,7 +45,20 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname)
   // The VersionSet is guarded by mu_; install it so every VersionSet entry
   // point can debug-assert the cross-object lock contract.
   versions_->SetOwnerMutex(&mu_);
-  bg_pool_ = std::make_unique<ThreadPool>(std::max(1, options_.background_threads));
+  if (shared_limiter != nullptr) {
+    limiter_ = shared_limiter;
+  } else {
+    owned_limiter_ =
+        std::make_unique<CompactionLimiter>(EffectiveCompactionCap(options_));
+    limiter_ = owned_limiter_.get();
+  }
+  if (shared_pool != nullptr) {
+    bg_pool_ = shared_pool;
+  } else {
+    owned_bg_pool_ =
+        std::make_unique<ThreadPool>(std::max(1, options_.background_threads));
+    bg_pool_ = owned_bg_pool_.get();
+  }
 }
 
 DBImpl::~DBImpl() {
@@ -51,7 +67,10 @@ DBImpl::~DBImpl() {
     shutting_down_.store(true);
     while (flush_scheduled_ || compaction_scheduled_) bg_cv_.Wait();
   }
-  bg_pool_->Shutdown();
+  // Drop any parked retry callback and wait out an in-flight dispatch, so
+  // the (possibly shared) limiter cannot call back into a dead object.
+  limiter_->Cancel(this);
+  if (owned_bg_pool_ != nullptr) owned_bg_pool_->Shutdown();
   if (mem_ != nullptr) mem_->Unref();
   for (MemTable* imm : imm_queue_) imm->Unref();
   if (logfile_ != nullptr) logfile_->Close();
@@ -493,20 +512,84 @@ Status DBImpl::FlushMemTable(bool wait) {
   return Status::OK();
 }
 
-Status DBImpl::CompactRange() {
-  if (options_.disable_compaction) return Status::OK();
+namespace {
+
+// True when the file's user-key span [smallest, largest] intersects the
+// range [begin, end]; a null bound is unbounded on that side.
+bool FileOverlapsUserRange(const Comparator* ucmp, const FileMetaData& f,
+                           const Slice* begin, const Slice* end) {
+  if (begin != nullptr &&
+      ucmp->Compare(ExtractUserKey(Slice(f.largest)), *begin) < 0) {
+    return false;
+  }
+  if (end != nullptr &&
+      ucmp->Compare(ExtractUserKey(Slice(f.smallest)), *end) > 0) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DBImpl::FileOverlapsManualRange(const FileMetaData& f) const {
+  const Slice begin(manual_begin_);
+  const Slice end(manual_end_);
+  return FileOverlapsUserRange(internal_comparator_.user_comparator(), f,
+                               manual_has_begin_ ? &begin : nullptr,
+                               manual_has_end_ ? &end : nullptr);
+}
+
+Status DBImpl::CompactRange(const Slice* begin, const Slice* end) {
+  if (options_.disable_compaction || options_.read_only) return Status::OK();
   MutexLock lock(&mu_);
   if (!bg_error_.ok()) return ReadOnlyError();
-  manual_compaction_requested_ = true;
-  MaybeScheduleCompaction();
-  while ((manual_compaction_requested_ || compaction_scheduled_) &&
-         bg_error_.ok()) {
-    bg_cv_.Wait();
+
+  // Route by range: when nothing on disk intersects the request this is a
+  // fast no-op — on a sharded store that is what keeps a manual compaction
+  // away from shards outside the range.
+  bool any_overlap = false;
+  {
+    // Scoped: holding this version ref across the wait below would keep
+    // the compaction's input files "live" through the install-time
+    // obsolete-file sweep, leaving them on disk until the next compaction.
+    const Comparator* ucmp = internal_comparator_.user_comparator();
+    const auto current = versions_->current();
+    for (int level = 0; level < kNumLevels && !any_overlap; ++level) {
+      for (const auto& f : current->files[level]) {
+        if (FileOverlapsUserRange(ucmp, f, begin, end)) {
+          any_overlap = true;
+          break;
+        }
+      }
+    }
   }
-  // Clear on every exit path (including bg_error_) so a failed manual
-  // compaction cannot wedge later calls.
-  manual_compaction_requested_ = false;
-  return bg_error_.ok() ? Status::OK() : ReadOnlyError();
+  if (!any_overlap) return Status::OK();
+
+  // One manual request at a time: a second caller waits until the first
+  // request has been picked up and completed before installing its own.
+  while (manual_compaction_requested_ && bg_error_.ok()) bg_cv_.Wait();
+  if (!bg_error_.ok()) return ReadOnlyError();
+
+  manual_compaction_requested_ = true;
+  manual_has_begin_ = begin != nullptr;
+  manual_has_end_ = end != nullptr;
+  manual_begin_ = begin != nullptr ? begin->ToString() : std::string();
+  manual_end_ = end != nullptr ? end->ToString() : std::string();
+  const uint64_t target_gen = manual_done_gen_ + 1;
+  MaybeScheduleCompaction();
+  // Wait for this request's completion generation, not just a flag: the
+  // compaction may be parked on the store-wide limiter before it is ever
+  // "scheduled", and another caller may re-arm the flag right after ours
+  // completes.
+  while (manual_done_gen_ < target_gen && bg_error_.ok()) bg_cv_.Wait();
+  // Clear on the error path too, so a failed manual compaction cannot
+  // wedge later calls.
+  if (!bg_error_.ok()) {
+    manual_compaction_requested_ = false;
+    bg_cv_.SignalAll();
+    return ReadOnlyError();
+  }
+  return Status::OK();
 }
 
 // --- background work ----------------------------------------------------------
@@ -522,11 +605,31 @@ void DBImpl::MaybeScheduleFlush() {
 }
 
 void DBImpl::MaybeScheduleCompaction() {
-  if (compaction_scheduled_ || shutting_down_.load()) return;
+  if (compaction_scheduled_ || compaction_waiting_ || shutting_down_.load()) {
+    return;
+  }
   if (!bg_error_.ok()) return;  // read-only: see MaybeScheduleFlush
   if (!NeedsCompaction() && !manual_compaction_requested_) return;
+  // Take a slot on the store-wide limiter before submitting: this is what
+  // caps concurrent compactions across the shards of a sharded store and
+  // keeps one hot shard from occupying every pool thread. When the slots
+  // are full we park a retry and are re-dispatched FIFO as one frees up.
+  if (!limiter_->TryStart(this, [this] { RetryCompactionSchedule(); })) {
+    compaction_waiting_ = true;
+    return;
+  }
   compaction_scheduled_ = true;
   bg_pool_->Submit([this] { BackgroundCompactionCall(); });
+}
+
+void DBImpl::RetryCompactionSchedule() {
+  MutexLock lock(&mu_);
+  compaction_waiting_ = false;
+  MaybeScheduleCompaction();
+  // A CompactRange caller may be parked while its request waited for a
+  // limiter slot; if scheduling is no longer possible (shutdown/read-only)
+  // it must wake up and observe that.
+  bg_cv_.SignalAll();
 }
 
 bool DBImpl::NeedsCompaction() const {
@@ -564,11 +667,23 @@ void DBImpl::BackgroundCompactionCall() {
   if (!shutting_down_.load() && bg_error_.ok()) {
     const bool manual = manual_compaction_requested_;
     lock.Unlock();
+    limiter_->BeginExecute();
     const Status s = BackgroundCompaction();
+    limiter_->EndExecute();
     lock.Lock();
-    if (manual) manual_compaction_requested_ = false;
+    if (manual) {
+      manual_compaction_requested_ = false;
+      ++manual_done_gen_;
+    }
     if (!s.ok()) RecordBackgroundError(s);
   }
+
+  // Release the limiter slot before clearing compaction_scheduled_: the
+  // destructor waits on that flag, so the object is guaranteed alive for
+  // the Finish call (which may dispatch other shards' retries).
+  lock.Unlock();
+  limiter_->Finish();
+  lock.Lock();
 
   compaction_scheduled_ = false;
   MaybeScheduleCompaction();
@@ -624,14 +739,61 @@ Status DBImpl::BackgroundCompaction() {
   {
     MutexLock lock(&mu_);
     const auto current = versions_->current();
-    if (current->NumFiles(0) >= options_.l0_compaction_trigger ||
-        (manual_compaction_requested_ && current->NumFiles(0) > 0)) {
+    if (manual_compaction_requested_) {
+      // Manual compaction: only files overlapping the requested range.
+      // L0 first; the selection must then be *transitively* expanded to
+      // every L0 file overlapping the picked files' key span, because L0
+      // reads are newest-file-first — compacting a newer L0 file into L1
+      // while an older overlapping L0 sibling stays behind would let the
+      // sibling's stale versions shadow the freshly installed ones.
+      for (const auto& f : current->files[0]) {
+        if (FileOverlapsManualRange(f)) level_inputs.push_back(f);
+      }
+      if (!level_inputs.empty()) {
+        level = 0;
+        const Comparator* ucmp = internal_comparator_.user_comparator();
+        std::set<uint64_t> picked;
+        std::string lo, hi;  // user-key span of the selection so far
+        for (const auto& f : level_inputs) {
+          picked.insert(f.number);
+          const Slice fs = ExtractUserKey(Slice(f.smallest));
+          const Slice fl = ExtractUserKey(Slice(f.largest));
+          if (lo.empty() || ucmp->Compare(fs, Slice(lo)) < 0) lo = fs.ToString();
+          if (hi.empty() || ucmp->Compare(fl, Slice(hi)) > 0) hi = fl.ToString();
+        }
+        for (bool grew = true; grew;) {
+          grew = false;
+          for (const auto& f : current->files[0]) {
+            if (picked.count(f.number) != 0) continue;
+            const Slice slo(lo);
+            const Slice shi(hi);
+            if (!FileOverlapsUserRange(ucmp, f, &slo, &shi)) continue;
+            level_inputs.push_back(f);
+            picked.insert(f.number);
+            const Slice fs = ExtractUserKey(Slice(f.smallest));
+            const Slice fl = ExtractUserKey(Slice(f.largest));
+            if (ucmp->Compare(fs, slo) < 0) lo = fs.ToString();
+            if (ucmp->Compare(fl, shi) > 0) hi = fl.ToString();
+            grew = true;
+          }
+        }
+      } else {
+        for (int l = 1; l < kNumLevels - 1 && level < 0; ++l) {
+          for (const auto& f : current->files[l]) {
+            if (FileOverlapsManualRange(f)) {
+              level = l;
+              level_inputs.push_back(f);
+              break;
+            }
+          }
+        }
+      }
+    } else if (current->NumFiles(0) >= options_.l0_compaction_trigger) {
       level = 0;
       level_inputs = current->files[0];
     } else {
       for (int l = 1; l < kNumLevels - 1; ++l) {
-        if (current->TotalBytes(l) > MaxBytesForLevel(l) ||
-            (manual_compaction_requested_ && current->NumFiles(l) > 0)) {
+        if (current->TotalBytes(l) > MaxBytesForLevel(l)) {
           level = l;
           level_inputs.push_back(current->files[l][0]);
           break;
@@ -697,40 +859,78 @@ Status DBImpl::CompactFiles(int level,
     return true;
   }();
 
+  // Pipeline stage 1 (producer): block reads + decode + heap merge, i.e.
+  // everything behind Next on the merged iterator. With the pipeline on,
+  // a background thread runs it and feeds double-buffered entry batches;
+  // otherwise Next degenerates to an inline iterator step. `source` must
+  // be destroyed before `merged` (it drives the iterator from its thread).
+  std::unique_ptr<KvSource> source;
+  if (options_.pipeline_compaction_io) {
+    source = std::make_unique<PipelinedKvSource>(merged.get());
+  } else {
+    source = std::make_unique<IteratorKvSource>(merged.get());
+  }
+
   std::vector<FileMetaData> outputs;
+  std::vector<uint64_t> allocated_numbers;  // every number taken, for cleanup
   std::unique_ptr<vfs::WritableFile> out_file;
   std::unique_ptr<TableBuilder> builder;
   FileMetaData current_output;
   Status s;
 
-  auto finish_output = [&]() -> Status {
-    if (builder == nullptr) return Status::OK();
-    Status fs_status = builder->Finish();
-    if (fs_status.ok()) {
-      current_output.file_size = builder->FileSize();
-      // Always fsync (as in BuildTable): LogAndApply installs this file and
-      // the inputs it replaces get deleted, so an unsynced output would be
-      // the only copy of its keys after a power failure.
-      fs_status = out_file->Sync();
-    }
-    if (fs_status.ok()) fs_status = out_file->Close();
-    builder.reset();
-    out_file.reset();
-    if (fs_status.ok() && current_output.file_size > 0) {
-      outputs.push_back(current_output);
+  // Pipeline stage 3 (async finish): Finish+Sync+Close of a completed
+  // output runs on a helper thread while the next output builds, so the
+  // output fsync overlaps both input I/O and merge compute. At most one
+  // finish is in flight; its result is read only after the join.
+  std::thread finisher;
+  bool finish_pending = false;
+  Status finish_status;
+  FileMetaData finished_meta;
+
+  auto wait_finisher = [&]() -> Status {
+    if (!finish_pending) return Status::OK();
+    finisher.join();
+    finish_pending = false;
+    if (finish_status.ok() && finished_meta.file_size > 0) {
+      outputs.push_back(finished_meta);
       MutexLock lock(&mu_);
-      stats_.bytes_compacted += current_output.file_size;
+      stats_.bytes_compacted += finished_meta.file_size;
     }
-    return fs_status;
+    return finish_status;
   };
 
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    LSMIO_RETURN_IF_ERROR(wait_finisher());
+    finish_pending = true;
+    finisher = std::thread([&finish_status, &finished_meta,
+                            fin_builder = std::move(builder),
+                            fin_file = std::move(out_file),
+                            meta = current_output]() mutable {
+      Status fs_status = fin_builder->Finish();
+      if (fs_status.ok()) {
+        meta.file_size = fin_builder->FileSize();
+        // Always fsync (as in BuildTable): LogAndApply installs this file
+        // and the inputs it replaces get deleted, so an unsynced output
+        // would be the only copy of its keys after a power failure.
+        fs_status = fin_file->Sync();
+      }
+      if (fs_status.ok()) fs_status = fin_file->Close();
+      finish_status = fs_status;
+      finished_meta = meta;
+    });
+    return Status::OK();
+  };
+
+  // Pipeline stage 2 (consumer, this thread): drop logic + encode + write.
   const Comparator* ucmp = internal_comparator_.user_comparator();
   std::string last_user_key;
   bool has_last_user_key = false;
   SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
 
-  for (merged->SeekToFirst(); merged->Valid() && s.ok(); merged->Next()) {
-    const Slice key = merged->key();
+  Slice key;
+  Slice value;
+  while (s.ok() && source->Next(&key, &value)) {
     ParsedInternalKey ikey;
     bool drop = false;
     if (!ParseInternalKey(key, &ikey)) {
@@ -760,6 +960,7 @@ Status DBImpl::CompactFiles(int level,
         current_output = FileMetaData{};
         current_output.number = versions_->NewFileNumber();
         pending_outputs_.insert(current_output.number);
+        allocated_numbers.push_back(current_output.number);
       }
       s = fs().NewWritableFile(TableFileName(dbname_, current_output.number), {},
                                &out_file);
@@ -769,21 +970,33 @@ Status DBImpl::CompactFiles(int level,
       current_output.smallest = key.ToString();
     }
     current_output.largest = key.ToString();
-    builder->Add(key, merged->value());
+    builder->Add(key, value);
 
     if (builder->FileSize() >= options_.target_file_size) {
       s = finish_output();
     }
   }
-  if (s.ok()) s = merged->status();
+  if (s.ok()) s = source->status();
   if (s.ok()) s = finish_output();
+  {
+    // Drain the in-flight finish unconditionally (the thread must join);
+    // on the error path its status is secondary to the first failure.
+    const Status drained = wait_finisher();
+    if (s.ok()) s = drained;
+  }
   if (builder != nullptr) {
     builder->Abandon();
     builder.reset();
+    out_file.reset();
   }
+  const uint64_t pipeline_batches = source->batches();
+  source.reset();  // joins the producer thread before `merged` dies
 
   MutexLock lock(&mu_);
-  for (const auto& f : outputs) pending_outputs_.erase(f.number);
+  stats_.compaction_pipeline_batches += pipeline_batches;
+  // Failed/empty outputs fall out of pending_outputs_ too, so the next
+  // RemoveObsoleteFiles sweep can delete the partial files.
+  for (const uint64_t number : allocated_numbers) pending_outputs_.erase(number);
   if (!s.ok()) return s;
 
   // Install: delete inputs, add outputs at level+1.
@@ -1044,7 +1257,13 @@ DbStats DBImpl::GetStats() const {
   DbStats stats = stats_;
   stats.read_only_mode = bg_error_.ok() ? 0 : 1;
   stats.flush_queue_depth = imm_queue_.size();
-  stats.compaction_queue_depth = compaction_scheduled_ ? 1 : 0;
+  stats.compaction_queue_depth =
+      (compaction_scheduled_ ? 1 : 0) + (compaction_waiting_ ? 1 : 0);
+  stats.shards = 1;
+  // Store-wide when the limiter is shared across a ShardedDB's sub-LSMs
+  // (every shard reports the same value; the aggregate takes the max).
+  stats.concurrent_compactions = limiter_->executing();
+  stats.peak_concurrent_compactions = limiter_->peak_executing();
   const auto relaxed = std::memory_order_relaxed;
   stats.bloom_checked = read_counters_.bloom_checked.load(relaxed);
   stats.bloom_useful = read_counters_.bloom_useful.load(relaxed);
@@ -1067,6 +1286,34 @@ uint64_t DBImpl::ApproximateMemoryUsage() const {
 Status DB::Open(const Options& options, const std::string& name,
                 std::unique_ptr<DB>* dbptr) {
   dbptr->reset();
+  vfs::Vfs& fs = options.vfs != nullptr ? *options.vfs : vfs::PosixVfs();
+  const int requested = std::max(1, options.num_shards);
+
+  // The SHARDS marker is the layout arbiter: a sharded store must be
+  // reopened with its recorded shard count, an unsharded store (plain
+  // CURRENT at the root, possibly predating sharding) only with
+  // num_shards=1. Mismatches fail instead of silently mis-routing keys.
+  int on_disk = 0;
+  const Status marker = ReadShardsMarker(fs, name, &on_disk);
+  if (marker.ok()) {
+    if (on_disk != requested) {
+      return Status::InvalidArgument(
+          name + " was created with num_shards=" + std::to_string(on_disk) +
+          "; reopening with num_shards=" + std::to_string(requested) +
+          " is not supported");
+    }
+    return ShardedDB::Open(options, name, dbptr);
+  }
+  if (!marker.IsNotFound()) return marker;
+  if (requested > 1) {
+    if (fs.FileExists(CurrentFileName(name))) {
+      return Status::InvalidArgument(
+          name + " was created unsharded (num_shards=1); reopening with "
+          "num_shards=" + std::to_string(requested) + " is not supported");
+    }
+    return ShardedDB::Open(options, name, dbptr);
+  }
+
   auto impl = std::make_unique<DBImpl>(options, name);
   LSMIO_RETURN_IF_ERROR(impl->Initialize());
   *dbptr = std::move(impl);
@@ -1075,6 +1322,10 @@ Status DB::Open(const Options& options, const std::string& name,
 
 Status DB::Destroy(const Options& options, const std::string& name) {
   vfs::Vfs& fs = options.vfs != nullptr ? *options.vfs : vfs::PosixVfs();
+  int on_disk = 0;
+  if (ReadShardsMarker(fs, name, &on_disk).ok()) {
+    return ShardedDB::DestroyShards(options, name, on_disk);
+  }
   std::vector<std::string> children;
   Status s = fs.ListDir(name, &children);
   if (!s.ok()) return Status::OK();  // nothing to destroy

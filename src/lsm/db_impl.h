@@ -8,6 +8,7 @@
 // disabled entirely (paper mode: flushes accumulate as L0 files).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <list>
@@ -18,6 +19,8 @@
 
 #include "common/synchronization.h"
 #include "common/thread_pool.h"
+#include "lsm/compaction_limiter.h"
+#include "lsm/compaction_pipeline.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
 #include "lsm/log_writer.h"
@@ -32,7 +35,13 @@ class FilterPolicy;
 
 class DBImpl final : public DB {
  public:
-  DBImpl(const Options& options, const std::string& dbname);
+  /// `shared_pool`/`shared_limiter` let a ShardedDB run several DBImpl
+  /// sub-LSMs on one background executor with one store-wide compaction
+  /// concurrency cap; both must outlive this object. When null (the
+  /// standalone single-LSM case) the DBImpl owns private instances.
+  DBImpl(const Options& options, const std::string& dbname,
+         ThreadPool* shared_pool = nullptr,
+         CompactionLimiter* shared_limiter = nullptr);
   ~DBImpl() override;
 
   Status Put(const WriteOptions& options, const Slice& key, const Slice& value) override;
@@ -46,13 +55,15 @@ class DBImpl final : public DB {
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;
   Status FlushMemTable(bool wait) override;
-  Status CompactRange() override;
+  using DB::CompactRange;
+  Status CompactRange(const Slice* begin, const Slice* end) override;
   Status HealthStatus() const override;
   DbStats GetStats() const override;
   uint64_t ApproximateMemoryUsage() const override;
 
  private:
   friend class DB;
+  friend class ShardedDB;  // calls Initialize() on its sub-LSMs
   struct SnapshotImpl;
 
   /// One queued DB::Write (or memtable-switch request when batch == nullptr).
@@ -91,10 +102,15 @@ class DBImpl final : public DB {
 
   void MaybeScheduleFlush() REQUIRES(mu_);
   void MaybeScheduleCompaction() REQUIRES(mu_);
+  /// Limiter callback: a compaction slot freed up, re-attempt scheduling.
+  void RetryCompactionSchedule() EXCLUDES(mu_);
   void BackgroundFlushCall() EXCLUDES(mu_);
   void BackgroundCompactionCall() EXCLUDES(mu_);
   Status CompactMemTable(MemTable* imm) EXCLUDES(mu_);
   bool NeedsCompaction() const REQUIRES(mu_);
+  /// True when the file's user-key span intersects the manual compaction
+  /// range currently installed (unbounded sides always match).
+  bool FileOverlapsManualRange(const FileMetaData& f) const REQUIRES(mu_);
   Status BackgroundCompaction() EXCLUDES(mu_);
   Status CompactFiles(int level, const std::vector<FileMetaData>& level_inputs,
                       const std::vector<FileMetaData>& next_inputs)
@@ -145,15 +161,42 @@ class DBImpl final : public DB {
   WriteBatch tmp_batch_;  // leader-owned scratch for merged write groups
   bool flush_scheduled_ GUARDED_BY(mu_) = false;
   bool compaction_scheduled_ GUARDED_BY(mu_) = false;
+  /// Set when MaybeScheduleCompaction lost the race for a limiter slot;
+  /// cleared by RetryCompactionSchedule when the limiter re-dispatches us.
+  bool compaction_waiting_ GUARDED_BY(mu_) = false;
   bool manual_compaction_requested_ GUARDED_BY(mu_) = false;
+  // Manual (CompactRange) state: the requested user-key range, and a
+  // completion generation counter so overlapping CompactRange callers each
+  // wait for their own request instead of a re-armed flag.
+  bool manual_has_begin_ GUARDED_BY(mu_) = false;
+  bool manual_has_end_ GUARDED_BY(mu_) = false;
+  std::string manual_begin_ GUARDED_BY(mu_);
+  std::string manual_end_ GUARDED_BY(mu_);
+  uint64_t manual_done_gen_ GUARDED_BY(mu_) = 0;
   Status bg_error_ GUARDED_BY(mu_);
   std::atomic<bool> shutting_down_{false};
   std::set<uint64_t> pending_outputs_ GUARDED_BY(mu_);
   std::list<const SnapshotImpl*> snapshots_ GUARDED_BY(mu_);
   DbStats stats_ GUARDED_BY(mu_);
 
-  // Background executor; created last, destroyed first.
-  std::unique_ptr<ThreadPool> bg_pool_;
+  // Background executor + compaction concurrency cap. Either shared (a
+  // ShardedDB passes its store-wide instances, which outlive every shard)
+  // or privately owned; the raw pointers below are what the code uses.
+  // Owned instances are created last / destroyed first.
+  ThreadPool* bg_pool_ = nullptr;
+  CompactionLimiter* limiter_ = nullptr;
+  std::unique_ptr<CompactionLimiter> owned_limiter_;
+  std::unique_ptr<ThreadPool> owned_bg_pool_;
 };
+
+/// The compaction concurrency cap for `options`: the explicit
+/// max_concurrent_compactions when set, else max(1, background_threads-1)
+/// so one pool thread stays free for memtable flushes.
+inline int EffectiveCompactionCap(const Options& options) {
+  if (options.max_concurrent_compactions > 0) {
+    return options.max_concurrent_compactions;
+  }
+  return std::max(1, options.background_threads - 1);
+}
 
 }  // namespace lsmio::lsm

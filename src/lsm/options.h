@@ -128,6 +128,33 @@ struct Options {
   /// whole group with the DB mutex released. Disable to fall back to the
   /// fully serialized write path (kept for ablation benchmarks).
   bool enable_group_commit = true;
+
+  // --- sharding -------------------------------------------------------------
+
+  /// Number of hash shards the keyspace is partitioned into. 1 (default)
+  /// keeps a single LSM at the store path with the on-disk format of
+  /// previous releases. N > 1 opens a ShardedDB: N sub-LSMs in shard-NNN
+  /// subdirectories, each with its own memtable, WAL and manifest, so
+  /// writes group-commit per shard (N concurrent WAL fsyncs) and flushes/
+  /// compactions from different shards run concurrently on one shared
+  /// background pool. The shard count is fixed at store creation and
+  /// recorded in a SHARDS marker file; reopening with a different value
+  /// fails with InvalidArgument.
+  int num_shards = 1;
+
+  /// Cap on compactions executing concurrently across all shards of a
+  /// store (each shard runs at most one compaction at a time regardless,
+  /// so a hot shard can never hold more than one slot — that is the
+  /// fairness guarantee). 0 = auto: max(1, background_threads - 1),
+  /// keeping one pool thread free for memtable flushes.
+  int max_concurrent_compactions = 0;
+
+  /// Overlap compaction I/O with merge compute (Pome-style pipeline): a
+  /// producer thread reads, decodes and heap-merges input blocks into
+  /// double-buffered entry batches while the consumer thread runs the
+  /// drop logic and encodes/writes output tables, and each finished
+  /// output's fsync overlaps the build of the next one.
+  bool pipeline_compaction_io = true;
 };
 
 /// Options for read operations.

@@ -10,7 +10,10 @@
 //     sweep sees only known keys, and new writes work.
 //
 // The iteration count defaults to 200 (the CI soak); override with
-// LSMIO_CRASH_ITERS for quick local runs or longer soaks.
+// LSMIO_CRASH_ITERS for quick local runs or longer soaks. LSMIO_SHARDS=N
+// runs the randomized soak against an N-way sharded store (per-shard WALs
+// and manifests under shard-NNN/ all see the same fault model); a smaller
+// always-on sharded soak runs regardless.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -35,6 +38,15 @@ int IterationsFromEnv() {
     if (n > 0) return n;
   }
   return 200;
+}
+
+int ShardsFromEnv() {
+  const char* env = std::getenv("LSMIO_SHARDS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
 }
 
 // Values are >= 16 random bytes, so a 1-byte sentinel can never collide.
@@ -65,13 +77,14 @@ vfs::FaultPoint RandomFaultPoint(Rng& rng) {
   return point;
 }
 
-void RunCrashIteration(uint64_t seed) {
+void RunCrashIteration(uint64_t seed, int num_shards) {
   Rng rng(seed);
   vfs::MemVfs base;
   vfs::FaultVfs fs(base);
 
   Options options;
   options.vfs = &fs;
+  options.num_shards = num_shards;
   options.write_buffer_size = 8 * KiB;  // small enough to force flushes
   options.disable_compaction = rng.Bernoulli(0.5);
   options.enable_group_commit = rng.Bernoulli(0.75);
@@ -179,8 +192,24 @@ void RunCrashIteration(uint64_t seed) {
 
 TEST(CrashRecoveryTest, RandomizedFaultPointsPreserveAckedWrites) {
   const int iters = IterationsFromEnv();
+  const int shards = ShardsFromEnv();
   for (int i = 0; i < iters; ++i) {
-    ASSERT_NO_FATAL_FAILURE(RunCrashIteration(1000 + static_cast<uint64_t>(i)))
+    ASSERT_NO_FATAL_FAILURE(
+        RunCrashIteration(1000 + static_cast<uint64_t>(i), shards))
+        << "iteration " << i << " shards " << shards;
+  }
+}
+
+// Always-on sharded coverage: a shorter soak against a 4-way sharded store
+// (the CI shards leg runs the full count via LSMIO_SHARDS=4). A distinct
+// seed base keeps the fault schedules disjoint from the main soak.
+TEST(CrashRecoveryTest, ShardedStoreSurvivesRandomizedFaultPoints) {
+  if (ShardsFromEnv() > 1) {
+    GTEST_SKIP() << "main soak already running sharded via LSMIO_SHARDS";
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_NO_FATAL_FAILURE(
+        RunCrashIteration(77000 + static_cast<uint64_t>(i), /*num_shards=*/4))
         << "iteration " << i;
   }
 }

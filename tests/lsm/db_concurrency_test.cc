@@ -283,6 +283,46 @@ TEST_F(DbConcurrencyTest, FlushProceedsDuringManualCompaction) {
   EXPECT_EQ(Get("l0.47"), value);
 }
 
+// Two shards' manual compactions must overlap in time: with
+// background_threads=4 the store-wide limiter admits up to three
+// concurrent compactions, and the slowed table writes keep each shard's
+// compaction in its execute window long enough for the
+// peak_concurrent_compactions gauge to observe both at once.
+TEST_F(DbConcurrencyTest, ShardCompactionsRunConcurrently) {
+  vfs::MemVfs mem;
+  SlowTableVfs slow(mem);
+  Options options = BaseOptions();
+  options.vfs = &slow;
+  options.num_shards = 2;
+  options.background_threads = 4;
+  options.disable_compaction = false;
+  options.l0_compaction_trigger = 100;  // only manual compaction runs
+  options.l0_stop_writes_trigger = 100;
+  Open(options);
+
+  // Several L0 files per shard for the compactions to chew through.
+  const std::string value(4 * KiB, 'c');
+  for (int file = 0; file < 4; ++file) {
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(
+          db_->Put({}, "sc." + std::to_string(file * 16 + i), value).ok());
+    }
+    ASSERT_TRUE(db_->FlushMemTable(/*wait=*/true).ok());
+  }
+
+  slow.set_delay_us(2000);
+  ASSERT_TRUE(db_->CompactRange().ok());
+
+  const DbStats stats = db_->GetStats();
+  EXPECT_GE(stats.compactions, 2u);  // both shards compacted
+  EXPECT_GE(stats.peak_concurrent_compactions, 2u);
+  EXPECT_EQ(stats.concurrent_compactions, 0u);  // all drained
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(Get("sc." + std::to_string(i)), value);
+  }
+  db_.reset();  // before the local vfs stack unwinds
+}
+
 // MultiGet must return exactly what per-key Get returns at the same pinned
 // sequence number while writers, flushes, and compactions churn the tree
 // underneath the readers.
