@@ -13,7 +13,7 @@
 #   ci/check.sh                 # run the default legs (lint, tsan, asan, shards)
 #   ci/check.sh --leg asan      # run exactly one leg
 #   ci/check.sh asan            # same (positional form kept for compat)
-# Legs: plain | lint | tsan | asan | shards | bench | all
+# Legs: plain | lint | tsan | asan | shards | valuelog | bench | all
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -91,6 +91,18 @@ leg_shards() {
   return $rc
 }
 
+# Full suite under TSan with WAL-time key/value separation on: the crash
+# soak runs with a 64-byte threshold and blob segments in its fault
+# schedule, and the rest of the suite exercises the value-log machinery
+# compiled in.
+leg_valuelog() {
+  export LSMIO_VALUE_LOG=1
+  run_leg valuelog -DLSMIO_SANITIZE=thread
+  local rc=$?
+  unset LSMIO_VALUE_LOG
+  return $rc
+}
+
 # Tiny-config benchmark smoke run: builds the bench binaries, runs them with
 # a deliberately small workload, and validates that both emit parseable JSON
 # into bench_results/. Catches bench bit-rot without burning CI minutes on a
@@ -113,7 +125,7 @@ leg_bench() {
     return 1
   fi
   if ! cmake --build "$builddir" -j "$JOBS" \
-       --target bench_micro_lsm bench_concurrent_writers \
+       --target bench_micro_lsm bench_concurrent_writers bench_value_log \
        >"$builddir.build.log" 2>&1; then
     tail -40 "$builddir.build.log" || true
     FAIL+=("$name (build)")
@@ -132,15 +144,27 @@ leg_bench() {
     FAIL+=("$name (bench_concurrent_writers)")
     return 1
   fi
+  # 64 x 256 KiB values: small enough for CI, large enough that every value
+  # crosses the separation threshold and compactions actually run.
+  if ! LSMIO_BENCH_OPS=64 LSMIO_BENCH_VALUE_BYTES=$((256 * 1024)) \
+       "$builddir/bench/bench_value_log" \
+       >"$outdir/bench_value_log_smoke.json"; then
+    FAIL+=("$name (bench_value_log)")
+    return 1
+  fi
   if ! python3 - "$outdir/bench_micro_lsm.json" \
-       "$outdir/bench_concurrent_writers.json" <<'PY'
+       "$outdir/bench_concurrent_writers.json" \
+       "$outdir/bench_value_log_smoke.json" <<'PY'
 import json, sys
 micro = json.load(open(sys.argv[1]))
 assert micro.get("benchmarks"), "bench_micro_lsm produced no benchmarks"
 conc = json.load(open(sys.argv[2]))
 assert conc.get("results"), "bench_concurrent_writers produced no results"
+vlog = json.load(open(sys.argv[3]))
+assert len(vlog.get("results", [])) == 2, "bench_value_log produced no A/B pair"
 print(f"bench JSON ok: {len(micro['benchmarks'])} micro benchmarks, "
-      f"{len(conc['results'])} concurrent-writer configs")
+      f"{len(conc['results'])} concurrent-writer configs, "
+      f"value-log compaction reduction {vlog['compaction_bytes_reduction']}x")
 PY
   then
     FAIL+=("$name (json validation)")
@@ -167,7 +191,7 @@ while [ "$#" -gt 0 ]; do
       shift
       ;;
     -h|--help)
-      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|bench]"
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench]"
       exit 0
       ;;
     *)
@@ -185,15 +209,17 @@ for leg in "${LEGS[@]}"; do
     tsan)  leg_tsan ;;
     asan)  leg_asan ;;
     shards) leg_shards ;;
+    valuelog) leg_valuelog ;;
     bench) leg_bench ;;
     all)
       leg_lint
       leg_tsan
       leg_asan
       leg_shards
+      leg_valuelog
       ;;
     *)
-      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|bench]" >&2
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench]" >&2
       exit 2
       ;;
   esac

@@ -1,9 +1,13 @@
 #include "lsm/builder.h"
 
+#include <algorithm>
+#include <set>
+
 #include "lsm/dbformat.h"
 #include "lsm/filter_policy.h"
 #include "lsm/iterator.h"
 #include "lsm/table_builder.h"
+#include "lsm/value_log.h"
 
 namespace lsmio::lsm {
 
@@ -23,11 +27,21 @@ Status BuildTable(const std::string& dbname, vfs::Vfs& fs, const Options& option
   TableBuilder builder(options, icmp, filter_policy, file.get());
   meta->smallest = iter->key().ToString();
   Slice key;
+  std::set<uint64_t> blob_refs;
   for (; iter->Valid(); iter->Next()) {
     key = iter->key();
     builder.Add(key, iter->value());
+    // Track which blob segments this table's pointer entries reference, so
+    // value-log GC can find the tables that pin a mostly-garbage segment.
+    ParsedInternalKey parsed;
+    if (ParseInternalKey(key, &parsed) &&
+        parsed.type == ValueType::kValuePointer) {
+      ValuePointer ptr;
+      if (DecodeValuePointer(iter->value(), &ptr)) blob_refs.insert(ptr.segment);
+    }
   }
   if (!key.empty()) meta->largest = key.ToString();
+  meta->blob_refs.assign(blob_refs.begin(), blob_refs.end());
 
   Status s = builder.Finish();
   if (s.ok()) {

@@ -69,6 +69,20 @@ struct DbStats {
   uint64_t compaction_pipeline_batches = 0; // entry batches handed from the
                                             // compaction read/merge producer
                                             // to the encode/write consumer
+  // --- write amplification / value log ---
+  uint64_t compaction_bytes_read = 0;     // input table bytes read by compactions
+  uint64_t compaction_bytes_written = 0;  // output table bytes written by
+                                          // compactions (== bytes_compacted)
+  uint64_t value_log_bytes_written = 0;   // user value bytes separated into
+                                          // blob segments at write time
+  uint64_t value_log_separated_batches = 0; // write groups that had at least
+                                            // one value separated
+  uint64_t value_log_gc_rewritten_bytes = 0; // value bytes GC relocated into
+                                             // fresh segments
+  uint64_t value_log_segments_deleted = 0;   // blob segments reclaimed by GC
+  uint64_t value_log_segments = 0;     // gauge: blob segments on disk
+  uint64_t value_log_live_bytes = 0;   // gauge: record bytes still referenced
+  uint64_t value_log_garbage_bytes = 0;// gauge: record bytes awaiting GC
 };
 
 class DB {

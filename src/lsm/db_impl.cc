@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <map>
 #include <thread>
 
 #include "common/logging.h"
@@ -115,15 +116,30 @@ Status DBImpl::Initialize() {
     std::vector<std::string> children;
     LSMIO_RETURN_IF_ERROR(fs().ListDir(dbname_, &children));
     std::vector<uint64_t> logs;
+    bool blob_files_on_disk = false;
     for (const auto& child : children) {
       uint64_t number;
       FileType type;
-      if (ParseFileName(child, &number, &type) && type == FileType::kLogFile &&
-          number >= versions_->LogNumber()) {
+      if (!ParseFileName(child, &number, &type)) continue;
+      if (type == FileType::kLogFile && number >= versions_->LogNumber()) {
         logs.push_back(number);
+      } else if (type == FileType::kBlobFile) {
+        blob_files_on_disk = true;
       }
     }
     std::sort(logs.begin(), logs.end());
+
+    // The value log must be open before WAL replay: replayed pointer ops
+    // are validated against the blob segments, and a store created with
+    // value_log_threshold > 0 but reopened with 0 must still resolve (and
+    // eventually GC) its existing pointers.
+    if (options_.value_log_threshold > 0 || blob_files_on_disk ||
+        !versions_->recovered_blob_segments().empty()) {
+      vlog_ = std::make_unique<ValueLog>(options_, dbname_, &fs());
+      LSMIO_RETURN_IF_ERROR(vlog_->Open(versions_->recovered_blob_segments()));
+      versions_->SetBlobSegmentProvider(
+          [this] { return vlog_->LiveSegments(); });
+    }
     SequenceNumber max_sequence = versions_->LastSequence();
     for (const uint64_t log_number : logs) {
       LSMIO_RETURN_IF_ERROR(RecoverLogFile(log_number, &max_sequence));
@@ -135,6 +151,13 @@ Status DBImpl::Initialize() {
     if (save_manifest && !options_.read_only) {
       LSMIO_RETURN_IF_ERROR(versions_->WriteSnapshot());
     }
+  }
+
+  if (vlog_ == nullptr && options_.value_log_threshold > 0) {
+    // Fresh store with separation enabled.
+    vlog_ = std::make_unique<ValueLog>(options_, dbname_, &fs());
+    LSMIO_RETURN_IF_ERROR(vlog_->Open({}));
+    versions_->SetBlobSegmentProvider([this] { return vlog_->LiveSegments(); });
   }
 
   // Fresh active memtable + WAL (read-only recovery may already have
@@ -155,6 +178,102 @@ Status DBImpl::Initialize() {
   if (!options_.read_only) RemoveObsoleteFiles();
   return Status::OK();
 }
+
+namespace {
+
+// Replay-time batch inserter that validates pointer ops against the value
+// log. A crash can persist a WAL record whose blob bytes were never
+// synced (only unacknowledged or non-sync writes can be in that state);
+// such dangling pointers are skipped so the key resolves to its previous
+// version instead of a Corruption at read time. Skipping still advances
+// the sequence counter, so later ops keep their original numbering.
+class ValidatingMemTableInserter final : public WriteBatch::Handler {
+ public:
+  ValidatingMemTableInserter(SequenceNumber seq, MemTable* mem,
+                             const ValueLog* vlog)
+      : sequence_(seq), mem_(mem), vlog_(vlog) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    mem_->Add(sequence_++, ValueType::kValue, key, value);
+  }
+  void PutPointer(const Slice& key, const Slice& pointer) override {
+    ValuePointer ptr;
+    if (DecodeValuePointer(pointer, &ptr) &&
+        vlog_->ValidatePointer(ptr, key).ok()) {
+      mem_->Add(sequence_, ValueType::kValuePointer, key, pointer);
+    } else {
+      ++dropped_;
+    }
+    ++sequence_;
+  }
+  void Delete(const Slice& key) override {
+    mem_->Add(sequence_++, ValueType::kDeletion, key, Slice());
+  }
+
+  [[nodiscard]] uint64_t dropped() const { return dropped_; }
+
+ private:
+  SequenceNumber sequence_;
+  MemTable* const mem_;
+  const ValueLog* const vlog_;
+  uint64_t dropped_ = 0;
+};
+
+// First pass of WAL-time separation: does the batch hold any value large
+// enough to separate?
+class LargeValueScanner final : public WriteBatch::Handler {
+ public:
+  explicit LargeValueScanner(uint64_t threshold) : threshold_(threshold) {}
+  void Put(const Slice&, const Slice& value) override {
+    any_ = any_ || value.size() >= threshold_;
+  }
+  void Delete(const Slice&) override {}
+  [[nodiscard]] bool any() const { return any_; }
+
+ private:
+  const uint64_t threshold_;
+  bool any_ = false;
+};
+
+// Second pass: rebuild the batch with large values appended to the value
+// log and their ops rewritten as pointers. Op count and order are
+// preserved, so the group's sequence numbering is unchanged.
+class ValueSeparator final : public WriteBatch::Handler {
+ public:
+  ValueSeparator(ValueLog* vlog, uint64_t threshold, WriteBatch* out)
+      : vlog_(vlog), threshold_(threshold), out_(out) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    if (!status_.ok()) return;
+    if (value.size() < threshold_) {
+      out_->Put(key, value);
+      return;
+    }
+    ValuePointer ptr;
+    status_ = vlog_->Append(key, value, /*gc_rewrite=*/false, &ptr);
+    if (!status_.ok()) return;
+    encoded_.clear();
+    EncodeValuePointer(&encoded_, ptr);
+    out_->PutPointer(key, Slice(encoded_));
+  }
+  void PutPointer(const Slice& key, const Slice& pointer) override {
+    if (status_.ok()) out_->PutPointer(key, pointer);
+  }
+  void Delete(const Slice& key) override {
+    if (status_.ok()) out_->Delete(key);
+  }
+
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  ValueLog* const vlog_;
+  const uint64_t threshold_;
+  WriteBatch* const out_;
+  std::string encoded_;
+  Status status_;
+};
+
+}  // namespace
 
 Status DBImpl::RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence) {
   const std::string fname = LogFileName(dbname_, log_number);
@@ -184,7 +303,16 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence)
       mem = new MemTable(internal_comparator_);
       mem->Ref();
     }
-    LSMIO_RETURN_IF_ERROR(batch.InsertInto(mem));
+    if (vlog_ != nullptr) {
+      ValidatingMemTableInserter inserter(batch.Sequence(), mem, vlog_.get());
+      LSMIO_RETURN_IF_ERROR(batch.Iterate(&inserter));
+      if (inserter.dropped() > 0) {
+        LSMIO_WARN << "dropped " << inserter.dropped()
+                   << " dangling value-log pointer(s) during WAL replay";
+      }
+    } else {
+      LSMIO_RETURN_IF_ERROR(batch.InsertInto(mem));
+    }
     const SequenceNumber last =
         batch.Sequence() + static_cast<SequenceNumber>(batch.Count()) - 1;
     if (last > *max_sequence) *max_sequence = last;
@@ -280,24 +408,35 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       void Put(const Slice&, const Slice&) override { ++puts; }
       void Delete(const Slice&) override { ++dels; }
     } counter;
+    WriteBatch* log_batch = write_batch;
     {
       // One WAL append + (at most) one fsync for the whole group; followers
       // and concurrent readers proceed against the published memtable while
       // the leader does the I/O.
       lock.Unlock();
-      if (!options_.disable_wal) {
-        status = log_->AddRecord(write_batch->Contents());
-        wal_bytes = write_batch->Contents().size();
-        if (status.ok() && w.sync) status = logfile_->Sync();
+      // WAL-time separation first: blob bytes are appended before the WAL
+      // record that points at them, and synced before it (below), so any
+      // WAL-durable pointer has durable blob bytes behind it.
+      if (vlog_ != nullptr && status.ok()) {
+        log_batch = SeparateLargeValues(write_batch, &status);
       }
-      if (status.ok()) status = write_batch->InsertInto(mem_);
-      (void)write_batch->Iterate(&counter);
+      if (status.ok() && !options_.disable_wal) {
+        status = log_->AddRecord(log_batch->Contents());
+        wal_bytes = log_batch->Contents().size();
+        if (status.ok() && w.sync) {
+          if (vlog_ != nullptr) status = vlog_->Sync();
+          if (status.ok()) status = logfile_->Sync();
+        }
+      }
+      if (status.ok()) status = log_batch->InsertInto(mem_);
+      (void)log_batch->Iterate(&counter);
       lock.Lock();
     }
     if (status.ok()) {
       versions_->SetLastSequence(last_sequence);
       stats_.wal_bytes += wal_bytes;
       stats_.bytes_written += write_batch->Contents().size();
+      if (log_batch != write_batch) ++stats_.value_log_separated_batches;
       stats_.puts += counter.puts;
       stats_.deletes += counter.dels;
       ++stats_.group_commit_batches;
@@ -310,6 +449,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       RecordBackgroundError(status);
     }
     if (write_batch == &tmp_batch_) tmp_batch_.Clear();
+    if (log_batch == &tmp_vlog_batch_) tmp_vlog_batch_.Clear();
   }
 
   // Mark every writer in the group done and hand leadership to the next.
@@ -338,23 +478,42 @@ Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates)
   updates->SetSequence(sequence);
   versions_->SetLastSequence(sequence +
                              static_cast<SequenceNumber>(updates->Count()) - 1);
+  const size_t user_bytes = updates->Contents().size();
+
+  WriteBatch* log_batch = updates;
+  if (vlog_ != nullptr) {
+    Status s;
+    log_batch = SeparateLargeValues(updates, &s);
+    if (!s.ok()) {
+      RecordBackgroundError(s);
+      if (log_batch == &tmp_vlog_batch_) tmp_vlog_batch_.Clear();
+      return s;
+    }
+    if (log_batch != updates) ++stats_.value_log_separated_batches;
+  }
 
   if (!options_.disable_wal) {
-    Status s = log_->AddRecord(updates->Contents());
+    Status s = log_->AddRecord(log_batch->Contents());
     if (s.ok()) {
-      stats_.wal_bytes += updates->Contents().size();
-      if (options.sync || options_.sync_writes) s = logfile_->Sync();
+      stats_.wal_bytes += log_batch->Contents().size();
+      if (options.sync || options_.sync_writes) {
+        if (vlog_ != nullptr) s = vlog_->Sync();
+        if (s.ok()) s = logfile_->Sync();
+      }
     }
     if (!s.ok()) {
       // Same contract as the group-commit path: a failed WAL append/fsync
       // leaves the log in an unknown state, so the engine goes read-only.
       RecordBackgroundError(s);
+      if (log_batch == &tmp_vlog_batch_) tmp_vlog_batch_.Clear();
       return s;
     }
   }
 
-  LSMIO_RETURN_IF_ERROR(updates->InsertInto(mem_));
-  stats_.bytes_written += updates->Contents().size();
+  const Status insert_status = log_batch->InsertInto(mem_);
+  if (log_batch == &tmp_vlog_batch_) tmp_vlog_batch_.Clear();
+  LSMIO_RETURN_IF_ERROR(insert_status);
+  stats_.bytes_written += user_bytes;
   struct Counter final : WriteBatch::Handler {
     uint64_t puts = 0, dels = 0;
     void Put(const Slice&, const Slice&) override { ++puts; }
@@ -418,6 +577,32 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
     *last_writer = w;
   }
   return result;
+}
+
+WriteBatch* DBImpl::SeparateLargeValues(WriteBatch* batch, Status* s) {
+  const uint64_t threshold = options_.value_log_threshold;
+  if (threshold == 0) return batch;  // store has old segments, separation off
+  LargeValueScanner scanner(threshold);
+  if (!batch->Iterate(&scanner).ok() || !scanner.any()) return batch;
+
+  tmp_vlog_batch_.Clear();
+  tmp_vlog_batch_.SetSequence(batch->Sequence());
+  ValueSeparator separator(vlog_.get(), threshold, &tmp_vlog_batch_);
+  Status iterate = batch->Iterate(&separator);
+  if (!separator.status().ok()) {
+    *s = separator.status();
+  } else if (!iterate.ok()) {
+    *s = iterate;
+  }
+  return &tmp_vlog_batch_;
+}
+
+Status DBImpl::ResolvePointerValue(std::string* value) const {
+  ValuePointer ptr;
+  if (vlog_ == nullptr || !DecodeValuePointer(Slice(*value), &ptr)) {
+    return Status::Corruption("unresolvable value-log pointer");
+  }
+  return vlog_->ReadValue(ptr, value);
 }
 
 Status DBImpl::MakeRoomForWrite() {
@@ -639,7 +824,41 @@ bool DBImpl::NeedsCompaction() const {
   for (int level = 1; level < kNumLevels - 1; ++level) {
     if (current->TotalBytes(level) > MaxBytesForLevel(level)) return true;
   }
-  return false;
+  return NeedsGcCompaction();
+}
+
+bool DBImpl::NeedsGcCompaction() const {
+  if (vlog_ == nullptr) return false;
+  std::vector<FileMetaData> inputs;
+  return PickGcCompaction(&inputs) >= 0;
+}
+
+int DBImpl::PickGcCompaction(std::vector<FileMetaData>* inputs) const {
+  inputs->clear();
+  if (vlog_ == nullptr) return -1;
+  const std::vector<uint64_t> candidates = vlog_->GcCandidates();
+  if (candidates.empty()) return -1;
+  const std::set<uint64_t> targets(candidates.begin(), candidates.end());
+  const auto current = versions_->current();
+  for (int level = 0; level < kNumLevels; ++level) {
+    for (const auto& f : current->files[level]) {
+      const bool pins = std::any_of(
+          f.blob_refs.begin(), f.blob_refs.end(),
+          [&](uint64_t seg) { return targets.count(seg) != 0; });
+      if (!pins) continue;
+      if (level == 0) {
+        // L0 files may overlap and reads go newest-file-number-first;
+        // rewriting one old file into a fresh (higher) number would let it
+        // shadow newer siblings. Compact all of L0 together, as the size
+        // trigger does.
+        *inputs = current->files[0];
+      } else {
+        inputs->push_back(f);
+      }
+      return level;
+    }
+  }
+  return -1;
 }
 
 void DBImpl::BackgroundFlushCall() {
@@ -705,6 +924,10 @@ Status DBImpl::CompactMemTable(MemTable* imm) {
   std::unique_ptr<Iterator> iter(imm->NewIterator());
   Status s = BuildTable(dbname_, fs(), options_, &internal_comparator_,
                         filter_policy_.get(), iter.get(), &meta);
+  // The table's pointer entries may reference blob bytes no sync barrier
+  // has covered yet (non-sync writes); once this flush advances the
+  // recovery log number, the WAL stops protecting those records.
+  if (s.ok() && vlog_ != nullptr && !meta.blob_refs.empty()) s = vlog_->Sync();
 
   MutexLock lock(&mu_);
   pending_outputs_.erase(meta.number);
@@ -734,6 +957,7 @@ Status DBImpl::CompactMemTable(MemTable* imm) {
 Status DBImpl::BackgroundCompaction() {
   // Decide inputs under the lock, merge outside it.
   int level = -1;
+  int output_level = -1;
   std::vector<FileMetaData> level_inputs;
   std::vector<FileMetaData> next_inputs;
   {
@@ -799,8 +1023,18 @@ Status DBImpl::BackgroundCompaction() {
           break;
         }
       }
+      if (level < 0) {
+        // No size trigger fired: value-log GC wants the file(s) pinning a
+        // mostly-garbage blob segment rewritten so the live values relocate
+        // and the segment can be reclaimed.
+        level = PickGcCompaction(&level_inputs);
+      }
     }
     if (level < 0) return Status::OK();
+
+    // The last level has nowhere to push into; GC rewrites it in place
+    // (level >= 1 files are disjoint, so same-level output is safe).
+    output_level = level < kNumLevels - 1 ? level + 1 : level;
 
     // Overlapping files in the next level.
     const Comparator* ucmp = internal_comparator_.user_comparator();
@@ -816,25 +1050,38 @@ Status DBImpl::BackgroundCompaction() {
         largest = f.largest;
       }
     }
-    for (const auto& f : current->files[level + 1]) {
-      const Slice f_small_user = ExtractUserKey(Slice(f.smallest));
-      const Slice f_large_user = ExtractUserKey(Slice(f.largest));
-      if (ucmp->Compare(f_large_user, ExtractUserKey(Slice(smallest))) >= 0 &&
-          ucmp->Compare(f_small_user, ExtractUserKey(Slice(largest))) <= 0) {
-        next_inputs.push_back(f);
+    if (output_level > level) {
+      for (const auto& f : current->files[output_level]) {
+        const Slice f_small_user = ExtractUserKey(Slice(f.smallest));
+        const Slice f_large_user = ExtractUserKey(Slice(f.largest));
+        if (ucmp->Compare(f_large_user, ExtractUserKey(Slice(smallest))) >= 0 &&
+            ucmp->Compare(f_small_user, ExtractUserKey(Slice(largest))) <= 0) {
+          next_inputs.push_back(f);
+        }
       }
     }
   }
-  return CompactFiles(level, level_inputs, next_inputs);
+  return CompactFiles(level, level_inputs, next_inputs, output_level);
 }
 
 Status DBImpl::CompactFiles(int level,
                             const std::vector<FileMetaData>& level_inputs,
-                            const std::vector<FileMetaData>& next_inputs) {
+                            const std::vector<FileMetaData>& next_inputs,
+                            int output_level) {
   const SequenceNumber smallest_snapshot = [&] {
     MutexLock lock(&mu_);
     return SmallestSnapshot();
   }();
+
+  // Blob segments whose garbage ratio crossed the GC threshold: live
+  // values this compaction encounters in them are relocated to the active
+  // segment (under their original sequence numbers, so snapshot readers
+  // are unaffected). A segment stays a candidate until its live bytes
+  // drain to zero, so the set being a snapshot taken here is safe.
+  std::set<uint64_t> gc_targets;
+  if (vlog_ != nullptr) {
+    for (const uint64_t seg : vlog_->GcCandidates()) gc_targets.insert(seg);
+  }
 
   // Merge all inputs.
   std::vector<Iterator*> children;
@@ -853,7 +1100,7 @@ Status DBImpl::CompactFiles(int level,
   const bool bottommost = [&] {
     MutexLock lock(&mu_);
     const auto current = versions_->current();
-    for (int l = level + 2; l < kNumLevels; ++l) {
+    for (int l = output_level + 1; l < kNumLevels; ++l) {
       if (current->NumFiles(l) > 0) return false;
     }
     return true;
@@ -876,6 +1123,12 @@ Status DBImpl::CompactFiles(int level,
   std::unique_ptr<vfs::WritableFile> out_file;
   std::unique_ptr<TableBuilder> builder;
   FileMetaData current_output;
+  std::set<uint64_t> current_refs;  // blob segments the current output pins
+  // Per-segment record bytes this compaction turned into garbage (entries
+  // dropped or relocated); applied to the value log's live accounting in
+  // the same install as the manifest record.
+  std::map<uint64_t, uint64_t> garbage;
+  bool relocated_any = false;
   Status s;
 
   // Pipeline stage 3 (async finish): Finish+Sync+Close of a completed
@@ -895,6 +1148,7 @@ Status DBImpl::CompactFiles(int level,
       outputs.push_back(finished_meta);
       MutexLock lock(&mu_);
       stats_.bytes_compacted += finished_meta.file_size;
+      stats_.compaction_bytes_written += finished_meta.file_size;
     }
     return finish_status;
   };
@@ -902,6 +1156,8 @@ Status DBImpl::CompactFiles(int level,
   auto finish_output = [&]() -> Status {
     if (builder == nullptr) return Status::OK();
     LSMIO_RETURN_IF_ERROR(wait_finisher());
+    current_output.blob_refs.assign(current_refs.begin(), current_refs.end());
+    current_refs.clear();
     finish_pending = true;
     finisher = std::thread([&finish_status, &finished_meta,
                             fin_builder = std::move(builder),
@@ -930,10 +1186,12 @@ Status DBImpl::CompactFiles(int level,
 
   Slice key;
   Slice value;
+  std::string relocated_value;  // backing store when a pointer is rewritten
   while (s.ok() && source->Next(&key, &value)) {
     ParsedInternalKey ikey;
     bool drop = false;
-    if (!ParseInternalKey(key, &ikey)) {
+    bool parsed_ok = ParseInternalKey(key, &ikey);
+    if (!parsed_ok) {
       // Corrupt key: keep it so the corruption stays visible.
       has_last_user_key = false;
       last_sequence_for_key = kMaxSequenceNumber;
@@ -952,7 +1210,43 @@ Status DBImpl::CompactFiles(int level,
       }
       last_sequence_for_key = ikey.sequence;
     }
-    if (drop) continue;
+
+    ValuePointer ptr;
+    const bool have_ptr = parsed_ok &&
+                          ikey.type == ValueType::kValuePointer &&
+                          DecodeValuePointer(value, &ptr);
+    if (drop) {
+      // The dropped entry's blob record just became garbage.
+      if (have_ptr) garbage[ptr.segment] += ptr.length;
+      continue;
+    }
+    if (have_ptr && gc_targets.count(ptr.segment) != 0) {
+      // GC relocation: copy the surviving value into the active segment
+      // and re-point this entry there — same internal key, so the entry's
+      // sequence (and therefore snapshot visibility) is untouched.
+      std::string blob_value;
+      Status rs = vlog_->ReadValue(ptr, &blob_value);
+      if (rs.ok()) {
+        ValuePointer new_ptr;
+        rs = vlog_->Append(ikey.user_key, Slice(blob_value),
+                           /*gc_rewrite=*/true, &new_ptr);
+        if (rs.ok()) {
+          garbage[ptr.segment] += ptr.length;
+          relocated_value.clear();
+          EncodeValuePointer(&relocated_value, new_ptr);
+          value = Slice(relocated_value);
+          ptr = new_ptr;
+          relocated_any = true;
+        }
+      }
+      if (!rs.ok()) {
+        // Keep the old pointer: the value stays readable and the segment
+        // simply stays pinned until a later compaction succeeds.
+        LSMIO_WARN << "value-log GC relocation failed (segment "
+                   << ptr.segment << "): " << rs.ToString();
+      }
+    }
+    if (have_ptr) current_refs.insert(ptr.segment);
 
     if (builder == nullptr) {
       {
@@ -992,6 +1286,14 @@ Status DBImpl::CompactFiles(int level,
   const uint64_t pipeline_batches = source->batches();
   source.reset();  // joins the producer thread before `merged` dies
 
+  // Relocated blob records must be durable before outputs referencing them
+  // install: the old copies live in a segment that drains and gets deleted.
+  if (s.ok() && relocated_any) s = vlog_->Sync();
+
+  uint64_t input_bytes = 0;
+  for (const auto& f : level_inputs) input_bytes += f.file_size;
+  for (const auto& f : next_inputs) input_bytes += f.file_size;
+
   MutexLock lock(&mu_);
   stats_.compaction_pipeline_batches += pipeline_batches;
   // Failed/empty outputs fall out of pending_outputs_ too, so the next
@@ -999,16 +1301,28 @@ Status DBImpl::CompactFiles(int level,
   for (const uint64_t number : allocated_numbers) pending_outputs_.erase(number);
   if (!s.ok()) return s;
 
-  // Install: delete inputs, add outputs at level+1.
+  // Install: delete inputs, add outputs at output_level. The value log's
+  // live accounting is updated first so the manifest record written by
+  // LogAndApply snapshots the post-compaction per-segment live bytes.
+  if (vlog_ != nullptr && !garbage.empty()) vlog_->ApplyGarbage(garbage);
   std::vector<std::pair<int, FileMetaData>> additions;
   std::vector<std::pair<int, uint64_t>> deletions;
   for (const auto& f : level_inputs) deletions.emplace_back(level, f.number);
-  for (const auto& f : next_inputs) deletions.emplace_back(level + 1, f.number);
-  for (const auto& f : outputs) additions.emplace_back(level + 1, f);
+  for (const auto& f : next_inputs) deletions.emplace_back(output_level, f.number);
+  for (const auto& f : outputs) additions.emplace_back(output_level, f);
   auto v = versions_->MakeVersion(additions, deletions);
   s = versions_->LogAndApply(std::move(v));
   if (s.ok()) {
     stats_.compactions += 1;
+    stats_.compaction_bytes_read += input_bytes;
+    if (vlog_ != nullptr) {
+      // Segments drained by this compaction may still be readable through
+      // snapshots/iterators holding superseded Versions: seal them against
+      // weak references to those Versions and delete only once all expire.
+      std::vector<std::weak_ptr<const void>> guards;
+      versions_->CollectVersionGuards(&guards);
+      vlog_->SealDrained(guards);
+    }
     RemoveObsoleteFiles();
   }
   return s;
@@ -1017,6 +1331,10 @@ Status DBImpl::CompactFiles(int level,
 void DBImpl::RemoveObsoleteFiles() {
   // mu_ held.
   if (!bg_error_.ok()) return;
+
+  // Reap blob segments whose version guards have expired since the last
+  // sweep (iterators/snapshots released).
+  if (vlog_ != nullptr) vlog_->SweepDeletable();
 
   std::vector<uint64_t> live;
   versions_->AddLiveFiles(&live);
@@ -1039,6 +1357,12 @@ void DBImpl::RemoveObsoleteFiles() {
         break;
       case FileType::kManifestFile:
         keep = number >= versions_->ManifestFileNumber();
+        break;
+      case FileType::kBlobFile:
+        // The value log owns segment lifetime (guard-gated deletion in
+        // SweepDeletable); this sweep only reaps files it already
+        // unregistered but could not remove, e.g. after an EIO.
+        keep = vlog_ == nullptr || vlog_->Contains(number);
         break;
       default:
         break;
@@ -1083,20 +1407,24 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
   const LookupKey lkey(key, sequence);
   Status s;
   bool found = false;
-  if (mem->Get(lkey, value, &s)) {
+  bool is_pointer = false;
+  if (mem->Get(lkey, value, &s, &is_pointer)) {
     found = true;
   } else {
     for (MemTable* imm : imms) {
-      if (imm->Get(lkey, value, &s)) {
+      if (imm->Get(lkey, value, &s, &is_pointer)) {
         found = true;
         break;
       }
     }
   }
   if (!found) {
-    s = current->Get(options, table_cache_.get(), lkey, value);
+    s = current->Get(options, table_cache_.get(), lkey, value, &is_pointer);
     found = s.ok();
   }
+  // Resolve a separated value through the blob segments (outside mu_; the
+  // pinned Version guards the segment against GC deletion).
+  if (found && s.ok() && is_pointer) s = ResolvePointerValue(value);
 
   {
     MutexLock lock(&mu_);
@@ -1144,17 +1472,19 @@ Status DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
   std::vector<Version::GetRequest> reqs(n);
   std::vector<Version::GetRequest*> pending;
   pending.reserve(n);
+  std::vector<char> pointer_hits(n, 0);  // memtable hits that were pointers
   for (size_t i = 0; i < n; ++i) {
     lkeys.emplace_back(keys[i], sequence);
     const LookupKey& lkey = lkeys.back();
     Status s;
     std::string* value = &(*values)[i];
     bool resolved = false;
-    if (mem->Get(lkey, value, &s)) {
+    bool is_pointer = false;
+    if (mem->Get(lkey, value, &s, &is_pointer)) {
       resolved = true;
     } else {
       for (MemTable* imm : imms) {
-        if (imm->Get(lkey, value, &s)) {
+        if (imm->Get(lkey, value, &s, &is_pointer)) {
           resolved = true;
           break;
         }
@@ -1162,6 +1492,7 @@ Status DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
     }
     if (resolved) {
       (*statuses)[i] = s;
+      pointer_hits[i] = is_pointer ? 1 : 0;
     } else {
       reqs[i].lkey = &lkey;
       reqs[i].value = value;
@@ -1187,6 +1518,49 @@ Status DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
         *req->status = batch_status.ok() ? Status::NotFound("key not present")
                                          : batch_status;
       }
+    }
+  }
+
+  // Resolve separated values: sort the pointers by (segment, offset) and
+  // hint each contiguous same-segment run to the VFS before reading, so a
+  // batch that hits one segment turns into one readahead window.
+  struct Resolve {
+    size_t index;
+    ValuePointer ptr;
+  };
+  std::vector<Resolve> resolves;
+  for (size_t i = 0; i < n; ++i) {
+    if (!(pointer_hits[i] != 0 || reqs[i].is_pointer)) continue;
+    if (!(*statuses)[i].ok()) continue;
+    ValuePointer ptr;
+    if (vlog_ == nullptr || !DecodeValuePointer(Slice((*values)[i]), &ptr)) {
+      (*statuses)[i] = Status::Corruption("unresolvable value-log pointer");
+      continue;
+    }
+    resolves.push_back(Resolve{i, ptr});
+  }
+  if (!resolves.empty()) {
+    std::sort(resolves.begin(), resolves.end(),
+              [](const Resolve& a, const Resolve& b) {
+                if (a.ptr.segment != b.ptr.segment) {
+                  return a.ptr.segment < b.ptr.segment;
+                }
+                return a.ptr.offset < b.ptr.offset;
+              });
+    for (size_t run = 0; run < resolves.size();) {
+      size_t end = run + 1;
+      uint64_t span_end = resolves[run].ptr.offset + resolves[run].ptr.length;
+      while (end < resolves.size() &&
+             resolves[end].ptr.segment == resolves[run].ptr.segment) {
+        span_end =
+            std::max(span_end, resolves[end].ptr.offset + resolves[end].ptr.length);
+        ++end;
+      }
+      vlog_->Hint(resolves[run].ptr, span_end - resolves[run].ptr.offset);
+      run = end;
+    }
+    for (const Resolve& r : resolves) {
+      (*statuses)[r.index] = vlog_->ReadValue(r.ptr, &(*values)[r.index]);
     }
   }
 
@@ -1235,7 +1609,7 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
   const SequenceNumber sequence =
       options.snapshot_sequence != 0 ? options.snapshot_sequence : latest_snapshot;
   return NewDBIterator(internal_comparator_.user_comparator(), internal_iter,
-                       sequence);
+                       sequence, vlog_.get());
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
@@ -1271,6 +1645,15 @@ DbStats DBImpl::GetStats() const {
   stats.block_cache_misses = read_counters_.block_cache_misses.load(relaxed);
   stats.readahead_bytes = read_counters_.readahead_bytes.load(relaxed);
   stats.multiget_coalesced_reads = read_counters_.coalesced_reads.load(relaxed);
+  if (vlog_ != nullptr) {
+    const ValueLogCounters c = vlog_->Counters();
+    stats.value_log_bytes_written = c.bytes_written;
+    stats.value_log_gc_rewritten_bytes = c.gc_rewritten_bytes;
+    stats.value_log_segments_deleted = c.segments_deleted;
+    stats.value_log_segments = c.segments;
+    stats.value_log_live_bytes = c.live_bytes;
+    stats.value_log_garbage_bytes = c.garbage_bytes;
+  }
   return stats;
 }
 

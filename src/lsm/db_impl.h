@@ -27,6 +27,7 @@
 #include "lsm/memtable.h"
 #include "lsm/read_stats.h"
 #include "lsm/table_cache.h"
+#include "lsm/value_log.h"
 #include "lsm/version.h"
 
 namespace lsmio::lsm {
@@ -86,6 +87,17 @@ class DBImpl final : public DB {
   Status WriteSerialized(const WriteOptions& options, WriteBatch* updates)
       EXCLUDES(mu_);
   WriteBatch* BuildBatchGroup(Writer** last_writer) REQUIRES(mu_);
+  /// WAL-time key/value separation (leader-side, mu_ released or held —
+  /// touches only leader-owned scratch and the internally-locked value
+  /// log). Values of at least Options::value_log_threshold bytes are
+  /// appended to the value log and their ops rewritten as kValuePointer.
+  /// Returns `batch` untouched when nothing separates, else the rebuilt
+  /// tmp_vlog_batch_ carrying the same sequence and op count/order (the
+  /// per-writer sequence stamping stays valid).
+  WriteBatch* SeparateLargeValues(WriteBatch* batch, Status* s);
+  /// Replaces *value (an encoded ValuePointer) with the blob record's
+  /// value bytes, checksum-verified.
+  Status ResolvePointerValue(std::string* value) const;
   Status MakeRoomForWrite() REQUIRES(mu_);
   Status SwitchMemTable() REQUIRES(mu_);
   bool MemTableQueueFull() const REQUIRES(mu_) {
@@ -108,13 +120,26 @@ class DBImpl final : public DB {
   void BackgroundCompactionCall() EXCLUDES(mu_);
   Status CompactMemTable(MemTable* imm) EXCLUDES(mu_);
   bool NeedsCompaction() const REQUIRES(mu_);
+  /// True when value-log GC wants a compaction: some segment's garbage
+  /// ratio crossed the threshold and a current table file still pins it.
+  bool NeedsGcCompaction() const REQUIRES(mu_);
+  /// Picks the pinning file(s) for a GC-driven compaction (lowest level
+  /// first; all of L0 together to preserve newest-file-first shadowing).
+  /// Returns the input level, or -1 when no file pins a candidate.
+  int PickGcCompaction(std::vector<FileMetaData>* inputs) const REQUIRES(mu_);
   /// True when the file's user-key span intersects the manual compaction
   /// range currently installed (unbounded sides always match).
   bool FileOverlapsManualRange(const FileMetaData& f) const REQUIRES(mu_);
   Status BackgroundCompaction() EXCLUDES(mu_);
+  /// Merges `level_inputs` (at `level`) + `next_inputs` (at `output_level`)
+  /// into fresh tables installed at `output_level`. Normally output_level
+  /// == level + 1; a GC-driven rewrite of bottom-level files passes
+  /// output_level == level with no next_inputs. Live values in blob
+  /// segments past the GC garbage threshold are relocated to the active
+  /// segment under their original sequence numbers.
   Status CompactFiles(int level, const std::vector<FileMetaData>& level_inputs,
-                      const std::vector<FileMetaData>& next_inputs)
-      EXCLUDES(mu_);
+                      const std::vector<FileMetaData>& next_inputs,
+                      int output_level) EXCLUDES(mu_);
   void RemoveObsoleteFiles() REQUIRES(mu_);
 
   Iterator* NewInternalIterator(const ReadOptions& options,
@@ -133,6 +158,13 @@ class DBImpl final : public DB {
   /// folded into DbStats by GetStats. Must outlive table_cache_.
   ReadCounters read_counters_;
   std::unique_ptr<TableCache> table_cache_;
+  /// Blob segments for WAL-time key/value separation. Created by
+  /// Initialize when Options::value_log_threshold > 0 or the store already
+  /// has segments on disk (so a reopen with threshold=0 still resolves and
+  /// GCs existing pointers); null otherwise. Immutable after Initialize;
+  /// the ValueLog itself is internally synchronized (lock order:
+  /// mu_ -> ValueLog::mu_, never the reverse).
+  std::unique_ptr<ValueLog> vlog_;
 
   // --- concurrency state ---
   // Lock hierarchy (DESIGN.md §9): Manager -> LsmStore -> DBImpl::mu_ ->
@@ -159,6 +191,7 @@ class DBImpl final : public DB {
   std::unique_ptr<log::Writer> log_;  // leader-owned (see mem_)
   std::deque<Writer*> writers_ GUARDED_BY(mu_);  // front = leader
   WriteBatch tmp_batch_;  // leader-owned scratch for merged write groups
+  WriteBatch tmp_vlog_batch_;  // leader-owned scratch for separated groups
   bool flush_scheduled_ GUARDED_BY(mu_) = false;
   bool compaction_scheduled_ GUARDED_BY(mu_) = false;
   /// Set when MaybeScheduleCompaction lost the race for a limiter slot;

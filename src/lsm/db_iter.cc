@@ -3,6 +3,8 @@
 #include <memory>
 #include <string>
 
+#include "lsm/value_log.h"
+
 namespace lsmio::lsm {
 namespace {
 
@@ -15,10 +17,11 @@ enum class Direction { kForward, kReverse };
 class DBIter final : public Iterator {
  public:
   DBIter(const Comparator* user_comparator, Iterator* internal_iter,
-         SequenceNumber sequence)
+         SequenceNumber sequence, const ValueLog* vlog)
       : user_comparator_(user_comparator),
         iter_(internal_iter),
-        sequence_(sequence) {}
+        sequence_(sequence),
+        vlog_(vlog) {}
 
   bool Valid() const override { return valid_; }
 
@@ -28,7 +31,25 @@ class DBIter final : public Iterator {
   }
 
   Slice value() const override {
-    return direction_ == Direction::kForward ? iter_->value() : Slice(saved_value_);
+    const bool is_pointer = direction_ == Direction::kForward
+                                ? current_is_pointer_
+                                : saved_is_pointer_;
+    const Slice raw = direction_ == Direction::kForward ? iter_->value()
+                                                        : Slice(saved_value_);
+    if (!is_pointer) return raw;
+    // Resolve through the value log, once per position; key()-only scans
+    // never pay the blob read.
+    if (!resolved_) {
+      resolved_ = true;
+      ValuePointer ptr;
+      if (vlog_ == nullptr || !DecodeValuePointer(raw, &ptr)) {
+        resolve_status_ = Status::Corruption("unresolvable value pointer");
+      } else {
+        resolve_status_ = vlog_->ReadValue(ptr, &resolved_value_);
+      }
+      if (!resolve_status_.ok() && status_.ok()) status_ = resolve_status_;
+    }
+    return resolve_status_.ok() ? Slice(resolved_value_) : Slice();
   }
 
   Status status() const override {
@@ -37,6 +58,7 @@ class DBIter final : public Iterator {
 
   void Next() override {
     if (!valid_) return;
+    InvalidateResolvedValue();
     if (direction_ == Direction::kReverse) {
       direction_ = Direction::kForward;
       // iter_ is before the entries of saved_key_; advance onto them.
@@ -63,6 +85,7 @@ class DBIter final : public Iterator {
 
   void Prev() override {
     if (!valid_) return;
+    InvalidateResolvedValue();
     if (direction_ == Direction::kForward) {
       // iter_ points at the current entry; back it up before all entries of
       // the current user key.
@@ -87,6 +110,7 @@ class DBIter final : public Iterator {
 
   void Seek(const Slice& target) override {
     direction_ = Direction::kForward;
+    InvalidateResolvedValue();
     ClearSavedValue();
     saved_key_.clear();
     AppendInternalKey(&saved_key_, target, sequence_, kValueTypeForSeek);
@@ -101,6 +125,7 @@ class DBIter final : public Iterator {
 
   void SeekToFirst() override {
     direction_ = Direction::kForward;
+    InvalidateResolvedValue();
     ClearSavedValue();
     iter_->SeekToFirst();
     if (iter_->Valid()) {
@@ -113,6 +138,7 @@ class DBIter final : public Iterator {
 
   void SeekToLast() override {
     direction_ = Direction::kReverse;
+    InvalidateResolvedValue();
     ClearSavedValue();
     iter_->SeekToLast();
     FindPrevUserEntry();
@@ -132,11 +158,13 @@ class DBIter final : public Iterator {
             skipping = true;
             break;
           case ValueType::kValue:
+          case ValueType::kValuePointer:
             if (skipping &&
                 user_comparator_->Compare(ikey.user_key, Slice(*skip)) <= 0) {
               break;  // shadowed by a newer deletion or already yielded
             }
             valid_ = true;
+            current_is_pointer_ = ikey.type == ValueType::kValuePointer;
             saved_key_.clear();
             return;
         }
@@ -166,6 +194,7 @@ class DBIter final : public Iterator {
           } else {
             SaveKey(ikey.user_key, &saved_key_);
             saved_value_.assign(iter_->value().data(), iter_->value().size());
+            saved_is_pointer_ = ikey.type == ValueType::kValuePointer;
           }
         }
         iter_->Prev();
@@ -197,24 +226,41 @@ class DBIter final : public Iterator {
   void ClearSavedValue() {
     saved_value_.clear();
     saved_value_.shrink_to_fit();
+    saved_is_pointer_ = false;
+  }
+
+  void InvalidateResolvedValue() {
+    resolved_ = false;
+    resolved_value_.clear();
+    resolve_status_ = Status::OK();
+    current_is_pointer_ = false;
   }
 
   const Comparator* const user_comparator_;
   std::unique_ptr<Iterator> iter_;
   SequenceNumber const sequence_;
+  const ValueLog* const vlog_;
 
-  Status status_;
+  mutable Status status_;
   std::string saved_key_;
   std::string saved_value_;
   Direction direction_ = Direction::kForward;
   bool valid_ = false;
+  bool current_is_pointer_ = false;
+  bool saved_is_pointer_ = false;
+  // Lazy pointer-resolution cache for the current position (value() is
+  // const; Valid()/key()/value() may not be called concurrently anyway).
+  mutable bool resolved_ = false;
+  mutable std::string resolved_value_;
+  mutable Status resolve_status_;
 };
 
 }  // namespace
 
 Iterator* NewDBIterator(const Comparator* user_comparator,
-                        Iterator* internal_iter, SequenceNumber sequence) {
-  return new DBIter(user_comparator, internal_iter, sequence);
+                        Iterator* internal_iter, SequenceNumber sequence,
+                        const ValueLog* vlog) {
+  return new DBIter(user_comparator, internal_iter, sequence, vlog);
 }
 
 }  // namespace lsmio::lsm

@@ -8,9 +8,15 @@
 
 namespace lsmio::lsm {
 
+class ValueLog;
+
 /// Takes ownership of `internal_iter`. Entries with sequence > `sequence`
-/// are invisible.
+/// are invisible. kValuePointer entries are resolved lazily through `vlog`
+/// on the first value() call per position (key()-only scans never touch
+/// the blob segments); `vlog` may be null for stores without a value log
+/// and must outlive the iterator. Resolution failures latch into status().
 Iterator* NewDBIterator(const Comparator* user_comparator,
-                        Iterator* internal_iter, SequenceNumber sequence);
+                        Iterator* internal_iter, SequenceNumber sequence,
+                        const ValueLog* vlog = nullptr);
 
 }  // namespace lsmio::lsm

@@ -22,6 +22,10 @@ std::string LogFileName(const std::string& dbname, uint64_t number) {
   return MakeFileName(dbname, number, "log");
 }
 
+std::string BlobFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "blob");
+}
+
 std::string ManifestFileName(const std::string& dbname, uint64_t number) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "/MANIFEST-%06" PRIu64, number);
@@ -57,6 +61,7 @@ bool ParseFileName(const std::string& name, uint64_t* number, FileType* type) {
   const std::string suffix(end);
   if (suffix == ".sst") *type = FileType::kTableFile;
   else if (suffix == ".log") *type = FileType::kLogFile;
+  else if (suffix == ".blob") *type = FileType::kBlobFile;
   else {
     *type = FileType::kUnknown;
     return false;

@@ -22,10 +22,23 @@ inline constexpr SequenceNumber kMaxSequenceNumber = ((1ULL << 56) - 1);
 enum class ValueType : uint8_t {
   kDeletion = 0x0,
   kValue = 0x1,
+  /// Value is a ValuePointer into a value-log blob segment, not the user
+  /// bytes themselves (see value_log.h).
+  kValuePointer = 0x2,
 };
 
-/// Value type used for seeks: newest first means highest tag first.
-inline constexpr ValueType kValueTypeForSeek = ValueType::kValue;
+/// Value type used for transient seek keys (LookupKey, iterator seeks):
+/// newest first means highest tag first, so seeks must use the highest
+/// type byte or a pointer entry at exactly the seek sequence would sort
+/// before the seek key and be skipped. Never persisted.
+inline constexpr ValueType kValueTypeForSeek = ValueType::kValuePointer;
+
+/// Value type used for index-block separator keys. These ARE persisted
+/// (SST index blocks) but always carry kMaxSequenceNumber, which sorts
+/// before every real entry regardless of the type byte — so keeping the
+/// historical kValue byte preserves byte-for-byte SST output for stores
+/// that never use the value log.
+inline constexpr ValueType kValueTypeForSeparator = ValueType::kValue;
 
 inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) noexcept {
   return (seq << 8) | static_cast<uint64_t>(t);
@@ -49,7 +62,7 @@ inline bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* out) 
   if (internal_key.size() < 8) return false;
   const uint64_t tag = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
   const auto type_byte = static_cast<uint8_t>(tag & 0xff);
-  if (type_byte > static_cast<uint8_t>(ValueType::kValue)) return false;
+  if (type_byte > static_cast<uint8_t>(ValueType::kValuePointer)) return false;
   out->user_key = Slice(internal_key.data(), internal_key.size() - 8);
   out->sequence = tag >> 8;
   out->type = static_cast<ValueType>(type_byte);
@@ -86,7 +99,7 @@ class InternalKeyComparator final : public Comparator {
     user_comparator_->FindShortestSeparator(&tmp, user_limit);
     if (tmp.size() < user_start.size() &&
         user_comparator_->Compare(user_start, tmp) < 0) {
-      PutFixed64(&tmp, PackSequenceAndType(kMaxSequenceNumber, kValueTypeForSeek));
+      PutFixed64(&tmp, PackSequenceAndType(kMaxSequenceNumber, kValueTypeForSeparator));
       *start = std::move(tmp);
     }
   }
@@ -96,7 +109,7 @@ class InternalKeyComparator final : public Comparator {
     std::string tmp(user_key.data(), user_key.size());
     user_comparator_->FindShortSuccessor(&tmp);
     if (tmp.size() < user_key.size() && user_comparator_->Compare(user_key, tmp) < 0) {
-      PutFixed64(&tmp, PackSequenceAndType(kMaxSequenceNumber, kValueTypeForSeek));
+      PutFixed64(&tmp, PackSequenceAndType(kMaxSequenceNumber, kValueTypeForSeparator));
       *key = std::move(tmp);
     }
   }
@@ -152,12 +165,13 @@ class LookupKey {
 
 std::string TableFileName(const std::string& dbname, uint64_t number);
 std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string BlobFileName(const std::string& dbname, uint64_t number);
 std::string ManifestFileName(const std::string& dbname, uint64_t number);
 std::string CurrentFileName(const std::string& dbname);
 std::string LockFileName(const std::string& dbname);
 
 /// Parses a file name (no directory) into its number and type.
-enum class FileType { kTableFile, kLogFile, kManifestFile, kCurrentFile, kLockFile, kUnknown };
+enum class FileType { kTableFile, kLogFile, kBlobFile, kManifestFile, kCurrentFile, kLockFile, kUnknown };
 bool ParseFileName(const std::string& name, uint64_t* number, FileType* type);
 
 }  // namespace lsmio::lsm

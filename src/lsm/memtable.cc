@@ -48,7 +48,8 @@ void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
   entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
-bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {
+bool MemTable::Get(const LookupKey& key, std::string* value, Status* s,
+                   bool* is_pointer) {
   const Slice memkey = key.memtable_key();
   Table::Iterator iter(&table_);
   iter.Seek(memkey.data());
@@ -65,6 +66,9 @@ bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {
   }
   const uint64_t tag = DecodeFixed64(key_ptr + key_length - 8);
   switch (static_cast<ValueType>(tag & 0xff)) {
+    case ValueType::kValuePointer:
+      if (is_pointer != nullptr) *is_pointer = true;
+      [[fallthrough]];
     case ValueType::kValue: {
       const Slice v = GetLengthPrefixed(key_ptr + key_length);
       value->assign(v.data(), v.size());

@@ -41,7 +41,11 @@ class MemTable {
 
   /// If a version of key is present: returns true and sets *value (kValue)
   /// or *s = NotFound (kDeletion). Returns false when the key is absent.
-  bool Get(const LookupKey& key, std::string* value, Status* s);
+  /// A kValuePointer entry behaves like kValue but *value receives the
+  /// encoded ValuePointer and *is_pointer (when non-null) is set; the
+  /// caller resolves it through the store's ValueLog.
+  bool Get(const LookupKey& key, std::string* value, Status* s,
+           bool* is_pointer = nullptr);
 
   /// Iterator over internal keys (caller deletes; keeps a ref implicitly —
   /// caller must keep the memtable alive while iterating).

@@ -155,6 +155,30 @@ struct Options {
   /// drop logic and encodes/writes output tables, and each finished
   /// output's fsync overlaps the build of the next one.
   bool pipeline_compaction_io = true;
+
+  // --- value log (WAL-time key/value separation) ----------------------------
+
+  /// Values at least this many bytes are separated at group-commit time:
+  /// the bytes go to an append-only blob segment (NNNNNN.blob) and the LSM
+  /// stores only a (segment, offset, length) pointer, so flush and
+  /// compaction move pointers instead of megabytes. 0 (default) disables
+  /// separation and keeps the on-disk format byte-for-byte identical to
+  /// previous releases. A store that already contains blob segments still
+  /// resolves and garbage-collects them when reopened with 0.
+  uint64_t value_log_threshold = 0;
+
+  /// Soft cap on a blob segment's size: the active segment is rotated to a
+  /// fresh file once it crosses this size (a single write group may
+  /// overshoot). Smaller segments give finer-grained GC.
+  uint64_t value_log_segment_size = 64 * MiB;
+
+  /// A sealed segment whose garbage fraction (1 - live/total bytes) is at
+  /// least this ratio becomes a GC candidate: compactions relocate its
+  /// surviving values into the active segment, and the file is deleted once
+  /// no live pointer and no in-flight reader references it. Needs
+  /// background compaction; with disable_compaction, segments are only
+  /// reclaimed when their live bytes naturally reach zero.
+  double value_log_gc_garbage_ratio = 0.5;
 };
 
 /// Options for read operations.

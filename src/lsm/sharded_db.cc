@@ -382,6 +382,17 @@ DbStats ShardedDB::GetStats() const {
     total.block_cache_misses += s.block_cache_misses;
     total.readahead_bytes += s.readahead_bytes;
     total.compaction_pipeline_batches += s.compaction_pipeline_batches;
+    total.compaction_bytes_read += s.compaction_bytes_read;
+    total.compaction_bytes_written += s.compaction_bytes_written;
+    total.value_log_bytes_written += s.value_log_bytes_written;
+    total.value_log_separated_batches += s.value_log_separated_batches;
+    total.value_log_gc_rewritten_bytes += s.value_log_gc_rewritten_bytes;
+    total.value_log_segments_deleted += s.value_log_segments_deleted;
+    // Per-shard value logs are disjoint, so summing these gauges gives the
+    // exact store-wide value (unlike the shared-limiter gauges below).
+    total.value_log_segments += s.value_log_segments;
+    total.value_log_live_bytes += s.value_log_live_bytes;
+    total.value_log_garbage_bytes += s.value_log_garbage_bytes;
     total.flush_queue_depth = std::max(total.flush_queue_depth, s.flush_queue_depth);
     total.compaction_queue_depth =
         std::max(total.compaction_queue_depth, s.compaction_queue_depth);

@@ -1,0 +1,366 @@
+#include "lsm/value_log.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "lsm/dbformat.h"
+#include "vfs/vfs.h"
+
+namespace lsmio::lsm {
+
+namespace {
+
+/// crc(4) + key_len(>=1) + value_len(>=1): the smallest parseable record.
+constexpr uint64_t kMinRecordSize = 6;
+/// Reject absurd pointer lengths before allocating a read buffer.
+constexpr uint64_t kMaxRecordSize = 1ULL << 32;
+/// Bounded cache of open segment read handles.
+constexpr size_t kMaxOpenSegments = 64;
+
+/// Parses a checksummed record; on success key/value point into `rec`.
+Status ParseRecord(const Slice& rec, Slice* key, Slice* value) {
+  if (rec.size() < kMinRecordSize) {
+    return Status::Corruption("blob record too short");
+  }
+  const uint32_t expected = crc32c::Unmask(DecodeFixed32(rec.data()));
+  const uint32_t actual = crc32c::Value(rec.data() + 4, rec.size() - 4);
+  if (actual != expected) {
+    return Status::Corruption("blob record checksum mismatch");
+  }
+  Slice in(rec.data() + 4, rec.size() - 4);
+  uint32_t klen = 0;
+  uint32_t vlen = 0;
+  if (!GetVarint32(&in, &klen) || !GetVarint32(&in, &vlen)) {
+    return Status::Corruption("blob record header malformed");
+  }
+  if (in.size() != static_cast<uint64_t>(klen) + vlen) {
+    return Status::Corruption("blob record length mismatch");
+  }
+  *key = Slice(in.data(), klen);
+  *value = Slice(in.data() + klen, vlen);
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeValuePointer(std::string* dst, const ValuePointer& ptr) {
+  PutVarint64(dst, ptr.segment);
+  PutVarint64(dst, ptr.offset);
+  PutVarint64(dst, ptr.length);
+}
+
+bool DecodeValuePointer(Slice input, ValuePointer* ptr) {
+  return GetVarint64(&input, &ptr->segment) &&
+         GetVarint64(&input, &ptr->offset) &&
+         GetVarint64(&input, &ptr->length) && input.empty();
+}
+
+ValueLog::ValueLog(const Options& options, std::string dbname, vfs::Vfs* fs)
+    : options_(options), dbname_(std::move(dbname)), fs_(fs) {}
+
+ValueLog::~ValueLog() {
+  MutexLock lock(&mu_);
+  if (active_file_ != nullptr) {
+    // Best effort: rotated segments were synced when sealed; the active
+    // one is synced by the durability barriers that precede any ack.
+    active_file_->Close();
+    active_file_.reset();
+  }
+}
+
+Status ValueLog::Open(const std::vector<BlobSegmentMeta>& recovered) {
+  MutexLock lock(&mu_);
+  uint64_t max_number = 0;
+  for (const BlobSegmentMeta& meta : recovered) {
+    max_number = std::max(max_number, meta.number);
+    if (!fs_->FileExists(BlobFileName(dbname_, meta.number))) {
+      // Deleted before the crash; the manifest record simply predates the
+      // deletion. Pointers into it cannot exist (deletion requires zero
+      // live bytes and no in-flight readers).
+      continue;
+    }
+    SegmentState& seg = segments_[meta.number];
+    seg.total = meta.total_bytes;
+    seg.live = meta.live_bytes;
+  }
+  // Adopt on-disk segments the manifest does not know about (the segment
+  // that was active at crash time, or records appended after the last
+  // manifest write). Fully-live is conservative: it can only delay GC.
+  std::vector<std::string> names;
+  Status s = fs_->ListDir(dbname_, &names);
+  if (!s.ok()) return s;
+  for (const std::string& name : names) {
+    uint64_t number = 0;
+    FileType type = FileType::kUnknown;
+    if (!ParseFileName(name, &number, &type) || type != FileType::kBlobFile) {
+      continue;
+    }
+    max_number = std::max(max_number, number);
+    if (segments_.count(number) != 0) continue;
+    uint64_t size = 0;
+    if (!fs_->GetFileSize(dbname_ + "/" + name, &size).ok()) size = 0;
+    SegmentState& seg = segments_[number];
+    seg.total = size;
+    seg.live = size;
+  }
+  // Segments already drained when we crashed: delete as soon as swept.
+  for (auto& [number, seg] : segments_) {
+    (void)number;
+    if (seg.live == 0) seg.sealed = true;
+  }
+  next_segment_number_ = max_number + 1;
+  return Status::OK();
+}
+
+Status ValueLog::EnsureActiveLocked() {
+  if (active_file_ != nullptr) return Status::OK();
+  const uint64_t number = next_segment_number_++;
+  std::unique_ptr<vfs::WritableFile> file;
+  Status s = fs_->NewWritableFile(BlobFileName(dbname_, number), {}, &file);
+  if (!s.ok()) return s;
+  active_file_ = std::move(file);
+  active_number_ = number;
+  active_size_ = 0;
+  active_synced_ = 0;
+  segments_[number];  // total = live = 0 until records land
+  return Status::OK();
+}
+
+Status ValueLog::RotateLocked() {
+  if (active_file_ == nullptr) return Status::OK();
+  // Sync before sealing so Sync() only ever has to cover the active
+  // segment; a sealed segment's bytes are always durable.
+  Status s = active_file_->Sync();
+  if (s.ok()) s = active_file_->Close();
+  active_file_.reset();
+  if (!s.ok()) io_error_ = s;
+  return s;
+}
+
+Status ValueLog::Append(const Slice& user_key, const Slice& value,
+                        bool gc_rewrite, ValuePointer* out) {
+  MutexLock lock(&mu_);
+  if (!io_error_.ok()) return io_error_;
+  Status s = EnsureActiveLocked();
+  if (!s.ok()) return s;
+
+  std::string rec(4, '\0');  // crc placeholder
+  PutVarint32(&rec, static_cast<uint32_t>(user_key.size()));
+  PutVarint32(&rec, static_cast<uint32_t>(value.size()));
+  rec.append(user_key.data(), user_key.size());
+  rec.append(value.data(), value.size());
+  EncodeFixed32(rec.data(), crc32c::Mask(crc32c::Value(rec.data() + 4, rec.size() - 4)));
+
+  out->segment = active_number_;
+  out->offset = active_size_;
+  out->length = rec.size();
+
+  s = active_file_->Append(rec);
+  if (!s.ok()) {
+    // A partial write may have reached the file, so our offset bookkeeping
+    // can no longer be trusted: abandon the segment (its tail becomes
+    // unreferenced garbage) and let the next append start a fresh one.
+    active_file_->Close();
+    active_file_.reset();
+    return s;
+  }
+  active_size_ += rec.size();
+  SegmentState& seg = segments_[active_number_];
+  seg.total += rec.size();
+  seg.live += rec.size();
+  if (gc_rewrite) {
+    gc_rewritten_bytes_ += value.size();
+  } else {
+    bytes_written_ += value.size();
+  }
+  if (active_size_ >= options_.value_log_segment_size) {
+    return RotateLocked();
+  }
+  return Status::OK();
+}
+
+Status ValueLog::Sync() {
+  MutexLock lock(&mu_);
+  if (!io_error_.ok()) return io_error_;
+  if (active_file_ == nullptr || active_synced_ == active_size_) {
+    return Status::OK();
+  }
+  Status s = active_file_->Sync();
+  if (s.ok()) {
+    active_synced_ = active_size_;
+  } else {
+    // Durable prefix unknown: fail every later append/sync; the store
+    // latches read-only via RecordBackgroundError anyway.
+    io_error_ = s;
+  }
+  return s;
+}
+
+Status ValueLog::GetSegmentHandle(
+    uint64_t segment, std::shared_ptr<vfs::RandomAccessFile>* file) const {
+  MutexLock lock(&cache_mu_);
+  auto it = handles_.find(segment);
+  if (it != handles_.end()) {
+    it->second.lru_tick = ++lru_clock_;
+    *file = it->second.file;
+    return Status::OK();
+  }
+  std::unique_ptr<vfs::RandomAccessFile> opened;
+  vfs::OpenOptions opts;
+  opts.use_mmap = options_.use_mmap;
+  Status s = fs_->NewRandomAccessFile(BlobFileName(dbname_, segment), opts, &opened);
+  if (!s.ok()) return s;
+  if (handles_.size() >= kMaxOpenSegments) {
+    auto victim = handles_.begin();
+    for (auto cand = handles_.begin(); cand != handles_.end(); ++cand) {
+      if (cand->second.lru_tick < victim->second.lru_tick) victim = cand;
+    }
+    handles_.erase(victim);
+  }
+  CacheEntry& entry = handles_[segment];
+  entry.file = std::shared_ptr<vfs::RandomAccessFile>(std::move(opened));
+  entry.lru_tick = ++lru_clock_;
+  *file = entry.file;
+  return Status::OK();
+}
+
+void ValueLog::EvictSegmentHandle(uint64_t segment) const {
+  MutexLock lock(&cache_mu_);
+  handles_.erase(segment);
+}
+
+Status ValueLog::ReadRecord(const ValuePointer& ptr, std::string* key,
+                            std::string* value) const {
+  if (ptr.length < kMinRecordSize || ptr.length > kMaxRecordSize) {
+    return Status::Corruption("blob pointer length out of range");
+  }
+  std::shared_ptr<vfs::RandomAccessFile> file;
+  Status s = GetSegmentHandle(ptr.segment, &file);
+  if (!s.ok()) return s;
+  std::string scratch;
+  Slice rec;
+  s = file->Read(ptr.offset, static_cast<size_t>(ptr.length), &rec, &scratch);
+  if (!s.ok()) return s;
+  if (rec.size() != ptr.length) {
+    return Status::Corruption("blob record truncated");
+  }
+  Slice parsed_key;
+  Slice parsed_value;
+  s = ParseRecord(rec, &parsed_key, &parsed_value);
+  if (!s.ok()) return s;
+  if (key != nullptr) key->assign(parsed_key.data(), parsed_key.size());
+  if (value != nullptr) value->assign(parsed_value.data(), parsed_value.size());
+  return Status::OK();
+}
+
+Status ValueLog::ReadValue(const ValuePointer& ptr, std::string* value) const {
+  return ReadRecord(ptr, nullptr, value);
+}
+
+Status ValueLog::ValidatePointer(const ValuePointer& ptr,
+                                 const Slice& expected_key) const {
+  std::string key;
+  Status s = ReadRecord(ptr, &key, nullptr);
+  if (!s.ok()) return s;
+  if (Slice(key) != expected_key) {
+    return Status::Corruption("blob record key mismatch");
+  }
+  return Status::OK();
+}
+
+void ValueLog::Hint(const ValuePointer& ptr, uint64_t span) const {
+  std::shared_ptr<vfs::RandomAccessFile> file;
+  if (!GetSegmentHandle(ptr.segment, &file).ok()) return;
+  file->Hint(ptr.offset, static_cast<size_t>(span));
+}
+
+bool ValueLog::Contains(uint64_t segment) const {
+  MutexLock lock(&mu_);
+  return segments_.count(segment) != 0;
+}
+
+void ValueLog::ApplyGarbage(const std::map<uint64_t, uint64_t>& garbage) {
+  MutexLock lock(&mu_);
+  for (const auto& [number, bytes] : garbage) {
+    auto it = segments_.find(number);
+    if (it == segments_.end()) continue;
+    it->second.live = it->second.live >= bytes ? it->second.live - bytes : 0;
+  }
+}
+
+std::vector<uint64_t> ValueLog::GcCandidates() const {
+  MutexLock lock(&mu_);
+  std::vector<uint64_t> out;
+  for (const auto& [number, seg] : segments_) {
+    if (seg.sealed || seg.live == 0 || seg.total == 0) continue;
+    if (active_file_ != nullptr && number == active_number_) continue;
+    const double garbage_ratio =
+        1.0 - static_cast<double>(seg.live) / static_cast<double>(seg.total);
+    if (garbage_ratio >= options_.value_log_gc_garbage_ratio) {
+      out.push_back(number);
+    }
+  }
+  return out;
+}
+
+std::vector<BlobSegmentMeta> ValueLog::LiveSegments() const {
+  MutexLock lock(&mu_);
+  std::vector<BlobSegmentMeta> out;
+  out.reserve(segments_.size());
+  for (const auto& [number, seg] : segments_) {
+    out.push_back(BlobSegmentMeta{number, seg.total, seg.live});
+  }
+  return out;
+}
+
+void ValueLog::SealDrained(
+    const std::vector<std::weak_ptr<const void>>& guards) {
+  MutexLock lock(&mu_);
+  for (auto& [number, seg] : segments_) {
+    if (seg.sealed || seg.live != 0) continue;
+    if (active_file_ != nullptr && number == active_number_) continue;
+    seg.sealed = true;
+    seg.guards = guards;
+  }
+}
+
+int ValueLog::SweepDeletable() {
+  MutexLock lock(&mu_);
+  std::vector<uint64_t> deletable;
+  for (const auto& [number, seg] : segments_) {
+    if (!seg.sealed) continue;
+    bool pinned = false;
+    for (const auto& guard : seg.guards) {
+      if (!guard.expired()) {
+        pinned = true;
+        break;
+      }
+    }
+    if (!pinned) deletable.push_back(number);
+  }
+  for (const uint64_t number : deletable) {
+    EvictSegmentHandle(number);
+    fs_->RemoveFile(BlobFileName(dbname_, number));  // best effort
+    segments_.erase(number);
+    ++segments_deleted_;
+  }
+  return static_cast<int>(deletable.size());
+}
+
+ValueLogCounters ValueLog::Counters() const {
+  MutexLock lock(&mu_);
+  ValueLogCounters c;
+  c.bytes_written = bytes_written_;
+  c.gc_rewritten_bytes = gc_rewritten_bytes_;
+  c.segments_deleted = segments_deleted_;
+  c.segments = segments_.size();
+  for (const auto& [number, seg] : segments_) {
+    (void)number;
+    c.live_bytes += seg.live;
+    c.garbage_bytes += seg.total >= seg.live ? seg.total - seg.live : 0;
+  }
+  return c;
+}
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,202 @@
+// Value log: WAL-time key/value separation for checkpoint-sized values
+// (BVLSM-style). Values at least Options::value_log_threshold bytes long
+// are appended to append-only blob segments (NNNNNN.blob) at group-commit
+// time and the LSM keeps only a (segment, offset, length) pointer under
+// the key — flush and compaction then move pointers, not megabytes.
+//
+// Segment record format (after FreEBS lsvd's checksummed data records):
+//
+//   fixed32   masked crc32c of everything after this field
+//   varint32  key length
+//   varint32  value length
+//   key bytes
+//   value bytes
+//
+// A ValuePointer addresses the whole record (offset = record start,
+// length = full record size), so every read re-verifies the checksum and
+// the stored key, and GC can recover (key, value) pairs by scanning.
+//
+// Durability contract: a pointer is only WAL-logged/acked after the blob
+// bytes it references are at least as durable as the WAL record (the
+// writer syncs the blob segment before syncing the WAL; flush syncs it
+// before installing an SST). Rotation syncs a segment before sealing it,
+// so Sync() only ever has to touch the active segment.
+//
+// Garbage collection: compactions maintain per-segment live-bytes
+// counters (persisted in the manifest). When a sealed segment's garbage
+// ratio crosses Options::value_log_gc_garbage_ratio, compactions relocate
+// its surviving values into the active segment, re-emitting the pointer
+// under the entry's ORIGINAL sequence number — snapshot readers resolve
+// the relocated entry identically, which is what makes GC snapshot-safe.
+// A segment whose live bytes reach zero is sealed with weak references to
+// every superseded Version that might still hold old pointers and its
+// file is deleted once all of them expire.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "lsm/options.h"
+
+namespace lsmio::vfs {
+class Vfs;
+class WritableFile;
+class RandomAccessFile;
+}  // namespace lsmio::vfs
+
+namespace lsmio::lsm {
+
+/// Location of one record inside a blob segment.
+struct ValuePointer {
+  uint64_t segment = 0;  // blob segment file number
+  uint64_t offset = 0;   // byte offset of the record header
+  uint64_t length = 0;   // full record length (header + key + value)
+};
+
+/// Pointer encoding stored as the entry value under a kValuePointer tag:
+/// varint64 segment | varint64 offset | varint64 length.
+void EncodeValuePointer(std::string* dst, const ValuePointer& ptr);
+/// Decodes a pointer; requires the input to be exactly one pointer.
+bool DecodeValuePointer(Slice input, ValuePointer* ptr);
+
+/// Per-segment accounting persisted in the manifest.
+struct BlobSegmentMeta {
+  uint64_t number = 0;
+  uint64_t total_bytes = 0;  // record bytes appended over the segment's life
+  uint64_t live_bytes = 0;   // bytes still referenced by the newest LSM state
+};
+
+/// Counter snapshot for DbStats.
+struct ValueLogCounters {
+  uint64_t bytes_written = 0;        // user value bytes separated at write time
+  uint64_t gc_rewritten_bytes = 0;   // value bytes relocated by GC
+  uint64_t segments_deleted = 0;
+  uint64_t segments = 0;             // gauge: registered segments
+  uint64_t live_bytes = 0;           // gauge: sum of live record bytes
+  uint64_t garbage_bytes = 0;        // gauge: sum of (total - live)
+};
+
+/// One store's (or one shard's) blob segments: appender, reader with a
+/// bounded cache of open segment handles, per-segment accounting and GC
+/// bookkeeping. Thread-safe; appends are internally serialized (the
+/// group-commit leader and compaction relocation share the appender).
+class ValueLog {
+ public:
+  ValueLog(const Options& options, std::string dbname, vfs::Vfs* fs);
+  ~ValueLog();
+
+  ValueLog(const ValueLog&) = delete;
+  ValueLog& operator=(const ValueLog&) = delete;
+
+  /// Seeds the registry from manifest-recovered metas plus any on-disk
+  /// segment files the manifest does not know about (adopted conservatively
+  /// as fully live, e.g. the active-at-crash segment). The next append
+  /// always starts a fresh segment, so a torn tail from a crash is never
+  /// appended to.
+  Status Open(const std::vector<BlobSegmentMeta>& recovered) EXCLUDES(mu_);
+
+  /// Appends one record and returns its location. `gc_rewrite` selects the
+  /// stats counter the value bytes are charged to.
+  Status Append(const Slice& user_key, const Slice& value, bool gc_rewrite,
+                ValuePointer* out) EXCLUDES(mu_);
+
+  /// Durability barrier: fsyncs the active segment iff it has unsynced
+  /// bytes. Rotated segments were synced when sealed.
+  Status Sync() EXCLUDES(mu_);
+
+  // --- read path -----------------------------------------------------------
+
+  /// Reads and checksum-verifies the record at `ptr`; returns the value.
+  Status ReadValue(const ValuePointer& ptr, std::string* value) const;
+  /// Reads and checksum-verifies the record at `ptr`; returns key and value.
+  Status ReadRecord(const ValuePointer& ptr, std::string* key,
+                    std::string* value) const;
+  /// Verifies that `ptr` addresses an intact record for `expected_key`
+  /// (WAL replay uses this to drop pointers whose blob bytes did not
+  /// survive a crash — only unacknowledged writes can be in that state).
+  Status ValidatePointer(const ValuePointer& ptr, const Slice& expected_key) const;
+  /// Readahead hint covering [ptr.offset, ptr.offset + span) of the
+  /// segment; MultiGet uses it to coalesce resolution of sorted pointers.
+  void Hint(const ValuePointer& ptr, uint64_t span) const;
+
+  // --- accounting & GC -----------------------------------------------------
+
+  /// True if `segment` is registered (RemoveObsoleteFiles keeps such files).
+  [[nodiscard]] bool Contains(uint64_t segment) const EXCLUDES(mu_);
+
+  /// Applies per-segment garbage byte deltas (entries dropped or relocated
+  /// by a compaction). Called under the DB mutex right before the manifest
+  /// record of the same install is written.
+  void ApplyGarbage(const std::map<uint64_t, uint64_t>& garbage) EXCLUDES(mu_);
+
+  /// Sealed-segment GC candidates: not active, live > 0, garbage ratio at
+  /// least Options::value_log_gc_garbage_ratio.
+  [[nodiscard]] std::vector<uint64_t> GcCandidates() const EXCLUDES(mu_);
+
+  /// Every registered segment's accounting, for the manifest snapshot.
+  [[nodiscard]] std::vector<BlobSegmentMeta> LiveSegments() const EXCLUDES(mu_);
+
+  /// Seals every drained segment (live == 0, not the active one): records
+  /// `guards` — weak references to the superseded Versions that may still
+  /// hold pointers into it — and schedules the file for deletion once all
+  /// guards expire.
+  void SealDrained(const std::vector<std::weak_ptr<const void>>& guards)
+      EXCLUDES(mu_);
+
+  /// Deletes sealed segments whose guards have all expired; returns the
+  /// number of files removed.
+  int SweepDeletable() EXCLUDES(mu_);
+
+  /// Folds the counter snapshot into `out` (additive).
+  [[nodiscard]] ValueLogCounters Counters() const EXCLUDES(mu_);
+
+ private:
+  struct SegmentState {
+    uint64_t total = 0;
+    uint64_t live = 0;
+    bool sealed = false;
+    std::vector<std::weak_ptr<const void>> guards;
+  };
+
+  Status EnsureActiveLocked() REQUIRES(mu_);
+  Status RotateLocked() REQUIRES(mu_);
+
+  /// Returns a cached-or-opened handle for `segment` (LRU, bounded).
+  Status GetSegmentHandle(uint64_t segment,
+                          std::shared_ptr<vfs::RandomAccessFile>* file) const
+      EXCLUDES(cache_mu_);
+  void EvictSegmentHandle(uint64_t segment) const EXCLUDES(cache_mu_);
+
+  const Options options_;
+  const std::string dbname_;
+  vfs::Vfs* const fs_;
+
+  mutable Mutex mu_;
+  Status io_error_ GUARDED_BY(mu_);  // latched on sync failure
+  uint64_t next_segment_number_ GUARDED_BY(mu_) = 1;
+  std::unique_ptr<vfs::WritableFile> active_file_ GUARDED_BY(mu_);
+  uint64_t active_number_ GUARDED_BY(mu_) = 0;
+  uint64_t active_size_ GUARDED_BY(mu_) = 0;
+  uint64_t active_synced_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, SegmentState> segments_ GUARDED_BY(mu_);
+  uint64_t bytes_written_ GUARDED_BY(mu_) = 0;
+  uint64_t gc_rewritten_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t segments_deleted_ GUARDED_BY(mu_) = 0;
+
+  // Open-segment handle cache, block-cache style: bounded, LRU-evicted,
+  // shared_ptr handles so a reader keeps its file alive across eviction.
+  mutable Mutex cache_mu_;
+  struct CacheEntry {
+    std::shared_ptr<vfs::RandomAccessFile> file;
+    uint64_t lru_tick = 0;
+  };
+  mutable std::map<uint64_t, CacheEntry> handles_ GUARDED_BY(cache_mu_);
+  mutable uint64_t lru_clock_ GUARDED_BY(cache_mu_) = 0;
+};
+
+}  // namespace lsmio::lsm

@@ -27,7 +27,8 @@ int Version::TotalFiles() const {
 }
 
 Status Version::Get(const ReadOptions& options, TableCache* table_cache,
-                    const LookupKey& key, std::string* value) const {
+                    const LookupKey& key, std::string* value,
+                    bool* is_pointer) const {
   const Comparator* ucmp = icmp_->user_comparator();
   const Slice user_key = key.user_key();
   const Slice internal_key = key.internal_key();
@@ -37,10 +38,12 @@ Status Version::Get(const ReadOptions& options, TableCache* table_cache,
     Slice user_key;
     const InternalKeyComparator* icmp;
     std::string* value;
+    bool* is_pointer;
   } state;
   state.user_key = user_key;
   state.icmp = icmp_;
   state.value = value;
+  state.is_pointer = is_pointer;
 
   auto saver = [&state](const Slice& ikey, const Slice& v) {
     ParsedInternalKey parsed;
@@ -51,9 +54,13 @@ Status Version::Get(const ReadOptions& options, TableCache* table_cache,
     if (state.icmp->user_comparator()->Compare(parsed.user_key, state.user_key) != 0) {
       return;  // a different key: not found in this table
     }
-    if (parsed.type == ValueType::kValue) {
+    if (parsed.type == ValueType::kValue ||
+        parsed.type == ValueType::kValuePointer) {
       state.value->assign(v.data(), v.size());
       state.state = GetState::kFound;
+      if (state.is_pointer != nullptr) {
+        *state.is_pointer = parsed.type == ValueType::kValuePointer;
+      }
     } else {
       state.state = GetState::kDeleted;
     }
@@ -121,8 +128,10 @@ Status Version::MultiGet(const ReadOptions& options, TableCache* table_cache,
       if (ucmp->Compare(parsed.user_key, group[i]->lkey->user_key()) != 0) {
         return;  // a different key: not found in this table
       }
-      if (parsed.type == ValueType::kValue) {
+      if (parsed.type == ValueType::kValue ||
+          parsed.type == ValueType::kValuePointer) {
         group[i]->value->assign(v.data(), v.size());
+        group[i]->is_pointer = parsed.type == ValueType::kValuePointer;
         states[i] = KeyState::kFound;
       } else {
         states[i] = KeyState::kDeleted;
@@ -248,6 +257,45 @@ std::string VersionSet::EncodeSnapshot() const {
       PutLengthPrefixedSlice(&out, Slice(f.largest));
     }
   }
+
+  // Value-log extension section. Appended only when the store actually has
+  // blob segments (or tables referencing them), so stores that never used
+  // the value log keep a byte-for-byte identical manifest; decoders treat a
+  // record that ends here as having an empty extension.
+  std::vector<BlobSegmentMeta> segments;
+  if (blob_segment_provider_) segments = blob_segment_provider_();
+  bool any_refs = false;
+  for (int level = 0; level < kNumLevels && !any_refs; ++level) {
+    for (const auto& f : current_->files[level]) {
+      if (!f.blob_refs.empty()) {
+        any_refs = true;
+        break;
+      }
+    }
+  }
+  if (!segments.empty() || any_refs) {
+    PutVarint32(&out, static_cast<uint32_t>(segments.size()));
+    for (const auto& seg : segments) {
+      PutVarint64(&out, seg.number);
+      PutVarint64(&out, seg.total_bytes);
+      PutVarint64(&out, seg.live_bytes);
+    }
+    uint32_t files_with_refs = 0;
+    for (int level = 0; level < kNumLevels; ++level) {
+      for (const auto& f : current_->files[level]) {
+        if (!f.blob_refs.empty()) ++files_with_refs;
+      }
+    }
+    PutVarint32(&out, files_with_refs);
+    for (int level = 0; level < kNumLevels; ++level) {
+      for (const auto& f : current_->files[level]) {
+        if (f.blob_refs.empty()) continue;
+        PutVarint64(&out, f.number);
+        PutVarint32(&out, static_cast<uint32_t>(f.blob_refs.size()));
+        for (const uint64_t seg : f.blob_refs) PutVarint64(&out, seg);
+      }
+    }
+  }
   return out;
 }
 
@@ -289,6 +337,49 @@ Status VersionSet::DecodeSnapshot(const Slice& record) {
       v->files[level].push_back(std::move(f));
     }
   }
+
+  // Optional value-log extension (see EncodeSnapshot). Records from stores
+  // that never used the value log end exactly at the levels section.
+  std::vector<BlobSegmentMeta> segments;
+  if (!input.empty()) {
+    uint32_t segment_count = 0;
+    if (!GetVarint32(&input, &segment_count)) {
+      return Status::Corruption("manifest: bad blob segment count");
+    }
+    segments.reserve(segment_count);
+    for (uint32_t i = 0; i < segment_count; ++i) {
+      BlobSegmentMeta meta;
+      if (!GetVarint64(&input, &meta.number) ||
+          !GetVarint64(&input, &meta.total_bytes) ||
+          !GetVarint64(&input, &meta.live_bytes)) {
+        return Status::Corruption("manifest: bad blob segment record");
+      }
+      segments.push_back(meta);
+    }
+    uint32_t files_with_refs = 0;
+    if (!GetVarint32(&input, &files_with_refs)) {
+      return Status::Corruption("manifest: bad blob ref count");
+    }
+    for (uint32_t i = 0; i < files_with_refs; ++i) {
+      uint64_t file_number = 0;
+      uint32_t ref_count = 0;
+      if (!GetVarint64(&input, &file_number) || !GetVarint32(&input, &ref_count)) {
+        return Status::Corruption("manifest: bad blob ref record");
+      }
+      std::vector<uint64_t> refs(ref_count);
+      for (uint32_t r = 0; r < ref_count; ++r) {
+        if (!GetVarint64(&input, &refs[r])) {
+          return Status::Corruption("manifest: bad blob ref entry");
+        }
+      }
+      for (auto& level_files : v->files) {
+        for (auto& f : level_files) {
+          if (f.number == file_number) f.blob_refs = refs;
+        }
+      }
+    }
+  }
+  recovered_blob_segments_ = std::move(segments);
 
   log_number_ = log_number;
   next_file_number_ = next_file;
@@ -442,6 +533,20 @@ void VersionSet::AddLiveFiles(std::vector<uint64_t>* live) const {
       ++it;
     } else {
       it = retained_.erase(it);
+    }
+  }
+}
+
+void VersionSet::CollectVersionGuards(
+    std::vector<std::weak_ptr<const void>>* guards) const {
+  AssertOwnerHeld();
+  auto it = retained_.begin();
+  while (it != retained_.end()) {
+    if (it->expired()) {
+      it = retained_.erase(it);
+    } else {
+      guards->push_back(*it);
+      ++it;
     }
   }
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -17,6 +18,7 @@
 #include "lsm/dbformat.h"
 #include "lsm/iterator.h"
 #include "lsm/options.h"
+#include "lsm/value_log.h"
 #include "vfs/vfs.h"
 
 namespace lsmio::lsm {
@@ -34,6 +36,10 @@ struct FileMetaData {
   uint64_t file_size = 0;
   std::string smallest;  // internal key
   std::string largest;   // internal key
+  /// Blob segments referenced by this table's kValuePointer entries
+  /// (sorted, unique). Lets value-log GC find the tables that still pin a
+  /// mostly-garbage segment. Empty for stores without a value log.
+  std::vector<uint64_t> blob_refs;
 };
 
 /// Immutable snapshot of the table layout, shared_ptr-owned by readers.
@@ -45,9 +51,13 @@ class Version {
   /// L1+ are sorted by smallest key and non-overlapping.
   std::vector<FileMetaData> files[kNumLevels];
 
-  /// Looks `user key` up through the levels, newest first.
+  /// Looks `user key` up through the levels, newest first. When the entry
+  /// found is a kValuePointer, *value receives the encoded ValuePointer and
+  /// *is_pointer (when non-null) is set; the caller resolves it through the
+  /// store's ValueLog.
   Status Get(const ReadOptions& options, TableCache* table_cache,
-             const LookupKey& key, std::string* value) const;
+             const LookupKey& key, std::string* value,
+             bool* is_pointer = nullptr) const;
 
   /// One key of a MultiGet batch flowing through the level search. The
   /// caller owns the lkey/value/status storage; *status must be preset to
@@ -58,6 +68,9 @@ class Version {
     std::string* value = nullptr;
     Status* status = nullptr;
     bool done = false;
+    /// Set when the resolved entry is a kValuePointer: *value holds the
+    /// encoded pointer and the caller must resolve it via the ValueLog.
+    bool is_pointer = false;
   };
 
   /// Batched lookup: `reqs` must be sorted ascending by user key. Walks the
@@ -161,6 +174,26 @@ class VersionSet {
   /// creation and after recovery.
   Status WriteSnapshot();
 
+  /// Installs the source of blob-segment accounting rows appended to every
+  /// manifest snapshot (the store's ValueLog). When unset or when the store
+  /// has no segments, snapshots stay byte-for-byte identical to previous
+  /// releases (the extension section is omitted entirely).
+  void SetBlobSegmentProvider(std::function<std::vector<BlobSegmentMeta>()> p) {
+    blob_segment_provider_ = std::move(p);
+  }
+
+  /// Blob-segment accounting recovered from the manifest (empty for stores
+  /// without a value log). Valid after Recover().
+  [[nodiscard]] const std::vector<BlobSegmentMeta>& recovered_blob_segments() const {
+    return recovered_blob_segments_;
+  }
+
+  /// Weak references to every superseded Version a reader may still hold.
+  /// Value-log GC records these when a drained segment is sealed: the
+  /// segment file may only be deleted once all of them expire, because old
+  /// versions can still contain pointers into it. Prunes expired entries.
+  void CollectVersionGuards(std::vector<std::weak_ptr<const void>>* guards) const;
+
  private:
   std::string EncodeSnapshot() const;
   Status DecodeSnapshot(const Slice& record);
@@ -192,6 +225,9 @@ class VersionSet {
 
   std::unique_ptr<vfs::WritableFile> manifest_file_;
   std::unique_ptr<log::Writer> manifest_log_;
+
+  std::function<std::vector<BlobSegmentMeta>()> blob_segment_provider_;
+  std::vector<BlobSegmentMeta> recovered_blob_segments_;
 };
 
 }  // namespace lsmio::lsm

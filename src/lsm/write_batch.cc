@@ -34,6 +34,13 @@ void WriteBatch::Put(const Slice& key, const Slice& value) {
   PutLengthPrefixedSlice(&rep_, value);
 }
 
+void WriteBatch::PutPointer(const Slice& key, const Slice& pointer) {
+  SetCount(Count() + 1);
+  rep_.push_back(static_cast<char>(ValueType::kValuePointer));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, pointer);
+}
+
 void WriteBatch::Delete(const Slice& key) {
   SetCount(Count() + 1);
   rep_.push_back(static_cast<char>(ValueType::kDeletion));
@@ -66,6 +73,13 @@ Status WriteBatch::Iterate(Handler* handler) const {
         }
         handler->Put(key, value);
         break;
+      case ValueType::kValuePointer:
+        if (!GetLengthPrefixedSlice(&input, &key) ||
+            !GetLengthPrefixedSlice(&input, &value)) {
+          return Status::Corruption("bad WriteBatch PutPointer record");
+        }
+        handler->PutPointer(key, value);
+        break;
       case ValueType::kDeletion:
         if (!GetLengthPrefixedSlice(&input, &key)) {
           return Status::Corruption("bad WriteBatch Delete record");
@@ -90,6 +104,10 @@ class MemTableInserter final : public WriteBatch::Handler {
 
   void Put(const Slice& key, const Slice& value) override {
     mem_->Add(sequence_, ValueType::kValue, key, value);
+    ++sequence_;
+  }
+  void PutPointer(const Slice& key, const Slice& pointer) override {
+    mem_->Add(sequence_, ValueType::kValuePointer, key, pointer);
     ++sequence_;
   }
   void Delete(const Slice& key) override {

@@ -21,6 +21,10 @@ class WriteBatch {
 
   /// Stores key->value.
   void Put(const Slice& key, const Slice& value);
+  /// Stores key->(encoded ValuePointer): the value bytes live in a blob
+  /// segment and `pointer` is their location (see value_log.h). Emitted by
+  /// the write path after WAL-time separation, never by user code.
+  void PutPointer(const Slice& key, const Slice& pointer);
   /// Removes key (writes a tombstone).
   void Delete(const Slice& key);
   /// Copies all ops of `source` onto the end of this batch.
@@ -42,6 +46,11 @@ class WriteBatch {
    public:
     virtual ~Handler() = default;
     virtual void Put(const Slice& key, const Slice& value) = 0;
+    /// Pointer entry (kValuePointer). Handlers that do not distinguish
+    /// separated values can rely on the default, which forwards to Put.
+    virtual void PutPointer(const Slice& key, const Slice& pointer) {
+      Put(key, pointer);
+    }
     virtual void Delete(const Slice& key) = 0;
   };
   Status Iterate(Handler* handler) const;
@@ -57,7 +66,9 @@ class WriteBatch {
   void SetCount(int n);
 
   // rep_: fixed64 sequence | fixed32 count | records...
-  // record: kValue varstring key varstring value | kDeletion varstring key
+  // record: kValue varstring key varstring value
+  //       | kValuePointer varstring key varstring encoded_pointer
+  //       | kDeletion varstring key
   std::string rep_;
 };
 

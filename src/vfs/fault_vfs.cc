@@ -26,6 +26,7 @@ FaultFileClass ClassifyFaultFile(const std::string& path) {
       slash == std::string::npos ? path : path.substr(slash + 1);
   if (EndsWith(name, ".log")) return kWalFile;
   if (EndsWith(name, ".sst")) return kTableFile;
+  if (EndsWith(name, ".blob")) return kBlobFile;
   if (StartsWith(name, "MANIFEST-")) return kManifestFile;
   if (name == "CURRENT" || name == "CURRENT.tmp") return kCurrentFile;
   return kOtherFile;

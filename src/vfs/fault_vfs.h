@@ -44,8 +44,9 @@ enum FaultFileClass : unsigned {
   kTableFile = 1U << 1,     // NNNNNN.sst
   kManifestFile = 1U << 2,  // MANIFEST-NNNNNN
   kCurrentFile = 1U << 3,   // CURRENT / CURRENT.tmp
-  kOtherFile = 1U << 4,
-  kAnyFile = (1U << 5) - 1,
+  kBlobFile = 1U << 4,      // NNNNNN.blob (value-log segment)
+  kOtherFile = 1U << 5,
+  kAnyFile = (1U << 6) - 1,
 };
 
 /// Write-class operations the injector can interpose on (bitmask).

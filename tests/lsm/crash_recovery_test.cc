@@ -13,7 +13,9 @@
 // LSMIO_CRASH_ITERS for quick local runs or longer soaks. LSMIO_SHARDS=N
 // runs the randomized soak against an N-way sharded store (per-shard WALs
 // and manifests under shard-NNN/ all see the same fault model); a smaller
-// always-on sharded soak runs regardless.
+// always-on sharded soak runs regardless. LSMIO_VALUE_LOG=1 runs the main
+// soak with WAL-time key/value separation on (blob segments join the fault
+// schedule); a smaller always-on value-log soak runs regardless.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -49,6 +51,14 @@ int ShardsFromEnv() {
   return 1;
 }
 
+// Separation threshold for the main soak: LSMIO_VALUE_LOG=1 turns the
+// value log on with a 64-byte threshold, so the 16-256 byte soak values
+// split between inline and separated storage.
+uint64_t ValueLogThresholdFromEnv() {
+  const char* env = std::getenv("LSMIO_VALUE_LOG");
+  return env != nullptr && std::atoi(env) > 0 ? 64 : 0;
+}
+
 // Values are >= 16 random bytes, so a 1-byte sentinel can never collide.
 const std::string kDeleted = "\xDE";
 
@@ -59,7 +69,7 @@ struct KeyHistory {
   size_t acked = SIZE_MAX;
 };
 
-vfs::FaultPoint RandomFaultPoint(Rng& rng) {
+vfs::FaultPoint RandomFaultPoint(Rng& rng, bool include_blob) {
   vfs::FaultPoint point;
   switch (rng.Uniform(4)) {
     case 0: point.kind = vfs::FaultKind::kFailOp; break;
@@ -67,9 +77,12 @@ vfs::FaultPoint RandomFaultPoint(Rng& rng) {
     case 2: point.kind = vfs::FaultKind::kTornWrite; break;
     default: point.kind = vfs::FaultKind::kSyncFailure; break;
   }
+  // kBlobFile only joins the draw when the value log is on; otherwise a
+  // blob-only fault point would never fire and the iteration runs fault-free.
   static constexpr unsigned kFileChoices[] = {
-      vfs::kWalFile, vfs::kTableFile, vfs::kManifestFile, vfs::kAnyFile};
-  point.file_classes = kFileChoices[rng.Uniform(4)];
+      vfs::kWalFile, vfs::kTableFile, vfs::kManifestFile, vfs::kAnyFile,
+      vfs::kBlobFile};
+  point.file_classes = kFileChoices[rng.Uniform(include_blob ? 5 : 4)];
   static constexpr unsigned kOpChoices[] = {
       vfs::kAppendOp, vfs::kSyncOp, vfs::kCreateOp, vfs::kAnyWriteOp};
   point.ops = kOpChoices[rng.Uniform(4)];
@@ -77,7 +90,8 @@ vfs::FaultPoint RandomFaultPoint(Rng& rng) {
   return point;
 }
 
-void RunCrashIteration(uint64_t seed, int num_shards) {
+void RunCrashIteration(uint64_t seed, int num_shards,
+                       uint64_t value_log_threshold) {
   Rng rng(seed);
   vfs::MemVfs base;
   vfs::FaultVfs fs(base);
@@ -88,12 +102,16 @@ void RunCrashIteration(uint64_t seed, int num_shards) {
   options.write_buffer_size = 8 * KiB;  // small enough to force flushes
   options.disable_compaction = rng.Bernoulli(0.5);
   options.enable_group_commit = rng.Bernoulli(0.75);
+  options.value_log_threshold = value_log_threshold;
+  if (value_log_threshold > 0) {
+    options.value_log_segment_size = 4 * KiB;  // force rotation mid-run
+  }
 
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok()) << "seed " << seed;
 
   std::map<std::string, KeyHistory> model;
-  fs.Arm(RandomFaultPoint(rng));
+  fs.Arm(RandomFaultPoint(rng, value_log_threshold > 0));
 
   const int kOps = 80;
   const int kKeySpace = 16;
@@ -193,10 +211,12 @@ void RunCrashIteration(uint64_t seed, int num_shards) {
 TEST(CrashRecoveryTest, RandomizedFaultPointsPreserveAckedWrites) {
   const int iters = IterationsFromEnv();
   const int shards = ShardsFromEnv();
+  const uint64_t threshold = ValueLogThresholdFromEnv();
   for (int i = 0; i < iters; ++i) {
     ASSERT_NO_FATAL_FAILURE(
-        RunCrashIteration(1000 + static_cast<uint64_t>(i), shards))
-        << "iteration " << i << " shards " << shards;
+        RunCrashIteration(1000 + static_cast<uint64_t>(i), shards, threshold))
+        << "iteration " << i << " shards " << shards
+        << " value_log_threshold " << threshold;
   }
 }
 
@@ -209,7 +229,24 @@ TEST(CrashRecoveryTest, ShardedStoreSurvivesRandomizedFaultPoints) {
   }
   for (int i = 0; i < 50; ++i) {
     ASSERT_NO_FATAL_FAILURE(
-        RunCrashIteration(77000 + static_cast<uint64_t>(i), /*num_shards=*/4))
+        RunCrashIteration(77000 + static_cast<uint64_t>(i), /*num_shards=*/4,
+                          ValueLogThresholdFromEnv()))
+        << "iteration " << i;
+  }
+}
+
+// Always-on value-log coverage: a shorter soak with separation enabled and
+// blob segments in the fault schedule (the CI value-log leg runs the full
+// count via LSMIO_VALUE_LOG=1). A distinct seed base keeps the fault
+// schedules disjoint from the other soaks.
+TEST(CrashRecoveryTest, ValueLogStoreSurvivesRandomizedFaultPoints) {
+  if (ValueLogThresholdFromEnv() > 0) {
+    GTEST_SKIP() << "main soak already running with LSMIO_VALUE_LOG";
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_NO_FATAL_FAILURE(
+        RunCrashIteration(88000 + static_cast<uint64_t>(i), /*num_shards=*/1,
+                          /*value_log_threshold=*/64))
         << "iteration " << i;
   }
 }

@@ -27,6 +27,7 @@ class FaultVfsTest : public ::testing::Test {
 TEST_F(FaultVfsTest, ClassifiesLsmFileNames) {
   EXPECT_EQ(ClassifyFaultFile("/db/000004.log"), kWalFile);
   EXPECT_EQ(ClassifyFaultFile("/db/000007.sst"), kTableFile);
+  EXPECT_EQ(ClassifyFaultFile("/db/000009.blob"), kBlobFile);
   EXPECT_EQ(ClassifyFaultFile("/db/MANIFEST-000002"), kManifestFile);
   EXPECT_EQ(ClassifyFaultFile("/db/CURRENT"), kCurrentFile);
   EXPECT_EQ(ClassifyFaultFile("/db/CURRENT.tmp"), kCurrentFile);
