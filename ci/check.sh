@@ -13,7 +13,7 @@
 #   ci/check.sh                 # run the default legs (lint, tsan, asan, shards)
 #   ci/check.sh --leg asan      # run exactly one leg
 #   ci/check.sh asan            # same (positional form kept for compat)
-# Legs: plain | lint | tsan | asan | shards | valuelog | bench | all
+# Legs: plain | lint | tsan | asan | shards | valuelog | bench | tail-latency | all
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -173,6 +173,70 @@ PY
   PASS+=("$name")
 }
 
+# Tiny-config tail-latency smoke: runs the hard-stall vs graduated A/B with
+# a seconds-long workload and validates the JSON shape. The committed
+# bench_results/tail_latency.json is a real measurement; the smoke run
+# writes to tail_latency_smoke.json so it never clobbers it.
+leg_tail_latency() {
+  local name=tail-latency
+  local builddir="$ROOT/build-ci/bench"
+  local outdir="$ROOT/bench_results"
+  if ! command -v python3 >/dev/null 2>&1; then
+    note_skip "$name" "python3 not found (needed to validate bench JSON)"
+    return 0
+  fi
+  mkdir -p "$ROOT/build-ci" "$outdir"
+  echo
+  echo "=== [$name] tail-latency smoke (tiny config) ==="
+  if ! cmake -B "$builddir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+       >"$builddir.configure.log" 2>&1; then
+    tail -30 "$builddir.configure.log" || true
+    FAIL+=("$name (configure)")
+    return 1
+  fi
+  if ! cmake --build "$builddir" -j "$JOBS" --target bench_tail_latency \
+       >"$builddir.build.log" 2>&1; then
+    tail -40 "$builddir.build.log" || true
+    FAIL+=("$name (build)")
+    return 1
+  fi
+  if ! LSMIO_BENCH_OPS=256 LSMIO_BENCH_VALUE_BYTES=1024 \
+       LSMIO_BENCH_WRITERS=2 LSMIO_BENCH_READERS=1 \
+       LSMIO_BENCH_BG_BYTES_PER_SEC=$((4 * 1024 * 1024)) \
+       "$builddir/bench/bench_tail_latency" \
+       >"$outdir/tail_latency_smoke.json"; then
+    FAIL+=("$name (bench_tail_latency)")
+    return 1
+  fi
+  if ! python3 - "$outdir/tail_latency_smoke.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+modes = doc.get("modes", [])
+assert [m.get("mode") for m in modes] == ["hard_stall", "graduated"], \
+    f"expected a hard_stall/graduated A/B pair, got {modes}"
+for m in modes:
+    lat = m["write_latency_us"]
+    assert lat["count"] == doc["total_ops"], \
+        f"{m['mode']}: histogram saw {lat['count']} of {doc['total_ops']} writes"
+    for pct in ("p50", "p95", "p99", "max"):
+        assert lat[pct] >= 0, f"{m['mode']}: bad {pct}"
+    stalls = m["stalls"]
+    assert stalls["write_stall_micros"] == (
+        stalls["stall_memtable_micros"] + stalls["stall_l0_micros"]), \
+        f"{m['mode']}: stall-cause split does not sum to the total"
+assert modes[0]["stalls"]["slowdown_writes"] == 0, "hard_stall mode was paced"
+assert "p99_improvement" in doc and "throughput_ratio" in doc
+print(f"tail-latency JSON ok: p99 improvement {doc['p99_improvement']}x "
+      f"at {doc['throughput_ratio']}x throughput (tiny config; "
+      "the committed tail_latency.json holds the real measurement)")
+PY
+  then
+    FAIL+=("$name (json validation)")
+    return 1
+  fi
+  PASS+=("$name")
+}
+
 # --- argument parsing --------------------------------------------------------
 
 LEGS=()
@@ -191,7 +255,7 @@ while [ "$#" -gt 0 ]; do
       shift
       ;;
     -h|--help)
-      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench]"
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench|tail-latency]"
       exit 0
       ;;
     *)
@@ -211,6 +275,7 @@ for leg in "${LEGS[@]}"; do
     shards) leg_shards ;;
     valuelog) leg_valuelog ;;
     bench) leg_bench ;;
+    tail-latency) leg_tail_latency ;;
     all)
       leg_lint
       leg_tsan
@@ -219,7 +284,7 @@ for leg in "${LEGS[@]}"; do
       leg_valuelog
       ;;
     *)
-      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench]" >&2
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench|tail-latency]" >&2
       exit 2
       ;;
   esac

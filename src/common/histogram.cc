@@ -28,6 +28,16 @@ const std::vector<double>& Limits() {
 }
 }  // namespace
 
+const std::vector<double>& Histogram::BucketLimits() { return Limits(); }
+
+int Histogram::BucketFor(double value) {
+  const auto& limits = Limits();
+  auto it = std::upper_bound(limits.begin(), limits.end(), value);
+  auto b = static_cast<size_t>(it - limits.begin());
+  if (b >= limits.size()) b = limits.size() - 1;
+  return static_cast<int>(b);
+}
+
 Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
 
 void Histogram::Clear() {
@@ -40,11 +50,7 @@ void Histogram::Clear() {
 }
 
 void Histogram::Add(double value) {
-  const auto& limits = Limits();
-  auto it = std::upper_bound(limits.begin(), limits.end(), value);
-  size_t b = static_cast<size_t>(it - limits.begin());
-  if (b >= buckets_.size()) b = buckets_.size() - 1;
-  buckets_[b]++;
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
   ++count_;
@@ -93,6 +99,49 @@ double Histogram::Percentile(double p) const noexcept {
     }
   }
   return max_;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  const auto relaxed = std::memory_order_relaxed;
+  buckets_[static_cast<size_t>(Histogram::BucketFor(static_cast<double>(value)))]
+      .fetch_add(1, relaxed);
+  count_.fetch_add(1, relaxed);
+  sum_.fetch_add(value, relaxed);
+  uint64_t seen = min_.load(relaxed);
+  while (value < seen && !min_.compare_exchange_weak(seen, value, relaxed)) {
+  }
+  seen = max_.load(relaxed);
+  while (value > seen && !max_.compare_exchange_weak(seen, value, relaxed)) {
+  }
+}
+
+void LatencyHistogram::MergeTo(Histogram* out) const {
+  const auto relaxed = std::memory_order_relaxed;
+  Histogram h;
+  uint64_t total = 0;
+  const auto& limits = Histogram::BucketLimits();
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const uint64_t n = buckets_[b].load(relaxed);
+    if (n == 0) continue;
+    h.buckets_[b] = n;
+    total += n;
+    // Approximate per-entry squares by the bucket's lower bound, so merged
+    // stddev stays meaningful without atomically tracking sum-of-squares.
+    const double approx = b == 0 ? 0.0 : limits[b - 1];
+    h.sum_squares_ += static_cast<double>(n) * approx * approx;
+  }
+  if (total == 0) return;
+  h.count_ = total;
+  h.sum_ = static_cast<double>(sum_.load(relaxed));
+  h.min_ = static_cast<double>(min_.load(relaxed));
+  h.max_ = static_cast<double>(max_.load(relaxed));
+  out->Merge(h);
+}
+
+Histogram LatencyHistogram::Snapshot() const {
+  Histogram h;
+  MergeTo(&h);
+  return h;
 }
 
 std::string Histogram::ToString() const {

@@ -1,7 +1,11 @@
 // Histogram with exponential bucketing for latency/size distributions, used
-// by the LSMIO performance counters (paper §3.1.4) and the benchmarks.
+// by the LSMIO performance counters (paper §3.1.4) and the benchmarks, plus
+// LatencyHistogram, the lock-free recorder behind the engine's per-operation
+// latency stats (DbStats write/get/multiget percentiles).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,13 +39,49 @@ class Histogram {
   /// One-line summary: count/avg/stddev/min/median/p95/p99/max.
   [[nodiscard]] std::string ToString() const;
 
+  /// The shared bucket upper bounds (size kNumBuckets, last bucket open).
+  static const std::vector<double>& BucketLimits();
+  /// Index of the bucket `value` falls into.
+  static int BucketFor(double value);
+
  private:
+  friend class LatencyHistogram;
+
   double min_ = 0;
   double max_ = 0;
   double sum_ = 0;
   double sum_squares_ = 0;
   uint64_t count_ = 0;
   std::vector<uint64_t> buckets_;
+};
+
+/// Lock-free histogram of non-negative integer values (typically latency in
+/// microseconds): Record is a handful of relaxed atomic adds, safe from any
+/// thread with no mutex, so it can sit on the hottest engine paths.
+/// Snapshot/MergeTo fold the counters into a plain Histogram for percentile
+/// math and cross-shard aggregation. Snapshots are not atomic across
+/// buckets — concurrent recording can skew an in-flight snapshot by a few
+/// operations, which is fine for monitoring counters.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t value);
+  /// Folds the current counters into `*out` (Histogram::Merge semantics).
+  void MergeTo(Histogram* out) const;
+  [[nodiscard]] Histogram Snapshot() const;
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ULL};
+  std::atomic<uint64_t> max_{0};
 };
 
 }  // namespace lsmio

@@ -1,0 +1,102 @@
+#include "common/rate_limiter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace lsmio {
+
+namespace {
+
+class RealClock final : public SystemClock {
+ public:
+  [[nodiscard]] uint64_t NowMicros() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  void SleepForMicros(uint64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+}  // namespace
+
+uint64_t SystemClock::NowMicros() const { return Default()->NowMicros(); }
+void SystemClock::SleepForMicros(uint64_t micros) {
+  Default()->SleepForMicros(micros);
+}
+
+SystemClock* SystemClock::Default() {
+  static RealClock clock;
+  return &clock;
+}
+
+RateLimiter::RateLimiter(uint64_t bytes_per_sec, SystemClock* clock)
+    : bytes_per_sec_(std::max<uint64_t>(1, bytes_per_sec)),
+      bytes_per_period_(std::max<uint64_t>(
+          1, bytes_per_sec_ * kRefillPeriodMicros / 1'000'000)),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      available_(bytes_per_period_),
+      last_refill_micros_(clock_->NowMicros()) {}
+
+void RateLimiter::RefillLocked(uint64_t now_micros) {
+  if (now_micros <= last_refill_micros_) return;
+  const uint64_t periods =
+      (now_micros - last_refill_micros_) / kRefillPeriodMicros;
+  if (periods == 0) return;
+  // Tokens cap at one period's budget: unused budget does not accumulate
+  // into bursts (the whole point is smoothing).
+  available_ = std::min(bytes_per_period_,
+                        available_ + periods * bytes_per_period_);
+  last_refill_micros_ += periods * kRefillPeriodMicros;
+}
+
+void RateLimiter::Request(uint64_t bytes, Priority pri) {
+  MutexLock lock(&mu_);
+  if (pri == Priority::kHigh) ++high_waiting_;
+  uint64_t waited = 0;
+  while (bytes > 0) {
+    RefillLocked(clock_->NowMicros());
+    // A low-priority requester yields the bucket while any high-priority
+    // one is in line (flushes preempt compactions).
+    const bool preempted = pri == Priority::kLow && high_waiting_ > 0;
+    if (!preempted && available_ > 0) {
+      const uint64_t grant = std::min({bytes, available_, bytes_per_period_});
+      available_ -= grant;
+      bytes -= grant;
+      bytes_through_[static_cast<int>(pri)] += grant;
+      continue;
+    }
+    // Out of tokens (or yielding): sleep one refill period with the lock
+    // released, then re-check. Bounded slices keep shutdown prompt and let
+    // an injected test clock advance deterministically.
+    lock.Unlock();
+    clock_->SleepForMicros(kRefillPeriodMicros);
+    waited += kRefillPeriodMicros;
+    lock.Lock();
+  }
+  if (pri == Priority::kHigh) --high_waiting_;
+  wait_micros_ += waited;
+}
+
+uint64_t RateLimiter::bytes_through(Priority pri) const {
+  MutexLock lock(&mu_);
+  return bytes_through_[static_cast<int>(pri)];
+}
+
+uint64_t RateLimiter::wait_micros() const {
+  MutexLock lock(&mu_);
+  return wait_micros_;
+}
+
+std::unique_ptr<vfs::WritableFile> MaybeRateLimit(
+    std::unique_ptr<vfs::WritableFile> file, RateLimiter* limiter,
+    RateLimiter::Priority pri) {
+  if (limiter == nullptr) return file;
+  return std::make_unique<RateLimitedWritableFile>(std::move(file), limiter,
+                                                   pri);
+}
+
+}  // namespace lsmio

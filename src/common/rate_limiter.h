@@ -1,0 +1,107 @@
+// RateLimiter: a token-bucket budget on background-I/O bytes per second,
+// shared by every flush and compaction of a store (and, on a sharded
+// store, by all shards). Foreground WAL appends are never charged — the
+// point is to stop background writes from bursting against foreground
+// fsyncs on the same device.
+//
+// Two priority classes: flushes request at kHigh, compactions at kLow.
+// While any high-priority requester is waiting, low-priority requests
+// park, so a flush (which gates writer admission through the immutable-
+// memtable queue) is never queued behind a long compaction's writes.
+//
+// Requests larger than one refill quantum are charged in chunks, so a
+// single 8 MiB table write cannot monopolize a whole second of budget in
+// one grant. Waiting is a bounded clock sleep per refill period (no
+// condition-variable timing), which keeps the limiter deterministic under
+// an injected test clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/synchronization.h"
+#include "vfs/vfs.h"
+
+namespace lsmio {
+
+/// Monotonic clock + sleep, injectable for deterministic tests.
+class SystemClock {
+ public:
+  virtual ~SystemClock() = default;
+  [[nodiscard]] virtual uint64_t NowMicros() const;
+  virtual void SleepForMicros(uint64_t micros);
+  /// Process-wide real clock.
+  static SystemClock* Default();
+};
+
+class RateLimiter {
+ public:
+  enum class Priority { kHigh = 0, kLow = 1 };
+
+  /// `bytes_per_sec` must be > 0. `clock` null = the real clock.
+  explicit RateLimiter(uint64_t bytes_per_sec, SystemClock* clock = nullptr);
+
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  /// Blocks until `bytes` of budget have been granted at `pri`.
+  void Request(uint64_t bytes, Priority pri) EXCLUDES(mu_);
+
+  [[nodiscard]] uint64_t bytes_per_sec() const { return bytes_per_sec_; }
+  /// Bytes granted so far to the given class.
+  [[nodiscard]] uint64_t bytes_through(Priority pri) const EXCLUDES(mu_);
+  /// Total micros requesters spent waiting for budget.
+  [[nodiscard]] uint64_t wait_micros() const EXCLUDES(mu_);
+
+  /// Token refill cadence; also the per-grant chunk cap (one period's worth
+  /// of bytes) and the upper bound on a single wait slice.
+  static constexpr uint64_t kRefillPeriodMicros = 10 * 1000;
+
+ private:
+  void RefillLocked(uint64_t now_micros) REQUIRES(mu_);
+
+  const uint64_t bytes_per_sec_;
+  const uint64_t bytes_per_period_;
+  SystemClock* const clock_;
+
+  mutable Mutex mu_;
+  uint64_t available_ GUARDED_BY(mu_);
+  uint64_t last_refill_micros_ GUARDED_BY(mu_);
+  int high_waiting_ GUARDED_BY(mu_) = 0;
+  uint64_t bytes_through_[2] GUARDED_BY(mu_) = {0, 0};
+  uint64_t wait_micros_ GUARDED_BY(mu_) = 0;
+};
+
+/// WritableFile decorator that charges every Append to a RateLimiter
+/// before forwarding it. Used to pace flush (kHigh) and compaction (kLow)
+/// table writes; Sync/Flush/Close pass through unthrottled.
+class RateLimitedWritableFile final : public vfs::WritableFile {
+ public:
+  RateLimitedWritableFile(std::unique_ptr<vfs::WritableFile> inner,
+                          RateLimiter* limiter, RateLimiter::Priority pri)
+      : inner_(std::move(inner)), limiter_(limiter), pri_(pri) {}
+
+  Status Append(const Slice& data) override {
+    if (limiter_ != nullptr && !data.empty()) {
+      limiter_->Request(data.size(), pri_);
+    }
+    return inner_->Append(data);
+  }
+  Status Flush() override { return inner_->Flush(); }
+  Status Sync() override { return inner_->Sync(); }
+  Status Close() override { return inner_->Close(); }
+  [[nodiscard]] uint64_t Size() const override { return inner_->Size(); }
+
+ private:
+  std::unique_ptr<vfs::WritableFile> inner_;
+  RateLimiter* const limiter_;
+  const RateLimiter::Priority pri_;
+};
+
+/// Wraps `file` with rate limiting when `limiter` is non-null; otherwise
+/// returns `file` unchanged (no allocation on the unlimited path).
+std::unique_ptr<vfs::WritableFile> MaybeRateLimit(
+    std::unique_ptr<vfs::WritableFile> file, RateLimiter* limiter,
+    RateLimiter::Priority pri);
+
+}  // namespace lsmio

@@ -14,7 +14,7 @@ namespace lsmio::lsm {
 Status BuildTable(const std::string& dbname, vfs::Vfs& fs, const Options& options,
                   const InternalKeyComparator* icmp,
                   const FilterPolicy* filter_policy, Iterator* iter,
-                  FileMetaData* meta) {
+                  FileMetaData* meta, RateLimiter* rate_limiter) {
   meta->file_size = 0;
   iter->SeekToFirst();
 
@@ -23,6 +23,8 @@ Status BuildTable(const std::string& dbname, vfs::Vfs& fs, const Options& option
 
   std::unique_ptr<vfs::WritableFile> file;
   LSMIO_RETURN_IF_ERROR(fs.NewWritableFile(fname, {}, &file));
+  file = MaybeRateLimit(std::move(file), rate_limiter,
+                        RateLimiter::Priority::kHigh);
 
   TableBuilder builder(options, icmp, filter_policy, file.get());
   meta->smallest = iter->key().ToString();

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "common/rate_limiter.h"
 #include "common/status.h"
 #include "lsm/options.h"
 #include "lsm/version.h"
@@ -16,10 +17,13 @@ class FilterPolicy;
 
 /// Writes the (sorted internal-key) contents of *iter to a new table file
 /// named after meta->number. On success fills *meta; on failure or empty
-/// input, removes the file and leaves meta->file_size == 0.
+/// input, removes the file and leaves meta->file_size == 0. When
+/// `rate_limiter` is non-null, table writes are charged to it at high
+/// priority (flushes gate writer admission, so they preempt compaction
+/// I/O); recovery-time callers pass null to rebuild at full speed.
 Status BuildTable(const std::string& dbname, vfs::Vfs& fs, const Options& options,
                   const InternalKeyComparator* icmp,
                   const FilterPolicy* filter_policy, Iterator* iter,
-                  FileMetaData* meta);
+                  FileMetaData* meta, RateLimiter* rate_limiter = nullptr);
 
 }  // namespace lsmio::lsm

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "lsm/iterator.h"
@@ -46,9 +47,30 @@ struct DbStats {
   // --- write pipeline ---
   uint64_t group_commit_batches = 0;  // write groups led (1 WAL append each)
   uint64_t group_commit_writers = 0;  // writers absorbed into groups
-  uint64_t write_stall_micros = 0;    // writer wait on full buffers / L0
+  uint64_t write_stall_micros = 0;    // wall-clock time writers were hard-
+                                      // stalled (sum of the two causes below;
+                                      // NOT multiplied by waiter count)
+  uint64_t stall_memtable_micros = 0; // ... because every memtable was full
+                                      // and queued behind in-flight flushes
+  uint64_t stall_l0_micros = 0;       // ... because L0 hit the stop trigger
+  uint64_t slowdown_delay_micros = 0; // pacing delay injected by graduated
+                                      // backpressure (soft trigger), which
+                                      // replaces hard stalls under load
+  uint64_t slowdown_writes = 0;       // write groups admitted while pacing
+                                      // was active (delay can be zero when
+                                      // the bucket had drained)
   uint64_t flush_queue_depth = 0;     // gauge: immutable memtables pending
   uint64_t compaction_queue_depth = 0;// gauge: compactions scheduled/running
+                                      // (incl. parked on the store limiter)
+  // --- background I/O rate limiting (Options::bytes_per_sec) ---
+  uint64_t rate_limited_bytes_flush = 0;      // flush bytes paced (high pri)
+  uint64_t rate_limited_bytes_compaction = 0; // compaction bytes paced (low)
+  uint64_t rate_limiter_wait_micros = 0;      // background-writer sleep time
+  // --- per-operation latency (microseconds; lock-free recorders folded in
+  // by GetStats, merged across shards) ---
+  Histogram write_latency;     // DB::Write / Put / Delete, incl. stalls
+  Histogram get_latency;       // DB::Get
+  Histogram multiget_latency;  // DB::MultiGet (per batch)
   // --- read path ---
   uint64_t multiget_batches = 0;      // MultiGet calls
   uint64_t multiget_keys = 0;         // keys looked up via MultiGet

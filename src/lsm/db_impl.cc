@@ -26,14 +26,16 @@ struct DBImpl::SnapshotImpl final : Snapshot {
 };
 
 DBImpl::DBImpl(const Options& options, const std::string& dbname,
-               ThreadPool* shared_pool, CompactionLimiter* shared_limiter)
+               ThreadPool* shared_pool, CompactionLimiter* shared_limiter,
+               RateLimiter* shared_rate_limiter)
     : options_(options),
       dbname_(dbname),
       internal_comparator_(options.comparator != nullptr ? options.comparator
                                                          : BytewiseComparator()),
       filter_policy_(options.bloom_bits_per_key > 0
                          ? NewBloomFilterPolicy(options.bloom_bits_per_key)
-                         : nullptr) {
+                         : nullptr),
+      write_controller_(options) {
   if (!options_.disable_cache) {
     block_cache_ = NewLRUCache(options_.block_cache_capacity);
   }
@@ -60,6 +62,12 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname,
         std::make_unique<ThreadPool>(std::max(1, options_.background_threads));
     bg_pool_ = owned_bg_pool_.get();
   }
+  if (shared_rate_limiter != nullptr) {
+    rate_limiter_ = shared_rate_limiter;
+  } else if (options_.bytes_per_sec > 0) {
+    owned_rate_limiter_ = std::make_unique<RateLimiter>(options_.bytes_per_sec);
+    rate_limiter_ = owned_rate_limiter_.get();
+  }
 }
 
 DBImpl::~DBImpl() {
@@ -79,12 +87,6 @@ DBImpl::~DBImpl() {
 
 vfs::Vfs& DBImpl::fs() const {
   return options_.vfs != nullptr ? *options_.vfs : vfs::PosixVfs();
-}
-
-uint64_t DBImpl::MaxBytesForLevel(int level) const {
-  uint64_t result = options_.max_bytes_for_level_base;
-  for (int l = 1; l < level; ++l) result *= 10;
-  return result;
 }
 
 Status DBImpl::NewDb() {
@@ -176,6 +178,9 @@ Status DBImpl::Initialize() {
   }
 
   if (!options_.read_only) RemoveObsoleteFiles();
+  // Recovery may have left L0 files behind; start pacing from that state
+  // rather than from zero.
+  RefreshWritePressure();
   return Status::OK();
 }
 
@@ -375,16 +380,20 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     return Status::InvalidArgument("database opened read-only");
   }
   if (!options_.enable_group_commit) return WriteSerialized(options, updates);
+  const uint64_t op_start_micros = clock_->NowMicros();
 
   Writer w(updates, options.sync || options_.sync_writes, &mu_);
   MutexLock lock(&mu_);
   writers_.push_back(&w);
   while (!w.done && &w != writers_.front()) w.cv.Wait();
-  if (w.done) return w.status;
+  if (w.done) {
+    write_latency_rec_.Record(clock_->NowMicros() - op_start_micros);
+    return w.status;
+  }
 
   // This thread is the leader: until it pops itself off writers_, it has
   // exclusive ownership of mem_/log_/logfile_, even across the unlock below.
-  Status status = MakeRoomForWrite();
+  Status status = MakeRoomForWrite(updates->ApproximateSize());
   Writer* last_writer = &w;
   if (status.ok()) {
     WriteBatch* write_batch = BuildBatchGroup(&last_writer);
@@ -465,14 +474,25 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     if (ready == last_writer) break;
   }
   if (!writers_.empty()) writers_.front()->cv.Signal();
+  write_latency_rec_.Record(clock_->NowMicros() - op_start_micros);
   return status;
 }
 
 Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates) {
   // Seed write path (one global mutex across WAL + sync + memtable insert);
   // kept behind Options::enable_group_commit=false for ablation.
+  const uint64_t op_start_micros = clock_->NowMicros();
+  const auto record_latency = [&] {
+    write_latency_rec_.Record(clock_->NowMicros() - op_start_micros);
+  };
   MutexLock lock(&mu_);
-  LSMIO_RETURN_IF_ERROR(MakeRoomForWrite());
+  {
+    const Status room = MakeRoomForWrite(updates->ApproximateSize());
+    if (!room.ok()) {
+      record_latency();
+      return room;
+    }
+  }
 
   const SequenceNumber sequence = versions_->LastSequence() + 1;
   updates->SetSequence(sequence);
@@ -487,6 +507,7 @@ Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates)
     if (!s.ok()) {
       RecordBackgroundError(s);
       if (log_batch == &tmp_vlog_batch_) tmp_vlog_batch_.Clear();
+      record_latency();
       return s;
     }
     if (log_batch != updates) ++stats_.value_log_separated_batches;
@@ -506,13 +527,17 @@ Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates)
       // leaves the log in an unknown state, so the engine goes read-only.
       RecordBackgroundError(s);
       if (log_batch == &tmp_vlog_batch_) tmp_vlog_batch_.Clear();
+      record_latency();
       return s;
     }
   }
 
   const Status insert_status = log_batch->InsertInto(mem_);
   if (log_batch == &tmp_vlog_batch_) tmp_vlog_batch_.Clear();
-  LSMIO_RETURN_IF_ERROR(insert_status);
+  if (!insert_status.ok()) {
+    record_latency();
+    return insert_status;
+  }
   stats_.bytes_written += user_bytes;
   struct Counter final : WriteBatch::Handler {
     uint64_t puts = 0, dels = 0;
@@ -522,6 +547,7 @@ Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates)
   (void)updates->Iterate(&counter);
   stats_.puts += counter.puts;
   stats_.deletes += counter.dels;
+  record_latency();
   return Status::OK();
 }
 
@@ -533,6 +559,7 @@ void DBImpl::RecordBackgroundError(const Status& s) {
     // Wake writers stalled in MakeRoomForWrite/FlushMemTable so they can
     // observe the latch and fail instead of waiting forever.
     bg_cv_.SignalAll();
+    stall_cv_.SignalAll();
   }
 }
 
@@ -605,15 +632,47 @@ Status DBImpl::ResolvePointerValue(std::string* value) const {
   return vlog_->ReadValue(ptr, value);
 }
 
-Status DBImpl::MakeRoomForWrite() {
-  const auto stall_wait = [&]() REQUIRES(mu_) {
-    const auto start = std::chrono::steady_clock::now();
-    bg_cv_.Wait();
-    stats_.write_stall_micros += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count());
-  };
+void DBImpl::RefreshWritePressure() {
+  write_controller_.UpdatePressure(versions_->current()->NumFiles(0),
+                                   static_cast<int>(imm_queue_.size()));
+}
+
+void DBImpl::StallWait(int cause) {
+  StallWindow& window = stall_windows_[cause];
+  if (window.waiters == 0) window.start_micros = clock_->NowMicros();
+  ++window.waiters;
+  stall_cv_.Wait();
+  --window.waiters;
+  if (window.waiters == 0) {
+    const uint64_t now = clock_->NowMicros();
+    const uint64_t elapsed =
+        now > window.start_micros ? now - window.start_micros : 0;
+    stats_.write_stall_micros += elapsed;
+    if (cause == kStallMemTable) {
+      stats_.stall_memtable_micros += elapsed;
+    } else {
+      stats_.stall_l0_micros += elapsed;
+    }
+  }
+}
+
+void DBImpl::SignalStalledWriters(bool l0_changed) {
+  if (l0_changed || !bg_error_.ok() ||
+      stall_windows_[kStallL0].waiters > 0) {
+    // L0 state changed (or an error latched, or both causes are parked on
+    // the one CV): everyone must recheck.
+    stall_cv_.SignalAll();
+  } else if (stall_windows_[kStallMemTable].waiters > 0) {
+    // One flush slot freed admits one memtable switch: wake one waiter,
+    // not the herd — the rest would just measure the queue full again and
+    // go back to sleep, multiplying wakeups (and, before the per-cause
+    // windows above, stall time) by the writer count.
+    stall_cv_.Signal();
+  }
+}
+
+Status DBImpl::MakeRoomForWrite(uint64_t batch_bytes) {
+  bool delay_done = false;
   for (;;) {
     if (!bg_error_.ok()) return ReadOnlyError();
     if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size ||
@@ -621,17 +680,40 @@ Status DBImpl::MakeRoomForWrite() {
       // The empty-memtable check matters when write_buffer_size is smaller
       // than the arena's first block: switching would just install another
       // over-budget empty memtable, forever.
+      if (!delay_done && batch_bytes > 0 && write_controller_.ShouldDelay()) {
+        // Graduated backpressure: L0 (or the immutable queue) is inside
+        // the soft window, so pace this batch instead of racing toward the
+        // hard stall. Applied at most once per write, with the mutex
+        // released; state is rechecked from the top afterwards.
+        delay_done = true;
+        const uint64_t delay =
+            write_controller_.DelayMicros(clock_->NowMicros(), batch_bytes);
+        // Charged to the bucket either way; a zero delay just means the
+        // bucket had drained since the last admitted batch.
+        ++stats_.slowdown_writes;
+        if (delay > 0) {
+          stats_.slowdown_delay_micros += delay;
+          mu_.Unlock();
+          clock_->SleepForMicros(delay);
+          mu_.Lock();
+          continue;
+        }
+      }
       return Status::OK();
     }
     if (MemTableQueueFull()) {
       // Every allowed memtable is full and queued; wait for a flush to
-      // retire the oldest one.
-      stall_wait();
+      // retire the oldest one (and make sure one is actually scheduled).
+      MaybeScheduleFlush();
+      StallWait(kStallMemTable);
       continue;
     }
     if (!options_.disable_compaction &&
         versions_->current()->NumFiles(0) >= options_.l0_stop_writes_trigger) {
-      stall_wait();
+      // Hard L0 stall. Make sure the compaction that relieves it is
+      // actually scheduled before parking.
+      MaybeScheduleCompaction();
+      StallWait(kStallL0);
       continue;
     }
     LSMIO_RETURN_IF_ERROR(SwitchMemTable());
@@ -665,6 +747,7 @@ Status DBImpl::SwitchMemTable() {
   mem_ = new MemTable(internal_comparator_);
   mem_->Ref();
   MaybeScheduleFlush();
+  RefreshWritePressure();
   return Status::OK();
 }
 
@@ -681,7 +764,10 @@ Status DBImpl::FlushMemTable(bool wait) {
 
     Status s = bg_error_.ok() ? Status::OK() : ReadOnlyError();
     if (s.ok() && mem_->num_entries() > 0) {
-      while (MemTableQueueFull() && bg_error_.ok()) bg_cv_.Wait();
+      while (MemTableQueueFull() && bg_error_.ok()) {
+        MaybeScheduleFlush();
+        StallWait(kStallMemTable);
+      }
       s = bg_error_.ok() ? SwitchMemTable() : ReadOnlyError();
     }
     writers_.pop_front();
@@ -819,11 +905,7 @@ void DBImpl::RetryCompactionSchedule() {
 
 bool DBImpl::NeedsCompaction() const {
   if (options_.disable_compaction || options_.read_only) return false;
-  const auto current = versions_->current();
-  if (current->NumFiles(0) >= options_.l0_compaction_trigger) return true;
-  for (int level = 1; level < kNumLevels - 1; ++level) {
-    if (current->TotalBytes(level) > MaxBytesForLevel(level)) return true;
-  }
+  if (versions_->current()->PickCompactionLevel(options_) >= 0) return true;
   return NeedsGcCompaction();
 }
 
@@ -923,7 +1005,7 @@ Status DBImpl::CompactMemTable(MemTable* imm) {
 
   std::unique_ptr<Iterator> iter(imm->NewIterator());
   Status s = BuildTable(dbname_, fs(), options_, &internal_comparator_,
-                        filter_policy_.get(), iter.get(), &meta);
+                        filter_policy_.get(), iter.get(), &meta, rate_limiter_);
   // The table's pointer entries may reference blob bytes no sync barrier
   // has covered yet (non-sync writes); once this flush advances the
   // recovery log number, the WAL stops protecting those records.
@@ -950,6 +1032,10 @@ Status DBImpl::CompactMemTable(MemTable* imm) {
     imm_log_queue_.pop_front();
     imm->Unref();
     RemoveObsoleteFiles();
+    // A flush slot freed (and L0 grew): recompute pacing pressure and
+    // admit stalled writers.
+    RefreshWritePressure();
+    SignalStalledWriters(/*l0_changed=*/false);
   }
   return s;
 }
@@ -1012,18 +1098,17 @@ Status DBImpl::BackgroundCompaction() {
           }
         }
       }
-    } else if (current->NumFiles(0) >= options_.l0_compaction_trigger) {
-      level = 0;
-      level_inputs = current->files[0];
     } else {
-      for (int l = 1; l < kNumLevels - 1; ++l) {
-        if (current->TotalBytes(l) > MaxBytesForLevel(l)) {
-          level = l;
-          level_inputs.push_back(current->files[l][0]);
-          break;
-        }
-      }
-      if (level < 0) {
+      // Pressure-aware pick: the level with the highest compaction score
+      // wins, and L0 jumps into dominance once the slowdown trigger is
+      // crossed (writers are paying pacing delays, so L0→L1 is the
+      // compaction that actually relieves them).
+      level = current->PickCompactionLevel(options_);
+      if (level == 0) {
+        level_inputs = current->files[0];
+      } else if (level > 0) {
+        level_inputs.push_back(current->files[level][0]);
+      } else {
         // No size trigger fired: value-log GC wants the file(s) pinning a
         // mostly-garbage blob segment rewritten so the live values relocate
         // and the segment can be reclaimed.
@@ -1259,6 +1344,10 @@ Status DBImpl::CompactFiles(int level,
       s = fs().NewWritableFile(TableFileName(dbname_, current_output.number), {},
                                &out_file);
       if (!s.ok()) break;
+      // Charge compaction output writes at low priority: under a shared
+      // byte budget, a concurrent flush's writes preempt these.
+      out_file = MaybeRateLimit(std::move(out_file), rate_limiter_,
+                                RateLimiter::Priority::kLow);
       builder = std::make_unique<TableBuilder>(options_, &internal_comparator_,
                                                filter_policy_.get(), out_file.get());
       current_output.smallest = key.ToString();
@@ -1324,6 +1413,10 @@ Status DBImpl::CompactFiles(int level,
       vlog_->SealDrained(guards);
     }
     RemoveObsoleteFiles();
+    // L0 (or a deeper level) shrank: drop pacing pressure accordingly and
+    // release writers hard-stalled on the L0 stop trigger.
+    RefreshWritePressure();
+    SignalStalledWriters(/*l0_changed=*/true);
   }
   return s;
 }
@@ -1385,6 +1478,7 @@ SequenceNumber DBImpl::SmallestSnapshot() const {
 }
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  const uint64_t op_start_micros = clock_->NowMicros();
   MemTable* mem;
   std::vector<MemTable*> imms;  // newest first
   std::shared_ptr<Version> current;
@@ -1432,12 +1526,14 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
     mem->Unref();
     for (MemTable* imm : imms) imm->Unref();
   }
+  get_latency_rec_.Record(clock_->NowMicros() - op_start_micros);
   return s;
 }
 
 Status DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
                         std::vector<std::string>* values,
                         std::vector<Status>* statuses) {
+  const uint64_t op_start_micros = clock_->NowMicros();
   const size_t n = keys.size();
   values->assign(n, {});
   // Preset OK (a no-allocation status); misses are stamped NotFound below.
@@ -1572,6 +1668,7 @@ Status DBImpl::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
     mem->Unref();
     for (MemTable* imm : imms) imm->Unref();
   }
+  multiget_latency_rec_.Record(clock_->NowMicros() - op_start_micros);
   return batch_status;
 }
 
@@ -1638,6 +1735,18 @@ DbStats DBImpl::GetStats() const {
   // (every shard reports the same value; the aggregate takes the max).
   stats.concurrent_compactions = limiter_->executing();
   stats.peak_concurrent_compactions = limiter_->peak_executing();
+  // Store-wide when the rate limiter is shared (aggregate takes the max,
+  // like the other shared gauges/counters above).
+  if (rate_limiter_ != nullptr) {
+    stats.rate_limited_bytes_flush =
+        rate_limiter_->bytes_through(RateLimiter::Priority::kHigh);
+    stats.rate_limited_bytes_compaction =
+        rate_limiter_->bytes_through(RateLimiter::Priority::kLow);
+    stats.rate_limiter_wait_micros = rate_limiter_->wait_micros();
+  }
+  write_latency_rec_.MergeTo(&stats.write_latency);
+  get_latency_rec_.MergeTo(&stats.get_latency);
+  multiget_latency_rec_.MergeTo(&stats.multiget_latency);
   const auto relaxed = std::memory_order_relaxed;
   stats.bloom_checked = read_counters_.bloom_checked.load(relaxed);
   stats.bloom_useful = read_counters_.bloom_useful.load(relaxed);

@@ -17,6 +17,7 @@
 #include <span>
 #include <string>
 
+#include "common/rate_limiter.h"
 #include "common/synchronization.h"
 #include "common/thread_pool.h"
 #include "lsm/compaction_limiter.h"
@@ -29,6 +30,7 @@
 #include "lsm/table_cache.h"
 #include "lsm/value_log.h"
 #include "lsm/version.h"
+#include "lsm/write_controller.h"
 
 namespace lsmio::lsm {
 
@@ -36,13 +38,16 @@ class FilterPolicy;
 
 class DBImpl final : public DB {
  public:
-  /// `shared_pool`/`shared_limiter` let a ShardedDB run several DBImpl
-  /// sub-LSMs on one background executor with one store-wide compaction
-  /// concurrency cap; both must outlive this object. When null (the
-  /// standalone single-LSM case) the DBImpl owns private instances.
+  /// `shared_pool`/`shared_limiter`/`shared_rate_limiter` let a ShardedDB
+  /// run several DBImpl sub-LSMs on one background executor with one
+  /// store-wide compaction concurrency cap and one store-wide background-
+  /// I/O byte budget; all must outlive this object. When null (the
+  /// standalone single-LSM case) the DBImpl owns private instances — the
+  /// rate limiter only when Options::bytes_per_sec > 0.
   DBImpl(const Options& options, const std::string& dbname,
          ThreadPool* shared_pool = nullptr,
-         CompactionLimiter* shared_limiter = nullptr);
+         CompactionLimiter* shared_limiter = nullptr,
+         RateLimiter* shared_rate_limiter = nullptr);
   ~DBImpl() override;
 
   Status Put(const WriteOptions& options, const Slice& key, const Slice& value) override;
@@ -98,8 +103,27 @@ class DBImpl final : public DB {
   /// Replaces *value (an encoded ValuePointer) with the blob record's
   /// value bytes, checksum-verified.
   Status ResolvePointerValue(std::string* value) const;
-  Status MakeRoomForWrite() REQUIRES(mu_);
+  /// Admission control for the write path, called by the group-commit
+  /// leader (or a serialized writer) with `batch_bytes` = the caller's
+  /// batch payload. Switches/queues memtables, hard-stalls on a full
+  /// immutable queue or an L0 at the stop trigger, and — between the soft
+  /// and hard L0 triggers — injects the write controller's graduated
+  /// pacing delay (at most once per call; batch_bytes == 0 is exempt).
+  Status MakeRoomForWrite(uint64_t batch_bytes) REQUIRES(mu_);
   Status SwitchMemTable() REQUIRES(mu_);
+  /// Recomputes the write controller's pressure from the current L0 file
+  /// count and immutable-queue depth. Call after anything that changes
+  /// either (memtable switch, flush/compaction install, recovery).
+  void RefreshWritePressure() REQUIRES(mu_);
+  /// Blocks the caller on stall_cv_, charging the wait to `window` (and,
+  /// via the window, to the matching per-cause stall counter). Overlapping
+  /// waiters share one wall-clock window, so stall time is not multiplied
+  /// by the number of stalled threads.
+  void StallWait(int cause) REQUIRES(mu_);
+  /// Wakes stalled writers after background progress: wakes one memtable
+  /// waiter per freed flush slot, every waiter when L0 drained (or on
+  /// shutdown/error, where all must observe the latch).
+  void SignalStalledWriters(bool l0_changed) REQUIRES(mu_);
   bool MemTableQueueFull() const REQUIRES(mu_) {
     return 1 + static_cast<int>(imm_queue_.size()) >=
            std::max(2, options_.max_write_buffer_number);
@@ -146,8 +170,6 @@ class DBImpl final : public DB {
                                 SequenceNumber* latest_snapshot) EXCLUDES(mu_);
   SequenceNumber SmallestSnapshot() const REQUIRES(mu_);
 
-  uint64_t MaxBytesForLevel(int level) const;
-
   // --- immutable after construction ---
   Options options_;
   std::string dbname_;
@@ -172,6 +194,35 @@ class DBImpl final : public DB {
   // mutex; compiler-enforced via the GUARDED_BY/REQUIRES annotations below.
   mutable Mutex mu_;
   CondVar bg_cv_{&mu_};
+  /// Writers hard-stalled in MakeRoomForWrite (and flush barriers waiting
+  /// for a queue slot) park here instead of on bg_cv_, so a background
+  /// completion can wake exactly the writers that can now make progress:
+  /// one per freed memtable slot, all when L0 drains. bg_cv_ keeps serving
+  /// the broadcast-style completion waits (FlushMemTable(wait),
+  /// CompactRange, the destructor).
+  CondVar stall_cv_{&mu_};
+
+  /// Stall causes writers can park on (indexes into stall_windows_).
+  enum StallCause { kStallMemTable = 0, kStallL0 = 1, kNumStallCauses = 2 };
+  /// Shared wall-clock window per stall cause: the first waiter opens the
+  /// window, the last one out closes it and charges the elapsed time to
+  /// the cause's counter — concurrent waiters never multiply stall time.
+  struct StallWindow {
+    int waiters = 0;
+    uint64_t start_micros = 0;  // valid while waiters > 0
+  };
+  StallWindow stall_windows_[kNumStallCauses] GUARDED_BY(mu_);
+
+  /// Graduated-backpressure state (Options::l0_slowdown_writes_trigger).
+  WriteController write_controller_ GUARDED_BY(mu_);
+  SystemClock* const clock_ = SystemClock::Default();
+
+  /// Per-operation latency recorders: lock-free (atomic buckets), updated
+  /// outside mu_ on the operation's own thread, folded into DbStats
+  /// snapshots by GetStats.
+  LatencyHistogram write_latency_rec_;
+  LatencyHistogram get_latency_rec_;
+  LatencyHistogram multiget_latency_rec_;
   std::unique_ptr<VersionSet> versions_ GUARDED_BY(mu_);
   // mem_/log_/logfile_/tmp_batch_ follow the group-commit hybrid contract:
   // mutated only by the writers_ front ("leader"), which keeps exclusive
@@ -218,6 +269,12 @@ class DBImpl final : public DB {
   // Owned instances are created last / destroyed first.
   ThreadPool* bg_pool_ = nullptr;
   CompactionLimiter* limiter_ = nullptr;
+  /// Background-I/O byte budget (Options::bytes_per_sec); null = unlimited.
+  /// Shared across a ShardedDB's sub-LSMs, else privately owned. The
+  /// RateLimiter is internally synchronized — charged outside mu_ by
+  /// flush/compaction writer threads.
+  RateLimiter* rate_limiter_ = nullptr;
+  std::unique_ptr<RateLimiter> owned_rate_limiter_;
   std::unique_ptr<CompactionLimiter> owned_limiter_;
   std::unique_ptr<ThreadPool> owned_bg_pool_;
 };

@@ -90,6 +90,27 @@ struct Options {
   /// enabled; with compaction disabled there is no limit, as in the paper).
   int l0_stop_writes_trigger = 36;
 
+  /// Soft L0 trigger for graduated backpressure: once L0 holds this many
+  /// files (or the immutable-memtable queue is one slot from full) the
+  /// group-commit leader paces writes with per-batch delays that ramp up
+  /// toward the hard l0_stop_writes_trigger, instead of running full speed
+  /// into the stop cliff. 0 disables pacing (hard stalls only). Ignored
+  /// when disable_compaction is set: in paper mode L0 is unbounded and
+  /// writes are never delayed.
+  int l0_slowdown_writes_trigger = 20;
+
+  /// Admitted write-byte rate at the moment the slowdown trigger fires;
+  /// deeper L0 pressure scales the rate further down (to 1/32 at the stop
+  /// trigger). Chosen per device; the default matches a mid-range NVMe
+  /// device's sustained compaction budget.
+  uint64_t delayed_write_rate = 16 * MiB;
+
+  /// Budget on background-I/O bytes per second (flush + compaction table
+  /// writes), shared across all shards of a store. Flushes are charged at
+  /// high priority and preempt compaction writes, so background I/O stops
+  /// bursting against foreground WAL fsyncs. 0 (default) = unlimited.
+  uint64_t bytes_per_sec = 0;
+
   /// L0 file count that triggers a compaction into L1.
   int l0_compaction_trigger = 4;
 

@@ -69,6 +69,9 @@ ShardedDB::ShardedDB(const Options& options, const std::string& name)
                                                      : BytewiseComparator()),
       limiter_(std::make_unique<CompactionLimiter>(
           EffectiveCompactionCap(options))),
+      rate_limiter_(options.bytes_per_sec > 0
+                        ? std::make_unique<RateLimiter>(options.bytes_per_sec)
+                        : nullptr),
       bg_pool_(std::make_unique<ThreadPool>(
           std::max(1, options.background_threads))) {}
 
@@ -135,7 +138,8 @@ Status ShardedDB::Open(const Options& options, const std::string& name,
     auto impl = std::make_unique<DBImpl>(shard_options,
                                          ShardDirName(name, shard),
                                          db->bg_pool_.get(),
-                                         db->limiter_.get());
+                                         db->limiter_.get(),
+                                         db->rate_limiter_.get());
     LSMIO_RETURN_IF_ERROR(impl->Initialize());
     db->shards_.push_back(std::move(impl));
   }
@@ -373,6 +377,13 @@ DbStats ShardedDB::GetStats() const {
     total.group_commit_batches += s.group_commit_batches;
     total.group_commit_writers += s.group_commit_writers;
     total.write_stall_micros += s.write_stall_micros;
+    total.stall_memtable_micros += s.stall_memtable_micros;
+    total.stall_l0_micros += s.stall_l0_micros;
+    total.slowdown_delay_micros += s.slowdown_delay_micros;
+    total.slowdown_writes += s.slowdown_writes;
+    total.write_latency.Merge(s.write_latency);
+    total.get_latency.Merge(s.get_latency);
+    total.multiget_latency.Merge(s.multiget_latency);
     total.multiget_batches += s.multiget_batches;
     total.multiget_keys += s.multiget_keys;
     total.multiget_coalesced_reads += s.multiget_coalesced_reads;
@@ -401,6 +412,15 @@ DbStats ShardedDB::GetStats() const {
         std::max(total.concurrent_compactions, s.concurrent_compactions);
     total.peak_concurrent_compactions = std::max(
         total.peak_concurrent_compactions, s.peak_concurrent_compactions);
+    // One RateLimiter is shared by every shard, so each reports the same
+    // store-wide totals: take the max, not the sum.
+    total.rate_limited_bytes_flush =
+        std::max(total.rate_limited_bytes_flush, s.rate_limited_bytes_flush);
+    total.rate_limited_bytes_compaction =
+        std::max(total.rate_limited_bytes_compaction,
+                 s.rate_limited_bytes_compaction);
+    total.rate_limiter_wait_micros =
+        std::max(total.rate_limiter_wait_micros, s.rate_limiter_wait_micros);
   }
   total.shards = shards_.size();
   return total;

@@ -95,9 +95,12 @@ class ShardedDB final : public DB {
   const Comparator* user_comparator_;
 
   // Destruction order (reverse of declaration): shards_ first — each
-  // shard's destructor drains its background work, which needs the pool
-  // and limiter alive — then the pool, then the limiter.
+  // shard's destructor drains its background work, which needs the pool,
+  // limiter and rate limiter alive — then the pool, then the limiters.
   std::unique_ptr<CompactionLimiter> limiter_;
+  /// Store-wide background-I/O byte budget shared by every shard's flushes
+  /// and compactions; null when Options::bytes_per_sec == 0 (unlimited).
+  std::unique_ptr<RateLimiter> rate_limiter_;
   std::unique_ptr<ThreadPool> bg_pool_;
   std::vector<std::unique_ptr<DBImpl>> shards_;
 };

@@ -26,6 +26,53 @@ int Version::TotalFiles() const {
   return n;
 }
 
+uint64_t MaxBytesForLevel(const Options& options, int level) {
+  uint64_t result = options.max_bytes_for_level_base;
+  for (int l = 1; l < level; ++l) result *= 10;
+  return result;
+}
+
+double Version::CompactionScore(int level, const Options& options) const {
+  if (level == 0) {
+    const int trigger = std::max(1, options.l0_compaction_trigger);
+    double score =
+        static_cast<double>(NumFiles(0)) / static_cast<double>(trigger);
+    const int soft = options.l0_slowdown_writes_trigger;
+    if (soft > 0 && NumFiles(0) >= soft) {
+      // Past the slowdown trigger every admitted write is paying a pacing
+      // delay: make L0 outrank any byte-overflowing level (which can wait)
+      // so the pressure the writers feel is the pressure being relieved.
+      score = std::max(score, kL0PressureScore +
+                                  static_cast<double>(NumFiles(0) - soft));
+    }
+    return score;
+  }
+  return static_cast<double>(TotalBytes(level)) /
+         static_cast<double>(MaxBytesForLevel(options, level));
+}
+
+int Version::PickCompactionLevel(const Options& options, double* score) const {
+  int best_level = -1;
+  double best_score = 0.0;
+  // L0 triggers at score >= 1 (file count reached the trigger); deeper
+  // levels only once strictly over their byte budget. The last level has
+  // nowhere to push into, so it is never size-picked (GC rewrites handle
+  // it separately).
+  if (CompactionScore(0, options) >= 1.0) {
+    best_level = 0;
+    best_score = CompactionScore(0, options);
+  }
+  for (int level = 1; level < kNumLevels - 1; ++level) {
+    const double s = CompactionScore(level, options);
+    if (s > 1.0 && s > best_score) {
+      best_level = level;
+      best_score = s;
+    }
+  }
+  if (score != nullptr) *score = best_score;
+  return best_level;
+}
+
 Status Version::Get(const ReadOptions& options, TableCache* table_cache,
                     const LookupKey& key, std::string* value,
                     bool* is_pointer) const {

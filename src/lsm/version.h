@@ -31,6 +31,14 @@ class TableCache;
 
 inline constexpr int kNumLevels = 7;
 
+/// Score floor L0 jumps to once the slowdown trigger is crossed: high
+/// enough that no byte-budget score of a deeper level can outrank it
+/// (levels rarely exceed ~10x their budget; this is orders beyond that).
+inline constexpr double kL0PressureScore = 1000.0;
+
+/// Byte budget of level L: max_bytes_for_level_base * 10^(L-1).
+uint64_t MaxBytesForLevel(const Options& options, int level);
+
 struct FileMetaData {
   uint64_t number = 0;
   uint64_t file_size = 0;
@@ -91,6 +99,19 @@ class Version {
 
   /// Number of table files across all levels.
   [[nodiscard]] int TotalFiles() const;
+
+  /// Compaction priority score for `level`; >= 1.0 means the level wants
+  /// compaction. L0 scores by file count against l0_compaction_trigger and
+  /// jumps into dominance once l0_slowdown_writes_trigger is crossed —
+  /// writers are already being delayed at that point, so L0→L1 must win
+  /// over any size-triggered level for the backpressure to self-relieve.
+  /// L1+ score by bytes against MaxBytesForLevel.
+  [[nodiscard]] double CompactionScore(int level, const Options& options) const;
+
+  /// The eligible level with the highest CompactionScore, or -1 when no
+  /// level needs compaction. *score (optional) receives the winning score.
+  [[nodiscard]] int PickCompactionLevel(const Options& options,
+                                        double* score = nullptr) const;
 
  private:
   const InternalKeyComparator* icmp_;

@@ -1,0 +1,105 @@
+// WriteController: the delayed-write ("graduated backpressure") controller
+// behind Options::l0_slowdown_writes_trigger. Between the soft trigger and
+// the hard l0_stop_writes_trigger the group-commit leader injects a
+// per-batch pacing delay instead of parking on a condition variable, so
+// throughput degrades smoothly toward the stop cliff instead of
+// flatlining — the stall-avoidance scheduling Luo & Carey argue for in
+// "On Performance Stability in LSM-based Storage Systems".
+//
+// The controller is a leaky bucket over admitted batch bytes: pressure
+// (how deep L0 sits inside the soft window, or how close the immutable-
+// memtable queue is to full) scales the admitted byte rate down from
+// Options::delayed_write_rate, and DelayMicros paces each batch against
+// that rate. Pressure is recomputed under the DB mutex every time L0 or
+// the immutable queue changes (flush/compaction installs, memtable
+// switches), so delays shrink as compactions make progress and drop to
+// zero the moment L0 drains below the soft trigger.
+//
+// Fully deterministic: time enters only through the now_micros arguments,
+// so unit tests drive it with a fake clock.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "lsm/options.h"
+
+namespace lsmio::lsm {
+
+class WriteController {
+ public:
+  explicit WriteController(const Options& options)
+      : soft_trigger_(options.disable_compaction
+                          ? 0
+                          : options.l0_slowdown_writes_trigger),
+        hard_trigger_(options.l0_stop_writes_trigger),
+        base_rate_(std::max<uint64_t>(1, options.delayed_write_rate)),
+        max_imm_(std::max(2, options.max_write_buffer_number) - 1) {}
+
+  /// Recomputes pressure from the current L0 file count and immutable-
+  /// memtable queue depth. Call whenever either changes (under the DB
+  /// mutex). Clearing pressure also resets the pacing bucket, so a drained
+  /// L0 never leaves a residual delay behind.
+  void UpdatePressure(int l0_files, int imm_queue_len) {
+    double p = L0Pressure(l0_files);
+    // Immutable-queue soft pressure: with >= 3 total buffers, start pacing
+    // when exactly one flush slot is left — the queue-full hard stall is
+    // one memtable switch away. (With the 2-buffer minimum there is no
+    // soft zone: the single slot goes straight to the hard stall.)
+    if (soft_trigger_ > 0 && max_imm_ >= 2 && imm_queue_len >= max_imm_ - 1) {
+      p = std::max(p, kImmQueuePressure);
+    }
+    if (p <= 0.0) next_free_micros_ = 0;
+    pressure_ = p;
+  }
+
+  [[nodiscard]] bool ShouldDelay() const { return pressure_ > 0.0; }
+  [[nodiscard]] double pressure() const { return pressure_; }
+
+  /// Admitted byte rate under the current pressure: base_rate scaled by
+  /// (1 - pressure), floored so the ramp stays finite (the hard trigger
+  /// takes over where pacing ends).
+  [[nodiscard]] uint64_t CurrentRate() const {
+    const double scaled = static_cast<double>(base_rate_) * (1.0 - pressure_);
+    const double floor = static_cast<double>(base_rate_) / kMaxSlowdownFactor;
+    // >= 1 so DelayMicros never divides by zero on absurdly small rates.
+    return std::max<uint64_t>(1, static_cast<uint64_t>(std::max(scaled, floor)));
+  }
+
+  /// Micros the caller must sleep before admitting `batch_bytes`, and
+  /// charges the batch to the pacing bucket. Zero under no pressure.
+  uint64_t DelayMicros(uint64_t now_micros, uint64_t batch_bytes) {
+    if (pressure_ <= 0.0) return 0;
+    const uint64_t credit =
+        std::min(batch_bytes * 1'000'000 / CurrentRate(), kMaxBatchDelayMicros);
+    const uint64_t start = std::max(now_micros, next_free_micros_);
+    next_free_micros_ = start + credit;
+    return std::min(start - now_micros, kMaxBatchDelayMicros);
+  }
+
+  /// Caps: a single batch never sleeps more than this, no matter how far
+  /// the bucket has fallen behind.
+  static constexpr uint64_t kMaxBatchDelayMicros = 250 * 1000;
+  /// Rate floor divisor at full pressure.
+  static constexpr double kMaxSlowdownFactor = 32.0;
+  /// Pressure assigned when the immutable queue is one slot from full.
+  static constexpr double kImmQueuePressure = 0.5;
+
+ private:
+  [[nodiscard]] double L0Pressure(int l0_files) const {
+    if (soft_trigger_ <= 0 || l0_files < soft_trigger_) return 0.0;
+    if (hard_trigger_ <= soft_trigger_) return 1.0;
+    const double span = static_cast<double>(hard_trigger_ - soft_trigger_);
+    return std::min(1.0, static_cast<double>(l0_files - soft_trigger_ + 1) / span);
+  }
+
+  const int soft_trigger_;   // 0 = slowdown disabled
+  const int hard_trigger_;
+  const uint64_t base_rate_;  // bytes/sec admitted at the soft trigger
+  const int max_imm_;         // immutable-queue capacity
+
+  double pressure_ = 0.0;          // 0 = run free, 1 = at the stop cliff
+  uint64_t next_free_micros_ = 0;  // leaky-bucket head
+};
+
+}  // namespace lsmio::lsm

@@ -1,0 +1,136 @@
+// WriteController: deterministic delayed-write controller tests. Time only
+// enters through the now_micros arguments, so these drive it explicitly.
+#include "lsm/write_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "lsm/options.h"
+
+namespace lsmio::lsm {
+namespace {
+
+Options BaseOptions() {
+  Options options;
+  options.disable_compaction = false;
+  options.l0_slowdown_writes_trigger = 8;
+  options.l0_stop_writes_trigger = 16;
+  options.delayed_write_rate = 16 * MiB;
+  options.max_write_buffer_number = 4;
+  return options;
+}
+
+TEST(WriteControllerTest, NoDelayBelowSoftTrigger) {
+  WriteController wc(BaseOptions());
+  wc.UpdatePressure(/*l0_files=*/7, /*imm_queue_len=*/0);
+  EXPECT_FALSE(wc.ShouldDelay());
+  EXPECT_EQ(wc.DelayMicros(/*now_micros=*/1000, /*batch_bytes=*/1 * MiB), 0u);
+}
+
+TEST(WriteControllerTest, NeverDelaysWithCompactionDisabled) {
+  Options options = BaseOptions();
+  options.disable_compaction = true;  // paper checkpoint config: L0 unbounded
+  WriteController wc(options);
+  wc.UpdatePressure(/*l0_files=*/1000, /*imm_queue_len=*/3);
+  EXPECT_FALSE(wc.ShouldDelay());
+  EXPECT_EQ(wc.DelayMicros(1000, 1 * MiB), 0u);
+}
+
+TEST(WriteControllerTest, ZeroSoftTriggerDisablesPacing) {
+  Options options = BaseOptions();
+  options.l0_slowdown_writes_trigger = 0;
+  WriteController wc(options);
+  wc.UpdatePressure(/*l0_files=*/1000, /*imm_queue_len=*/3);
+  EXPECT_FALSE(wc.ShouldDelay());
+}
+
+TEST(WriteControllerTest, PressureRampsMonotonicallyToTheStopTrigger) {
+  const Options options = BaseOptions();
+  WriteController wc(options);
+  double last_pressure = -1.0;
+  uint64_t last_rate = options.delayed_write_rate + 1;
+  for (int l0 = options.l0_slowdown_writes_trigger;
+       l0 <= options.l0_stop_writes_trigger; ++l0) {
+    wc.UpdatePressure(l0, /*imm_queue_len=*/0);
+    ASSERT_TRUE(wc.ShouldDelay()) << "l0=" << l0;
+    EXPECT_GE(wc.pressure(), last_pressure) << "l0=" << l0;
+    EXPECT_LE(wc.CurrentRate(), last_rate) << "l0=" << l0;
+    last_pressure = wc.pressure();
+    last_rate = wc.CurrentRate();
+  }
+  // At the stop trigger the ramp has reached full pressure and the rate
+  // floor; the hard stall takes over from here.
+  EXPECT_EQ(last_pressure, 1.0);
+  EXPECT_EQ(last_rate,
+            static_cast<uint64_t>(options.delayed_write_rate /
+                                  WriteController::kMaxSlowdownFactor));
+}
+
+TEST(WriteControllerTest, LeakyBucketPacesConsecutiveBatches) {
+  Options options = BaseOptions();
+  options.delayed_write_rate = 1 * MiB;
+  WriteController wc(options);
+  wc.UpdatePressure(options.l0_slowdown_writes_trigger, 0);
+  // First batch is admitted immediately but charges the bucket; the second
+  // back-to-back batch pays the first one's credit.
+  const uint64_t now = 1'000'000;
+  EXPECT_EQ(wc.DelayMicros(now, 64 * KiB), 0u);
+  const uint64_t credit = 64 * KiB * 1'000'000ull / wc.CurrentRate();
+  EXPECT_EQ(wc.DelayMicros(now, 64 * KiB), credit);
+  // A batch arriving after the bucket drained pays nothing.
+  EXPECT_EQ(wc.DelayMicros(now + 10 * credit, 64 * KiB), 0u);
+}
+
+TEST(WriteControllerTest, DelayDropsToZeroWhenL0Drains) {
+  Options options = BaseOptions();
+  options.delayed_write_rate = 64 * KiB;  // slow: big residual credits
+  WriteController wc(options);
+  wc.UpdatePressure(options.l0_stop_writes_trigger - 1, 0);
+  const uint64_t now = 1'000'000;
+  wc.DelayMicros(now, 1 * MiB);  // leaves a large balance in the bucket
+  ASSERT_GT(wc.DelayMicros(now, 1), 0u);
+  // Compaction drains L0 below the soft trigger: no residual delay survives.
+  wc.UpdatePressure(options.l0_slowdown_writes_trigger - 1, 0);
+  EXPECT_FALSE(wc.ShouldDelay());
+  EXPECT_EQ(wc.DelayMicros(now, 1 * MiB), 0u);
+  // Re-entering the soft window starts from a fresh bucket.
+  wc.UpdatePressure(options.l0_slowdown_writes_trigger, 0);
+  EXPECT_EQ(wc.DelayMicros(now, 64 * KiB), 0u);
+}
+
+TEST(WriteControllerTest, SingleBatchDelayIsCapped) {
+  Options options = BaseOptions();
+  options.delayed_write_rate = 1;  // floor clamps to >= 1 byte/sec
+  WriteController wc(options);
+  wc.UpdatePressure(options.l0_stop_writes_trigger, 0);
+  const uint64_t now = 1'000'000;
+  wc.DelayMicros(now, 1 * MiB);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_LE(wc.DelayMicros(now, 1 * MiB),
+              WriteController::kMaxBatchDelayMicros);
+  }
+}
+
+TEST(WriteControllerTest, NearlyFullImmQueueAppliesSoftPressure) {
+  WriteController wc(BaseOptions());  // max_write_buffer_number=4 -> 3 slots
+  wc.UpdatePressure(/*l0_files=*/0, /*imm_queue_len=*/1);
+  EXPECT_FALSE(wc.ShouldDelay());
+  wc.UpdatePressure(/*l0_files=*/0, /*imm_queue_len=*/2);  // one slot left
+  EXPECT_TRUE(wc.ShouldDelay());
+  EXPECT_EQ(wc.pressure(), WriteController::kImmQueuePressure);
+  // L0 pressure dominates when deeper than the queue pressure.
+  Options options = BaseOptions();
+  wc.UpdatePressure(options.l0_stop_writes_trigger, /*imm_queue_len=*/2);
+  EXPECT_EQ(wc.pressure(), 1.0);
+}
+
+TEST(WriteControllerTest, TwoBufferConfigHasNoImmSoftZone) {
+  Options options = BaseOptions();
+  options.max_write_buffer_number = 2;  // single flush slot: hard stall only
+  WriteController wc(options);
+  wc.UpdatePressure(/*l0_files=*/0, /*imm_queue_len=*/1);
+  EXPECT_FALSE(wc.ShouldDelay());
+}
+
+}  // namespace
+}  // namespace lsmio::lsm
