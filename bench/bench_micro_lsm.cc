@@ -59,7 +59,7 @@ void BM_LzLiteDecompress(benchmark::State& state) {
   LzLiteCompress(data, &compressed);
   std::string out;
   for (auto _ : state) {
-    (void)LzLiteDecompress(compressed, &out);
+    LzLiteDecompress(compressed, &out).IgnoreError();
     benchmark::DoNotOptimize(out.data());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
@@ -133,11 +133,11 @@ void BM_DbPut(benchmark::State& state) {
   options.disable_wal = true;
   options.disable_compaction = true;
   std::unique_ptr<DB> db;
-  (void)DB::Open(options, "/bm", &db);
+  DB::Open(options, "/bm", &db).IgnoreError();  // bench scratch store
   const std::string value(value_size, 'v');
   uint64_t key = 0;
   for (auto _ : state) {
-    (void)db->Put({}, "key" + std::to_string(key++), value);
+    db->Put({}, "key" + std::to_string(key++), value).IgnoreError();
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(value_size));
@@ -151,17 +151,17 @@ void BM_DbGet(benchmark::State& state) {
   options.disable_wal = true;
   options.disable_compaction = true;
   std::unique_ptr<DB> db;
-  (void)DB::Open(options, "/bm", &db);
+  DB::Open(options, "/bm", &db).IgnoreError();  // bench scratch store
   constexpr int kKeys = 2000;
   const std::string value(4096, 'v');
   for (int i = 0; i < kKeys; ++i) {
-    (void)db->Put({}, "key" + std::to_string(i), value);
+    db->Put({}, "key" + std::to_string(i), value).IgnoreError();
   }
-  (void)db->FlushMemTable(true);  // force table reads, not memtable hits
+  db->FlushMemTable(true).IgnoreError();  // force table reads, not memtable hits
   Rng rng(7);
   std::string out;
   for (auto _ : state) {
-    (void)db->Get({}, "key" + std::to_string(rng.Uniform(kKeys)), &out);
+    db->Get({}, "key" + std::to_string(rng.Uniform(kKeys)), &out).IgnoreError();
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations());

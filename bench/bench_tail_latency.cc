@@ -86,7 +86,7 @@ ModeResult RunMode(const std::string& mode, int slowdown_trigger,
   // than ingest, so both modes actually hit their triggers.
   options.bytes_per_sec = kBgBytesPerSec;
 
-  lsm::DB::Destroy(options, dir);
+  lsm::DB::Destroy(options, dir).IgnoreError();  // scratch-dir cleanup; Open surfaces real trouble
   std::unique_ptr<lsm::DB> db;
   auto s = lsm::DB::Open(options, dir, &db);
   if (!s.ok()) {
@@ -155,7 +155,7 @@ ModeResult RunMode(const std::string& mode, int slowdown_trigger,
   r.stats = db->GetStats();
 
   db.reset();
-  lsm::DB::Destroy(options, dir);
+  lsm::DB::Destroy(options, dir).IgnoreError();  // scratch-dir cleanup; Open surfaces real trouble
   return r;
 }
 

@@ -67,7 +67,31 @@ leg_lint() {
     note_skip lint "clang++ not found (thread-safety analysis needs Clang)"
     return 0
   fi
-  run_leg lint -DCMAKE_CXX_COMPILER="$clangxx" -DLSMIO_LINT=ON
+  # LSMIO_LINT_REQUIRE_PLUGIN=1 in the environment turns a missing
+  # lsmio-checks plugin (no clang-tidy dev headers) from a skip-with-warning
+  # into a hard configure failure.
+  local extra=()
+  if [ "${LSMIO_LINT_REQUIRE_PLUGIN:-0}" = "1" ]; then
+    extra+=(-DLSMIO_LINT_REQUIRE_PLUGIN=ON)
+  fi
+  run_leg lint -DCMAKE_CXX_COMPILER="$clangxx" -DLSMIO_LINT=ON \
+    ${extra[@]+"${extra[@]}"}
+  local rc=$?
+  # Surface whether the lsmio-* project checks were actually live: a lint
+  # leg that quietly ran without the plugin is easy to mistake for full
+  # coverage (the configure-time gate guarantees the inverse — if the
+  # plugin IS active, all four checks were proven to fire).
+  local cfglog="$ROOT/build-ci/lint.configure.log"
+  if [ "$rc" -eq 0 ] && [ -f "$cfglog" ]; then
+    if grep -q "lsmio-checks plugin gate passed" "$cfglog"; then
+      echo "=== [lint] lsmio-checks plugin active (gate: 4/4 seeded violations caught) ==="
+    elif [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+      echo "::warning title=lsmio-checks plugin inactive::lint leg ran without the lsmio-* project checks (clang-tidy dev headers missing?)"
+    else
+      echo "=== [lint] NOTE: lsmio-checks plugin inactive (clang-tidy dev headers missing?) ==="
+    fi
+  fi
+  return $rc
 }
 
 leg_tsan() {

@@ -2,16 +2,38 @@
 # LSMIO_LINT=ON, i.e. compiler is Clang).
 #
 # A lint build that silently stopped analyzing — wrong compiler, annotations
-# compiled away, flag dropped — looks exactly like a clean one. So before
-# trusting the build, prove the gate fires both ways:
+# compiled away, flag dropped, plugin that failed to load — looks exactly
+# like a clean one. So before trusting the build, prove the gate fires both
+# ways:
+#
+# Phase 1 (thread-safety analysis):
 #   1. a snippet that touches a GUARDED_BY member without holding the mutex
 #      must FAIL to compile under -Werror=thread-safety;
 #   2. the same logic with correct locking must SUCCEED.
+#
+# Phase 2 (lsmio-* clang-tidy plugin, lint/lsmio_checks):
+#   3. build the plugin in a nested configure under this build tree;
+#   4. run clang-tidy --load over one seeded-violation snippet per check —
+#      every check must produce a finding, or the configure FAILS;
+#   5. run the clean control snippet with all lsmio-* checks enabled — any
+#      finding (or compile error) FAILS the configure.
+#
+# On success LSMIO_CHECKS_PLUGIN holds the plugin path for the caller to
+# splice into CMAKE_CXX_CLANG_TIDY. If the clang-tidy dev headers are not
+# installed the plugin phase is skipped with a warning unless
+# -DLSMIO_LINT_REQUIRE_PLUGIN=ON promotes that to an error.
 
 set(_lsmio_gate_dir "${CMAKE_CURRENT_LIST_DIR}/lint_gate")
 set(_lsmio_gate_flags
   "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
   "-DCMAKE_CXX_STANDARD=20")
+
+# --- Phase 1: thread-safety annotations -------------------------------------
+# LSMIO_LINT_GATE_SKIP_PHASE1 exists ONLY so the phase-2 plugin machinery can
+# be driven by a test harness on hosts without Clang (phase 1 needs the real
+# -Wthread-safety). Never set it in a real lint build.
+
+if(NOT LSMIO_LINT_GATE_SKIP_PHASE1)
 
 try_compile(LSMIO_LINT_GATE_VIOLATION_COMPILES
   "${CMAKE_BINARY_DIR}/lint_gate_bad"
@@ -39,3 +61,130 @@ if(NOT LSMIO_LINT_GATE_CONFORMING_COMPILES)
 endif()
 
 message(STATUS "LSMIO_LINT: gate test passed (REQUIRES violation rejected, conforming code accepted)")
+
+endif()  # LSMIO_LINT_GATE_SKIP_PHASE1
+
+# --- Phase 2: the lsmio-* clang-tidy plugin ---------------------------------
+
+set(LSMIO_CHECKS_PLUGIN "")
+
+# One message sink: a missing prerequisite is a warning by default, an error
+# when the caller insists the plugin must be live (CI's lint leg).
+function(_lsmio_plugin_unavailable reason)
+  if(LSMIO_LINT_REQUIRE_PLUGIN)
+    message(FATAL_ERROR "LSMIO_LINT: lsmio-checks plugin required but unavailable: ${reason}")
+  else()
+    message(WARNING "LSMIO_LINT: lsmio-checks plugin skipped: ${reason} "
+                    "(thread-safety analysis and .clang-tidy checks still run; "
+                    "set -DLSMIO_LINT_REQUIRE_PLUGIN=ON to make this an error)")
+  endif()
+endfunction()
+
+if(NOT LSMIO_CLANG_TIDY)
+  _lsmio_plugin_unavailable("clang-tidy not found")
+  return()
+endif()
+
+execute_process(COMMAND "${LSMIO_CLANG_TIDY}" --version
+  OUTPUT_VARIABLE _tidy_version_out ERROR_VARIABLE _tidy_version_out
+  RESULT_VARIABLE _tidy_version_rc)
+string(REGEX MATCH "LLVM version ([0-9]+)" _ "${_tidy_version_out}")
+set(_tidy_major "${CMAKE_MATCH_1}")
+if(NOT _tidy_version_rc EQUAL 0 OR NOT _tidy_major)
+  _lsmio_plugin_unavailable("could not determine clang-tidy version")
+  return()
+endif()
+if(_tidy_major LESS 15)
+  _lsmio_plugin_unavailable("clang-tidy ${_tidy_major} < 15 has no stable --load plugin support")
+  return()
+endif()
+
+# Nested configure+build keeps the plugin's LLVM dependency out of the main
+# project. Incremental: a reconfigure of the main build reruns this, but the
+# nested build is a no-op when the plugin sources are unchanged.
+set(_plugin_build "${CMAKE_BINARY_DIR}/lsmio_checks_plugin")
+execute_process(
+  COMMAND "${CMAKE_COMMAND}"
+          -S "${CMAKE_SOURCE_DIR}/lint/lsmio_checks"
+          -B "${_plugin_build}"
+          -G "${CMAKE_GENERATOR}"
+          "-DCMAKE_CXX_COMPILER=${CMAKE_CXX_COMPILER}"
+          -DCMAKE_BUILD_TYPE=Release
+  RESULT_VARIABLE _plugin_cfg_rc
+  OUTPUT_VARIABLE _plugin_cfg_log ERROR_VARIABLE _plugin_cfg_log)
+if(NOT _plugin_cfg_rc EQUAL 0)
+  _lsmio_plugin_unavailable("plugin configure failed (clang-tidy dev headers missing?):\n${_plugin_cfg_log}")
+  return()
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${_plugin_build}"
+  RESULT_VARIABLE _plugin_build_rc
+  OUTPUT_VARIABLE _plugin_build_log ERROR_VARIABLE _plugin_build_log)
+if(NOT _plugin_build_rc EQUAL 0)
+  # A configured-but-unbuildable plugin is a real breakage (API drift in the
+  # checks themselves), not a missing prerequisite: always fatal.
+  message(FATAL_ERROR "LSMIO_LINT: lsmio-checks plugin failed to BUILD:\n${_plugin_build_log}")
+endif()
+
+file(GLOB _plugin_candidates
+  "${_plugin_build}/liblsmio_checks.so" "${_plugin_build}/liblsmio_checks.dylib")
+if(NOT _plugin_candidates)
+  message(FATAL_ERROR "LSMIO_LINT: plugin built but liblsmio_checks.so not found in ${_plugin_build}")
+endif()
+list(GET _plugin_candidates 0 _plugin_lib)
+
+# Load test: a version-mismatched or broken module fails right here instead
+# of poisoning every TU of the main build.
+execute_process(
+  COMMAND "${LSMIO_CLANG_TIDY}" "--load=${_plugin_lib}"
+          "--checks=-*,lsmio-*" --list-checks
+  RESULT_VARIABLE _list_rc
+  OUTPUT_VARIABLE _list_out ERROR_VARIABLE _list_out)
+set(_lsmio_all_checks
+  lsmio-no-raw-mutex lsmio-guarded-member lsmio-no-direct-clock lsmio-status-ignore)
+foreach(_check IN LISTS _lsmio_all_checks)
+  if(NOT _list_rc EQUAL 0 OR NOT _list_out MATCHES "${_check}")
+    message(FATAL_ERROR
+      "LSMIO_LINT: plugin loaded but check '${_check}' is not registered "
+      "(clang-tidy/LLVM version mismatch with the plugin build?):\n${_list_out}")
+  endif()
+endforeach()
+
+# Seeded violations: each check must fire on its snippet. `-*,<check>` keeps
+# the run single-check so a hit is unambiguous; the snippet compiles cleanly,
+# so any output line tagged [<check>] is the seeded finding.
+set(_lsmio_gate_compile_args -- -std=c++20 "-I${CMAKE_SOURCE_DIR}/src")
+foreach(_check IN LISTS _lsmio_all_checks)
+  string(REPLACE "-" "_" _snippet_stem "${_check}")
+  set(_snippet "${_lsmio_gate_dir}/${_snippet_stem}_violation.cc")
+  execute_process(
+    COMMAND "${LSMIO_CLANG_TIDY}" "--load=${_plugin_lib}"
+            "--checks=-*,${_check}" --quiet "${_snippet}"
+            ${_lsmio_gate_compile_args}
+    OUTPUT_VARIABLE _gate_out ERROR_VARIABLE _gate_err)
+  if(NOT _gate_out MATCHES "\\[${_check}\\]")
+    message(FATAL_ERROR
+      "LSMIO_LINT gate test failed: check '${_check}' produced NO finding on "
+      "its seeded violation ${_snippet}. The check has gone silent; a 'clean' "
+      "lint build would be meaningless.\nstdout:\n${_gate_out}\nstderr:\n${_gate_err}")
+  endif()
+endforeach()
+
+# Clean control: conforming code, all four checks on, zero findings allowed.
+execute_process(
+  COMMAND "${LSMIO_CLANG_TIDY}" "--load=${_plugin_lib}"
+          "--checks=-*,lsmio-*" --quiet
+          "${_lsmio_gate_dir}/lsmio_clean_control.cc"
+          ${_lsmio_gate_compile_args}
+  OUTPUT_VARIABLE _control_out ERROR_VARIABLE _control_err)
+if(_control_out MATCHES "\\[lsmio-" OR _control_out MATCHES "error:" OR _control_err MATCHES "error:")
+  message(FATAL_ERROR
+    "LSMIO_LINT gate test failed: the clean control snippet produced findings "
+    "or failed to parse — a conforming tree would not lint clean.\n"
+    "stdout:\n${_control_out}\nstderr:\n${_control_err}")
+endif()
+
+set(LSMIO_CHECKS_PLUGIN "${_plugin_lib}")
+message(STATUS "LSMIO_LINT: lsmio-checks plugin gate passed "
+               "(4/4 seeded violations caught, clean control clean): ${_plugin_lib}")

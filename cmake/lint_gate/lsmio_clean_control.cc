@@ -1,0 +1,45 @@
+// Lint gate: the control snippet — all four lsmio-* checks enabled, zero
+// findings expected. Exercises each check's domain the conforming way, so a
+// silent run means "analyzed and clean", not "checks not loaded".
+#include "common/status.h"
+#include "common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    lsmio::MutexLock lock(&mu_);
+    ++value_;
+  }
+  long Read() const {
+    lsmio::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable lsmio::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+  const int limit_ = 8;        // const: exempt without annotation
+  long generation_ = 0;        // unguarded: single-writer, set before threads start
+};
+
+lsmio::Status MightFail(bool fail) {
+  if (fail) return lsmio::Status::IOError("seeded failure");
+  return lsmio::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+
+  lsmio::Status checked = MightFail(false);
+  if (!checked.ok()) return 1;
+
+  // The sanctioned way to drop an error, visible to grep and the tracker.
+  MightFail(true).IgnoreError();
+
+  return static_cast<int>(c.Read()) == 1 ? 0 : 1;
+}

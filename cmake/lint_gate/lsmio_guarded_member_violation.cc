@@ -1,0 +1,26 @@
+// Lint gate: lsmio-guarded-member MUST flag this file.
+// A class owning an lsmio::Mutex has a mutable member that is neither
+// GUARDED_BY nor waived with an `unguarded:` rationale comment.
+#include "common/synchronization.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    lsmio::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+ private:
+  mutable lsmio::Mutex mu_;
+  long value_ = 0;  // violation: no GUARDED_BY, no rationale
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Lint gate: lsmio-no-direct-clock MUST flag this file.
+// Calls std::chrono::steady_clock::now() directly instead of going through
+// lsmio::SystemClock.
+#include <chrono>
+
+long Nanos() {
+  // violation: raw clock read, invisible to a mock clock
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int main() { return Nanos() != 0 ? 0 : 1; }

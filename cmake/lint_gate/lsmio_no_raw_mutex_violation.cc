@@ -1,0 +1,26 @@
+// Lint gate: lsmio-no-raw-mutex MUST flag this file.
+// Declares a raw std::mutex and a std::lock_guard instead of the annotated
+// lsmio::Mutex / lsmio::MutexLock wrappers.
+#include <mutex>
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    std::lock_guard<std::mutex> lock(mu_);  // violation: raw lock holder
+    ++value_;
+  }
+
+ private:
+  std::mutex mu_;  // violation: raw mutex
+  long value_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

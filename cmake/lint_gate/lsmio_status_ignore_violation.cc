@@ -1,0 +1,15 @@
+// Lint gate: lsmio-status-ignore MUST flag this file.
+// Void-casts a Status: compiles despite [[nodiscard]], but leaves the
+// LSMIO_STATUS_DEBUG obligation unsatisfied — the sanctioned spelling is
+// IgnoreError().
+#include "common/status.h"
+
+void DropStatus() {
+  // violation: silences the compiler, not the runtime tracker
+  (void)lsmio::Status::IOError("dropped");
+}
+
+int main() {
+  DropStatus();
+  return 0;
+}

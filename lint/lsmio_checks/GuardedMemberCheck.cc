@@ -1,0 +1,134 @@
+#include "GuardedMemberCheck.h"
+
+#include "LsmioCheckCommon.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::lsmio {
+
+namespace {
+
+constexpr char kDefaultExemptPaths[] = "(^|/)(tests|bench|examples)/";
+constexpr char kDefaultRationaleToken[] = "unguarded:";
+
+bool IsSyncPrimitiveType(QualType T) {
+  const auto *RD = T->getAsCXXRecordDecl();
+  if (RD == nullptr)
+    return false;
+  const std::string Name = RD->getQualifiedNameAsString();
+  return Name == "lsmio::Mutex" || Name == "lsmio::CondVar";
+}
+
+bool IsStdAtomic(QualType T) {
+  const auto *RD = T->getAsCXXRecordDecl();
+  if (RD == nullptr)
+    return false;
+  return RD->getQualifiedNameAsString() == "std::atomic";
+}
+
+}  // namespace
+
+GuardedMemberCheck::GuardedMemberCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      ExemptPaths(Options.get("ExemptPaths", kDefaultExemptPaths)),
+      RationaleToken(Options.get("RationaleToken", kDefaultRationaleToken)),
+      ExemptRegex(ExemptPaths) {}
+
+void GuardedMemberCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "ExemptPaths", ExemptPaths);
+  Options.store(Opts, "RationaleToken", RationaleToken);
+}
+
+void GuardedMemberCheck::registerMatchers(MatchFinder *Finder) {
+  const auto LsmioMutexField = fieldDecl(hasType(
+      hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+          cxxRecordDecl(hasName("::lsmio::Mutex")))))));
+  // Only classes that OWN a mutex are in scope; classes protected by an
+  // external lock (e.g. DBImpl's Writer) document that at the call site.
+  Finder->addMatcher(
+      fieldDecl(unless(isImplicit()),
+                hasParent(cxxRecordDecl(isDefinition(), has(LsmioMutexField))))
+          .bind("field"),
+      this);
+}
+
+// Accepts the rationale either in the contiguous `//` comment block that
+// immediately precedes the member, or trailing on the declaration's own
+// line(s):
+//
+//   // unguarded: set once in Initialize(), read-only afterwards.
+//   ThreadPool* pool_ = nullptr;
+//
+//   size_t workers_;  // unguarded: immutable after construction
+bool GuardedMemberCheck::HasUnguardedRationale(const SourceManager &SM,
+                                               const FieldDecl *Field) const {
+  const SourceLocation Begin = SM.getExpansionLoc(Field->getBeginLoc());
+  const SourceLocation End = SM.getExpansionLoc(Field->getEndLoc());
+  if (Begin.isInvalid() || End.isInvalid())
+    return false;
+  const FileID FID = SM.getFileID(Begin);
+  if (FID != SM.getFileID(End))
+    return false;
+  bool Invalid = false;
+  const StringRef Buffer = SM.getBufferData(FID, &Invalid);
+  if (Invalid)
+    return false;
+
+  llvm::SmallVector<StringRef, 0> Lines;
+  Buffer.split(Lines, '\n');
+  const unsigned BeginLine = SM.getSpellingLineNumber(Begin);  // 1-based
+  unsigned EndLine = SM.getSpellingLineNumber(End);
+  if (BeginLine == 0 || BeginLine > Lines.size())
+    return false;
+  EndLine = std::min<unsigned>(EndLine, Lines.size());
+
+  // Declaration lines themselves (covers a trailing comment).
+  for (unsigned L = BeginLine; L <= EndLine; ++L) {
+    if (Lines[L - 1].contains(RationaleToken))
+      return true;
+  }
+  // The contiguous comment block directly above.
+  for (unsigned L = BeginLine - 1; L >= 1; --L) {
+    const StringRef Trimmed = Lines[L - 1].trim();
+    // substr comparison instead of starts_with/startswith: the latter was
+    // renamed across LLVM releases and this must build on 15 through 18+.
+    if (Trimmed.substr(0, 2) != "//")
+      break;
+    if (Trimmed.contains(RationaleToken))
+      return true;
+  }
+  return false;
+}
+
+void GuardedMemberCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Field = Result.Nodes.getNodeAs<FieldDecl>("field");
+  if (Field == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (IsExemptLocation(SM, Field->getLocation(), ExemptPaths, ExemptRegex))
+    return;
+
+  // Strip array layers so `Foo cells_[16]` is judged by its element type.
+  QualType T = Result.Context->getBaseElementType(Field->getType());
+  if (T.isConstQualified() || T->isReferenceType())
+    return;
+  if (IsSyncPrimitiveType(T) || IsStdAtomic(T))
+    return;
+  if (Field->hasAttr<GuardedByAttr>() || Field->hasAttr<PtGuardedByAttr>())
+    return;
+  if (HasUnguardedRationale(SM, Field))
+    return;
+
+  diag(Field->getLocation(),
+       "member %0 of a mutex-owning class is not GUARDED_BY any lock; "
+       "annotate it or waive it with an `%1` rationale comment on the "
+       "declaration")
+      << Field << RationaleToken;
+}
+
+}  // namespace clang::tidy::lsmio

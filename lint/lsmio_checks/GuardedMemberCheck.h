@@ -1,0 +1,41 @@
+// lsmio-guarded-member
+//
+// In any class that owns an lsmio::Mutex field, every mutable data member
+// must either carry a GUARDED_BY / PT_GUARDED_BY annotation or be
+// explicitly waived with an `unguarded:` rationale in the comment block
+// directly above (or trailing) the member declaration.
+//
+// Exempt by construction (no annotation or rationale needed):
+//   - const-qualified members and references (immutable after init)
+//   - the Mutex / CondVar members themselves
+//   - std::atomic<T> members (internally synchronized)
+//
+// The point is that "this member is intentionally outside the lock" is a
+// reviewable, greppable decision, not an accident of omission.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::lsmio {
+
+class GuardedMemberCheck : public ClangTidyCheck {
+ public:
+  GuardedMemberCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  bool HasUnguardedRationale(const SourceManager &SM, const FieldDecl *Field) const;
+
+  const std::string ExemptPaths;
+  const std::string RationaleToken;
+  llvm::Regex ExemptRegex;
+};
+
+}  // namespace clang::tidy::lsmio

@@ -1,0 +1,36 @@
+// Shared helpers for the LSMIO project clang-tidy checks.
+//
+// Every check carries an `ExemptPaths` option: an LLVM regex matched
+// against the expansion-location file path of the offending construct.
+// Matching files are skipped. This is how the checks scope themselves to
+// src/ (tests/bench/examples are exempt by default) and how the wrapper
+// implementations themselves (synchronization.h, the SystemClock impl in
+// rate_limiter.cc) stay legal — and it is also why the configure-time gate
+// snippets in cmake/lint_gate/ fire: they live under cmake/, which no
+// default exemption matches.
+#pragma once
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::lsmio {
+
+/// True when `Loc` is invalid, unnamed, or inside a file whose path matches
+/// `ExemptRegex` (empty pattern = nothing exempt).
+inline bool IsExemptLocation(const SourceManager &SM, SourceLocation Loc,
+                             llvm::StringRef ExemptPattern,
+                             const llvm::Regex &ExemptRegex) {
+  if (Loc.isInvalid())
+    return true;
+  const SourceLocation Expansion = SM.getExpansionLoc(Loc);
+  const llvm::StringRef File = SM.getFilename(Expansion);
+  if (File.empty())
+    return true;
+  if (ExemptPattern.empty())
+    return false;
+  return ExemptRegex.match(File);
+}
+
+}  // namespace clang::tidy::lsmio

@@ -1,0 +1,35 @@
+// Registers the LSMIO project checks as a loadable clang-tidy module.
+//
+// Usage: clang-tidy --load=liblsmio_checks.so --checks='lsmio-*' ...
+// The build wires this in automatically under -DLSMIO_LINT=ON; see the
+// lint-gate logic in cmake/LintGateTest.cmake, which also proves at
+// configure time that every check still fires on a seeded violation.
+#include "GuardedMemberCheck.h"
+#include "NoDirectClockCheck.h"
+#include "NoRawMutexCheck.h"
+#include "StatusIgnoreCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy::lsmio {
+
+class LsmioModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<NoRawMutexCheck>("lsmio-no-raw-mutex");
+    CheckFactories.registerCheck<GuardedMemberCheck>("lsmio-guarded-member");
+    CheckFactories.registerCheck<NoDirectClockCheck>("lsmio-no-direct-clock");
+    CheckFactories.registerCheck<StatusIgnoreCheck>("lsmio-status-ignore");
+  }
+};
+
+namespace {
+ClangTidyModuleRegistry::Add<LsmioModule> X(  // NOLINT(cert-err58-cpp)
+    "lsmio-module", "LSMIO project-specific checks.");
+}  // namespace
+
+// Non-zero-initialized anchor the linker cannot dead-strip; keeps the
+// registry entry alive when the module is linked statically for testing.
+volatile int LsmioModuleAnchorSource = 1;
+
+}  // namespace clang::tidy::lsmio

@@ -1,0 +1,56 @@
+#include "NoDirectClockCheck.h"
+
+#include "LsmioCheckCommon.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::lsmio {
+
+namespace {
+
+// rate_limiter.cc hosts RealClock, the one sanctioned chrono user.
+// Tests and benchmarks time themselves however they like.
+constexpr char kDefaultExemptPaths[] =
+    "(^|/)(tests|bench|examples)/|common/rate_limiter\\.(h|cc)";
+
+}  // namespace
+
+NoDirectClockCheck::NoDirectClockCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      ExemptPaths(Options.get("ExemptPaths", kDefaultExemptPaths)),
+      ExemptRegex(ExemptPaths) {}
+
+void NoDirectClockCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "ExemptPaths", ExemptPaths);
+}
+
+void NoDirectClockCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::std::chrono::system_clock::now",
+                   "::std::chrono::steady_clock::now",
+                   "::std::chrono::high_resolution_clock::now",
+                   "::std::this_thread::sleep_for",
+                   "::std::this_thread::sleep_until"))))
+          .bind("call"),
+      this);
+}
+
+void NoDirectClockCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (Call == nullptr)
+    return;
+  if (IsExemptLocation(*Result.SourceManager, Call->getBeginLoc(), ExemptPaths,
+                       ExemptRegex))
+    return;
+  const auto *Callee = Call->getDirectCallee();
+  diag(Call->getBeginLoc(),
+       "direct call to %0; route time through lsmio::SystemClock "
+       "(common/rate_limiter.h) so tests can substitute a mock clock")
+      << (Callee != nullptr ? Callee->getQualifiedNameAsString()
+                            : std::string("a std::chrono clock"));
+}
+
+}  // namespace clang::tidy::lsmio

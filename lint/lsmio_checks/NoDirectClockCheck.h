@@ -1,0 +1,35 @@
+// lsmio-no-direct-clock
+//
+// Flags direct calls to std::chrono clock sources (system_clock::now,
+// steady_clock::now, high_resolution_clock::now) and to
+// std::this_thread::sleep_for / sleep_until outside the sanctioned clock
+// implementation.
+//
+// All time in src/ flows through lsmio::SystemClock (common/rate_limiter.h)
+// so that rate limiting, stall accounting, and latency measurement can be
+// driven by a mock clock in tests. A raw ::now() call is a time source the
+// test harness cannot advance.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::lsmio {
+
+class NoDirectClockCheck : public ClangTidyCheck {
+ public:
+  NoDirectClockCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string ExemptPaths;
+  llvm::Regex ExemptRegex;
+};
+
+}  // namespace clang::tidy::lsmio

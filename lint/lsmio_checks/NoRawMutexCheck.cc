@@ -1,0 +1,62 @@
+#include "NoRawMutexCheck.h"
+
+#include "LsmioCheckCommon.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::lsmio {
+
+namespace {
+
+// The wrapper header itself must be able to wrap the raw primitives, and
+// test/bench code is allowed to use std synchronization directly.
+constexpr char kDefaultExemptPaths[] =
+    "(^|/)(tests|bench|examples)/|common/synchronization\\.h";
+
+}  // namespace
+
+NoRawMutexCheck::NoRawMutexCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      ExemptPaths(Options.get("ExemptPaths", kDefaultExemptPaths)),
+      ExemptRegex(ExemptPaths) {}
+
+void NoRawMutexCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "ExemptPaths", ExemptPaths);
+}
+
+void NoRawMutexCheck::registerMatchers(MatchFinder *Finder) {
+  const auto RawSyncType = hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(cxxRecordDecl(hasAnyName(
+          "::std::mutex", "::std::timed_mutex", "::std::recursive_mutex",
+          "::std::recursive_timed_mutex", "::std::shared_mutex",
+          "::std::shared_timed_mutex", "::std::condition_variable",
+          "::std::condition_variable_any", "::std::lock_guard",
+          "::std::unique_lock", "::std::scoped_lock", "::std::shared_lock")))));
+  // valueDecl covers fields, local/global variables, and parameters.
+  // The second arm looks through arrays: `std::mutex shards[16];`.
+  Finder->addMatcher(
+      valueDecl(anyOf(hasType(RawSyncType),
+                      hasType(hasUnqualifiedDesugaredType(
+                          arrayType(hasElementType(RawSyncType))))),
+                unless(isImplicit()))
+          .bind("decl"),
+      this);
+}
+
+void NoRawMutexCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Decl = Result.Nodes.getNodeAs<ValueDecl>("decl");
+  if (Decl == nullptr)
+    return;
+  if (IsExemptLocation(*Result.SourceManager, Decl->getLocation(), ExemptPaths,
+                       ExemptRegex))
+    return;
+  diag(Decl->getLocation(),
+       "raw standard-library synchronization type %0; use the annotated "
+       "lsmio::Mutex / lsmio::MutexLock / lsmio::CondVar wrappers from "
+       "common/synchronization.h so thread-safety analysis can see the lock")
+      << Decl->getType();
+}
+
+}  // namespace clang::tidy::lsmio

@@ -1,0 +1,36 @@
+// lsmio-no-raw-mutex
+//
+// Flags declarations (fields, locals, globals, parameters) whose type is a
+// raw standard-library synchronization primitive: std::mutex and friends,
+// std::condition_variable, and the std lock holders (std::lock_guard,
+// std::unique_lock, std::scoped_lock, std::shared_lock).
+//
+// Project code must use the annotated wrappers from
+// src/common/synchronization.h (lsmio::Mutex, lsmio::MutexLock,
+// lsmio::CondVar): they carry Clang thread-safety capability annotations,
+// so lock discipline is visible to -Wthread-safety, and they feed the
+// LSMIO_MUTEX_DEBUG holder tracking. A raw std::mutex is invisible to both.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::lsmio {
+
+class NoRawMutexCheck : public ClangTidyCheck {
+ public:
+  NoRawMutexCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string ExemptPaths;
+  llvm::Regex ExemptRegex;
+};
+
+}  // namespace clang::tidy::lsmio

@@ -1,0 +1,44 @@
+#include "StatusIgnoreCheck.h"
+
+#include "LsmioCheckCommon.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::lsmio {
+
+StatusIgnoreCheck::StatusIgnoreCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      ExemptPaths(Options.get("ExemptPaths", "")),
+      ExemptRegex(ExemptPaths) {}
+
+void StatusIgnoreCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "ExemptPaths", ExemptPaths);
+}
+
+void StatusIgnoreCheck::registerMatchers(MatchFinder *Finder) {
+  const auto StatusLike = hasUnqualifiedDesugaredType(recordType(
+      hasDeclaration(namedDecl(hasAnyName("::lsmio::Status", "::lsmio::Result")))));
+  // explicitCastExpr covers both `(void)s` and `static_cast<void>(s)`.
+  Finder->addMatcher(
+      explicitCastExpr(hasDestinationType(voidType()),
+                       hasSourceExpression(hasType(StatusLike)))
+          .bind("cast"),
+      this);
+}
+
+void StatusIgnoreCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cast = Result.Nodes.getNodeAs<ExplicitCastExpr>("cast");
+  if (Cast == nullptr)
+    return;
+  if (IsExemptLocation(*Result.SourceManager, Cast->getBeginLoc(), ExemptPaths,
+                       ExemptRegex))
+    return;
+  diag(Cast->getBeginLoc(),
+       "void-cast discards a Status without observing it; this bypasses the "
+       "compile-time check but still aborts under LSMIO_STATUS_DEBUG — call "
+       ".IgnoreError() instead");
+}
+
+}  // namespace clang::tidy::lsmio

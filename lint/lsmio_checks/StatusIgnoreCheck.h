@@ -1,0 +1,35 @@
+// lsmio-status-ignore
+//
+// Flags `(void)`-casts of lsmio::Status or lsmio::Result<T>. A void-cast
+// silences the [[nodiscard]] compile-time diagnostic but NOT the
+// LSMIO_STATUS_DEBUG runtime tracker — the status still aborts the process
+// when it is destroyed unobserved. The sanctioned way to drop an error is
+// `status.IgnoreError()`, which both documents the decision and marks the
+// obligation satisfied at runtime.
+//
+// No path exemptions by default: tests and benchmarks must use
+// IgnoreError() too, because they run with tracking forced on.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::lsmio {
+
+class StatusIgnoreCheck : public ClangTidyCheck {
+ public:
+  StatusIgnoreCheck(StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string ExemptPaths;
+  llvm::Regex ExemptRegex;
+};
+
+}  // namespace clang::tidy::lsmio

@@ -12,17 +12,27 @@ namespace lsmio {
 
 /// Holds either a T (when status().ok()) or an error Status.
 /// Accessing value() on an error result is a programmer error (asserts).
+/// [[nodiscard]] like Status: a dropped Result is a dropped error. The
+/// embedded Status carries the LSMIO_STATUS_DEBUG check obligation, so an
+/// error Result destroyed without anyone looking at it aborts in debug
+/// builds just like a bare Status would.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   /// Implicit from a non-OK status: failure. OK status is a programmer error.
   Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    // OkNoMark: the assertion must not count as "observing" the error.
+    assert(!status_.OkNoMark() && "Result constructed from OK status without value");
   }
 
-  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] bool ok() const noexcept {
+    // Observing ok() discharges the inner status's check obligation: a
+    // `false` answer is exactly the observation the tracking wants.
+    status_.MarkChecked();
+    return value_.has_value();
+  }
   [[nodiscard]] const Status& status() const noexcept { return status_; }
 
   [[nodiscard]] T& value() & {

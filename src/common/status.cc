@@ -18,14 +18,4 @@ std::string_view StatusCodeName(StatusCode code) noexcept {
   return "Unknown";
 }
 
-std::string Status::ToString() const {
-  if (ok()) return "OK";
-  std::string out(StatusCodeName(code_));
-  if (!msg_.empty()) {
-    out += ": ";
-    out += msg_;
-  }
-  return out;
-}
-
 }  // namespace lsmio

@@ -5,14 +5,48 @@
 // human-readable message otherwise. Functions that can fail return Status
 // (or Result<T> from result.h); exceptions are reserved for programmer
 // errors (assertion-style) only.
+//
+// Error discipline (DESIGN.md §14): the class itself is [[nodiscard]], so a
+// dropped `Status` return is a compile error under -Werror=unused-result
+// (on by default for the whole build). Every status must be propagated,
+// asserted on, or explicitly discarded via IgnoreError() — the only
+// sanctioned escape hatch; the lsmio-status-ignore clang-tidy check rejects
+// `(void)`-casts that try to sneak past the compiler warning.
+//
+// With LSMIO_STATUS_DEBUG (on by default outside Release builds, forced on
+// in the status_debug_test binary) every Status additionally carries a
+// runtime "checked" bit, LevelDB/RocksDB style: destroying — or overwriting
+// via assignment — a non-OK Status that was never observed (ok(), code(),
+// Is*(), ToString(), message(), operator==, or IgnoreError()) aborts the
+// process with the dropped code and message. OK statuses are exempt: only
+// errors carry an obligation. Copy and move both TRANSFER the obligation to
+// the destination — the source is considered checked — so exactly one live
+// object owns each error at any time.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <utility>
 
+// Runtime unchecked-status tracking. The build defines LSMIO_STATUS_DEBUG
+// project-wide via CMake (AUTO: on for Debug/RelWithDebInfo, off for
+// Release) so every translation unit agrees on the Status layout; the
+// fallback below keeps non-CMake consumers consistent with assert().
+#if !defined(LSMIO_STATUS_DEBUG)
+#if !defined(NDEBUG)
+#define LSMIO_STATUS_DEBUG 1
+#else
+#define LSMIO_STATUS_DEBUG 0
+#endif
+#endif
+
 namespace lsmio {
+
+template <typename T>
+class Result;
 
 /// Error categories shared by every module in the library.
 enum class StatusCode : uint8_t {
@@ -34,11 +68,58 @@ enum class StatusCode : uint8_t {
 /// Returns a static name for a StatusCode ("OK", "NotFound", ...).
 std::string_view StatusCodeName(StatusCode code) noexcept;
 
-/// A success-or-error value. OK status carries no allocation.
-class Status {
+/// A success-or-error value. OK status carries no allocation. The class is
+/// [[nodiscard]]: callers must propagate, test, or IgnoreError() it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
+
+  ~Status() { VerifyChecked("destroyed"); }
+
+  /// Copy transfers the check obligation: the new object must be checked,
+  /// the source is considered handled.
+  Status(const Status& rhs) : code_(rhs.code_), msg_(rhs.msg_) {
+#if LSMIO_STATUS_DEBUG
+    checked_ = rhs.checked_;
+#endif
+    rhs.MarkChecked();
+  }
+  Status& operator=(const Status& rhs) {
+    if (this != &rhs) {
+      VerifyChecked("overwritten");
+      code_ = rhs.code_;
+      msg_ = rhs.msg_;
+#if LSMIO_STATUS_DEBUG
+      checked_ = rhs.checked_;
+#endif
+      rhs.MarkChecked();
+    }
+    return *this;
+  }
+
+  /// Move transfers the check obligation; the moved-from object is OK and
+  /// considered checked.
+  Status(Status&& rhs) noexcept : code_(rhs.code_), msg_(std::move(rhs.msg_)) {
+#if LSMIO_STATUS_DEBUG
+    checked_ = rhs.checked_;
+#endif
+    rhs.code_ = StatusCode::kOk;
+    rhs.MarkChecked();
+  }
+  Status& operator=(Status&& rhs) noexcept {
+    if (this != &rhs) {
+      VerifyChecked("overwritten");
+      code_ = rhs.code_;
+      msg_ = std::move(rhs.msg_);
+#if LSMIO_STATUS_DEBUG
+      checked_ = rhs.checked_;
+#endif
+      rhs.code_ = StatusCode::kOk;
+      rhs.MarkChecked();
+    }
+    return *this;
+  }
 
   static Status OK() noexcept { return Status(); }
   static Status NotFound(std::string_view msg) { return {StatusCode::kNotFound, msg}; }
@@ -51,32 +132,84 @@ class Status {
   static Status OutOfRange(std::string_view msg) { return {StatusCode::kOutOfRange, msg}; }
   static Status ReadOnly(std::string_view msg) { return {StatusCode::kReadOnly, msg}; }
 
-  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
-  [[nodiscard]] bool IsNotFound() const noexcept { return code_ == StatusCode::kNotFound; }
-  [[nodiscard]] bool IsCorruption() const noexcept { return code_ == StatusCode::kCorruption; }
-  [[nodiscard]] bool IsNotSupported() const noexcept { return code_ == StatusCode::kNotSupported; }
-  [[nodiscard]] bool IsInvalidArgument() const noexcept { return code_ == StatusCode::kInvalidArgument; }
-  [[nodiscard]] bool IsIoError() const noexcept { return code_ == StatusCode::kIoError; }
-  [[nodiscard]] bool IsBusy() const noexcept { return code_ == StatusCode::kBusy; }
-  [[nodiscard]] bool IsAborted() const noexcept { return code_ == StatusCode::kAborted; }
-  [[nodiscard]] bool IsOutOfRange() const noexcept { return code_ == StatusCode::kOutOfRange; }
-  [[nodiscard]] bool IsReadOnly() const noexcept { return code_ == StatusCode::kReadOnly; }
+  [[nodiscard]] bool ok() const noexcept { MarkChecked(); return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool IsNotFound() const noexcept { MarkChecked(); return code_ == StatusCode::kNotFound; }
+  [[nodiscard]] bool IsCorruption() const noexcept { MarkChecked(); return code_ == StatusCode::kCorruption; }
+  [[nodiscard]] bool IsNotSupported() const noexcept { MarkChecked(); return code_ == StatusCode::kNotSupported; }
+  [[nodiscard]] bool IsInvalidArgument() const noexcept { MarkChecked(); return code_ == StatusCode::kInvalidArgument; }
+  [[nodiscard]] bool IsIoError() const noexcept { MarkChecked(); return code_ == StatusCode::kIoError; }
+  [[nodiscard]] bool IsBusy() const noexcept { MarkChecked(); return code_ == StatusCode::kBusy; }
+  [[nodiscard]] bool IsAborted() const noexcept { MarkChecked(); return code_ == StatusCode::kAborted; }
+  [[nodiscard]] bool IsOutOfRange() const noexcept { MarkChecked(); return code_ == StatusCode::kOutOfRange; }
+  [[nodiscard]] bool IsReadOnly() const noexcept { MarkChecked(); return code_ == StatusCode::kReadOnly; }
 
-  [[nodiscard]] StatusCode code() const noexcept { return code_; }
-  [[nodiscard]] const std::string& message() const noexcept { return msg_; }
+  [[nodiscard]] StatusCode code() const noexcept { MarkChecked(); return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { MarkChecked(); return msg_; }
 
-  /// "OK" or "<CodeName>: <message>".
-  [[nodiscard]] std::string ToString() const;
+  /// Explicitly discards this status. The ONLY sanctioned way to drop an
+  /// error on the floor: it reads as intent at the call site, satisfies the
+  /// LSMIO_STATUS_DEBUG tracking, and — unlike a `(void)` cast — passes the
+  /// lsmio-status-ignore clang-tidy check. Every call should carry a short
+  /// comment saying why ignoring is safe.
+  void IgnoreError() const noexcept { MarkChecked(); }
+
+  /// "OK" or "<CodeName>: <message>". Defined inline so the checked-bit
+  /// side effect is compiled consistently into every translation unit.
+  [[nodiscard]] std::string ToString() const {
+    MarkChecked();
+    if (code_ == StatusCode::kOk) return "OK";
+    std::string out(StatusCodeName(code_));
+    if (!msg_.empty()) {
+      out += ": ";
+      out += msg_;
+    }
+    return out;
+  }
 
   friend bool operator==(const Status& a, const Status& b) noexcept {
+    a.MarkChecked();
+    b.MarkChecked();
     return a.code_ == b.code_;
   }
 
  private:
-  Status(StatusCode code, std::string_view msg) : code_(code), msg_(msg) {}
+  template <typename T>
+  friend class Result;
+
+  Status(StatusCode code, std::string_view msg) : code_(code), msg_(msg) {
+#if LSMIO_STATUS_DEBUG
+    checked_ = (code_ == StatusCode::kOk);
+#endif
+  }
+
+  /// Non-marking success test for internal assertions (Result's
+  /// constructed-from-OK check must not count as "observed").
+  [[nodiscard]] bool OkNoMark() const noexcept { return code_ == StatusCode::kOk; }
+
+#if LSMIO_STATUS_DEBUG
+  void MarkChecked() const noexcept { checked_ = true; }
+  void VerifyChecked(const char* action) const noexcept {
+    if (!checked_ && code_ != StatusCode::kOk) {
+      std::fprintf(stderr,
+                   "lsmio::Status: non-OK status %s without being checked: "
+                   "%.*s: %s\n",
+                   action, static_cast<int>(StatusCodeName(code_).size()),
+                   StatusCodeName(code_).data(), msg_.c_str());
+      std::abort();
+    }
+  }
+#else
+  void MarkChecked() const noexcept {}
+  void VerifyChecked(const char*) const noexcept {}
+#endif
 
   StatusCode code_ = StatusCode::kOk;
   std::string msg_;
+#if LSMIO_STATUS_DEBUG
+  /// True once any observer ran. `mutable` so const observers mark it; kept
+  /// last so code_/msg_ offsets match builds compiled without tracking.
+  mutable bool checked_ = true;
+#endif
 };
 
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing

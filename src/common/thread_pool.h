@@ -39,7 +39,7 @@ class ThreadPool {
   CondVar work_cv_{&mu_};
   CondVar idle_cv_{&mu_};
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
-  std::vector<std::thread> workers_;  // immutable after construction
+  std::vector<std::thread> workers_;  // unguarded: immutable after construction
   int active_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
 };

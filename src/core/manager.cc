@@ -1,12 +1,12 @@
 #include "core/manager.h"
 
-#include <chrono>
 #include <map>
 #include <utility>
 #include <vector>
 
 #include "common/coding.h"
 #include "common/hash.h"
+#include "common/rate_limiter.h"
 #include "common/synchronization.h"
 #include "minimpi/minimpi.h"
 
@@ -115,7 +115,9 @@ Status Manager::GetBatch(const lsm::ReadOptions& read_options,
 }
 
 Status Manager::Put(const Slice& key, const Slice& value) {
-  const auto start = std::chrono::steady_clock::now();
+  // SystemClock, not std::chrono directly: keeps the latency counter
+  // deterministic under an injected clock (lsmio-no-direct-clock).
+  const uint64_t start_us = SystemClock::Default()->NowMicros();
 
   Status s;
   if (options_.collective_io && options_.comm != nullptr &&
@@ -130,9 +132,7 @@ Status Manager::Put(const Slice& key, const Slice& value) {
   }
   s = store_->Put(key, value);
 
-  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+  const uint64_t elapsed = SystemClock::Default()->NowMicros() - start_us;
   MutexLock lock(&counters_mu_);
   ++counters_.puts;
   counters_.bytes_put += value.size();

@@ -106,8 +106,8 @@ class Manager {
   /// Owner rank of a key in collective mode.
   [[nodiscard]] int OwnerOf(const Slice& key) const;
 
-  LsmioOptions options_;
-  std::unique_ptr<Store> store_;
+  LsmioOptions options_;          // unguarded: immutable after construction
+  std::unique_ptr<Store> store_;  // unguarded: set once; Store is internally synchronized
   mutable Mutex counters_mu_;
   ManagerCounters counters_ GUARDED_BY(counters_mu_);
 };

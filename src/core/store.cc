@@ -179,8 +179,8 @@ class LsmStore final : public Store {
   }
 
  private:
-  LsmioOptions options_;
-  std::unique_ptr<lsm::DB> db_;
+  LsmioOptions options_;         // unguarded: immutable after construction
+  std::unique_ptr<lsm::DB> db_;  // unguarded: set once; DB is internally synchronized
   /// Guards the batching window. Lock order (DESIGN.md §9): mu_ is above
   /// DBImpl::mu_ — StopBatch/WriteBarrier call db_->Write while holding it.
   Mutex mu_;

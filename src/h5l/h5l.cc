@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/coding.h"
+#include "common/logging.h"
 
 namespace lsmio::h5l {
 
@@ -73,7 +74,13 @@ Result<std::shared_ptr<File>> File::Open(vfs::Vfs& fs, const std::string& path,
 }
 
 File::~File() {
-  if (!closed_) Close();
+  if (!closed_) {
+    // Close() writes the superblock; a destructor cannot propagate its
+    // failure, so callers that care about durability must Close()
+    // explicitly and check. Log so the drop is at least visible.
+    Status s = Close();
+    if (!s.ok()) LSMIO_WARN << "h5l::File close failed in ~File: " << s.ToString();
+  }
 }
 
 uint64_t File::Allocate(uint64_t size) {

@@ -58,8 +58,10 @@ Status BuildTable(const std::string& dbname, vfs::Vfs& fs, const Options& option
   if (s.ok()) s = iter->status();
 
   if (!s.ok() || meta->file_size == 0) {
-    file->Close();
-    fs.RemoveFile(fname);
+    // Failure path: the table is being discarded, so close/remove errors
+    // cannot change the outcome — `s` already carries the root cause.
+    file->Close().IgnoreError();
+    fs.RemoveFile(fname).IgnoreError();
     if (s.ok()) s = Status::IoError("built table is empty");
   }
   return s;

@@ -203,7 +203,7 @@ class ShardedLRUCache final : public Cache {
     return Hash32(key, 0) % kNumShards;
   }
 
-  LRUShard shards_[kNumShards];
+  LRUShard shards_[kNumShards];  // unguarded: each shard locks itself
   Mutex id_mu_;
   uint64_t last_id_ GUARDED_BY(id_mu_) = 0;
 };

@@ -93,10 +93,10 @@ class PipelinedKvSource final : public KvSource {
   Status producer_status_ GUARDED_BY(mu_);
   uint64_t batches_ GUARDED_BY(mu_) = 0;
 
-  // Consumer-side state: the batch being decoded is owned exclusively by
-  // the consumer thread after it is popped, so it needs no locking.
+  // unguarded: the batch being decoded is owned exclusively by the
+  // consumer thread after it is popped, so it needs no locking.
   std::string current_;
-  size_t cursor_ = 0;
+  size_t cursor_ = 0;  // unguarded: consumer-owned (see current_)
 
   std::thread producer_;  // started last in the constructor
 };

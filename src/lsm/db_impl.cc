@@ -82,7 +82,14 @@ DBImpl::~DBImpl() {
   if (owned_bg_pool_ != nullptr) owned_bg_pool_->Shutdown();
   if (mem_ != nullptr) mem_->Unref();
   for (MemTable* imm : imm_queue_) imm->Unref();
-  if (logfile_ != nullptr) logfile_->Close();
+  if (logfile_ != nullptr) {
+    // Destructor: nowhere to propagate. Everything acked under sync_writes
+    // was already fsynced; under async WAL config a close failure here is
+    // within the documented may-lose-unsynced-tail contract, but it still
+    // deserves a trace in the log.
+    Status s = logfile_->Close();
+    if (!s.ok()) LSMIO_WARN << "WAL close failed in ~DBImpl: " << s.ToString();
+  }
 }
 
 vfs::Vfs& DBImpl::fs() const {
@@ -438,7 +445,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         }
       }
       if (status.ok()) status = log_batch->InsertInto(mem_);
-      (void)log_batch->Iterate(&counter);
+      // Counting handler over an already-applied batch: cannot fail.
+      log_batch->Iterate(&counter).IgnoreError();
       lock.Lock();
     }
     if (status.ok()) {
@@ -544,7 +552,8 @@ Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates)
     void Put(const Slice&, const Slice&) override { ++puts; }
     void Delete(const Slice&) override { ++dels; }
   } counter;
-  (void)updates->Iterate(&counter);
+  // Counting handler over an already-applied batch: cannot fail.
+  updates->Iterate(&counter).IgnoreError();
   stats_.puts += counter.puts;
   stats_.deletes += counter.dels;
   record_latency();
@@ -733,7 +742,13 @@ Status DBImpl::SwitchMemTable() {
       versions_->ReuseFileNumber(new_log_number);
       return s;
     }
-    logfile_->Close();
+    // The retired WAL still covers the memtable headed for the imm queue:
+    // recovery replays it until the flush completes. A failed close can
+    // drop buffered-but-unsynced acked records while the process is alive
+    // and healthy — that is a WAL write failure, so latch read-only mode
+    // exactly as a failed Append/Sync would.
+    Status close_s = logfile_->Close();
+    if (!close_s.ok()) RecordBackgroundError(close_s);
     logfile_ = std::move(new_logfile);
     logfile_number_ = new_log_number;
     log_ = std::make_unique<log::Writer>(logfile_.get());
@@ -1462,7 +1477,9 @@ void DBImpl::RemoveObsoleteFiles() {
     }
     if (!keep) {
       if (type == FileType::kTableFile) table_cache_->Evict(number);
-      fs().RemoveFile(dbname_ + "/" + child);
+      // Best effort: an orphan that survives an EIO here is retried on the
+      // next sweep (and is invisible to reads — it is in no Version).
+      fs().RemoveFile(dbname_ + "/" + child).IgnoreError();
     }
   }
 }
@@ -1821,14 +1838,19 @@ Status DB::Destroy(const Options& options, const std::string& name) {
   std::vector<std::string> children;
   Status s = fs.ListDir(name, &children);
   if (!s.ok()) return Status::OK();  // nothing to destroy
+  // Keep removing past individual failures, but report the first one:
+  // a Destroy that leaves files behind and says OK would let a later
+  // Open resurrect a half-deleted store.
+  Status result = Status::OK();
   for (const auto& child : children) {
     uint64_t number;
     FileType type;
     if (ParseFileName(child, &number, &type) || child == "CURRENT.tmp") {
-      fs.RemoveFile(name + "/" + child);
+      Status rm = fs.RemoveFile(name + "/" + child);
+      if (!rm.ok() && !rm.IsNotFound() && result.ok()) result = rm;
     }
   }
-  return Status::OK();
+  return result;
 }
 
 }  // namespace lsmio::lsm

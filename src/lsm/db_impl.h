@@ -170,7 +170,8 @@ class DBImpl final : public DB {
                                 SequenceNumber* latest_snapshot) EXCLUDES(mu_);
   SequenceNumber SmallestSnapshot() const REQUIRES(mu_);
 
-  // --- immutable after construction ---
+  // --- immutable after construction (unguarded: set by Open/Initialize
+  // before any concurrent access; block_cache_ is internally synchronized)
   Options options_;
   std::string dbname_;
   InternalKeyComparator internal_comparator_;
@@ -178,14 +179,14 @@ class DBImpl final : public DB {
   std::unique_ptr<Cache> block_cache_;
   /// Read-path counters updated lock-free by tables on reader threads;
   /// folded into DbStats by GetStats. Must outlive table_cache_.
-  ReadCounters read_counters_;
-  std::unique_ptr<TableCache> table_cache_;
+  ReadCounters read_counters_;  // unguarded: lock-free atomic counters
+  std::unique_ptr<TableCache> table_cache_;  // unguarded: set once; internally synchronized
   /// Blob segments for WAL-time key/value separation. Created by
   /// Initialize when Options::value_log_threshold > 0 or the store already
   /// has segments on disk (so a reopen with threshold=0 still resolves and
   /// GCs existing pointers); null otherwise. Immutable after Initialize;
   /// the ValueLog itself is internally synchronized (lock order:
-  /// mu_ -> ValueLog::mu_, never the reverse).
+  /// mu_ -> ValueLog::mu_, never the reverse). unguarded: see above.
   std::unique_ptr<ValueLog> vlog_;
 
   // --- concurrency state ---
@@ -217,19 +218,19 @@ class DBImpl final : public DB {
   WriteController write_controller_ GUARDED_BY(mu_);
   SystemClock* const clock_ = SystemClock::Default();
 
-  /// Per-operation latency recorders: lock-free (atomic buckets), updated
+  /// unguarded: lock-free latency recorders (atomic buckets), updated
   /// outside mu_ on the operation's own thread, folded into DbStats
   /// snapshots by GetStats.
   LatencyHistogram write_latency_rec_;
-  LatencyHistogram get_latency_rec_;
-  LatencyHistogram multiget_latency_rec_;
+  LatencyHistogram get_latency_rec_;   // unguarded: see write_latency_rec_
+  LatencyHistogram multiget_latency_rec_;  // unguarded: see write_latency_rec_
   std::unique_ptr<VersionSet> versions_ GUARDED_BY(mu_);
   // mem_/log_/logfile_/tmp_batch_ follow the group-commit hybrid contract:
   // mutated only by the writers_ front ("leader"), which keeps exclusive
   // ownership even while mu_ is released for the WAL append/sync. All other
   // threads may only read the mem_ pointer under mu_ (taking a ref). The
   // static analysis cannot express leader exclusivity, so these members are
-  // deliberately not GUARDED_BY(mu_).
+  // deliberately unguarded: leader-owned.
   MemTable* mem_ = nullptr;
   std::deque<MemTable*> imm_queue_ GUARDED_BY(mu_);  // oldest first; front
                                                      // flushes next
@@ -237,12 +238,12 @@ class DBImpl final : public DB {
   // corresponding memtable was retired. Once that memtable is flushed, WALs
   // below this number are no longer needed for recovery.
   std::deque<uint64_t> imm_log_queue_ GUARDED_BY(mu_);
-  std::unique_ptr<vfs::WritableFile> logfile_;  // leader-owned (see mem_)
+  std::unique_ptr<vfs::WritableFile> logfile_;  // unguarded: leader-owned (see mem_)
   uint64_t logfile_number_ GUARDED_BY(mu_) = 0;
-  std::unique_ptr<log::Writer> log_;  // leader-owned (see mem_)
+  std::unique_ptr<log::Writer> log_;  // unguarded: leader-owned (see mem_)
   std::deque<Writer*> writers_ GUARDED_BY(mu_);  // front = leader
-  WriteBatch tmp_batch_;  // leader-owned scratch for merged write groups
-  WriteBatch tmp_vlog_batch_;  // leader-owned scratch for separated groups
+  WriteBatch tmp_batch_;  // unguarded: leader-owned scratch for merged write groups
+  WriteBatch tmp_vlog_batch_;  // unguarded: leader-owned scratch for separated groups
   bool flush_scheduled_ GUARDED_BY(mu_) = false;
   bool compaction_scheduled_ GUARDED_BY(mu_) = false;
   /// Set when MaybeScheduleCompaction lost the race for a limiter slot;
@@ -266,17 +267,18 @@ class DBImpl final : public DB {
   // Background executor + compaction concurrency cap. Either shared (a
   // ShardedDB passes its store-wide instances, which outlive every shard)
   // or privately owned; the raw pointers below are what the code uses.
-  // Owned instances are created last / destroyed first.
+  // Owned instances are created last / destroyed first. All unguarded:
+  // set once in Initialize, each internally synchronized.
   ThreadPool* bg_pool_ = nullptr;
-  CompactionLimiter* limiter_ = nullptr;
+  CompactionLimiter* limiter_ = nullptr;  // unguarded: see bg_pool_
   /// Background-I/O byte budget (Options::bytes_per_sec); null = unlimited.
   /// Shared across a ShardedDB's sub-LSMs, else privately owned. The
   /// RateLimiter is internally synchronized — charged outside mu_ by
-  /// flush/compaction writer threads.
+  /// flush/compaction writer threads. unguarded: see bg_pool_.
   RateLimiter* rate_limiter_ = nullptr;
-  std::unique_ptr<RateLimiter> owned_rate_limiter_;
-  std::unique_ptr<CompactionLimiter> owned_limiter_;
-  std::unique_ptr<ThreadPool> owned_bg_pool_;
+  std::unique_ptr<RateLimiter> owned_rate_limiter_;   // unguarded: see bg_pool_
+  std::unique_ptr<CompactionLimiter> owned_limiter_;  // unguarded: see bg_pool_
+  std::unique_ptr<ThreadPool> owned_bg_pool_;         // unguarded: see bg_pool_
 };
 
 /// The compaction concurrency cap for `options`: the explicit

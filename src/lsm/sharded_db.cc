@@ -155,7 +155,11 @@ Status ShardedDB::DestroyShards(const Options& options, const std::string& name,
     // single-LSM removal path.
     LSMIO_RETURN_IF_ERROR(DB::Destroy(options, ShardDirName(name, shard)));
   }
-  fs.RemoveFile(ShardsMarkerFileName(name));
+  // A marker that survives its shards would make the next Open look for
+  // stores that no longer exist — surface the failure (NotFound is fine:
+  // Destroy is idempotent).
+  Status s = fs.RemoveFile(ShardsMarkerFileName(name));
+  if (!s.ok() && !s.IsNotFound()) return s;
   return Status::OK();
 }
 

@@ -166,7 +166,8 @@ Status Table::Open(const Options& options, const Comparator* comparator,
   }
 
   auto* t = new Table(std::move(rep));
-  t->ReadMeta(footer);  // best-effort: reads work without a filter
+  // Best-effort: reads work without a filter, just with more block probes.
+  t->ReadMeta(footer).IgnoreError();
   table->reset(t);
   return Status::OK();
 }

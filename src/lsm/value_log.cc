@@ -64,7 +64,7 @@ ValueLog::~ValueLog() {
   if (active_file_ != nullptr) {
     // Best effort: rotated segments were synced when sealed; the active
     // one is synced by the durability barriers that precede any ack.
-    active_file_->Close();
+    active_file_->Close().IgnoreError();
     active_file_.reset();
   }
 }
@@ -161,7 +161,8 @@ Status ValueLog::Append(const Slice& user_key, const Slice& value,
     // A partial write may have reached the file, so our offset bookkeeping
     // can no longer be trusted: abandon the segment (its tail becomes
     // unreferenced garbage) and let the next append start a fresh one.
-    active_file_->Close();
+    // The Append error in `s` is the root cause; a close error adds nothing.
+    active_file_->Close().IgnoreError();
     active_file_.reset();
     return s;
   }
@@ -341,7 +342,9 @@ int ValueLog::SweepDeletable() {
   }
   for (const uint64_t number : deletable) {
     EvictSegmentHandle(number);
-    fs_->RemoveFile(BlobFileName(dbname_, number));  // best effort
+    // Best effort: once erased from segments_ below, Contains() goes false
+    // and the DBImpl orphan sweep reaps any file an EIO leaves behind.
+    fs_->RemoveFile(BlobFileName(dbname_, number)).IgnoreError();
     segments_.erase(number);
     ++segments_deleted_;
   }

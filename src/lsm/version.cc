@@ -459,8 +459,10 @@ Status VersionSet::WriteSnapshot() {
   Status s = writer->AddRecord(record);
   if (s.ok()) s = file->Sync();
   if (!s.ok()) {
-    file->Close();
-    fs().RemoveFile(fname);
+    // Failure path: the half-written manifest is being discarded (CURRENT
+    // still points at the old one); `s` carries the root cause.
+    file->Close().IgnoreError();
+    fs().RemoveFile(fname).IgnoreError();
     return s;
   }
   manifest_file_ = std::move(file);

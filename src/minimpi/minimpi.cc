@@ -77,7 +77,7 @@ class World {
     uint64_t generation = 0;
   };
 
-  int num_ranks_;
+  int num_ranks_;  // unguarded: immutable after construction
   Mutex mu_;
   CondVar cv_{&mu_};
   std::map<Key, std::deque<std::string>> mailboxes_ GUARDED_BY(mu_);

@@ -54,7 +54,9 @@ class FaultVfs::FaultWritableFile final : public WritableFile {
           prefix[i] = static_cast<char>(prefix[i] ^ 0x5c);
         }
       }
-      (void)inner_->Append(prefix);
+      // Deliberately dropping the inner status: the injected error below
+      // is what the caller must see, whatever the partial append did.
+      inner_->Append(prefix).IgnoreError();
     }
     return owner_->InjectedError();
   }

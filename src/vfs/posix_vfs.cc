@@ -170,9 +170,9 @@ class PosixRandomAccessFile final : public RandomAccessFile {
   uint64_t Size() const override { return size_; }
 
  private:
-  int fd_;
-  uint64_t size_;
-  void* map_;
+  int fd_;         // unguarded: immutable after open
+  uint64_t size_;  // unguarded: immutable after open
+  void* map_;      // unguarded: immutable after open
 
   /// Readahead window filled by Hint; files are immutable once opened, so
   /// served bytes can never be stale.

@@ -115,9 +115,11 @@ class TraceContext {
   }
 
  private:
-  int num_ranks_;
+  int num_ranks_;  // unguarded: immutable after construction
+  // unguarded: each rank's trace is appended only under its own
+  // trace_locks_[rank].mu; the vector itself is sized once in the ctor.
   std::vector<IoTrace> traces_;
-  std::unique_ptr<internal::TraceLock[]> trace_locks_;
+  std::unique_ptr<internal::TraceLock[]> trace_locks_;  // unguarded: immutable after construction
 
   mutable Mutex intern_mu_;
   std::unordered_map<std::string, uint32_t> path_to_id_ GUARDED_BY(intern_mu_);

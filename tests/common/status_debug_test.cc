@@ -1,0 +1,146 @@
+// LSMIO_STATUS_DEBUG semantics: this binary is compiled with tracking
+// FORCED ON (see tests/CMakeLists.txt), independent of build type, so the
+// abort-on-unobserved contract is pinned even in Release where the library
+// default disables it.
+//
+// The contract under test (status.h):
+//   - destroying or overwriting a non-OK Status that was never observed
+//     aborts the process with the dropped code and message;
+//   - OK statuses carry no obligation;
+//   - copy and move TRANSFER the obligation (source counts as checked,
+//     destination inherits the unchecked bit) — exactly one live owner;
+//   - any observer (ok(), Is*(), code(), message(), ToString(), ==) or
+//     IgnoreError() satisfies the obligation.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+static_assert(LSMIO_STATUS_DEBUG == 1,
+              "status_debug_test must be compiled with tracking forced on");
+
+namespace lsmio {
+namespace {
+
+using StatusDebugDeathTest = ::testing::Test;
+
+TEST(StatusDebugDeathTest, DestroyedUncheckedErrorAborts) {
+  EXPECT_DEATH(
+      { Status s = Status::IoError("dropped on the floor"); },
+      "destroyed without being checked.*IoError.*dropped on the floor");
+}
+
+TEST(StatusDebugDeathTest, OverwrittenUncheckedErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Status s = Status::Corruption("first failure");
+        s = Status::OK();  // clobbers the unobserved error
+        s.IgnoreError();
+      },
+      "overwritten without being checked.*Corruption.*first failure");
+}
+
+TEST(StatusDebugDeathTest, OkStatusIsExemptEverywhere) {
+  {
+    Status s = Status::OK();  // destroyed unobserved: fine
+  }
+  Status t = Status::OK();
+  t = Status::OK();  // overwritten unobserved: fine
+  Status moved = std::move(t);
+  (void)moved.ok();
+}
+
+TEST(StatusDebugDeathTest, EveryObserverSatisfiesTheObligation) {
+  { Status s = Status::IoError("x"); EXPECT_FALSE(s.ok()); }
+  { Status s = Status::IoError("x"); EXPECT_TRUE(s.IsIoError()); }
+  { Status s = Status::IoError("x"); EXPECT_EQ(s.code(), StatusCode::kIoError); }
+  { Status s = Status::IoError("x"); EXPECT_EQ(s.message(), "x"); }
+  { Status s = Status::IoError("x"); EXPECT_EQ(s.ToString(), "IoError: x"); }
+  {
+    Status a = Status::IoError("x");
+    Status b = Status::IoError("y");
+    EXPECT_TRUE(a == b);  // == observes both sides
+  }
+}
+
+TEST(StatusDebugDeathTest, IgnoreErrorSilencesTheTracker) {
+  Status s = Status::Aborted("deliberately dropped");
+  s.IgnoreError();
+}
+
+TEST(StatusDebugDeathTest, MoveTransfersTheObligationToTheDestination) {
+  // Destination never observed -> the obligation travels with the move and
+  // still aborts, attributed to the destination's destruction.
+  EXPECT_DEATH(
+      {
+        Status src = Status::IoError("travels with the move");
+        Status dst = std::move(src);
+        // src is OK/checked now; only dst owns the error.
+      },
+      "destroyed without being checked.*travels with the move");
+
+  // Observing the destination discharges it; the moved-from source carries
+  // no residual obligation.
+  Status src = Status::IoError("observed at destination");
+  Status dst = std::move(src);
+  EXPECT_TRUE(dst.IsIoError());
+}
+
+TEST(StatusDebugDeathTest, CopyTransfersTheObligationToTheDestination) {
+  EXPECT_DEATH(
+      {
+        Status src = Status::IoError("copied, never observed");
+        Status dst = src;  // src counts as handled, dst inherits the duty
+        (void)sizeof(dst);
+      },
+      "destroyed without being checked.*copied, never observed");
+
+  Status src = Status::IoError("copy observed");
+  Status dst = src;
+  EXPECT_TRUE(dst.IsIoError());
+  // src was marked checked by the copy: destroying it unobserved is fine.
+}
+
+TEST(StatusDebugDeathTest, MoveAssignmentVerifiesTheOldValue) {
+  EXPECT_DEATH(
+      {
+        Status s = Status::Busy("old unobserved error");
+        s = Status::IoError("new error");
+        s.IgnoreError();
+      },
+      "overwritten without being checked.*Busy.*old unobserved error");
+}
+
+TEST(StatusDebugDeathTest, ReturnedStatusCarriesTheObligationOut) {
+  auto fails = []() { return Status::IoError("escaped a call boundary"); };
+  EXPECT_DEATH({ Status s = fails(); }, "escaped a call boundary");
+  Status s = fails();
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusDebugDeathTest, ResultObservationsCountForTheEmbeddedStatus) {
+  // Result::ok() marks the embedded status checked, so a value-bearing
+  // Result can be destroyed after a plain ok() probe.
+  Result<int> r(42);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+
+  Result<int> err(Status::IoError("wrapped"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsIoError());
+}
+
+TEST(StatusDebugDeathTest, LsmioReturnIfErrorObservesAndPropagates) {
+  auto inner = []() { return Status::IoError("propagated"); };
+  auto outer = [&]() -> Status {
+    LSMIO_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  Status s = outer();
+  EXPECT_TRUE(s.IsIoError());
+}
+
+}  // namespace
+}  // namespace lsmio

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "common/result.h"
 
 namespace lsmio {
@@ -71,6 +73,37 @@ TEST(ResultTest, MoveOutValue) {
   ASSERT_TRUE(r.ok());
   std::string v = std::move(r).value();
   EXPECT_EQ(v.size(), 1000u);
+}
+
+// Tracking-safe semantics that must hold whatever LSMIO_STATUS_DEBUG is set
+// to for this binary (the abort-on-unobserved death tests live in
+// status_debug_test, which forces tracking ON in every build type).
+
+TEST(StatusTest, IgnoreErrorDischargesAnError) {
+  Status s = Status::IoError("dropped deliberately");
+  s.IgnoreError();
+  // Destruction at end of scope must be clean even with tracking on.
+}
+
+TEST(StatusTest, MoveTransfersStateAndResetsSource) {
+  Status s = Status::Aborted("moved");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsAborted());
+  EXPECT_EQ(t.message(), "moved");
+  EXPECT_TRUE(s.ok());  // NOLINT(bugprone-use-after-move): reset-to-OK is the contract
+}
+
+TEST(StatusTest, MoveAssignOverChecked) {
+  Status s = Status::Busy("old");
+  EXPECT_TRUE(s.IsBusy());  // observed: overwriting it is legal under tracking
+  s = Status::IoError("new");
+  EXPECT_TRUE(s.IsIoError());
+}
+
+TEST(StatusTest, ReadOnlyCode) {
+  Status s = Status::ReadOnly("store latched");
+  EXPECT_TRUE(s.IsReadOnly());
+  EXPECT_EQ(s.ToString(), "ReadOnly: store latched");
 }
 
 TEST(StatusCodeNameTest, AllCodesNamed) {
