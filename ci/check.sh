@@ -13,7 +13,8 @@
 #   ci/check.sh                 # run the default legs (lint, tsan, asan, shards)
 #   ci/check.sh --leg asan      # run exactly one leg
 #   ci/check.sh asan            # same (positional form kept for compat)
-# Legs: plain | lint | tsan | asan | shards | valuelog | bench | tail-latency | all
+# Legs: plain | lint | tsan | asan | shards | valuelog | bench | tail-latency |
+#       bench-files | bench-compare | all
 set -u -o pipefail
 
 cd "$(dirname "$0")/.."
@@ -157,14 +158,14 @@ leg_bench() {
   fi
   if ! "$builddir/bench/bench_micro_lsm" \
        --benchmark_min_time=0.01 \
-       --benchmark_out="$outdir/bench_micro_lsm.json" \
+       --benchmark_out="$outdir/micro_lsm_smoke.json" \
        --benchmark_out_format=json; then
     FAIL+=("$name (bench_micro_lsm)")
     return 1
   fi
   if ! LSMIO_BENCH_OPS=64 LSMIO_BENCH_VALUE_BYTES=512 LSMIO_BENCH_MAX_THREADS=2 \
        "$builddir/bench/bench_concurrent_writers" \
-       >"$outdir/bench_concurrent_writers.json"; then
+       >"$outdir/concurrent_writers_smoke.json"; then
     FAIL+=("$name (bench_concurrent_writers)")
     return 1
   fi
@@ -172,13 +173,13 @@ leg_bench() {
   # crosses the separation threshold and compactions actually run.
   if ! LSMIO_BENCH_OPS=64 LSMIO_BENCH_VALUE_BYTES=$((256 * 1024)) \
        "$builddir/bench/bench_value_log" \
-       >"$outdir/bench_value_log_smoke.json"; then
+       >"$outdir/value_log_smoke.json"; then
     FAIL+=("$name (bench_value_log)")
     return 1
   fi
-  if ! python3 - "$outdir/bench_micro_lsm.json" \
-       "$outdir/bench_concurrent_writers.json" \
-       "$outdir/bench_value_log_smoke.json" <<'PY'
+  if ! python3 - "$outdir/micro_lsm_smoke.json" \
+       "$outdir/concurrent_writers_smoke.json" \
+       "$outdir/value_log_smoke.json" <<'PY'
 import json, sys
 micro = json.load(open(sys.argv[1]))
 assert micro.get("benchmarks"), "bench_micro_lsm produced no benchmarks"
@@ -194,7 +195,86 @@ PY
     FAIL+=("$name (json validation)")
     return 1
   fi
+  if ! validate_bench_results; then
+    FAIL+=("$name (bench_results manifest)")
+    return 1
+  fi
   PASS+=("$name")
+}
+
+# Validates the bench_results/ filename scheme so stale artifacts cannot
+# accumulate under two names for the same bench again:
+#   * committed real measurements use bare names (concurrent_writers.json);
+#   * transient tiny-config smoke outputs use the *_smoke.json suffix
+#     (gitignored; regenerated by the bench / tail-latency legs);
+#   * regression-gate baselines live under bench_results/baseline/ with the
+#     same *_smoke.json names they gate.
+# Any other file in the directory fails the check.
+validate_bench_results() {
+  local outdir="$ROOT/bench_results"
+  local committed="concurrent_writers.json value_log.json tail_latency.json \
+fig10_read.json multiget.json figures.txt"
+  local ok=0
+  local f base
+  for f in "$outdir"/* "$outdir"/baseline/*; do
+    [ -e "$f" ] || continue
+    base="$(basename "$f")"
+    case "$f" in
+      "$outdir"/baseline) continue ;;
+      "$outdir"/baseline/*)
+        case "$base" in
+          *_smoke.json) continue ;;
+          *) echo "bench_results: unexpected baseline file: baseline/$base" ;;
+        esac
+        ;;
+      *)
+        case " $committed " in
+          *" $base "*) continue ;;
+          *)
+            case "$base" in
+              *_smoke.json) continue ;;
+              *) echo "bench_results: unexpected file: $base (committed measurements use bare names, smoke outputs *_smoke.json)" ;;
+            esac
+            ;;
+        esac
+        ;;
+    esac
+    ok=1
+  done
+  if [ "$ok" -ne 0 ] && [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+    echo "::error title=bench_results manifest::unexpected files in bench_results/ (see log)"
+  fi
+  [ "$ok" -eq 0 ] && echo "bench_results: filename manifest ok"
+  return "$ok"
+}
+
+leg_bench_files() {
+  if validate_bench_results; then
+    PASS+=("bench-files")
+  else
+    FAIL+=("bench-files")
+    return 1
+  fi
+}
+
+# Bench-regression gate: diffs the *_smoke.json outputs of the bench and
+# tail-latency legs against the committed baselines in
+# bench_results/baseline/. Regressions beyond 15% warn by default (CI
+# runner perf is noisy); BENCH_COMPARE_STRICT=1 makes them fail.
+leg_bench_compare() {
+  local name=bench-compare
+  if ! command -v python3 >/dev/null 2>&1; then
+    note_skip "$name" "python3 not found"
+    return 0
+  fi
+  echo
+  echo "=== [$name] bench-regression gate ==="
+  if python3 "$ROOT/ci/bench_compare.py"; then
+    PASS+=("$name")
+  else
+    FAIL+=("$name")
+    return 1
+  fi
 }
 
 # Tiny-config tail-latency smoke: runs the hard-stall vs graduated A/B with
@@ -258,6 +338,10 @@ PY
     FAIL+=("$name (json validation)")
     return 1
   fi
+  if ! validate_bench_results; then
+    FAIL+=("$name (bench_results manifest)")
+    return 1
+  fi
   PASS+=("$name")
 }
 
@@ -279,7 +363,7 @@ while [ "$#" -gt 0 ]; do
       shift
       ;;
     -h|--help)
-      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench|tail-latency]"
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench|tail-latency|bench-files|bench-compare]"
       exit 0
       ;;
     *)
@@ -300,6 +384,8 @@ for leg in "${LEGS[@]}"; do
     valuelog) leg_valuelog ;;
     bench) leg_bench ;;
     tail-latency) leg_tail_latency ;;
+    bench-files) leg_bench_files ;;
+    bench-compare) leg_bench_compare ;;
     all)
       leg_lint
       leg_tsan
@@ -308,7 +394,7 @@ for leg in "${LEGS[@]}"; do
       leg_valuelog
       ;;
     *)
-      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench|tail-latency]" >&2
+      echo "usage: ci/check.sh [--leg <name>]... [all|plain|lint|tsan|asan|shards|valuelog|bench|tail-latency|bench-files|bench-compare]" >&2
       exit 2
       ;;
   esac

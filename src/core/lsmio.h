@@ -3,8 +3,9 @@
 // paper's Figure 3 architecture exposes.
 #pragma once
 
-#include "core/fstream.h"       // IWYU pragma: export
-#include "core/lsmio_options.h" // IWYU pragma: export
-#include "core/manager.h"       // IWYU pragma: export
-#include "core/plugin.h"        // IWYU pragma: export
-#include "core/store.h"         // IWYU pragma: export
+#include "core/fstream.h"        // IWYU pragma: export
+#include "core/lsmio_options.h"  // IWYU pragma: export
+#include "core/manager.h"        // IWYU pragma: export
+#include "core/memory_arbiter.h" // IWYU pragma: export
+#include "core/plugin.h"         // IWYU pragma: export
+#include "core/store.h"          // IWYU pragma: export

@@ -17,6 +17,8 @@ class Comm;
 
 namespace lsmio {
 
+class MemoryArbiter;
+
 /// How writeBarrier (and barrier-implying operations) wait.
 enum class BarrierMode {
   kSync,   // block until data is flushed to storage
@@ -79,6 +81,15 @@ struct LsmioOptions {
   /// Open the store without mutating it (concurrent multi-rank readers of
   /// one store, e.g. the ADIOS2-plugin read path, require this).
   bool read_only = false;
+
+  // --- multi-tenant memory arbitration (DESIGN.md §15) ---
+  /// Process-wide memory arbiter shared by many stores. When set, this
+  /// store registers as a tenant: its memtables draw from the arbiter's
+  /// global write budget (write_buffer_size stops being the flush trigger;
+  /// the arbiter picks flush victims under aggregate pressure) and — with
+  /// disable_cache=false — its block reads go through the arbiter's shared,
+  /// per-tenant-charged cache. The arbiter must outlive the store.
+  MemoryArbiter* memory_arbiter = nullptr;
 
   // --- §3.1.2 Local Store behaviour ---
   /// Aggregate writes in a WriteBatch and apply them at the write barrier

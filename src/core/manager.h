@@ -97,6 +97,12 @@ class Manager {
   /// OK while the underlying store accepts writes; the typed ReadOnly
   /// status after a durability failure latched it read-only.
   [[nodiscard]] Status Health() const { return store_->Health(); }
+  /// Tenant id under LsmioOptions::memory_arbiter (0 when this manager's
+  /// store is not arbiter-managed). Feed to MemoryArbiter::Residency for
+  /// per-tenant memtable/cache residency and forced-flush counts.
+  [[nodiscard]] uint64_t memory_tenant_id() const {
+    return store_->MemoryTenantId();
+  }
   [[nodiscard]] Store& store() noexcept { return *store_; }
 
  private:

@@ -1,0 +1,188 @@
+#include "core/memory_arbiter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsmio {
+
+namespace {
+
+uint64_t ComputeWatermark(const MemoryArbiterOptions& options) {
+  const double w = std::clamp(options.flush_watermark, 0.05, 1.0);
+  const auto bytes =
+      static_cast<uint64_t>(w * static_cast<double>(options.write_budget_bytes));
+  return std::min(bytes, options.write_budget_bytes);
+}
+
+uint64_t ComputeAttachmentCap(const MemoryArbiterOptions& options) {
+  if (options.max_memtable_bytes > 0) return options.max_memtable_bytes;
+  return std::max<uint64_t>(1 * MiB, options.write_budget_bytes / 4);
+}
+
+}  // namespace
+
+MemoryArbiter::MemoryArbiter(const MemoryArbiterOptions& options)
+    : options_(options),
+      watermark_bytes_(ComputeWatermark(options)),
+      attachment_cap_(ComputeAttachmentCap(options)),
+      shared_cache_(
+          lsm::NewLRUCache(std::max<uint64_t>(1, options.cache_budget_bytes))) {}
+
+MemoryArbiter::~MemoryArbiter() {
+  // Every store must close (and so detach) before the arbiter dies: a live
+  // attachment here means a DB still holds a pointer to this object.
+  MutexLock lock(&mu_);
+  assert(attachments_.empty());
+}
+
+uint64_t MemoryArbiter::RegisterTenant(const std::string& name) {
+  MutexLock lock(&mu_);
+  const uint64_t id = ++next_tenant_id_;
+  Tenant& t = tenants_[id];
+  t.name = name;
+  return id;
+}
+
+void MemoryArbiter::UnregisterTenant(uint64_t tenant_id) {
+  {
+    MutexLock lock(&mu_);
+    auto it = tenants_.find(tenant_id);
+    if (it == tenants_.end()) return;
+    // Attachments detach in ~DBImpl, which runs before the store releases
+    // its tenant registration.
+    assert(it->second.attachments == 0);
+    tenants_.erase(it);
+  }
+  // Outside mu_: cache shard mutexes are below the arbiter's in no
+  // particular order, so keep the two uncoupled.
+  shared_cache_->PurgeOwner(tenant_id);
+}
+
+TenantResidency MemoryArbiter::Residency(uint64_t tenant_id) const {
+  TenantResidency r;
+  r.tenant_id = tenant_id;
+  {
+    MutexLock lock(&mu_);
+    auto it = tenants_.find(tenant_id);
+    if (it != tenants_.end()) {
+      r.name = it->second.name;
+      r.arbiter_forced_flushes = it->second.forced_flushes;
+      r.attachments = it->second.attachments;
+    }
+    for (const auto& [id, a] : attachments_) {
+      if (a.tenant_id == tenant_id) r.memtable_bytes += a.bytes;
+    }
+  }
+  const lsm::CacheOwnerStats cs = shared_cache_->OwnerStats(tenant_id);
+  r.cache_bytes = cs.charge;
+  r.cache_evictions = cs.evictions;
+  return r;
+}
+
+std::vector<TenantResidency> MemoryArbiter::AllResidency() const {
+  std::vector<uint64_t> ids;
+  {
+    MutexLock lock(&mu_);
+    ids.reserve(tenants_.size());
+    for (const auto& [id, t] : tenants_) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<TenantResidency> out;
+  out.reserve(ids.size());
+  for (const uint64_t id : ids) out.push_back(Residency(id));
+  return out;
+}
+
+uint64_t MemoryArbiter::flush_requests() const {
+  MutexLock lock(&mu_);
+  return flush_requests_;
+}
+
+uint64_t MemoryArbiter::Attach(uint64_t tenant_id,
+                               std::function<void()> request_flush) {
+  MutexLock lock(&mu_);
+  const uint64_t id = ++next_attachment_id_;
+  Attachment& a = attachments_[id];
+  a.tenant_id = tenant_id;
+  a.request_flush = std::move(request_flush);
+  // A fresh attachment starts "warm": it should not be the instant victim
+  // just because it has never written.
+  a.last_write_tick = ++tick_;
+  auto t = tenants_.find(tenant_id);
+  if (t != tenants_.end()) ++t->second.attachments;
+  return id;
+}
+
+void MemoryArbiter::Detach(uint64_t attachment_id) {
+  MutexLock lock(&mu_);
+  auto it = attachments_.find(attachment_id);
+  if (it == attachments_.end()) return;
+  const Attachment& a = it->second;
+  total_usage_.store(total_usage_.load(std::memory_order_relaxed) - a.bytes,
+                     std::memory_order_relaxed);
+  if (a.flush_requested) {
+    assert(pending_release_ >= a.bytes_at_request);
+    pending_release_ -= a.bytes_at_request;
+  }
+  auto t = tenants_.find(a.tenant_id);
+  if (t != tenants_.end()) --t->second.attachments;
+  attachments_.erase(it);
+}
+
+void MemoryArbiter::UpdateUsage(uint64_t attachment_id, uint64_t bytes,
+                                bool wrote) {
+  MutexLock lock(&mu_);
+  auto it = attachments_.find(attachment_id);
+  if (it == attachments_.end()) return;  // detached; late flush completion
+  Attachment& a = it->second;
+  total_usage_.store(
+      total_usage_.load(std::memory_order_relaxed) - a.bytes + bytes,
+      std::memory_order_relaxed);
+  a.bytes = bytes;
+  if (wrote) a.last_write_tick = ++tick_;
+  if (a.flush_requested && bytes < a.bytes_at_request) {
+    // The requested flush (or enough of it) landed; the pick is spent.
+    a.flush_requested = false;
+    assert(pending_release_ >= a.bytes_at_request);
+    pending_release_ -= a.bytes_at_request;
+  }
+  MaybePickVictims();
+}
+
+void MemoryArbiter::MaybePickVictims() {
+  // Victims are picked while usage *net of flushes already in flight*
+  // stays above the watermark, so one burst doesn't mark every tenant.
+  while (total_usage_.load(std::memory_order_relaxed) >
+         watermark_bytes_ + pending_release_) {
+    Attachment* best = nullptr;
+    for (auto& [id, a] : attachments_) {
+      if (a.flush_requested || a.bytes < options_.min_victim_bytes) continue;
+      if (best == nullptr || a.last_write_tick < best->last_write_tick ||
+          (a.last_write_tick == best->last_write_tick &&
+           a.bytes > best->bytes)) {
+        best = &a;
+      }
+    }
+    if (best == nullptr) break;  // nothing eligible; in-flight flushes decide
+    best->flush_requested = true;
+    best->bytes_at_request = best->bytes;
+    pending_release_ += best->bytes;
+    ++flush_requests_;
+    auto t = tenants_.find(best->tenant_id);
+    if (t != tenants_.end()) ++t->second.forced_flushes;
+    // Non-blocking by the WriteMemoryPool contract; invoked under mu_ so
+    // Detach doubles as a callback barrier.
+    best->request_flush();
+  }
+}
+
+double MemoryArbiter::GlobalPressure() const {
+  const uint64_t usage = total_usage_.load(std::memory_order_relaxed);
+  if (usage <= watermark_bytes_) return 0.0;
+  const uint64_t budget = options_.write_budget_bytes;
+  if (usage >= budget || budget <= watermark_bytes_) return 1.0;
+  return static_cast<double>(usage - watermark_bytes_) /
+         static_cast<double>(budget - watermark_bytes_);
+}
+
+}  // namespace lsmio

@@ -1,0 +1,158 @@
+// MemoryArbiter: one process-wide memory budget shared by every store a
+// process hosts (DESIGN.md §15). The paper's aggregator runs one store per
+// checkpoint stream; at hundreds-to-thousands of tenants, fixed per-store
+// write_buffer_size + private block caches are either OOM or waste. The
+// arbiter splits a global budget into
+//
+//  (a) a shared block cache with per-tenant charge accounting
+//      (lsm::Cache owner ids — see shared_cache()), and
+//  (b) a global write-memory pool (the lsm::WriteMemoryPool side of this
+//      class): memtables grow until *aggregate* usage crosses the flush
+//      watermark, then the arbiter picks flush victims cold-first (least
+//      recent write activity, largest resident size as tie-break) and asks
+//      the victim DB to switch its memtable through its normal flush
+//      scheduling. Hot tenants effectively steal memory from cold ones —
+//      the adaptive-memory design of "Breaking Down Memory Walls"
+//      (PAPERS.md).
+//
+// Budget pressure never hard-stalls writers: GlobalPressure() feeds each
+// DB's WriteController, so the graduated-backpressure leaky bucket paces
+// all tenants as usage approaches the budget.
+//
+// Lifetime: the arbiter must outlive every store registered with it.
+// Thread-safe; the victim callback contract is in lsm/memory_budget.h.
+// Lock order: DBImpl::mu_ -> MemoryArbiter::mu_ -> ThreadPool::mu_.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/synchronization.h"
+#include "common/units.h"
+#include "lsm/cache.h"
+#include "lsm/memory_budget.h"
+
+namespace lsmio {
+
+struct MemoryArbiterOptions {
+  /// Aggregate memtable budget across every attached store.
+  uint64_t write_budget_bytes = 256 * MiB;
+  /// Capacity of the shared block cache.
+  uint64_t cache_budget_bytes = 64 * MiB;
+  /// Fraction of write_budget_bytes at which victim flushing starts;
+  /// pacing pressure ramps from here to 1.0 at the full budget.
+  double flush_watermark = 0.85;
+  /// An attachment below this resident size is never picked as a victim
+  /// (flushing slivers buys nothing and costs an SST per sliver).
+  uint64_t min_victim_bytes = 256 * KiB;
+  /// Hard per-memtable cap: a single attachment switches past this size
+  /// regardless of global pressure, bounding flush size and recovery time.
+  /// 0 = write_budget_bytes / 4.
+  uint64_t max_memtable_bytes = 0;
+};
+
+/// Point-in-time residency of one tenant (one registered store).
+struct TenantResidency {
+  std::string name;
+  uint64_t tenant_id = 0;
+  uint64_t memtable_bytes = 0;       ///< summed over the tenant's attachments
+  uint64_t cache_bytes = 0;          ///< shared-cache charge
+  uint64_t cache_evictions = 0;      ///< shared-cache capacity evictions
+  uint64_t arbiter_forced_flushes = 0;  ///< victim picks issued to the tenant
+  int attachments = 0;               ///< attached DBs (shards)
+};
+
+class MemoryArbiter final : public lsm::WriteMemoryPool {
+ public:
+  explicit MemoryArbiter(const MemoryArbiterOptions& options = {});
+  ~MemoryArbiter() override;
+
+  MemoryArbiter(const MemoryArbiter&) = delete;
+  MemoryArbiter& operator=(const MemoryArbiter&) = delete;
+
+  /// Registers a store (by path or any stable name) and returns its
+  /// nonzero tenant id — the charge owner for cache inserts and the
+  /// tenant of its pool attachments.
+  uint64_t RegisterTenant(const std::string& name);
+  /// Forgets the tenant and purges its unpinned shared-cache entries.
+  /// Call after the store (every attachment) is closed.
+  void UnregisterTenant(uint64_t tenant_id);
+
+  /// The shared, per-tenant-charged block cache. Stable for the arbiter's
+  /// lifetime; wire into lsm::Options::block_cache.
+  [[nodiscard]] lsm::Cache* shared_cache() const { return shared_cache_.get(); }
+  /// The global write-memory pool. Wire into
+  /// lsm::Options::write_memory_pool.
+  [[nodiscard]] lsm::WriteMemoryPool* write_pool() { return this; }
+
+  [[nodiscard]] TenantResidency Residency(uint64_t tenant_id) const;
+  [[nodiscard]] std::vector<TenantResidency> AllResidency() const;
+
+  /// Total victim picks issued since construction.
+  [[nodiscard]] uint64_t flush_requests() const;
+
+  // --- lsm::WriteMemoryPool ---
+  uint64_t Attach(uint64_t tenant_id,
+                  std::function<void()> request_flush) override;
+  void Detach(uint64_t attachment_id) override;
+  void UpdateUsage(uint64_t attachment_id, uint64_t bytes,
+                   bool wrote) override;
+  [[nodiscard]] uint64_t AttachmentCap() const override {
+    return attachment_cap_;
+  }
+  [[nodiscard]] double GlobalPressure() const override;
+  [[nodiscard]] uint64_t TotalUsage() const override {
+    return total_usage_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t Budget() const override {
+    return options_.write_budget_bytes;
+  }
+
+ private:
+  struct Attachment {
+    uint64_t tenant_id = 0;
+    uint64_t bytes = 0;            // last reported residency
+    uint64_t last_write_tick = 0;  // recency for the cold-first policy
+    bool flush_requested = false;  // victim pick outstanding
+    uint64_t bytes_at_request = 0; // residency when the pick was issued
+    std::function<void()> request_flush;
+  };
+
+  struct Tenant {
+    std::string name;
+    uint64_t forced_flushes = 0;
+    int attachments = 0;
+  };
+
+  /// Picks victims (cold-first, largest tie-break) while usage net of
+  /// already-requested flushes sits above the watermark. Callbacks are
+  /// invoked under mu_ — the WriteMemoryPool contract makes them
+  /// non-blocking, and holding mu_ makes Detach a barrier against
+  /// callbacks on destroyed DBs.
+  void MaybePickVictims() REQUIRES(mu_);
+
+  const MemoryArbiterOptions options_;
+  const uint64_t watermark_bytes_;
+  const uint64_t attachment_cap_;
+  std::unique_ptr<lsm::Cache> shared_cache_;  // unguarded: internally synced
+
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, Tenant> tenants_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Attachment> attachments_ GUARDED_BY(mu_);
+  uint64_t next_tenant_id_ GUARDED_BY(mu_) = 0;
+  uint64_t next_attachment_id_ GUARDED_BY(mu_) = 0;
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
+  /// Bytes expected back from outstanding victim picks.
+  uint64_t pending_release_ GUARDED_BY(mu_) = 0;
+  uint64_t flush_requests_ GUARDED_BY(mu_) = 0;
+  /// Mirror of the summed attachment bytes; written under mu_, read
+  /// lock-free on the write hot path (GlobalPressure/TotalUsage).
+  /// unguarded: atomic by design.
+  std::atomic<uint64_t> total_usage_{0};
+};
+
+}  // namespace lsmio

@@ -1,6 +1,7 @@
 #include "core/store.h"
 
 #include "common/synchronization.h"
+#include "core/memory_arbiter.h"
 
 namespace lsmio {
 
@@ -36,8 +37,21 @@ lsm::Options ToEngineOptions(const LsmioOptions& options) {
 
 class LsmStore final : public Store {
  public:
-  LsmStore(LsmioOptions options, std::unique_ptr<lsm::DB> db)
-      : options_(std::move(options)), db_(std::move(db)) {}
+  LsmStore(LsmioOptions options, std::unique_ptr<lsm::DB> db,
+           uint64_t tenant_id)
+      : options_(std::move(options)),
+        db_(std::move(db)),
+        tenant_id_(tenant_id) {}
+
+  ~LsmStore() override {
+    // Close the engine first: ~DBImpl detaches from the arbiter's write
+    // pool and releases its pinned cache handles, so the purge below can
+    // reclaim the tenant's full cache charge.
+    db_.reset();
+    if (tenant_id_ != 0 && options_.memory_arbiter != nullptr) {
+      options_.memory_arbiter->UnregisterTenant(tenant_id_);
+    }
+  }
 
   Status StartBatch() override {
     MutexLock lock(&mu_);
@@ -174,6 +188,8 @@ class LsmStore final : public Store {
 
   Status Health() const override { return db_->HealthStatus(); }
 
+  uint64_t MemoryTenantId() const override { return tenant_id_; }
+
   lsm::Iterator* NewIterator(const lsm::ReadOptions& options) override {
     return db_->NewIterator(options);
   }
@@ -181,6 +197,7 @@ class LsmStore final : public Store {
  private:
   LsmioOptions options_;         // unguarded: immutable after construction
   std::unique_ptr<lsm::DB> db_;  // unguarded: set once; DB is internally synchronized
+  const uint64_t tenant_id_;     // unguarded: immutable after construction
   /// Guards the batching window. Lock order (DESIGN.md §9): mu_ is above
   /// DBImpl::mu_ — StopBatch/WriteBarrier call db_->Write while holding it.
   Mutex mu_;
@@ -192,9 +209,27 @@ class LsmStore final : public Store {
 
 Status OpenLsmStore(const LsmioOptions& options, const std::string& path,
                     std::unique_ptr<Store>* store) {
+  lsm::Options engine = ToEngineOptions(options);
+  uint64_t tenant_id = 0;
+  if (options.memory_arbiter != nullptr) {
+    tenant_id = options.memory_arbiter->RegisterTenant(path);
+    engine.tenant_id = tenant_id;
+    // Write-memory arbitration only matters for writable stores; read-only
+    // opens still share the cache so restore reads are charged correctly.
+    if (!options.read_only) {
+      engine.write_memory_pool = options.memory_arbiter->write_pool();
+    }
+    if (!options.disable_cache) {
+      engine.block_cache = options.memory_arbiter->shared_cache();
+    }
+  }
   std::unique_ptr<lsm::DB> db;
-  LSMIO_RETURN_IF_ERROR(lsm::DB::Open(ToEngineOptions(options), path, &db));
-  *store = std::make_unique<LsmStore>(options, std::move(db));
+  Status s = lsm::DB::Open(engine, path, &db);
+  if (!s.ok()) {
+    if (tenant_id != 0) options.memory_arbiter->UnregisterTenant(tenant_id);
+    return s;
+  }
+  *store = std::make_unique<LsmStore>(options, std::move(db), tenant_id);
   return Status::OK();
 }
 

@@ -67,6 +67,9 @@ class Store {
   /// ReadOnly status once a WAL/manifest/flush failure latched the engine
   /// into sticky read-only mode (reopen to clear).
   [[nodiscard]] virtual Status Health() const = 0;
+  /// Tenant id under LsmioOptions::memory_arbiter (0 when the store is not
+  /// arbiter-managed). Feed to MemoryArbiter::Residency.
+  [[nodiscard]] virtual uint64_t MemoryTenantId() const { return 0; }
   /// Iterator over the full key space (caller deletes before the store),
   /// honouring the given engine read options (e.g. readahead_bytes for
   /// sequential restore scans, fill_cache=false for one-shot sweeps).

@@ -16,6 +16,7 @@ struct LRUEntry {
   void* value = nullptr;
   size_t charge = 0;
   std::function<void(const Slice&, void*)> deleter;
+  uint64_t owner = 0;    // charge owner (tenant id); 0 = unowned
   uint32_t refs = 0;     // includes the cache's own reference while in table
   bool in_cache = false;
   LRUEntry* next = nullptr;
@@ -45,23 +46,30 @@ class LRUShard {
   }
 
   Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
-                        std::function<void(const Slice&, void*)> deleter) {
+                        std::function<void(const Slice&, void*)> deleter,
+                        uint64_t owner) {
     MutexLock lock(&mu_);
     auto* e = new LRUEntry;
     e->key.assign(key.data(), key.size());
     e->value = value;
     e->charge = charge;
     e->deleter = std::move(deleter);
+    e->owner = owner;
     e->refs = 2;  // one for the cache, one for the returned handle
     e->in_cache = true;
 
     auto it = table_.find(e->key);
     if (it != table_.end()) {
-      RemoveFromTable(it->second);
+      RemoveFromTable(it->second, /*capacity_eviction=*/false);
     }
     table_[e->key] = e;
     Append(&lru_, e);
     usage_ += charge;
+    if (owner != 0) {
+      OwnerCounts& oc = owners_[owner];
+      oc.charge += charge;
+      ++oc.inserts;
+    }
     EvictIfNeeded();
     return reinterpret_cast<Cache::Handle*>(e);
   }
@@ -86,7 +94,7 @@ class LRUShard {
   void Erase(const Slice& key) {
     MutexLock lock(&mu_);
     auto it = table_.find(std::string(key.data(), key.size()));
-    if (it != table_.end()) RemoveFromTable(it->second);
+    if (it != table_.end()) RemoveFromTable(it->second, false);
   }
 
   size_t Usage() {
@@ -94,7 +102,45 @@ class LRUShard {
     return usage_;
   }
 
+  size_t OwnerUsage(uint64_t owner) {
+    MutexLock lock(&mu_);
+    auto it = owners_.find(owner);
+    return it == owners_.end() ? 0 : it->second.charge;
+  }
+
+  void AccumulateOwnerStats(uint64_t owner, CacheOwnerStats* out) {
+    MutexLock lock(&mu_);
+    auto it = owners_.find(owner);
+    if (it == owners_.end()) return;
+    out->charge += it->second.charge;
+    out->inserts += it->second.inserts;
+    out->evictions += it->second.evictions;
+    out->evicted_bytes += it->second.evicted_bytes;
+  }
+
+  void PurgeOwner(uint64_t owner) {
+    MutexLock lock(&mu_);
+    // Unpinned entries unlink immediately; pinned ones stay charged until
+    // their holders release them (the owner record persists meanwhile).
+    for (LRUEntry* e = lru_.next; e != &lru_;) {
+      LRUEntry* next = e->next;
+      if (e->owner == owner && e->refs == 1) {
+        RemoveFromTable(e, /*capacity_eviction=*/false);
+      }
+      e = next;
+    }
+    auto it = owners_.find(owner);
+    if (it != owners_.end() && it->second.charge == 0) owners_.erase(it);
+  }
+
  private:
+  struct OwnerCounts {
+    size_t charge = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t evicted_bytes = 0;
+  };
+
   // Unlinks e from the LRU list.
   static void Remove(LRUEntry* e) {
     e->next->prev = e->prev;
@@ -123,12 +169,23 @@ class LRUShard {
   // Drops the cache's reference and unlinks from the LRU list; the entry is
   // freed once the last client handle is released. The LRU list therefore
   // only ever contains in-table entries.
-  void RemoveFromTable(LRUEntry* e) REQUIRES(mu_) {
+  void RemoveFromTable(LRUEntry* e, bool capacity_eviction) REQUIRES(mu_) {
     assert(e->in_cache);
     table_.erase(e->key);
     e->in_cache = false;
     Remove(e);
     usage_ -= e->charge;
+    if (e->owner != 0) {
+      auto it = owners_.find(e->owner);
+      if (it != owners_.end()) {
+        assert(it->second.charge >= e->charge);
+        it->second.charge -= e->charge;
+        if (capacity_eviction) {
+          ++it->second.evictions;
+          it->second.evicted_bytes += e->charge;
+        }
+      }
+    }
     Unref(e);
   }
 
@@ -143,7 +200,7 @@ class LRUShard {
         }
       }
       if (victim == nullptr) break;  // everything pinned
-      RemoveFromTable(victim);
+      RemoveFromTable(victim, /*capacity_eviction=*/true);
     }
   }
 
@@ -151,6 +208,7 @@ class LRUShard {
   size_t capacity_ GUARDED_BY(mu_) = 0;
   size_t usage_ GUARDED_BY(mu_) = 0;
   std::unordered_map<std::string, LRUEntry*> table_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, OwnerCounts> owners_ GUARDED_BY(mu_);
   /// Dummy head; lru_.next is oldest, lru_.prev is newest. The list nodes
   /// hang off table_ entries, so the whole structure is guarded by mu_.
   LRUEntry lru_ GUARDED_BY(mu_);
@@ -164,8 +222,10 @@ class ShardedLRUCache final : public Cache {
   }
 
   Handle* Insert(const Slice& key, void* value, size_t charge,
-                 std::function<void(const Slice&, void*)> deleter) override {
-    return shards_[ShardOf(key)].Insert(key, value, charge, std::move(deleter));
+                 std::function<void(const Slice&, void*)> deleter,
+                 uint64_t owner) override {
+    return shards_[ShardOf(key)].Insert(key, value, charge, std::move(deleter),
+                                        owner);
   }
 
   Handle* Lookup(const Slice& key) override {
@@ -194,6 +254,26 @@ class ShardedLRUCache final : public Cache {
       total += const_cast<LRUShard&>(shard).Usage();
     }
     return total;
+  }
+
+  size_t OwnerCharge(uint64_t owner) const override {
+    size_t total = 0;
+    for (auto& shard : shards_) {
+      total += const_cast<LRUShard&>(shard).OwnerUsage(owner);
+    }
+    return total;
+  }
+
+  CacheOwnerStats OwnerStats(uint64_t owner) const override {
+    CacheOwnerStats stats;
+    for (auto& shard : shards_) {
+      const_cast<LRUShard&>(shard).AccumulateOwnerStats(owner, &stats);
+    }
+    return stats;
+  }
+
+  void PurgeOwner(uint64_t owner) override {
+    for (auto& shard : shards_) shard.PurgeOwner(owner);
   }
 
  private:

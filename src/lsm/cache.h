@@ -1,6 +1,12 @@
 // Sharded LRU cache for table data blocks. The paper disables caching for
 // the checkpoint configuration (Options::disable_cache); the cache exists
 // for the read path and the ablation study.
+//
+// Entries carry an optional charge owner (a tenant id) so a single cache
+// can be shared by many stores with per-tenant accounting: the MemoryArbiter
+// (src/core/memory_arbiter.h) hands every store the same cache and a unique
+// owner id, then reads back per-owner usage/eviction stats for residency
+// reporting and purges an owner's entries when its store closes.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +17,15 @@
 
 namespace lsmio::lsm {
 
+/// Per-owner accounting for a shared cache. Counters are cumulative over the
+/// owner's lifetime; `charge` is the current resident total.
+struct CacheOwnerStats {
+  uint64_t charge = 0;         ///< bytes currently charged to the owner
+  uint64_t inserts = 0;        ///< entries inserted under the owner
+  uint64_t evictions = 0;      ///< owner entries dropped by capacity pressure
+  uint64_t evicted_bytes = 0;  ///< bytes of those capacity evictions
+};
+
 class Cache {
  public:
   virtual ~Cache() = default;
@@ -20,8 +35,10 @@ class Cache {
 
   /// Inserts key->value with a size `charge`; `deleter` runs when the entry
   /// is evicted and unpinned. Returns a pinned handle (caller must Release).
+  /// `owner` attributes the charge to a tenant (0 = unowned/single-tenant).
   virtual Handle* Insert(const Slice& key, void* value, size_t charge,
-                         std::function<void(const Slice&, void*)> deleter) = 0;
+                         std::function<void(const Slice&, void*)> deleter,
+                         uint64_t owner = 0) = 0;
 
   /// Looks up key; pins and returns the entry, or nullptr.
   virtual Handle* Lookup(const Slice& key) = 0;
@@ -40,6 +57,17 @@ class Cache {
 
   /// Total charge currently held.
   virtual size_t TotalCharge() const = 0;
+
+  /// Bytes currently charged to `owner` (0 if unknown).
+  virtual size_t OwnerCharge(uint64_t owner) const = 0;
+
+  /// Full accounting for `owner` (zeroed struct if unknown).
+  virtual CacheOwnerStats OwnerStats(uint64_t owner) const = 0;
+
+  /// Drops every unpinned entry charged to `owner` and forgets its
+  /// accounting once the charge reaches zero. Pinned entries survive (their
+  /// charge remains attributed) — callers tear down their tables first.
+  virtual void PurgeOwner(uint64_t owner) = 0;
 };
 
 /// LRU cache with 16 shards; `capacity` is the total charge budget.

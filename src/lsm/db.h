@@ -105,6 +105,17 @@ struct DbStats {
   uint64_t value_log_segments = 0;     // gauge: blob segments on disk
   uint64_t value_log_live_bytes = 0;   // gauge: record bytes still referenced
   uint64_t value_log_garbage_bytes = 0;// gauge: record bytes awaiting GC
+  // --- global memory arbitration (Options::write_memory_pool / MemoryArbiter)
+  uint64_t memtable_bytes = 0;         // gauge: active + immutable memtable
+                                       // bytes (summed across shards)
+  uint64_t tenant_cache_bytes = 0;     // gauge: block-cache bytes charged to
+                                       // this store's tenant (shared cache),
+                                       // else the private cache's total
+  uint64_t arbiter_forced_flushes = 0; // memtable switches forced by the
+                                       // global write-memory arbiter
+  uint64_t write_pool_usage_bytes = 0; // gauge: aggregate pool usage across
+                                       // every attached store (process-wide)
+  uint64_t write_pool_budget_bytes = 0;// gauge: configured pool budget
 };
 
 class DB {

@@ -37,11 +37,16 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname,
                          : nullptr),
       write_controller_(options) {
   if (!options_.disable_cache) {
-    block_cache_ = NewLRUCache(options_.block_cache_capacity);
+    if (options_.block_cache != nullptr) {
+      block_cache_ = options_.block_cache;  // shared, arbiter-owned
+    } else {
+      owned_block_cache_ = NewLRUCache(options_.block_cache_capacity);
+      block_cache_ = owned_block_cache_.get();
+    }
   }
   table_cache_ = std::make_unique<TableCache>(
       dbname_, options_, &internal_comparator_, filter_policy_.get(),
-      block_cache_.get(), /*entries=*/1000, &read_counters_);
+      block_cache_, /*entries=*/1000, &read_counters_);
   versions_ = std::make_unique<VersionSet>(dbname_, options_,
                                            &internal_comparator_,
                                            table_cache_.get());
@@ -71,10 +76,21 @@ DBImpl::DBImpl(const Options& options, const std::string& dbname,
 }
 
 DBImpl::~DBImpl() {
+  // Detach from the write-memory pool before anything else: after Detach
+  // returns, the pool's victim callback can never fire again, so at most
+  // one already-submitted ArbiterFlushCall can still reference this object
+  // — the wait below covers it.
+  if (pool_attachment_ != 0) {
+    options_.write_memory_pool->Detach(pool_attachment_);
+    pool_attachment_ = 0;
+  }
   {
     MutexLock lock(&mu_);
     shutting_down_.store(true);
-    while (flush_scheduled_ || compaction_scheduled_) bg_cv_.Wait();
+    while (flush_scheduled_ || compaction_scheduled_ ||
+           arbiter_task_pending_.load(std::memory_order_acquire)) {
+      bg_cv_.Wait();
+    }
   }
   // Drop any parked retry callback and wait out an in-flight dispatch, so
   // the (possibly shared) limiter cannot call back into a dead object.
@@ -188,6 +204,16 @@ Status DBImpl::Initialize() {
   // Recovery may have left L0 files behind; start pacing from that state
   // rather than from zero.
   RefreshWritePressure();
+
+  // Attach to the global write-memory pool last, once recovery can no
+  // longer fail: a registered victim callback must always have a live,
+  // fully-initialized DB behind it. Read-only stores never flush, so they
+  // stay detached.
+  if (options_.write_memory_pool != nullptr && !options_.read_only) {
+    pool_attachment_ = options_.write_memory_pool->Attach(
+        options_.tenant_id, [this] { RequestArbiterFlush(); });
+    ReportPoolUsage(/*wrote=*/false);  // recovery may have refilled mem_
+  }
   return Status::OK();
 }
 
@@ -467,6 +493,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     }
     if (write_batch == &tmp_batch_) tmp_batch_.Clear();
     if (log_batch == &tmp_vlog_batch_) tmp_vlog_batch_.Clear();
+    if (status.ok()) ReportPoolUsage(/*wrote=*/true);
   }
 
   // Mark every writer in the group done and hand leadership to the next.
@@ -556,6 +583,7 @@ Status DBImpl::WriteSerialized(const WriteOptions& options, WriteBatch* updates)
   updates->Iterate(&counter).IgnoreError();
   stats_.puts += counter.puts;
   stats_.deletes += counter.dels;
+  ReportPoolUsage(/*wrote=*/true);
   record_latency();
   return Status::OK();
 }
@@ -644,6 +672,56 @@ Status DBImpl::ResolvePointerValue(std::string* value) const {
 void DBImpl::RefreshWritePressure() {
   write_controller_.UpdatePressure(versions_->current()->NumFiles(0),
                                    static_cast<int>(imm_queue_.size()));
+  if (options_.write_memory_pool != nullptr) {
+    // Budget pressure from the whole process's memtables: paces writers
+    // through the same leaky bucket instead of hard-stalling them.
+    write_controller_.SetGlobalPressure(
+        options_.write_memory_pool->GlobalPressure());
+  }
+}
+
+void DBImpl::ReportPoolUsage(bool wrote) {
+  if (pool_attachment_ == 0) return;
+  uint64_t bytes = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
+  for (const MemTable* imm : imm_queue_) bytes += imm->ApproximateMemoryUsage();
+  options_.write_memory_pool->UpdateUsage(pool_attachment_, bytes, wrote);
+}
+
+void DBImpl::RequestArbiterFlush() {
+  // Runs under the pool's mutex with no DB mutex held; must not block.
+  arbiter_switch_requested_.store(true, std::memory_order_release);
+  if (!arbiter_task_pending_.exchange(true, std::memory_order_acq_rel)) {
+    bg_pool_->Submit([this] { ArbiterFlushCall(); });
+  }
+}
+
+void DBImpl::ArbiterFlushCall() {
+  MutexLock lock(&mu_);
+  // Cleared before processing (under mu_): a victim request arriving
+  // mid-call schedules a fresh task instead of being silently absorbed.
+  arbiter_task_pending_.store(false, std::memory_order_release);
+  if (!shutting_down_.load() && bg_error_.ok() &&
+      arbiter_switch_requested_.load(std::memory_order_acquire)) {
+    if (MemTableQueueFull()) {
+      // Flushes already in flight will release this store's memory; drop
+      // the request (the pool re-picks while usage stays over the
+      // watermark) rather than queue more stall pressure behind it.
+      arbiter_switch_requested_.store(false, std::memory_order_release);
+      MaybeScheduleFlush();
+    } else if (writers_.empty() && mem_->num_entries() > 0) {
+      // Idle store — the common victim (cold tenants have no writers in
+      // flight). An empty writer queue under mu_ gives this thread the
+      // same mem_/log_ exclusivity a group-commit leader has.
+      arbiter_switch_requested_.store(false, std::memory_order_release);
+      ++stats_.arbiter_forced_flushes;
+      const Status s = SwitchMemTable();
+      if (!s.ok()) RecordBackgroundError(s);
+      ReportPoolUsage(/*wrote=*/false);
+    }
+    // else: a write group is in flight — its leader consumes the flag in
+    // MakeRoomForWrite without ever blocking on this store's behalf.
+  }
+  bg_cv_.SignalAll();
 }
 
 void DBImpl::StallWait(int cause) {
@@ -682,10 +760,40 @@ void DBImpl::SignalStalledWriters(bool l0_changed) {
 
 Status DBImpl::MakeRoomForWrite(uint64_t batch_bytes) {
   bool delay_done = false;
+  // Under a global write-memory pool the fixed write_buffer_size stops
+  // being the flush trigger: the memtable grows until the pool picks this
+  // store as a victim (aggregate budget pressure) or hits the pool's
+  // per-attachment hard cap (bounds single-flush size and recovery time).
+  const bool pooled = options_.write_memory_pool != nullptr;
+  const uint64_t mem_cap = pooled ? options_.write_memory_pool->AttachmentCap()
+                                  : options_.write_buffer_size;
   for (;;) {
     if (!bg_error_.ok()) return ReadOnlyError();
-    if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size ||
-        mem_->num_entries() == 0) {
+    bool arbiter_switch = false;
+    if (pooled) {
+      // Cross-store pressure moves with other tenants' writes, not just
+      // local events: refresh pacing on every admission attempt.
+      RefreshWritePressure();
+      arbiter_switch =
+          arbiter_switch_requested_.load(std::memory_order_acquire) &&
+          mem_->num_entries() > 0;
+      if (arbiter_switch &&
+          (MemTableQueueFull() ||
+           (!options_.disable_compaction &&
+            versions_->current()->NumFiles(0) >=
+                options_.l0_stop_writes_trigger))) {
+        // Honoring the request would park this writer behind its own full
+        // flush queue (or L0 stop cliff) — a stall the arbiter must never
+        // induce. In-flight flushes are already releasing memory; drop the
+        // request (the pool re-picks while over the watermark).
+        arbiter_switch_requested_.store(false, std::memory_order_release);
+        MaybeScheduleFlush();
+        arbiter_switch = false;
+      }
+    }
+    if (!arbiter_switch &&
+        (mem_->ApproximateMemoryUsage() <= mem_cap ||
+         mem_->num_entries() == 0)) {
       // The empty-memtable check matters when write_buffer_size is smaller
       // than the arena's first block: switching would just install another
       // over-budget empty memtable, forever.
@@ -724,6 +832,10 @@ Status DBImpl::MakeRoomForWrite(uint64_t batch_bytes) {
       MaybeScheduleCompaction();
       StallWait(kStallL0);
       continue;
+    }
+    if (arbiter_switch) {
+      arbiter_switch_requested_.store(false, std::memory_order_release);
+      ++stats_.arbiter_forced_flushes;
     }
     LSMIO_RETURN_IF_ERROR(SwitchMemTable());
   }
@@ -1047,6 +1159,9 @@ Status DBImpl::CompactMemTable(MemTable* imm) {
     imm_log_queue_.pop_front();
     imm->Unref();
     RemoveObsoleteFiles();
+    // The flushed memtable's bytes just left the global pool; report before
+    // recomputing pressure so pacing sees the release immediately.
+    ReportPoolUsage(/*wrote=*/false);
     // A flush slot freed (and L0 grew): recompute pacing pressure and
     // admit stalled writers.
     RefreshWritePressure();
@@ -1779,6 +1894,20 @@ DbStats DBImpl::GetStats() const {
     stats.value_log_segments = c.segments;
     stats.value_log_live_bytes = c.live_bytes;
     stats.value_log_garbage_bytes = c.garbage_bytes;
+  }
+  uint64_t mem_bytes = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
+  for (const MemTable* imm : imm_queue_) {
+    mem_bytes += imm->ApproximateMemoryUsage();
+  }
+  stats.memtable_bytes = mem_bytes;
+  if (block_cache_ != nullptr) {
+    stats.tenant_cache_bytes = options_.tenant_id != 0
+                                   ? block_cache_->OwnerCharge(options_.tenant_id)
+                                   : block_cache_->TotalCharge();
+  }
+  if (options_.write_memory_pool != nullptr) {
+    stats.write_pool_usage_bytes = options_.write_memory_pool->TotalUsage();
+    stats.write_pool_budget_bytes = options_.write_memory_pool->Budget();
   }
   return stats;
 }

@@ -25,6 +25,7 @@
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
 #include "lsm/log_writer.h"
+#include "lsm/memory_budget.h"
 #include "lsm/memtable.h"
 #include "lsm/read_stats.h"
 #include "lsm/table_cache.h"
@@ -136,6 +137,21 @@ class DBImpl final : public DB {
   /// The typed status writes receive while bg_error_ is latched.
   Status ReadOnlyError() const REQUIRES(mu_);
 
+  // --- global write-memory pool (Options::write_memory_pool) ---
+  /// Reports current memtable residency (active + immutable bytes) to the
+  /// pool; `wrote` marks write activity for its cold-first victim policy.
+  /// May synchronously invoke victim callbacks (ours or other stores') —
+  /// those only set flags and submit pool tasks, never take a DB mutex.
+  void ReportPoolUsage(bool wrote) REQUIRES(mu_);
+  /// Victim callback invoked by the pool (pool mutex held, no DB mutex).
+  /// Non-blocking: flags a switch for the next group-commit leader and
+  /// schedules ArbiterFlushCall for stores with no writer in flight.
+  void RequestArbiterFlush() EXCLUDES(mu_);
+  /// Background half of the victim protocol: switches an idle store's
+  /// memtable (an empty writer queue under mu_ gives leader-grade
+  /// exclusivity) or falls back to scheduling/deferring.
+  void ArbiterFlushCall() EXCLUDES(mu_);
+
   void MaybeScheduleFlush() REQUIRES(mu_);
   void MaybeScheduleCompaction() REQUIRES(mu_);
   /// Limiter callback: a compaction slot freed up, re-attempt scheduling.
@@ -176,7 +192,11 @@ class DBImpl final : public DB {
   std::string dbname_;
   InternalKeyComparator internal_comparator_;
   std::unique_ptr<const FilterPolicy> filter_policy_;
-  std::unique_ptr<Cache> block_cache_;
+  /// Block cache in use: Options::block_cache when a shared (arbiter-owned)
+  /// cache is configured — it must outlive this DB — else the privately
+  /// owned one below. Inserts are charged to Options::tenant_id.
+  Cache* block_cache_ = nullptr;
+  std::unique_ptr<Cache> owned_block_cache_;
   /// Read-path counters updated lock-free by tables on reader threads;
   /// folded into DbStats by GetStats. Must outlive table_cache_.
   ReadCounters read_counters_;  // unguarded: lock-free atomic counters
@@ -260,6 +280,18 @@ class DBImpl final : public DB {
   uint64_t manual_done_gen_ GUARDED_BY(mu_) = 0;
   Status bg_error_ GUARDED_BY(mu_);
   std::atomic<bool> shutting_down_{false};
+
+  // --- write-memory pool attachment (Options::write_memory_pool) ---
+  /// Pool attachment id; 0 = not attached. unguarded: set once in
+  /// Initialize before concurrent access, cleared only by the destructor.
+  uint64_t pool_attachment_ = 0;
+  /// Set by the pool's victim callback; consumed by the group-commit
+  /// leader in MakeRoomForWrite or by ArbiterFlushCall on idle stores.
+  std::atomic<bool> arbiter_switch_requested_{false};
+  /// True while an ArbiterFlushCall is queued/running on bg_pool_; the
+  /// destructor waits it out (cleared under mu_, signalled via bg_cv_).
+  std::atomic<bool> arbiter_task_pending_{false};
+
   std::set<uint64_t> pending_outputs_ GUARDED_BY(mu_);
   std::list<const SnapshotImpl*> snapshots_ GUARDED_BY(mu_);
   DbStats stats_ GUARDED_BY(mu_);

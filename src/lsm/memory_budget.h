@@ -1,0 +1,69 @@
+// Global write-memory pool: the engine-side interface of the MemoryArbiter
+// (src/core/memory_arbiter.h).
+//
+// When Options::write_memory_pool is set, a DB no longer switches memtables
+// at a fixed per-store write_buffer_size. Instead every DB (every shard of
+// every store) attaches to the pool, reports its memtable residency after
+// each write group and each flush, and switches only when (a) the pool picks
+// it as a flush victim because *aggregate* usage crossed the budget, or
+// (b) its own memtable hits the pool's per-attachment hard cap (which bounds
+// single-flush size and recovery time). Cold tenants therefore cede memory
+// to hot ones instead of hoarding fixed slices — the adaptive-memory design
+// from "Breaking Down Memory Walls" (PAPERS.md), see DESIGN.md §15.
+//
+// Threading contract:
+//  - All methods are thread-safe.
+//  - The victim callback passed to Attach() is invoked with the pool's
+//    internal mutex held and NO DB mutex held. It must not block and must
+//    not acquire any DB mutex: the expected implementation sets an atomic
+//    flag and schedules a background task. (Lock order: DB.mu_ -> pool
+//    mutex -> thread-pool mutex.)
+//  - After Detach() returns, the attachment's callback is never invoked
+//    again; UpdateUsage() on a detached id is a no-op (late flush
+//    completions may still report).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace lsmio::lsm {
+
+class WriteMemoryPool {
+ public:
+  virtual ~WriteMemoryPool() = default;
+
+  /// Registers one DB under `tenant_id` (many attachments may share a
+  /// tenant: one per shard). `request_flush` is the victim callback; it
+  /// must remain valid until Detach() returns. Returns a nonzero
+  /// attachment id.
+  virtual uint64_t Attach(uint64_t tenant_id,
+                          std::function<void()> request_flush) = 0;
+
+  /// Removes the attachment and returns its charged bytes to the pool.
+  virtual void Detach(uint64_t attachment_id) = 0;
+
+  /// Reports the attachment's current memtable residency (active +
+  /// immutable bytes). `wrote` marks write activity for the cold-first
+  /// victim policy. May synchronously invoke victim callbacks — possibly
+  /// the caller's own.
+  virtual void UpdateUsage(uint64_t attachment_id, uint64_t bytes,
+                           bool wrote) = 0;
+
+  /// Hard per-memtable ceiling: an attachment switches its memtable past
+  /// this size regardless of global pressure.
+  [[nodiscard]] virtual uint64_t AttachmentCap() const = 0;
+
+  /// Global pressure in [0, 1] for graduated backpressure: 0 below the
+  /// flush watermark, rising to 1 as aggregate usage reaches the full
+  /// budget. Fed into WriteController::SetGlobalPressure so budget
+  /// pressure paces writers instead of hard-stalling them.
+  [[nodiscard]] virtual double GlobalPressure() const = 0;
+
+  /// Aggregate reported bytes across all attachments.
+  [[nodiscard]] virtual uint64_t TotalUsage() const = 0;
+
+  /// The configured write budget in bytes.
+  [[nodiscard]] virtual uint64_t Budget() const = 0;
+};
+
+}  // namespace lsmio::lsm

@@ -18,6 +18,7 @@ namespace lsmio::lsm {
 class Comparator;
 class FilterPolicy;
 class Cache;
+class WriteMemoryPool;
 
 enum class CompressionType : uint8_t {
   kNone = 0,
@@ -200,6 +201,27 @@ struct Options {
   /// background compaction; with disable_compaction, segments are only
   /// reclaimed when their live bytes naturally reach zero.
   double value_log_gc_garbage_ratio = 0.5;
+
+  // --- global memory arbitration (multi-tenant; see DESIGN.md §15) ----------
+
+  /// Shared block cache. When set (and !disable_cache) the DB uses this
+  /// cache instead of allocating a private one of block_cache_capacity;
+  /// inserts are charged to `tenant_id`. Must outlive the DB. Typically
+  /// MemoryArbiter::shared_cache().
+  Cache* block_cache = nullptr;
+
+  /// Global write-memory pool. When set, write_buffer_size no longer
+  /// triggers memtable switches: the DB attaches to the pool, reports its
+  /// memtable residency, and flushes when the pool picks it as a victim
+  /// (aggregate budget pressure, cold-first/largest-first) or when the
+  /// active memtable hits the pool's per-attachment hard cap. Global
+  /// pressure also feeds WriteController pacing. Must outlive the DB.
+  /// Typically MemoryArbiter::write_pool().
+  WriteMemoryPool* write_memory_pool = nullptr;
+
+  /// Charge owner for this DB's cache inserts and pool attachments
+  /// (0 = unowned/single-tenant). Assigned by MemoryArbiter::RegisterTenant.
+  uint64_t tenant_id = 0;
 };
 
 /// Options for read operations.

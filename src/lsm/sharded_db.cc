@@ -425,6 +425,23 @@ DbStats ShardedDB::GetStats() const {
                  s.rate_limited_bytes_compaction);
     total.rate_limiter_wait_micros =
         std::max(total.rate_limiter_wait_micros, s.rate_limiter_wait_micros);
+    // Per-shard memtables are disjoint: sum. Shard attachments flush
+    // independently: sum the forced-flush counter too.
+    total.memtable_bytes += s.memtable_bytes;
+    total.arbiter_forced_flushes += s.arbiter_forced_flushes;
+    // With a shared cache every shard reports the tenant's store-wide
+    // charge (max is exact); private per-shard caches are disjoint (sum).
+    if (options_.block_cache != nullptr) {
+      total.tenant_cache_bytes =
+          std::max(total.tenant_cache_bytes, s.tenant_cache_bytes);
+    } else {
+      total.tenant_cache_bytes += s.tenant_cache_bytes;
+    }
+    // Process-wide pool gauges: identical in every shard, take the max.
+    total.write_pool_usage_bytes =
+        std::max(total.write_pool_usage_bytes, s.write_pool_usage_bytes);
+    total.write_pool_budget_bytes =
+        std::max(total.write_pool_budget_bytes, s.write_pool_budget_bytes);
   }
   total.shards = shards_.size();
   return total;

@@ -147,8 +147,9 @@ Status Table::Open(const Options& options, const Comparator* comparator,
       char key[16];
       rep->CacheKey(rep->index_handle.offset(), key);
       Block* raw = index_block.release();
-      rep->pinned_index_handle = rep->block_cache->Insert(
-          Slice(key, sizeof key), raw, raw->size(), DeleteCachedBlock);
+      rep->pinned_index_handle =
+          rep->block_cache->Insert(Slice(key, sizeof key), raw, raw->size(),
+                                   DeleteCachedBlock, rep->options.tenant_id);
       rep->pinned_index = raw;
     } else {
       rep->pinned_index = index_block.get();
@@ -160,8 +161,9 @@ Status Table::Open(const Options& options, const Comparator* comparator,
     char key[16];
     rep->CacheKey(rep->index_handle.offset(), key);
     Block* raw = index_block.release();
-    Cache::Handle* h = rep->block_cache->Insert(Slice(key, sizeof key), raw,
-                                                raw->size(), DeleteCachedBlock);
+    Cache::Handle* h =
+        rep->block_cache->Insert(Slice(key, sizeof key), raw, raw->size(),
+                                 DeleteCachedBlock, rep->options.tenant_id);
     rep->block_cache->Release(h);
   }
 
@@ -205,7 +207,8 @@ Status Table::ReadMeta(const Footer& footer) {
       char ckey[16];
       r->CacheKey(filter_handle.offset(), ckey);
       r->pinned_filter_handle = r->block_cache->Insert(
-          Slice(ckey, sizeof ckey), raw, raw->size(), DeleteCachedFilterData);
+          Slice(ckey, sizeof ckey), raw, raw->size(), DeleteCachedFilterData,
+          r->options.tenant_id);
     } else {
       r->owned_filter_data.reset(raw);
     }
@@ -214,8 +217,9 @@ Status Table::ReadMeta(const Footer& footer) {
     char ckey[16];
     r->CacheKey(filter_handle.offset(), ckey);
     std::string* raw = filter_data.release();
-    Cache::Handle* h = r->block_cache->Insert(Slice(ckey, sizeof ckey), raw,
-                                              raw->size(), DeleteCachedFilterData);
+    Cache::Handle* h = r->block_cache->Insert(
+        Slice(ckey, sizeof ckey), raw, raw->size(), DeleteCachedFilterData,
+        r->options.tenant_id);
     r->block_cache->Release(h);
   }
   return Status::OK();
@@ -243,7 +247,8 @@ Status Table::IndexBlock(Block** block, Cache::Handle** cache_handle) const {
     LSMIO_RETURN_IF_ERROR(ReadBlockContents(r->file, opt, /*always_verify=*/true,
                                             r->index_handle, &contents));
     auto* raw = new Block(std::move(contents));
-    h = r->block_cache->Insert(ckey, raw, raw->size(), DeleteCachedBlock);
+    h = r->block_cache->Insert(ckey, raw, raw->size(), DeleteCachedBlock,
+                               r->options.tenant_id);
   }
   *block = static_cast<Block*>(r->block_cache->Value(h));
   *cache_handle = h;
@@ -277,7 +282,8 @@ bool Table::FilterKeyMayMatch(uint64_t block_offset, const Slice& user_key) cons
         return true;  // filter unavailable: cannot prove absence
       }
       std::string* raw = data.release();
-      h = r->block_cache->Insert(ckey, raw, raw->size(), DeleteCachedFilterData);
+      h = r->block_cache->Insert(ckey, raw, raw->size(), DeleteCachedFilterData,
+                                 r->options.tenant_id);
     }
     const auto* data = static_cast<const std::string*>(r->block_cache->Value(h));
     FilterBlockReader reader(r->filter_policy, Slice(*data));
@@ -337,7 +343,8 @@ Iterator* Table::NewBlockIterator(const ReadOptions& options,
       block = new Block(std::move(contents));
       if (options.fill_cache) {
         cache_handle = r->block_cache->Insert(key, block, block->size(),
-                                              DeleteCachedBlock);
+                                              DeleteCachedBlock,
+                                              r->options.tenant_id);
       }
     }
   } else {
@@ -569,9 +576,9 @@ Status Table::MultiGet(
         guards[m].block = block;
         char cache_key[16];
         r->CacheKey(work[m].handle.offset(), cache_key);
-        guards[m].cache_handle =
-            r->block_cache->Insert(Slice(cache_key, sizeof cache_key), block,
-                                   block->size(), DeleteCachedBlock);
+        guards[m].cache_handle = r->block_cache->Insert(
+            Slice(cache_key, sizeof cache_key), block, block->size(),
+            DeleteCachedBlock, r->options.tenant_id);
       } else {
         // Zero-copy: the block views the read buffer (or, when compressed,
         // its own decompression buffer parked in `backing`).

@@ -49,18 +49,31 @@ class WriteController {
     if (soft_trigger_ > 0 && max_imm_ >= 2 && imm_queue_len >= max_imm_ - 1) {
       p = std::max(p, kImmQueuePressure);
     }
-    if (p <= 0.0) next_free_micros_ = 0;
+    if (p <= 0.0 && global_pressure_ <= 0.0) next_free_micros_ = 0;
     pressure_ = p;
   }
 
-  [[nodiscard]] bool ShouldDelay() const { return pressure_ > 0.0; }
-  [[nodiscard]] double pressure() const { return pressure_; }
+  /// Sets cross-store pressure from the global write-memory pool
+  /// (WriteMemoryPool::GlobalPressure). Merged as max with local L0/imm
+  /// pressure, so budget exhaustion paces writers through the same leaky
+  /// bucket instead of hard-stalling them — independent of the local soft
+  /// trigger (applies even in paper mode, where compaction is disabled but
+  /// a multi-tenant budget still has to be honored).
+  void SetGlobalPressure(double p) {
+    global_pressure_ = std::clamp(p, 0.0, 1.0);
+    if (pressure_ <= 0.0 && global_pressure_ <= 0.0) next_free_micros_ = 0;
+  }
+
+  [[nodiscard]] bool ShouldDelay() const { return EffectivePressure() > 0.0; }
+  [[nodiscard]] double pressure() const { return EffectivePressure(); }
+  [[nodiscard]] double global_pressure() const { return global_pressure_; }
 
   /// Admitted byte rate under the current pressure: base_rate scaled by
   /// (1 - pressure), floored so the ramp stays finite (the hard trigger
   /// takes over where pacing ends).
   [[nodiscard]] uint64_t CurrentRate() const {
-    const double scaled = static_cast<double>(base_rate_) * (1.0 - pressure_);
+    const double scaled =
+        static_cast<double>(base_rate_) * (1.0 - EffectivePressure());
     const double floor = static_cast<double>(base_rate_) / kMaxSlowdownFactor;
     // >= 1 so DelayMicros never divides by zero on absurdly small rates.
     return std::max<uint64_t>(1, static_cast<uint64_t>(std::max(scaled, floor)));
@@ -69,7 +82,7 @@ class WriteController {
   /// Micros the caller must sleep before admitting `batch_bytes`, and
   /// charges the batch to the pacing bucket. Zero under no pressure.
   uint64_t DelayMicros(uint64_t now_micros, uint64_t batch_bytes) {
-    if (pressure_ <= 0.0) return 0;
+    if (EffectivePressure() <= 0.0) return 0;
     const uint64_t credit =
         std::min(batch_bytes * 1'000'000 / CurrentRate(), kMaxBatchDelayMicros);
     const uint64_t start = std::max(now_micros, next_free_micros_);
@@ -86,6 +99,10 @@ class WriteController {
   static constexpr double kImmQueuePressure = 0.5;
 
  private:
+  [[nodiscard]] double EffectivePressure() const {
+    return std::max(pressure_, global_pressure_);
+  }
+
   [[nodiscard]] double L0Pressure(int l0_files) const {
     if (soft_trigger_ <= 0 || l0_files < soft_trigger_) return 0.0;
     if (hard_trigger_ <= soft_trigger_) return 1.0;
@@ -99,6 +116,7 @@ class WriteController {
   const int max_imm_;         // immutable-queue capacity
 
   double pressure_ = 0.0;          // 0 = run free, 1 = at the stop cliff
+  double global_pressure_ = 0.0;   // cross-store write-memory pool pressure
   uint64_t next_free_micros_ = 0;  // leaky-bucket head
 };
 

@@ -1,0 +1,298 @@
+// MemoryArbiter (DESIGN.md §15): process-wide budget shared by many stores.
+// Covers the arbiter's own victim/accounting policy plus the manager-level
+// contracts: per-tenant cache charging survives store close/reopen with
+// correct attribution, and an arbiter-forced flush on one store never blocks
+// an unrelated store's group-commit leader.
+#include "core/memory_arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/manager.h"
+#include "vfs/mem_vfs.h"
+
+namespace lsmio {
+namespace {
+
+// --- arbiter policy unit tests (no engine involved) ---
+
+class ArbiterPolicyTest : public ::testing::Test {
+ protected:
+  MemoryArbiterOptions SmallBudget() {
+    MemoryArbiterOptions options;
+    options.write_budget_bytes = 10 * MiB;
+    options.flush_watermark = 0.8;  // victims from 8 MiB aggregate
+    options.min_victim_bytes = 64 * KiB;
+    return options;
+  }
+};
+
+TEST_F(ArbiterPolicyTest, NoVictimsBelowWatermark) {
+  MemoryArbiter arbiter(SmallBudget());
+  int flushes = 0;
+  const uint64_t a = arbiter.Attach(1, [&] { ++flushes; });
+  arbiter.UpdateUsage(a, 7 * MiB, /*wrote=*/true);
+  EXPECT_EQ(flushes, 0);
+  EXPECT_EQ(arbiter.flush_requests(), 0u);
+  EXPECT_EQ(arbiter.TotalUsage(), 7 * MiB);
+  arbiter.Detach(a);
+}
+
+TEST_F(ArbiterPolicyTest, PicksColdestVictimFirst) {
+  MemoryArbiter arbiter(SmallBudget());
+  int cold_flushes = 0;
+  int hot_flushes = 0;
+  const uint64_t cold = arbiter.Attach(1, [&] { ++cold_flushes; });
+  const uint64_t hot = arbiter.Attach(2, [&] { ++hot_flushes; });
+  // cold writes once, then hot keeps writing: hot has the later tick.
+  arbiter.UpdateUsage(cold, 4 * MiB, /*wrote=*/true);
+  arbiter.UpdateUsage(hot, 3 * MiB, /*wrote=*/true);
+  EXPECT_EQ(cold_flushes, 0);
+  // This push crosses the 8 MiB watermark; the cold store is the victim.
+  arbiter.UpdateUsage(hot, 5 * MiB, /*wrote=*/true);
+  EXPECT_EQ(cold_flushes, 1);
+  EXPECT_EQ(hot_flushes, 0);
+  EXPECT_EQ(arbiter.flush_requests(), 1u);
+  arbiter.Detach(cold);
+  arbiter.Detach(hot);
+}
+
+TEST_F(ArbiterPolicyTest, ColdFirstBeatsSizeAndPendingReleaseStopsRepicks) {
+  MemoryArbiter arbiter(SmallBudget());
+  int big_flushes = 0;
+  int small_flushes = 0;
+  // `small` attaches first, so it is strictly colder than `big`.
+  const uint64_t small = arbiter.Attach(1, [&] { ++small_flushes; });
+  const uint64_t big = arbiter.Attach(2, [&] { ++big_flushes; });
+  arbiter.UpdateUsage(small, 2 * MiB, /*wrote=*/false);
+  arbiter.UpdateUsage(big, 7 * MiB, /*wrote=*/false);
+  // 9 MiB aggregate crosses the 8 MiB watermark: the COLDER store is the
+  // victim even though the other one is 3.5x larger — cold-first dominates
+  // size. Its pending 2 MiB release brings usage-net-of-inflight back
+  // under the watermark, so no second victim is picked.
+  EXPECT_EQ(small_flushes, 1);
+  EXPECT_EQ(big_flushes, 0);
+  EXPECT_EQ(arbiter.flush_requests(), 1u);
+
+  // The victim's flush lands (its usage collapses): the pick is spent.
+  // When pressure returns, the drained store sits below min_victim_bytes
+  // and is ineligible, so the big (and only eligible) store is picked
+  // even though it is the hottest.
+  arbiter.UpdateUsage(small, 16 * KiB, /*wrote=*/false);
+  EXPECT_EQ(arbiter.flush_requests(), 1u);  // below watermark again
+  arbiter.UpdateUsage(big, 8 * MiB + 512 * KiB, /*wrote=*/true);
+  EXPECT_EQ(big_flushes, 1);
+  EXPECT_EQ(small_flushes, 1);
+  EXPECT_EQ(arbiter.flush_requests(), 2u);
+  arbiter.Detach(small);
+  arbiter.Detach(big);
+}
+
+TEST_F(ArbiterPolicyTest, SliversAreNeverVictims) {
+  MemoryArbiterOptions options = SmallBudget();
+  options.min_victim_bytes = 1 * MiB;
+  MemoryArbiter arbiter(options);
+  int flushes = 0;
+  std::vector<uint64_t> ids;
+  // 18 slivers of 512 KiB = 9 MiB aggregate: over the watermark, but no
+  // attachment is individually worth flushing.
+  for (int i = 0; i < 18; ++i) {
+    ids.push_back(arbiter.Attach(1 + i, [&] { ++flushes; }));
+  }
+  for (const uint64_t id : ids) {
+    arbiter.UpdateUsage(id, 512 * KiB, /*wrote=*/true);
+  }
+  EXPECT_EQ(flushes, 0);
+  EXPECT_GT(arbiter.GlobalPressure(), 0.0);  // pacing still applies
+  for (const uint64_t id : ids) arbiter.Detach(id);
+}
+
+TEST_F(ArbiterPolicyTest, GlobalPressureRampsWatermarkToBudget) {
+  MemoryArbiter arbiter(SmallBudget());
+  const uint64_t a = arbiter.Attach(1, [] {});
+  arbiter.UpdateUsage(a, 8 * MiB, /*wrote=*/false);
+  EXPECT_EQ(arbiter.GlobalPressure(), 0.0);  // at the watermark: no pacing yet
+  arbiter.UpdateUsage(a, 9 * MiB, /*wrote=*/false);
+  EXPECT_NEAR(arbiter.GlobalPressure(), 0.5, 1e-9);
+  arbiter.UpdateUsage(a, 10 * MiB, /*wrote=*/false);
+  EXPECT_EQ(arbiter.GlobalPressure(), 1.0);
+  arbiter.UpdateUsage(a, 2 * MiB, /*wrote=*/false);
+  EXPECT_EQ(arbiter.GlobalPressure(), 0.0);
+  arbiter.Detach(a);
+}
+
+TEST_F(ArbiterPolicyTest, DetachReleasesUsageAndResidencyTracksTenants) {
+  MemoryArbiter arbiter(SmallBudget());
+  const uint64_t t1 = arbiter.RegisterTenant("/store/a");
+  const uint64_t t2 = arbiter.RegisterTenant("/store/b");
+  EXPECT_NE(t1, 0u);
+  EXPECT_NE(t1, t2);
+  const uint64_t a1 = arbiter.Attach(t1, [] {});
+  const uint64_t a2 = arbiter.Attach(t1, [] {});  // e.g. two shards
+  const uint64_t b = arbiter.Attach(t2, [] {});
+  arbiter.UpdateUsage(a1, 1 * MiB, /*wrote=*/true);
+  arbiter.UpdateUsage(a2, 2 * MiB, /*wrote=*/true);
+  arbiter.UpdateUsage(b, 4 * MiB, /*wrote=*/true);
+
+  TenantResidency r1 = arbiter.Residency(t1);
+  EXPECT_EQ(r1.name, "/store/a");
+  EXPECT_EQ(r1.memtable_bytes, 3 * MiB);
+  EXPECT_EQ(r1.attachments, 2);
+  EXPECT_EQ(arbiter.TotalUsage(), 7 * MiB);
+
+  const std::vector<TenantResidency> all = arbiter.AllResidency();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[1].memtable_bytes, 4 * MiB);
+
+  arbiter.Detach(a1);
+  arbiter.Detach(a2);
+  EXPECT_EQ(arbiter.TotalUsage(), 4 * MiB);
+  EXPECT_EQ(arbiter.Residency(t1).attachments, 0);
+  arbiter.UnregisterTenant(t1);
+  arbiter.Detach(b);
+  arbiter.UnregisterTenant(t2);
+}
+
+// --- manager-level integration ---
+
+class ArbiterManagerTest : public ::testing::Test {
+ protected:
+  LsmioOptions Options() {
+    LsmioOptions options;
+    options.vfs = &fs_;
+    options.memory_arbiter = &arbiter_;
+    options.disable_cache = false;  // exercise the shared cache
+    return options;
+  }
+
+  vfs::MemVfs fs_;
+  MemoryArbiter arbiter_;
+};
+
+TEST_F(ArbiterManagerTest, CacheChargingSurvivesCloseAndReopen) {
+  std::unique_ptr<Manager> manager;
+  ASSERT_TRUE(Manager::Open(Options(), "/tenant", &manager).ok());
+  const uint64_t first_id = manager->memory_tenant_id();
+  ASSERT_NE(first_id, 0u);
+
+  // Persist a table, then read it back so blocks land in the shared cache
+  // charged to this tenant.
+  for (int i = 0; i < 200; ++i) {
+    const std::string k = "key" + std::to_string(i);
+    ASSERT_TRUE(manager->Put(k, std::string(512, 'v')).ok());
+  }
+  ASSERT_TRUE(manager->WriteBarrier(BarrierMode::kSync).ok());
+  std::string value;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(manager->Get("key" + std::to_string(i), &value).ok());
+  }
+  EXPECT_GT(arbiter_.Residency(first_id).cache_bytes, 0u);
+  EXPECT_GT(manager->engine_stats().tenant_cache_bytes, 0u);
+
+  // Close: the tenant unregisters and its shared-cache charge is purged.
+  manager.reset();
+  EXPECT_EQ(arbiter_.shared_cache()->OwnerCharge(first_id), 0u);
+  EXPECT_EQ(arbiter_.TotalUsage(), 0u);  // attachments detached
+
+  // Reopen: a fresh tenant id; reads re-charge under the new id only.
+  ASSERT_TRUE(Manager::Open(Options(), "/tenant", &manager).ok());
+  const uint64_t second_id = manager->memory_tenant_id();
+  ASSERT_NE(second_id, 0u);
+  EXPECT_NE(second_id, first_id);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(manager->Get("key" + std::to_string(i), &value).ok());
+  }
+  EXPECT_GT(arbiter_.Residency(second_id).cache_bytes, 0u);
+  EXPECT_EQ(arbiter_.shared_cache()->OwnerCharge(first_id), 0u);
+  manager.reset();
+  EXPECT_EQ(arbiter_.shared_cache()->OwnerCharge(second_id), 0u);
+}
+
+TEST_F(ArbiterManagerTest, ForcedFlushOnColdStoreDoesNotBlockHotStore) {
+  // Tight budget: the hot store's writes push aggregate usage over the
+  // watermark, forcing flushes of the cold store. The cold store's forced
+  // flush must never show up as a write stall on the hot store.
+  MemoryArbiterOptions tight;
+  tight.write_budget_bytes = 4 * MiB;
+  tight.flush_watermark = 0.5;
+  tight.min_victim_bytes = 16 * KiB;
+  MemoryArbiter arbiter(tight);
+
+  LsmioOptions options;
+  options.vfs = &fs_;
+  options.memory_arbiter = &arbiter;
+  // Give the hot store a soft-pacing zone (graduated backpressure) so its
+  // own flush lag paces it instead of hard-stalling: any stall observed
+  // below would then be attributable to the arbiter.
+  options.disable_compaction = false;
+  options.max_write_buffer_number = 4;
+
+  std::unique_ptr<Manager> cold;
+  std::unique_ptr<Manager> hot;
+  ASSERT_TRUE(Manager::Open(options, "/cold", &cold).ok());
+  ASSERT_TRUE(Manager::Open(options, "/hot", &hot).ok());
+
+  // Park ~1 MiB in the cold store, then go idle.
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(cold->Put("c" + std::to_string(i), std::string(4096, 'c')).ok());
+  }
+
+  // Hammer the hot store well past the 2 MiB watermark.
+  for (int i = 0; i < 1024; ++i) {
+    ASSERT_TRUE(hot->Put("h" + std::to_string(i), std::string(4096, 'h')).ok());
+  }
+
+  // The arbiter picked at least one victim, and the cold store took at
+  // least one forced flush (it is the coldest eligible attachment).
+  EXPECT_GE(arbiter.flush_requests(), 1u);
+  ASSERT_TRUE(cold->WriteBarrier(BarrierMode::kSync).ok());
+  ASSERT_TRUE(hot->WriteBarrier(BarrierMode::kSync).ok());
+  EXPECT_GE(cold->engine_stats().arbiter_forced_flushes +
+                hot->engine_stats().arbiter_forced_flushes,
+            1u);
+
+  // The hot store's group-commit leader was never parked on the cold
+  // store's flush: no hard write stalls on the hot store.
+  EXPECT_EQ(hot->engine_stats().write_stall_micros, 0u);
+  EXPECT_TRUE(hot->Health().ok());
+  EXPECT_TRUE(cold->Health().ok());
+
+  // Residency surfaces the forced-flush attribution.
+  uint64_t total_forced = 0;
+  for (const TenantResidency& r : arbiter.AllResidency()) {
+    total_forced += r.arbiter_forced_flushes;
+  }
+  EXPECT_EQ(total_forced, arbiter.flush_requests());
+}
+
+TEST_F(ArbiterManagerTest, PoolGaugesSurfaceThroughStats) {
+  std::unique_ptr<Manager> manager;
+  ASSERT_TRUE(Manager::Open(Options(), "/gauges", &manager).ok());
+  ASSERT_TRUE(manager->Put("k", std::string(64 * 1024, 'v')).ok());
+  const lsm::DbStats stats = manager->engine_stats();
+  EXPECT_GT(stats.memtable_bytes, 0u);
+  EXPECT_GT(stats.write_pool_usage_bytes, 0u);
+  EXPECT_EQ(stats.write_pool_budget_bytes, MemoryArbiterOptions{}.write_budget_bytes);
+}
+
+TEST_F(ArbiterManagerTest, ShardedStoreAttachesPerShard) {
+  LsmioOptions options = Options();
+  options.num_shards = 4;
+  std::unique_ptr<Manager> manager;
+  ASSERT_TRUE(Manager::Open(options, "/sharded", &manager).ok());
+  const uint64_t tid = manager->memory_tenant_id();
+  EXPECT_EQ(arbiter_.Residency(tid).attachments, 4);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(manager->Put("k" + std::to_string(i), std::string(1024, 'v')).ok());
+  }
+  EXPECT_GT(arbiter_.Residency(tid).memtable_bytes, 0u);
+  manager.reset();
+  EXPECT_EQ(arbiter_.Residency(tid).attachments, 0);
+  EXPECT_EQ(arbiter_.TotalUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace lsmio

@@ -118,5 +118,86 @@ TEST_F(CacheTest, DestructorReleasesEverything) {
   EXPECT_EQ(deleted_.size(), 2u);
 }
 
+class CacheOwnerTest : public CacheTest {
+ protected:
+  void InsertOwned(const std::string& key, int value, size_t charge,
+                   uint64_t owner) {
+    Cache::Handle* h = cache_->Insert(
+        key, new int(value), charge,
+        [](const Slice&, void* v) { delete static_cast<int*>(v); }, owner);
+    cache_->Release(h);
+  }
+};
+
+TEST_F(CacheOwnerTest, OwnerChargeTracksInsertAndErase) {
+  EXPECT_EQ(cache_->OwnerCharge(7), 0u);
+  InsertOwned("a", 1, 100, 7);
+  InsertOwned("b", 2, 50, 7);
+  InsertOwned("c", 3, 30, 8);
+  EXPECT_EQ(cache_->OwnerCharge(7), 150u);
+  EXPECT_EQ(cache_->OwnerCharge(8), 30u);
+  EXPECT_EQ(cache_->TotalCharge(), 180u);
+  cache_->Erase("a");
+  EXPECT_EQ(cache_->OwnerCharge(7), 50u);
+  // Erase is not a capacity eviction.
+  EXPECT_EQ(cache_->OwnerStats(7).evictions, 0u);
+  EXPECT_EQ(cache_->OwnerStats(7).inserts, 2u);
+}
+
+TEST_F(CacheOwnerTest, OverwriteMovesChargeBetweenOwners) {
+  InsertOwned("k", 1, 40, 7);
+  InsertOwned("k", 2, 60, 8);  // replaces owner 7's entry
+  EXPECT_EQ(cache_->OwnerCharge(7), 0u);
+  EXPECT_EQ(cache_->OwnerCharge(8), 60u);
+  EXPECT_EQ(cache_->TotalCharge(), 60u);
+}
+
+TEST_F(CacheOwnerTest, CapacityEvictionChargedToOwner) {
+  // Flood well past capacity under a single owner; capacity evictions must
+  // show up in the owner's counters and its resident charge must stay
+  // bounded by the cache capacity.
+  for (int i = 0; i < 500; ++i) {
+    InsertOwned("k" + std::to_string(i), i, 10, 42);
+  }
+  const CacheOwnerStats stats = cache_->OwnerStats(42);
+  EXPECT_EQ(stats.inserts, 500u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.evicted_bytes, stats.evictions * 10);
+  EXPECT_LE(stats.charge, kCapacity + 16 * 10);  // per-shard rounding
+  EXPECT_EQ(stats.charge, cache_->OwnerCharge(42));
+}
+
+TEST_F(CacheOwnerTest, PurgeOwnerDropsUnpinnedKeepsPinned) {
+  InsertOwned("cold1", 1, 10, 9);
+  InsertOwned("cold2", 2, 10, 9);
+  InsertOwned("other", 3, 10, 10);
+  Cache::Handle* pinned = cache_->Insert(
+      "pinned", new int(4), 25,
+      [](const Slice&, void* v) { delete static_cast<int*>(v); }, 9);
+
+  cache_->PurgeOwner(9);
+  EXPECT_EQ(Lookup("cold1"), -1);
+  EXPECT_EQ(Lookup("cold2"), -1);
+  // Pinned entry survives with its charge still attributed.
+  EXPECT_EQ(cache_->OwnerCharge(9), 25u);
+  // Other owners untouched.
+  EXPECT_EQ(Lookup("other"), 3);
+  EXPECT_EQ(cache_->OwnerCharge(10), 10u);
+
+  cache_->Release(pinned);
+  cache_->Erase("pinned");
+  cache_->PurgeOwner(9);
+  // Accounting record is forgotten once the charge drains.
+  EXPECT_EQ(cache_->OwnerCharge(9), 0u);
+  EXPECT_EQ(cache_->OwnerStats(9).inserts, 0u);
+}
+
+TEST_F(CacheOwnerTest, UnownedInsertsStayUnaccounted) {
+  Insert("plain", 1, 100);  // owner 0
+  EXPECT_EQ(cache_->TotalCharge(), 100u);
+  EXPECT_EQ(cache_->OwnerCharge(0), 0u);
+  EXPECT_EQ(cache_->OwnerStats(0).inserts, 0u);
+}
+
 }  // namespace
 }  // namespace lsmio::lsm

@@ -174,6 +174,10 @@ TEST_F(DbBackpressureTest, MemTableStallsAreAttributedToTheirCause) {
   EXPECT_EQ(stats.stall_l0_micros, 0u);
   EXPECT_EQ(stats.write_stall_micros,
             stats.stall_memtable_micros + stats.stall_l0_micros);
+
+  // `slow` (test-body local) dies before the fixture's db_ would: close the
+  // DB here so no still-running background job calls through its vtable.
+  db_.reset();
 }
 
 // Hard L0 stalls (slowdown disabled, tiny stop trigger, slow compactions)
@@ -204,6 +208,10 @@ TEST_F(DbBackpressureTest, L0StallsAreAttributedToTheirCause) {
   EXPECT_EQ(stats.write_stall_micros,
             stats.stall_memtable_micros + stats.stall_l0_micros);
   EXPECT_EQ(stats.slowdown_writes, 0u);
+
+  // The compaction that released the final L0 stall may still be installing
+  // (its table writes are the slow part); close the DB before `slow` dies.
+  db_.reset();
 }
 
 // Thundering-herd regression: with N writers parked on a full memtable
@@ -252,6 +260,9 @@ TEST_F(DbBackpressureTest, StallTimeDoesNotMultiplyWithWriterCount) {
   // Every serialized write still landed in the latency histogram.
   EXPECT_EQ(stats.write_latency.count(),
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
+
+  // Close before the test-local `slow` VFS goes out of scope.
+  db_.reset();
 }
 
 // Options::bytes_per_sec wraps flush table writes in the shared limiter and

@@ -281,6 +281,7 @@ TEST_F(DbConcurrencyTest, FlushProceedsDuringManualCompaction) {
   EXPECT_EQ(Get("during.compaction"), "flushed");
   EXPECT_EQ(Get("l0.0"), value);
   EXPECT_EQ(Get("l0.47"), value);
+  db_.reset();  // before the local vfs stack unwinds
 }
 
 // Two shards' manual compactions must overlap in time: with

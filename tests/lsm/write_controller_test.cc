@@ -132,5 +132,57 @@ TEST(WriteControllerTest, TwoBufferConfigHasNoImmSoftZone) {
   EXPECT_FALSE(wc.ShouldDelay());
 }
 
+TEST(WriteControllerTest, GlobalPressureDelaysWithoutLocalPressure) {
+  WriteController wc(BaseOptions());
+  EXPECT_FALSE(wc.ShouldDelay());
+  wc.SetGlobalPressure(0.5);
+  EXPECT_TRUE(wc.ShouldDelay());
+  EXPECT_EQ(wc.pressure(), 0.5);
+  // First batch is admitted immediately but charges the bucket; the next
+  // one pays the pacing delay.
+  EXPECT_EQ(wc.DelayMicros(/*now_micros=*/1000, /*batch_bytes=*/1 * MiB), 0u);
+  EXPECT_GT(wc.DelayMicros(/*now_micros=*/1000, /*batch_bytes=*/1 * MiB), 0u);
+}
+
+TEST(WriteControllerTest, GlobalPressureAppliesWithCompactionDisabled) {
+  // Paper mode: L0 pacing is off, but a shared write-memory budget still
+  // has to be honored — global pressure bypasses the local soft trigger.
+  Options options = BaseOptions();
+  options.disable_compaction = true;
+  WriteController wc(options);
+  wc.UpdatePressure(/*l0_files=*/1000, /*imm_queue_len=*/0);
+  EXPECT_FALSE(wc.ShouldDelay());
+  wc.SetGlobalPressure(0.75);
+  EXPECT_TRUE(wc.ShouldDelay());
+  EXPECT_EQ(wc.pressure(), 0.75);
+}
+
+TEST(WriteControllerTest, EffectivePressureIsMaxOfLocalAndGlobal) {
+  WriteController wc(BaseOptions());
+  wc.UpdatePressure(/*l0_files=*/0, /*imm_queue_len=*/2);  // local 0.5
+  wc.SetGlobalPressure(0.25);
+  EXPECT_EQ(wc.pressure(), WriteController::kImmQueuePressure);
+  wc.SetGlobalPressure(0.9);
+  EXPECT_EQ(wc.pressure(), 0.9);
+}
+
+TEST(WriteControllerTest, ClearingGlobalPressureResetsBucket) {
+  WriteController wc(BaseOptions());
+  wc.SetGlobalPressure(1.0);
+  const uint64_t now = 1000;
+  (void)wc.DelayMicros(now, 4 * MiB);  // push the bucket head far out
+  wc.SetGlobalPressure(0.0);
+  EXPECT_FALSE(wc.ShouldDelay());
+  EXPECT_EQ(wc.DelayMicros(now, 1 * MiB), 0u);
+}
+
+TEST(WriteControllerTest, GlobalPressureClamped) {
+  WriteController wc(BaseOptions());
+  wc.SetGlobalPressure(5.0);
+  EXPECT_EQ(wc.global_pressure(), 1.0);
+  wc.SetGlobalPressure(-3.0);
+  EXPECT_EQ(wc.global_pressure(), 0.0);
+}
+
 }  // namespace
 }  // namespace lsmio::lsm
